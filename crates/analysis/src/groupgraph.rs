@@ -1,0 +1,157 @@
+//! The statement grouping graph `SG = (V', T')` (§4.2.1, step 3; paper
+//! Figure 5).
+//!
+//! Nodes are the round's units (statements in round one), edges are the
+//! candidate groups, and each edge carries the auxiliary-graph weight —
+//! the estimated whole-block superword reuse of committing to that
+//! candidate. The decision loop in `slp-core` works directly on the
+//! candidate list for efficiency; this explicit view exists for
+//! inspection, tracing and the paper-fidelity tests (Figure 5's `1/1`,
+//! `1/2`, `2/3` annotations are reproduced verbatim from it).
+
+use std::fmt;
+
+use crate::candidates::{Candidate, ConflictMatrix};
+use crate::packgraph::PackGraph;
+use crate::unit::Unit;
+use crate::weight::{WeightContext, WeightParams};
+
+/// One weighted edge of the statement grouping graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingEdge {
+    /// Index of the first endpoint unit.
+    pub a: usize,
+    /// Index of the second endpoint unit.
+    pub b: usize,
+    /// Index of the candidate behind this edge.
+    pub candidate: usize,
+    /// The §4.2.1 weight `W = r / Nt` (plus any configured adjustments).
+    pub weight: f64,
+}
+
+/// The statement grouping graph of one round.
+#[derive(Debug, Clone)]
+pub struct StatementGroupingGraph {
+    units: Vec<Unit>,
+    edges: Vec<GroupingEdge>,
+}
+
+impl StatementGroupingGraph {
+    /// Builds the graph for the current round: one node per unit, one
+    /// weighted edge per candidate (all candidates alive, nothing
+    /// decided — the paper's Figure 5 snapshot).
+    pub fn build(
+        units: &[Unit],
+        candidates: &[Candidate],
+        vp: &PackGraph,
+        conflicts: &ConflictMatrix,
+        params: &WeightParams,
+    ) -> Self {
+        let wcx = WeightContext::new(candidates, vp, conflicts, params);
+        let alive = vec![true; candidates.len()];
+        let edges = candidates
+            .iter()
+            .enumerate()
+            .map(|(c, cand)| GroupingEdge {
+                a: cand.a,
+                b: cand.b,
+                candidate: c,
+                weight: wcx.weight(c, &alive, &[], params),
+            })
+            .collect();
+        StatementGroupingGraph {
+            units: units.to_vec(),
+            edges,
+        }
+    }
+
+    /// The graph's nodes (units).
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// The weighted edges.
+    pub fn edges(&self) -> &[GroupingEdge] {
+        &self.edges
+    }
+
+    /// The edge between units `a` and `b`, in either orientation.
+    pub fn edge_between(&self, a: usize, b: usize) -> Option<&GroupingEdge> {
+        self.edges
+            .iter()
+            .find(|e| (e.a == a && e.b == b) || (e.a == b && e.b == a))
+    }
+
+    /// The edges in the order the decision loop would first consider
+    /// them: non-increasing weight, ties toward earlier statements.
+    pub fn edges_by_weight(&self) -> Vec<&GroupingEdge> {
+        let mut edges: Vec<&GroupingEdge> = self.edges.iter().collect();
+        edges.sort_by(|x, y| {
+            y.weight
+                .partial_cmp(&x.weight)
+                .expect("weights are finite")
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
+        edges
+    }
+}
+
+impl fmt::Display for StatementGroupingGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in self.edges_by_weight() {
+            writeln!(
+                f,
+                "{} -- {}  (w = {:.3})",
+                self.units[e.a], self.units[e.b], e.weight
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{find_candidates, tests::figure2};
+    use slp_ir::BlockDeps;
+
+    fn graph(params: &WeightParams) -> StatementGroupingGraph {
+        let (p, bb) = figure2();
+        let deps = BlockDeps::analyze(&bb);
+        let units: Vec<Unit> = bb.iter().map(|s| Unit::singleton(s.id())).collect();
+        let cands = find_candidates(&units, &bb, &deps, &p, |_| 4);
+        let conflicts = ConflictMatrix::compute(&cands, &deps);
+        let vp = PackGraph::build(&cands);
+        StatementGroupingGraph::build(&units, &cands, &vp, &conflicts, params)
+    }
+
+    #[test]
+    fn figure5_edges_and_weights() {
+        let sg = graph(&WeightParams::reuse_only());
+        // Three edges: {S1,S2}, {S1,S3}, {S4,S5} (units 0..4 map to the
+        // paper's S1..S5).
+        assert_eq!(sg.edges().len(), 3);
+        let w = |a: usize, b: usize| sg.edge_between(a, b).expect("edge").weight;
+        assert!((w(0, 1) - 1.0).abs() < 1e-9);
+        assert!((w(0, 2) - 0.5).abs() < 1e-9);
+        assert!((w(3, 4) - 2.0 / 3.0).abs() < 1e-9);
+        assert!(sg.edge_between(1, 2).is_none());
+    }
+
+    #[test]
+    fn ordering_matches_the_paper_decision_sequence() {
+        let sg = graph(&WeightParams::reuse_only());
+        let order: Vec<(usize, usize)> =
+            sg.edges_by_weight().iter().map(|e| (e.a, e.b)).collect();
+        // {S1,S2} first (1.0), then {S4,S5} (2/3), then {S1,S3} (1/2).
+        assert_eq!(order, vec![(0, 1), (3, 4), (0, 2)]);
+    }
+
+    #[test]
+    fn display_lists_every_edge() {
+        let sg = graph(&WeightParams::reuse_only());
+        let text = sg.to_string();
+        assert_eq!(text.lines().count(), 3);
+        assert!(text.contains("w = 1.000"), "{text}");
+    }
+}

@@ -1,0 +1,140 @@
+//! The variable-pack conflicting graph (§4.2.1, step 2; paper Figure 4).
+//!
+//! Each node is a variable pack *tagged with the candidate group it came
+//! from* — "there may exist multiple nodes containing the same set of
+//! variables, but they are generated from different candidate groups".
+//! Edges connect packs of conflicting candidate groups. Nodes with equal
+//! content and no connecting edge witness a superword reuse opportunity.
+
+use std::fmt;
+
+use crate::candidates::{Candidate, ConflictMatrix};
+use crate::key::PackContent;
+use crate::unit::PackPos;
+
+/// One node of the variable-pack conflicting graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackNode {
+    /// Index of the candidate group that generated this pack.
+    pub cand: usize,
+    /// The operand position within that candidate.
+    pub pos: PackPos,
+    /// Order-insensitive pack identity.
+    pub content: PackContent,
+}
+
+/// The variable-pack conflicting graph `VP = (V, T)`.
+#[derive(Debug, Clone)]
+pub struct PackGraph {
+    nodes: Vec<PackNode>,
+}
+
+impl PackGraph {
+    /// Builds the graph from the candidate set. Edges are implied by the
+    /// candidate [`ConflictMatrix`] (packs of conflicting candidates are
+    /// pairwise connected), so only nodes are materialized.
+    pub fn build(candidates: &[Candidate]) -> Self {
+        let mut nodes = Vec::new();
+        for (ci, c) in candidates.iter().enumerate() {
+            for p in &c.packs {
+                nodes.push(PackNode {
+                    cand: ci,
+                    pos: p.pos,
+                    content: p.content.clone(),
+                });
+            }
+        }
+        PackGraph { nodes }
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[PackNode] {
+        &self.nodes
+    }
+
+    /// Whether nodes `i` and `j` are connected (their candidates conflict).
+    pub fn connected(&self, i: usize, j: usize, conflicts: &ConflictMatrix) -> bool {
+        conflicts.get(self.nodes[i].cand, self.nodes[j].cand)
+    }
+
+    /// Number of edges implied by the conflict matrix, counting each
+    /// unordered pair once.
+    pub fn edge_count(&self, conflicts: &ConflictMatrix) -> usize {
+        let n = self.nodes.len();
+        let mut count = 0;
+        for i in 0..n {
+            for j in i + 1..n {
+                if self.connected(i, j, conflicts) {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// How many distinct nodes share `content` — the graph's raw reuse
+    /// signal: "the number of such nodes in fact gives us the reuse
+    /// information of the corresponding superword".
+    pub fn occurrences(&self, content: &PackContent) -> usize {
+        self.nodes.iter().filter(|n| &n.content == content).count()
+    }
+}
+
+impl fmt::Display for PackGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for n in &self.nodes {
+            writeln!(f, "{}@C{} ({})", n.content, n.cand, n.pos)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{find_candidates, tests::figure2, ConflictMatrix};
+    use crate::unit::Unit;
+    use slp_ir::BlockDeps;
+
+    #[test]
+    fn display_lists_nodes_with_their_candidates() {
+        let (p, bb) = figure2();
+        let deps = BlockDeps::analyze(&bb);
+        let units: Vec<Unit> = bb.iter().map(|s| Unit::singleton(s.id())).collect();
+        let cands = find_candidates(&units, &bb, &deps, &p, |_| 4);
+        let vp = PackGraph::build(&cands);
+        let text = vp.to_string();
+        assert_eq!(text.lines().count(), vp.nodes().len());
+        assert!(text.contains("@C0"), "{text}");
+    }
+
+    #[test]
+    fn figure4_structure() {
+        let (p, bb) = figure2();
+        let deps = BlockDeps::analyze(&bb);
+        let units: Vec<Unit> = bb.iter().map(|s| Unit::singleton(s.id())).collect();
+        let cands = find_candidates(&units, &bb, &deps, &p, |_| 4);
+        let conflicts = ConflictMatrix::compute(&cands, &deps);
+        let vp = PackGraph::build(&cands);
+        // {S1,S2}: 2 packs; {S1,S3}: 2 packs; {S4,S5}: 3 packs.
+        assert_eq!(vp.nodes().len(), 7);
+        // The {V3,V5} source pack of {S1,S2} also appears in {S4,S5}.
+        let c12_src = &vp
+            .nodes()
+            .iter()
+            .find(|n| n.cand == 0 && n.pos == PackPos::Operand(0))
+            .unwrap()
+            .content;
+        assert_eq!(vp.occurrences(c12_src), 2);
+        // Packs of conflicting candidates 0 and 1 are connected.
+        let n0 = vp.nodes().iter().position(|n| n.cand == 0).unwrap();
+        let n1 = vp.nodes().iter().position(|n| n.cand == 1).unwrap();
+        assert!(vp.connected(n0, n1, &conflicts));
+        // Packs of compatible candidates 0 and 2 are not.
+        let n2 = vp.nodes().iter().position(|n| n.cand == 2).unwrap();
+        assert!(!vp.connected(n0, n2, &conflicts));
+        // Only candidates 0 and 1 conflict (they share S1); their 2×2
+        // pack pairs are the graph's only edges.
+        assert_eq!(vp.edge_count(&conflicts), 4);
+    }
+}

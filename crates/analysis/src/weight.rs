@@ -1,0 +1,432 @@
+//! Candidate weights via the auxiliary graph (§4.2.1, step 3; paper
+//! Figures 5–7 and pseudo-code Figure 10, lines 21–39).
+//!
+//! The weight of a candidate group estimates "the potential benefit (in
+//! terms of superword reuses) for the entire basic block" of committing to
+//! it. It is computed by:
+//!
+//! 1. extracting from the variable-pack conflicting graph every node whose
+//!    content matches a pack of the candidate (or of an already-decided
+//!    group) and whose own candidate can coexist with this one,
+//! 2. greedily deleting maximum-degree nodes until the extracted subgraph
+//!    is conflict free,
+//! 3. counting, over the survivors plus the candidate's and the decided
+//!    groups' packs, `Σ (N_pack − 1)` reuses, and
+//! 4. dividing by the number of distinct pack types among the candidate's
+//!    and decided groups' packs (`W = r / Nt`).
+
+use std::collections::HashMap;
+
+use slp_ir::{pack_is_contiguous, ArrayRef, Operand};
+
+use crate::candidates::{Candidate, ConflictMatrix};
+use crate::key::PackContent;
+use crate::packgraph::PackGraph;
+
+/// Precomputed lookup structures for repeated weight queries within one
+/// grouping round. Building the content → node index once turns each
+/// auxiliary-graph extraction from a scan over every pack node into a few
+/// hash lookups — the decision loop calls [`WeightContext::weight`]
+/// `O(decisions × candidates)` times.
+#[derive(Debug)]
+pub struct WeightContext<'a> {
+    candidates: &'a [Candidate],
+    vp: &'a PackGraph,
+    conflicts: &'a ConflictMatrix,
+    /// VP node indices per pack content.
+    index: HashMap<&'a PackContent, Vec<usize>>,
+    /// Per candidate: its contiguity adjustment (static).
+    adjust: Vec<f64>,
+}
+
+impl<'a> WeightContext<'a> {
+    /// Builds the round's lookup structures.
+    pub fn new(
+        candidates: &'a [Candidate],
+        vp: &'a PackGraph,
+        conflicts: &'a ConflictMatrix,
+        params: &WeightParams,
+    ) -> Self {
+        let mut index: HashMap<&'a PackContent, Vec<usize>> = HashMap::new();
+        for (i, n) in vp.nodes().iter().enumerate() {
+            index.entry(&n.content).or_default().push(i);
+        }
+        let adjust = candidates
+            .iter()
+            .map(|c| contiguity_adjust(c, params))
+            .collect();
+        WeightContext {
+            candidates,
+            vp,
+            conflicts,
+            index,
+            adjust,
+        }
+    }
+
+    /// The §4.2.1 weight of `cand` given the current `alive` set and the
+    /// packs of the decided groups.
+    pub fn weight(
+        &self,
+        cand: usize,
+        alive: &[bool],
+        decided_packs: &[PackContent],
+        params: &WeightParams,
+    ) -> f64 {
+        if self.candidates[cand].packs.is_empty() {
+            return 0.0;
+        }
+        // wanted = own ∪ decided, deduplicated: these are both the aux
+        // extraction filter and the Nt normalizer of step 4.
+        let mut wanted: Vec<&PackContent> = self.candidates[cand]
+            .packs
+            .iter()
+            .map(|p| &p.content)
+            .collect();
+        for c in decided_packs {
+            wanted.push(c);
+        }
+        wanted.sort_unstable();
+        wanted.dedup();
+        let nt = wanted.len();
+
+        // Step 1: auxiliary nodes, via the index.
+        let mut aux: Vec<usize> = Vec::new();
+        for content in &wanted {
+            if let Some(nodes) = self.index.get(*content) {
+                for &i in nodes {
+                    let n = &self.vp.nodes()[i];
+                    if n.cand != cand && alive[n.cand] && !self.conflicts.get(cand, n.cand) {
+                        aux.push(i);
+                    }
+                }
+            }
+        }
+
+        // Step 2: greedy conflict elimination.
+        let survivors = eliminate_conflicts(&aux, self.vp, self.conflicts);
+
+        // Step 3: kind-weighted reuse counting over wanted contents.
+        // `wanted` is sorted, so binary search indexes the count table.
+        let mut counts = vec![0usize; nt];
+        let mut bump = |content: &PackContent| {
+            if let Ok(slot) = wanted.binary_search(&content) {
+                counts[slot] += 1;
+            }
+        };
+        for &i in &survivors {
+            bump(&self.vp.nodes()[i].content);
+        }
+        for p in &self.candidates[cand].packs {
+            bump(&p.content);
+        }
+        for c in decided_packs {
+            bump(c);
+        }
+        let r: f64 = wanted
+            .iter()
+            .zip(&counts)
+            .filter(|(_, &n)| n > 1)
+            .map(|(content, &n)| {
+                let kind_weight = if content.is_all_array() {
+                    1.0
+                } else {
+                    params.scalar_reuse_weight
+                };
+                (n - 1) as f64 * kind_weight
+            })
+            .sum();
+
+        (r + self.adjust[cand]) / nt as f64
+    }
+}
+
+/// The static contiguity bonus/penalty of a candidate's packs.
+fn contiguity_adjust(candidate: &Candidate, params: &WeightParams) -> f64 {
+    let mut adjust = 0.0;
+    for p in &candidate.packs {
+        let refs: Option<Vec<&ArrayRef>> = p
+            .ops
+            .iter()
+            .map(|o| match o {
+                Operand::Array(r) => Some(r),
+                _ => None,
+            })
+            .collect();
+        if let Some(refs) = refs {
+            // Contiguity is order-insensitive here (grouping has not
+            // fixed lane order yet): sort lanes by constant offset.
+            let mut sorted = refs;
+            sorted.sort_by_key(|r| r.access.dims().last().map(|e| e.constant()));
+            let factor = if p.pos == crate::unit::PackPos::Dest {
+                params.store_factor
+            } else {
+                1.0
+            };
+            if pack_is_contiguous(&sorted) {
+                adjust += factor * params.contiguous_bonus;
+            } else {
+                adjust -= factor * params.gather_penalty;
+            }
+        }
+    }
+    adjust
+}
+
+/// Knobs of the cost-aware weight refinement.
+///
+/// The paper's weight is the pure average superword reuse `W = r / Nt`.
+/// That objective is blind to how much the *mandatory* packing of each
+/// variable pack costs, and can prefer a grouping whose packs are strided
+/// gathers over an equally-reusable grouping with contiguous vector
+/// loads. Since the pre-processing stage already runs alignment analysis
+/// (§3, Figure 3), this implementation folds that information into the
+/// weight: contiguous array packs earn a bonus (each replaces `w` scalar
+/// loads with one vector load — worth about one reuse), non-contiguous
+/// array packs pay a penalty (per-lane gather).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightParams {
+    /// Added per contiguous array pack of the candidate.
+    pub contiguous_bonus: f64,
+    /// Subtracted per non-contiguous (gather) array pack of the
+    /// candidate.
+    pub gather_penalty: f64,
+    /// Multiplier applied to reuses of all-scalar packs. Reusing a
+    /// register-resident scalar pack only saves insert shuffles, while
+    /// reusing (or avoiding) an array pack saves memory operations, so a
+    /// scalar reuse is worth a fraction of an array reuse.
+    pub scalar_reuse_weight: f64,
+    /// Extra multiplier on the contiguity bonus/penalty of *destination*
+    /// array packs: stores are mandatory (reuse can never eliminate
+    /// them), so their memory class matters more than that of loads.
+    pub store_factor: f64,
+}
+
+impl Default for WeightParams {
+    fn default() -> Self {
+        WeightParams {
+            contiguous_bonus: 1.0,
+            gather_penalty: 0.75,
+            scalar_reuse_weight: 0.4,
+            store_factor: 2.0,
+        }
+    }
+}
+
+impl WeightParams {
+    /// The paper's original reuse-only weight (`W = r / Nt`), with no
+    /// contiguity or reuse-kind adjustment.
+    pub fn reuse_only() -> Self {
+        WeightParams {
+            contiguous_bonus: 0.0,
+            gather_penalty: 0.0,
+            scalar_reuse_weight: 1.0,
+            store_factor: 1.0,
+        }
+    }
+}
+
+/// Computes the §4.2.1 weight of candidate `cand`.
+///
+/// * `alive` — which candidates are still selectable (dead candidates'
+///   packs were deleted from `VP` by earlier decisions),
+/// * `decided_packs` — the pack contents of all groups decided so far
+///   (step 4's graph update keeps them for future weight calculations).
+pub fn candidate_weight(
+    cand: usize,
+    candidates: &[Candidate],
+    vp: &PackGraph,
+    conflicts: &ConflictMatrix,
+    alive: &[bool],
+    decided_packs: &[PackContent],
+) -> f64 {
+    candidate_weight_with(
+        cand,
+        candidates,
+        vp,
+        conflicts,
+        alive,
+        decided_packs,
+        &WeightParams::default(),
+    )
+}
+
+/// [`candidate_weight`] with explicit [`WeightParams`] (use
+/// [`WeightParams::reuse_only`] for the paper's unadjusted weight).
+#[allow(clippy::too_many_arguments)]
+pub fn candidate_weight_with(
+    cand: usize,
+    candidates: &[Candidate],
+    vp: &PackGraph,
+    conflicts: &ConflictMatrix,
+    alive: &[bool],
+    decided_packs: &[PackContent],
+    params: &WeightParams,
+) -> f64 {
+    WeightContext::new(candidates, vp, conflicts, params).weight(cand, alive, decided_packs, params)
+}
+
+/// Greedily removes maximum-degree nodes (ties: lowest node index) until
+/// the subgraph induced by `aux` has no edges; returns the survivors.
+/// Degrees are computed once and decremented on removal (O(aux²) total).
+fn eliminate_conflicts(aux: &[usize], vp: &PackGraph, conflicts: &ConflictMatrix) -> Vec<usize> {
+    let n = aux.len();
+    let mut present = vec![true; n];
+    let mut degree = vec![0usize; n];
+    for a in 0..n {
+        for b in a + 1..n {
+            if vp.connected(aux[a], aux[b], conflicts) {
+                degree[a] += 1;
+                degree[b] += 1;
+            }
+        }
+    }
+    loop {
+        let worst = (0..n)
+            .filter(|&a| present[a] && degree[a] > 0)
+            .max_by(|&a, &b| degree[a].cmp(&degree[b]).then(aux[b].cmp(&aux[a])));
+        let Some(victim) = worst else {
+            return (0..n).filter(|&a| present[a]).map(|a| aux[a]).collect();
+        };
+        present[victim] = false;
+        for a in 0..n {
+            if present[a] && a != victim && vp.connected(aux[a], aux[victim], conflicts) {
+                degree[a] -= 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{find_candidates, tests::figure2};
+    use crate::unit::Unit;
+    use slp_ir::BlockDeps;
+
+    struct Fixture {
+        candidates: Vec<Candidate>,
+        vp: PackGraph,
+        conflicts: ConflictMatrix,
+    }
+
+    fn fixture() -> Fixture {
+        let (p, bb) = figure2();
+        let deps = BlockDeps::analyze(&bb);
+        let units: Vec<Unit> = bb.iter().map(|s| Unit::singleton(s.id())).collect();
+        let candidates = find_candidates(&units, &bb, &deps, &p, |_| 4);
+        let conflicts = ConflictMatrix::compute(&candidates, &deps);
+        let vp = PackGraph::build(&candidates);
+        Fixture {
+            candidates,
+            vp,
+            conflicts,
+        }
+    }
+
+    #[test]
+    fn paper_figure5_weights() {
+        // The paper's Figure 5 annotates the statement-grouping-graph
+        // edges with weights 1/1 for {S1,S2}, 1/2 for {S1,S3} and 2/3 for
+        // {S4,S5}.
+        let f = fixture();
+        let alive = vec![true; f.candidates.len()];
+        // Verified against the paper's unadjusted formula.
+        let w = |c: usize| {
+            candidate_weight_with(
+                c,
+                &f.candidates,
+                &f.vp,
+                &f.conflicts,
+                &alive,
+                &[],
+                &WeightParams::reuse_only(),
+            )
+        };
+        assert!((w(0) - 1.0).abs() < 1e-9, "w({{S1,S2}}) = {}", w(0));
+        assert!((w(1) - 0.5).abs() < 1e-9, "w({{S1,S3}}) = {}", w(1));
+        assert!((w(2) - 2.0 / 3.0).abs() < 1e-9, "w({{S4,S5}}) = {}", w(2));
+    }
+
+    #[test]
+    fn paper_figure8_weight_after_first_decision() {
+        // After deciding {S1,S2}, the updated graph weights {S4,S5} at
+        // 2/3, now sourced from the decided packs rather than from VP.
+        let f = fixture();
+        // Candidate 0 decided; candidate 1 conflicts with it and dies.
+        let alive = vec![false, false, true];
+        let decided: Vec<PackContent> = f.candidates[0]
+            .packs
+            .iter()
+            .map(|p| p.content.clone())
+            .collect();
+        let w = candidate_weight_with(
+            2,
+            &f.candidates,
+            &f.vp,
+            &f.conflicts,
+            &alive,
+            &decided,
+            &WeightParams::reuse_only(),
+        );
+        assert!((w - 2.0 / 3.0).abs() < 1e-9, "w = {w}");
+    }
+
+    #[test]
+    fn weight_is_zero_without_any_reuse() {
+        // {S1,S3}'s packs ({V1,V5}, {V3,V7}) match nothing once the other
+        // candidates are dead: no reuse, weight 0.
+        let f = fixture();
+        let alive = vec![false, true, false];
+        let w = candidate_weight_with(
+            1,
+            &f.candidates,
+            &f.vp,
+            &f.conflicts,
+            &alive,
+            &[],
+            &WeightParams::reuse_only(),
+        );
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn elimination_leaves_a_conflict_free_set() {
+        // Feeding the whole VP node set through elimination must yield an
+        // independent set, mirroring Figures 6→7.
+        let f = fixture();
+        let aux: Vec<usize> = (0..f.vp.nodes().len()).collect();
+        let survivors = eliminate_conflicts(&aux, &f.vp, &f.conflicts);
+        assert!(!survivors.is_empty());
+        for (i, &a) in survivors.iter().enumerate() {
+            for &b in &survivors[i + 1..] {
+                assert!(!f.vp.connected(a, b, &f.conflicts));
+            }
+        }
+    }
+
+    #[test]
+    fn figure7_elimination_for_s4_s5() {
+        // The aux graph for {S4,S5} (candidate 2) holds {V3,V5}@C0,
+        // {V1,V2}@C0 and {V1,V5}@C1; C0–C1 conflict gives {V1,V5}@C1
+        // degree 2, so it is eliminated and the two C0 packs survive —
+        // exactly the paper's Figure 6 → Figure 7 transition.
+        let f = fixture();
+        let aux: Vec<usize> = f
+            .vp
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| {
+                n.cand != 2
+                    && !f.conflicts.get(2, n.cand)
+                    && f.candidates[2].packs.iter().any(|p| p.content == n.content)
+            })
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(aux.len(), 3);
+        let survivors = eliminate_conflicts(&aux, &f.vp, &f.conflicts);
+        assert_eq!(survivors.len(), 2);
+        assert!(survivors.iter().all(|&i| f.vp.nodes()[i].cand == 0));
+    }
+}

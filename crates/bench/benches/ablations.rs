@@ -1,0 +1,102 @@
+//! Ablations of the design choices DESIGN.md calls out:
+//!
+//! * contiguity-aware vs the paper's pure-reuse grouping weights,
+//! * indirect (permuted) superword reuse on/off,
+//! * live-superword-set capacity,
+//! * vector register file size (spill pressure),
+//! * the opt-in cross-iteration (loop-carried) reuse extension.
+//!
+//! Criterion times the compile+run pipeline per variant; a summary of the
+//! simulated-cycle impact of each ablation is printed at the end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp_analysis::WeightParams;
+use slp_core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp_vm::{execute_gated, lower_kernel_with};
+
+fn suite_cycles(machine: &MachineConfig, tweak: impl Fn(&mut SlpConfig)) -> f64 {
+    let mut total = 0.0;
+    for (_, program) in slp_suite::all(1) {
+        let mut cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+        tweak(&mut cfg);
+        let kernel = compile(&program, &cfg);
+        total += execute_gated(&kernel, machine, true)
+            .expect("suite kernels run")
+            .stats
+            .metrics
+            .cycles;
+    }
+    total
+}
+
+/// Static cycle total of the suite when codegen's permuted reuse is
+/// toggled (schedules fixed; only emission changes).
+fn suite_static_cycles(machine: &MachineConfig, permuted_reuse: bool) -> f64 {
+    let mut total = 0.0;
+    for (_, program) in slp_suite::all(1) {
+        let cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+        let kernel = compile(&program, &cfg);
+        for (_, code) in lower_kernel_with(&kernel, machine, true, permuted_reuse) {
+            total += code.static_metrics.cycles;
+        }
+    }
+    total
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let machine = MachineConfig::intel_dunnington();
+    let mut group = c.benchmark_group("ablations");
+
+    for (label, weights) in [
+        ("weights/cost-aware", WeightParams::default()),
+        ("weights/reuse-only", WeightParams::reuse_only()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &weights, |b, w| {
+            b.iter(|| std::hint::black_box(suite_cycles(&machine, |cfg| cfg.weights = *w)))
+        });
+    }
+    for cap in [2usize, 16] {
+        group.bench_with_input(BenchmarkId::new("live-set-capacity", cap), &cap, |b, &cap| {
+            b.iter(|| {
+                std::hint::black_box(suite_cycles(&machine, |cfg| {
+                    cfg.schedule.live_set_capacity = cap
+                }))
+            })
+        });
+    }
+    group.finish();
+
+    // Cycle-impact summary.
+    let base = suite_cycles(&machine, |_| {});
+    let report = |label: &str, cycles: f64| {
+        println!("{label:<38} {:+6.2}% cycles vs default", (cycles / base - 1.0) * 100.0);
+    };
+    println!("\n== ablation summary (suite total, Intel, scale 1) ==");
+    report("pure-reuse weights (paper formula)", suite_cycles(&machine, |cfg| {
+        cfg.weights = WeightParams::reuse_only()
+    }));
+    report("live superword set capacity = 2", suite_cycles(&machine, |cfg| {
+        cfg.schedule.live_set_capacity = 2
+    }));
+    report("vector register file = 4", suite_cycles(&machine, |cfg| {
+        cfg.machine.vector_regs = 4
+    }));
+    let with = suite_static_cycles(&machine, true);
+    let without = suite_static_cycles(&machine, false);
+    println!(
+        "{:<38} {:+6.2}% static cycles when disabled",
+        "permuted (indirect) superword reuse",
+        (without / with - 1.0) * 100.0
+    );
+    report(
+        "cross-iteration reuse enabled",
+        suite_cycles(&machine, |cfg| cfg.cross_iteration_reuse = true),
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablations
+}
+criterion_main!(benches);

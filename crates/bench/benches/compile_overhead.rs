@@ -1,0 +1,37 @@
+//! §7.1 compile-time overhead: "compared to the SLP version, our approach
+//! increased compilation time by 27% on average". Criterion times the
+//! two optimizers' compilation of the full suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp_bench::Scheme;
+use slp_core::{compile, MachineConfig};
+
+fn bench_compile(c: &mut Criterion) {
+    let machine = MachineConfig::intel_dunnington();
+    let kernels = slp_suite::all(1);
+    let mut group = c.benchmark_group("compile");
+    for scheme in [Scheme::Slp, Scheme::Global, Scheme::GlobalLayout] {
+        group.bench_with_input(
+            BenchmarkId::new("suite", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let cfg = scheme.config(&machine);
+                b.iter(|| {
+                    for (_, p) in &kernels {
+                        std::hint::black_box(compile(p, &cfg));
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+    let pct = slp_bench::figures::compile_overhead(&machine, 1);
+    println!("\nGlobal compile-time overhead over SLP: {pct:+.1}% (paper: +27%)");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_compile
+}
+criterion_main!(benches);

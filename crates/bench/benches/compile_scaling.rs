@@ -1,0 +1,44 @@
+//! Empirical complexity of the holistic grouping: the paper states the
+//! basic grouping algorithm is `O(E_SG² × N_VP)` in the statement
+//! grouping graph's edges and the pack graph's nodes. This bench times
+//! `compile` for growing basic-block sizes (wider unroll factors of one
+//! kernel) so the curve can be eyeballed against that bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp_core::{compile, MachineConfig, SlpConfig, Strategy};
+
+fn bench_scaling(c: &mut Criterion) {
+    let machine = MachineConfig::intel_dunnington();
+    let program = slp_suite::kernel("milc", 1);
+    let mut group = c.benchmark_group("compile_scaling");
+    for unroll in [1usize, 2, 4, 8] {
+        // Body statements grow linearly with the unroll factor; candidate
+        // counts quadratically.
+        group.bench_with_input(
+            BenchmarkId::new("holistic_unroll", unroll),
+            &unroll,
+            |b, &unroll| {
+                let mut cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+                cfg.unroll = unroll;
+                b.iter(|| std::hint::black_box(compile(&program, &cfg)))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_unroll", unroll),
+            &unroll,
+            |b, &unroll| {
+                let mut cfg = SlpConfig::for_machine(machine.clone(), Strategy::Baseline);
+                cfg.unroll = unroll;
+                b.iter(|| std::hint::black_box(compile(&program, &cfg)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scaling
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 16: execution-time reductions of Native / SLP / Global over the
+//! scalar baseline on the Intel machine.
+//!
+//! Each scheme's compile+execute pipeline is timed per benchmark; the
+//! figure's rows are printed once at the end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp_bench::figures::{measure_suite, render_fig16};
+use slp_bench::{measure, Scheme};
+use slp_core::MachineConfig;
+
+fn bench_fig16(c: &mut Criterion) {
+    let machine = MachineConfig::intel_dunnington();
+    let mut group = c.benchmark_group("fig16");
+    for scheme in [Scheme::Scalar, Scheme::Native, Scheme::Slp, Scheme::Global] {
+        group.bench_with_input(
+            BenchmarkId::new("suite", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let kernels = slp_suite::all(1);
+                b.iter(|| {
+                    for (_, p) in &kernels {
+                        std::hint::black_box(measure(p, &machine, scheme).cycles());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+    println!("\n== Figure 16 (scale 1) ==\n{}", render_fig16(&measure_suite(&machine, 1)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig16
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 17: Global-over-SLP reductions in dynamic instructions
+//! (excluding packing/unpacking) and in packing/unpacking operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slp_bench::figures::{measure_suite, render_fig17};
+use slp_core::MachineConfig;
+
+fn bench_fig17(c: &mut Criterion) {
+    let machine = MachineConfig::intel_dunnington();
+    c.bench_function("fig17_instruction_counters", |b| {
+        b.iter(|| std::hint::black_box(measure_suite(&machine, 1)))
+    });
+    println!("\n== Figure 17 (scale 1) ==\n{}", render_fig17(&measure_suite(&machine, 1)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig17
+}
+criterion_main!(benches);

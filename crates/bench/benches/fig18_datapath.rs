@@ -1,0 +1,32 @@
+//! Figure 18: percentage of scalar dynamic instructions eliminated by
+//! Global for hypothetical datapath widths of 128–1024 bits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp_bench::figures::{fig18_series, render_fig18};
+use slp_bench::{measure, Scheme};
+use slp_core::MachineConfig;
+
+fn bench_fig18(c: &mut Criterion) {
+    let machine = MachineConfig::intel_dunnington();
+    let mut group = c.benchmark_group("fig18");
+    // Criterion times a representative kernel per width (wide-datapath
+    // compiles of the *whole* suite take minutes per sample; the full
+    // sweep runs once below for the printed figure).
+    let probe_kernel = slp_suite::kernel("lbm", 1);
+    for bits in [128u32, 256, 512, 1024] {
+        group.bench_with_input(BenchmarkId::new("width", bits), &bits, |b, &bits| {
+            let m = machine.with_datapath_bits(bits);
+            b.iter(|| std::hint::black_box(measure(&probe_kernel, &m, Scheme::Global).cycles()))
+        });
+    }
+    group.finish();
+    let series = fig18_series(&machine, 1, &[128, 256, 512, 1024]);
+    println!("\n== Figure 18 (scale 1) ==\n{}", render_fig18(&series));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig18
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Figure 19: Global vs Global+Layout execution-time reductions on the
+//! Intel machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slp_bench::figures::{measure_suite, render_fig19};
+use slp_bench::{measure, Scheme};
+use slp_core::MachineConfig;
+
+fn bench_fig19(c: &mut Criterion) {
+    let machine = MachineConfig::intel_dunnington();
+    let mut group = c.benchmark_group("fig19");
+    for scheme in [Scheme::Global, Scheme::GlobalLayout] {
+        group.bench_with_input(
+            BenchmarkId::new("suite", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let kernels = slp_suite::all(1);
+                b.iter(|| {
+                    for (_, p) in &kernels {
+                        std::hint::black_box(measure(p, &machine, scheme).cycles());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+    println!("\n== Figure 19 (scale 1) ==\n{}", render_fig19(&measure_suite(&machine, 1)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig19
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 20: Global and Global+Layout reductions on the AMD machine,
+//! compared with the Intel averages.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slp_bench::figures::{measure_suite, render_fig20};
+use slp_core::MachineConfig;
+
+fn bench_fig20(c: &mut Criterion) {
+    let amd = MachineConfig::amd_phenom_ii();
+    c.bench_function("fig20_amd_suite", |b| {
+        b.iter(|| std::hint::black_box(measure_suite(&amd, 1)))
+    });
+    let intel_results = measure_suite(&MachineConfig::intel_dunnington(), 1);
+    let amd_results = measure_suite(&amd, 1);
+    println!("\n== Figure 20 (scale 1) ==\n{}", render_fig20(&amd_results, &intel_results));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig20
+}
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Figure 21: multicore execution-time reductions for the NAS kernels,
+//! 1–12 cores, on the Intel machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slp_bench::figures::{fig21, render_fig21};
+use slp_core::MachineConfig;
+
+fn bench_fig21(c: &mut Criterion) {
+    let machine = MachineConfig::intel_dunnington();
+    c.bench_function("fig21_nas_multicore", |b| {
+        b.iter(|| std::hint::black_box(fig21(&machine, 2)))
+    });
+    println!("\n== Figure 21 (scale 8) ==\n{}", render_fig21(&fig21(&machine, 8)));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig21
+}
+criterion_main!(benches);

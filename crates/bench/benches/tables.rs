@@ -1,0 +1,29 @@
+//! Tables 1–3: machine descriptions and the benchmark catalog.
+//!
+//! The "benchmark" here times catalog construction and kernel
+//! compilation-from-source (the frontend path every experiment shares);
+//! the tables themselves are printed once at the end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slp_bench::figures::{render_machine_table, render_table3};
+use slp_core::MachineConfig;
+
+fn bench_tables(c: &mut Criterion) {
+    c.bench_function("table3_catalog_and_frontend", |b| {
+        b.iter(|| {
+            for spec in slp_suite::catalog() {
+                std::hint::black_box(slp_suite::kernel(spec.name, 1));
+            }
+        })
+    });
+    println!("\n== Table 1 ==\n{}", render_machine_table(&MachineConfig::intel_dunnington()));
+    println!("== Table 2 ==\n{}", render_machine_table(&MachineConfig::amd_phenom_ii()));
+    println!("== Table 3 ==\n{}", render_table3());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tables
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Developer tool: inspect one benchmark's compilation under each scheme.
+//!
+//! ```text
+//! inspect <kernel> [schedules|code|layout|weights]
+//! ```
+
+use slp_analysis::{
+    find_candidates, ConflictMatrix, PackGraph, StatementGroupingGraph, Unit, WeightParams,
+};
+use slp_bench::{measure, Scheme};
+use slp_core::MachineConfig;
+use slp_ir::{BlockDeps, TypeEnv};
+use slp_vm::lower_kernel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().cloned().unwrap_or_else(|| "wrf".into());
+    let what = args.get(1).map(String::as_str).unwrap_or("schedules");
+    let machine = MachineConfig::intel_dunnington();
+    let program = slp_suite::kernel(&name, 1);
+
+    match what {
+        "schedules" | "code" => {
+            for scheme in [Scheme::Slp, Scheme::Global, Scheme::GlobalLayout] {
+                let m = measure(&program, &machine, scheme);
+                println!(
+                    "==== {} ({:.0} cycles, {} replications) ====",
+                    scheme.label(),
+                    m.cycles(),
+                    m.kernel.replications.len()
+                );
+                for (bid, sched) in &m.kernel.schedules {
+                    if sched.is_vectorized() {
+                        println!("-- schedule of {bid}:");
+                        for item in sched.items() {
+                            println!("   {item}");
+                        }
+                    }
+                }
+                if what == "code" {
+                    for (bid, code) in lower_kernel(&m.kernel, &machine, true) {
+                        println!("-- code of {bid} (vectorized={}):", code.vectorized);
+                        for inst in code.preheader.iter() {
+                            println!("   [pre] {inst}");
+                        }
+                        for inst in &code.insts {
+                            println!("   {inst}");
+                        }
+                    }
+                }
+            }
+        }
+        "layout" => {
+            let m = measure(&program, &machine, Scheme::GlobalLayout);
+            println!("stats: {:?}", m.kernel.stats);
+            for r in &m.kernel.replications {
+                println!(
+                    "replication: {} -> {} ({} lanes, {} copies)",
+                    m.kernel.program.array(r.source).name,
+                    m.kernel.program.array(r.dest).name,
+                    r.lanes.len(),
+                    r.copy_count()
+                );
+            }
+        }
+        "weights" => {
+            // The paper's Figure 5 view: the statement grouping graph of
+            // the first round, edges annotated with their reuse weights.
+            let mut p = program.clone();
+            slp_ir::unroll_program(&mut p, 2);
+            let infos = p.blocks();
+            let info = infos
+                .iter()
+                .max_by_key(|b| b.block.len())
+                .expect("kernel has blocks");
+            let deps = BlockDeps::analyze_in(&info.block, &info.loops);
+            let units: Vec<Unit> = info.block.iter().map(|s| Unit::singleton(s.id())).collect();
+            let cands = find_candidates(&units, &info.block, &deps, &p, |s| {
+                let stmt = info.block.stmt(s).expect("stmt");
+                machine.lanes_for(p.dest_type(stmt.dest()))
+            });
+            let conflicts = ConflictMatrix::compute(&cands, &deps);
+            let vp = PackGraph::build(&cands);
+            let sg = StatementGroupingGraph::build(
+                &units,
+                &cands,
+                &vp,
+                &conflicts,
+                &WeightParams::default(),
+            );
+            for e in sg.edges_by_weight().iter().take(30) {
+                let cand = &cands[e.candidate];
+                let stmts: Vec<String> = cand
+                    .stmts
+                    .iter()
+                    .map(|s| p.show_stmt(info.block.stmt(*s).expect("stmt")))
+                    .collect();
+                println!("{:7.3}  {{{}}}", e.weight, stmts.join(" | "));
+            }
+        }
+        other => {
+            eprintln!("unknown mode '{other}'; known: schedules code layout weights");
+            std::process::exit(2);
+        }
+    }
+}

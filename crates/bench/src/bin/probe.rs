@@ -1,0 +1,26 @@
+//! Developer probe: prints per-kernel reductions for every scheme.
+use slp_bench::{assert_equivalent, measure_all, of, Scheme};
+use slp_core::MachineConfig;
+
+fn main() {
+    let machine = match std::env::args().nth(1).as_deref() {
+        Some("amd") => MachineConfig::amd_phenom_ii(),
+        _ => MachineConfig::intel_dunnington(),
+    };
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8}  repl", "kernel", "Native", "SLP", "Global", "G+L");
+    for (spec, p) in slp_suite::all(1) {
+        let ms = measure_all(&p, &machine);
+        assert_equivalent(&p, &ms);
+        let base = of(&ms, Scheme::Scalar);
+        let r = |s: Scheme| of(&ms, s).reduction_over(base);
+        println!(
+            "{:<12} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%  {}",
+            spec.name,
+            r(Scheme::Native),
+            r(Scheme::Slp),
+            r(Scheme::Global),
+            r(Scheme::GlobalLayout),
+            of(&ms, Scheme::GlobalLayout).kernel.stats.replications,
+        );
+    }
+}

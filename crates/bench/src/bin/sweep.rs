@@ -1,0 +1,61 @@
+//! Developer probe: sweep WeightParams and report figure-shape quality.
+use slp_analysis::WeightParams;
+use slp_bench::{measure, Scheme};
+use slp_core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp_vm::execute;
+
+fn main() {
+    let machine = MachineConfig::intel_dunnington();
+    let kernels = slp_suite::all(1);
+    // Fixed baselines.
+    let mut scalar = Vec::new();
+    let mut slp = Vec::new();
+    for (_, p) in &kernels {
+        scalar.push(measure(p, &machine, Scheme::Scalar).cycles());
+        slp.push(measure(p, &machine, Scheme::Slp).cycles());
+    }
+    let mut best: Vec<(f64, String)> = Vec::new();
+    for sigma in [0.2, 0.4, 0.6, 1.0] {
+        for bonus in [0.5, 1.0, 1.5] {
+            for penalty in [0.25, 0.5, 1.0] {
+              for store in [1.0, 2.0, 3.0] {
+                let w = WeightParams {
+                    contiguous_bonus: bonus,
+                    gather_penalty: penalty,
+                    scalar_reuse_weight: sigma,
+                    store_factor: store,
+                };
+                let mut losses = 0usize;
+                let mut total_gap = 0.0;
+                let mut details = Vec::new();
+                for (i, (spec, p)) in kernels.iter().enumerate() {
+                    let mut cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+                    cfg.weights = w;
+                    let k = compile(p, &cfg);
+                    let g = execute(&k, &machine).unwrap().stats.metrics.cycles;
+                    // Reductions over scalar.
+                    let rg = (1.0 - g / scalar[i]) * 100.0;
+                    let rs = (1.0 - slp[i] / scalar[i]) * 100.0;
+                    if rg < rs - 0.5 {
+                        losses += 1;
+                        details.push(format!("{}({:.0}<{:.0})", spec.name, rg, rs));
+                    }
+                    total_gap += rg - rs;
+                }
+                best.push((
+                    losses as f64 * 1000.0 - total_gap,
+                    format!(
+                        "s={sigma} b={bonus} p={penalty} f={store}: losses={losses} avg_gap={:+.2} [{}]",
+                        total_gap / 16.0,
+                        details.join(",")
+                    ),
+                ));
+              }
+            }
+        }
+    }
+    best.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for (_, line) in best.iter().take(40) {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # slp-bench — the evaluation harness
+//!
+//! Reproduces every table and figure of the paper's §7 on the simulated
+//! machines:
+//!
+//! * [`harness`] — compiles and runs a kernel under all five schemes
+//!   (scalar / Native / SLP / Global / Global+Layout) with a bit-exact
+//!   semantic-equivalence oracle,
+//! * [`figures`] — the per-exhibit data generators and text renderers
+//!   (Tables 1–3, Figures 16–21, the compile-time overhead statement).
+//!
+//! The `figures` binary prints any exhibit (`figures fig16`, `figures
+//! all`); the Criterion benches under `benches/` time the same harness
+//! entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod figures;
+pub mod harness;
+
+pub use harness::{assert_equivalent, measure, measure_all, of, Measurement, Scheme};

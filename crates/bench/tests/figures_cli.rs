@@ -1,0 +1,38 @@
+//! Smoke tests for the `figures` binary (the fast, table-only paths;
+//! the full figure sweeps run under `cargo bench`).
+
+use std::process::Command;
+
+#[test]
+fn figures_prints_the_tables() {
+    for exhibit in ["table1", "table2", "table3"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+            .arg(exhibit)
+            .output()
+            .expect("spawn figures");
+        assert!(out.status.success());
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("=="), "{exhibit}: {stdout}");
+    }
+}
+
+#[test]
+fn figures_rejects_unknown_exhibits() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .arg("fig99")
+        .output()
+        .expect("spawn figures");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn table3_lists_all_sixteen_benchmarks() {
+    let out = Command::new(env!("CARGO_BIN_EXE_figures"))
+        .arg("table3")
+        .output()
+        .expect("spawn figures");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for spec in slp_suite::catalog() {
+        assert!(stdout.contains(spec.name), "missing {}", spec.name);
+    }
+}

@@ -1,0 +1,368 @@
+//! The baseline SLP algorithm of Larsen & Amarasinghe (PLDI 2000), the
+//! comparator the paper evaluates against ("SLP" in §7).
+//!
+//! The algorithm is local and greedy: it seeds the pack set with
+//! isomorphic, independent statement pairs whose memory references are
+//! *adjacent*, extends packs along def-use and use-def chains, combines
+//! chained pairs into wider groups, and schedules in plain dependence
+//! order. It has no global view of reuse and fixes lane order at packing
+//! time, which is exactly what the holistic optimizer improves on.
+
+use slp_analysis::Unit;
+use slp_ir::{BasicBlock, BlockDeps, Dest, Operand, Statement, StmtId, TypeEnv};
+
+use crate::schedule::{schedule_in_program_order, ScheduleConfig};
+use crate::superword::BlockSchedule;
+
+/// An ordered statement pair in the pack set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PackPair {
+    left: StmtId,
+    right: StmtId,
+}
+
+/// Runs the baseline SLP algorithm on one block and returns the schedule.
+///
+/// `lane_cap` bounds group width exactly as in the holistic optimizer so
+/// the two strategies compete under identical constraints.
+pub fn baseline_block<E: TypeEnv>(
+    block: &BasicBlock,
+    deps: &BlockDeps,
+    env: &E,
+    lane_cap: impl FnMut(StmtId) -> usize,
+) -> BlockSchedule {
+    let groups = baseline_groups(block, deps, env, lane_cap);
+    schedule_in_program_order(block, deps, &groups, &ScheduleConfig::default())
+}
+
+/// The grouping phases of the baseline algorithm (seed → extend →
+/// combine), without the scheduling step. Unit statement order is the
+/// chain order (ascending addresses). Exposed so the holistic pipeline
+/// can evaluate adjacency-seeded groups under its own scheduler and cost
+/// model.
+pub fn baseline_groups<E: TypeEnv>(
+    block: &BasicBlock,
+    deps: &BlockDeps,
+    env: &E,
+    mut lane_cap: impl FnMut(StmtId) -> usize,
+) -> Vec<Unit> {
+    let pairs = build_pack_set(block, deps, env);
+    combine_pairs(&pairs, block, &mut lane_cap)
+}
+
+/// Whether statement `s` has a memory reference adjacent (one element
+/// below) to the matching reference of `t`, in the destination or any
+/// operand position.
+fn has_adjacent_refs(s: &Statement, t: &Statement) -> bool {
+    let dest_adj = match (s.dest(), t.dest()) {
+        (Dest::Array(a), Dest::Array(b)) => adjacent(a, b),
+        _ => false,
+    };
+    if dest_adj {
+        return true;
+    }
+    s.expr()
+        .operands()
+        .iter()
+        .zip(t.expr().operands())
+        .any(|(x, y)| match (x, y) {
+            (Operand::Array(a), Operand::Array(b)) => adjacent(a, b),
+            _ => false,
+        })
+}
+
+fn adjacent(a: &slp_ir::ArrayRef, b: &slp_ir::ArrayRef) -> bool {
+    a.array == b.array
+        && a.access
+            .constant_difference(&b.access)
+            .is_some_and(|d| {
+                let (last, outer) = d.split_last().expect("arrays have rank >= 1");
+                *last == 1 && outer.iter().all(|&x| x == 0)
+            })
+}
+
+/// Phases 1-2 of the baseline: seed with adjacent memory references, then
+/// extend along def-use / use-def chains until fixpoint. Each statement
+/// may be the left lane of at most one pair and the right lane of at most
+/// one pair (the original algorithm's occupancy rule).
+fn build_pack_set<E: TypeEnv>(block: &BasicBlock, deps: &BlockDeps, env: &E) -> Vec<PackPair> {
+    let stmts = block.stmts();
+    let mut pairs: Vec<PackPair> = Vec::new();
+    let mut left_used: Vec<StmtId> = Vec::new();
+    let mut right_used: Vec<StmtId> = Vec::new();
+
+    let can_pack = |s: &Statement,
+                    t: &Statement,
+                    left_used: &[StmtId],
+                    right_used: &[StmtId]|
+     -> bool {
+        s.id() != t.id()
+            && !left_used.contains(&s.id())
+            && !right_used.contains(&t.id())
+            && s.isomorphic(t, env)
+            && deps.independent(s.id(), t.id())
+    };
+
+    // Seeds: adjacent memory references, oriented low address -> left.
+    for (i, s) in stmts.iter().enumerate() {
+        for t in &stmts[i + 1..] {
+            let (l, r) = if has_adjacent_refs(s, t) {
+                (s, t)
+            } else if has_adjacent_refs(t, s) {
+                (t, s)
+            } else {
+                continue;
+            };
+            if can_pack(l, r, &left_used, &right_used) {
+                pairs.push(PackPair {
+                    left: l.id(),
+                    right: r.id(),
+                });
+                left_used.push(l.id());
+                right_used.push(r.id());
+            }
+        }
+    }
+
+    // Extension along chains until fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let snapshot = pairs.clone();
+        for pair in &snapshot {
+            // Use-def: pack the statements defining the pair's scalar
+            // operands.
+            let (ls, rs) = (
+                block.stmt(pair.left).expect("stmt in block"),
+                block.stmt(pair.right).expect("stmt in block"),
+            );
+            let arity = ls.expr().arity();
+            for k in 0..arity {
+                let (lu, ru) = (ls.expr().operands()[k], rs.expr().operands()[k]);
+                if let (Some(lv), Some(rv)) = (lu.as_scalar(), ru.as_scalar()) {
+                    let lp = block.position(pair.left).expect("in block");
+                    let rp = block.position(pair.right).expect("in block");
+                    if let (Some(ld), Some(rd)) = (
+                        reaching_def(stmts, lv, lp),
+                        reaching_def(stmts, rv, rp),
+                    ) {
+                        if can_pack(ld, rd, &left_used, &right_used) {
+                            pairs.push(PackPair {
+                                left: ld.id(),
+                                right: rd.id(),
+                            });
+                            left_used.push(ld.id());
+                            right_used.push(rd.id());
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            // Def-use: pack the first users of the pair's scalar results.
+            if let (Dest::Scalar(lv), Dest::Scalar(rv)) = (ls.dest(), rs.dest()) {
+                let lp = block.position(pair.left).expect("in block");
+                let rp = block.position(pair.right).expect("in block");
+                for k in 0..3 {
+                    if let (Some(lu), Some(ru)) = (
+                        first_use(stmts, *lv, lp, k),
+                        first_use(stmts, *rv, rp, k),
+                    ) {
+                        if can_pack(lu, ru, &left_used, &right_used) {
+                            pairs.push(PackPair {
+                                left: lu.id(),
+                                right: ru.id(),
+                            });
+                            left_used.push(lu.id());
+                            right_used.push(ru.id());
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pairs
+}
+
+/// The last statement before position `before` that writes scalar `v`.
+fn reaching_def(stmts: &[Statement], v: slp_ir::VarId, before: usize) -> Option<&Statement> {
+    stmts[..before]
+        .iter()
+        .rev()
+        .find(|s| matches!(s.dest(), Dest::Scalar(w) if *w == v))
+}
+
+/// The first statement after position `after` whose operand position `k`
+/// reads scalar `v`.
+fn first_use(stmts: &[Statement], v: slp_ir::VarId, after: usize, k: usize) -> Option<&Statement> {
+    stmts[after + 1..].iter().find(|s| {
+        s.expr()
+            .operands()
+            .get(k)
+            .is_some_and(|o| o.as_scalar() == Some(v))
+    })
+}
+
+/// Phase 3: combine chained pairs `(a,b)` and `(b,c)` into `[a,b,c]`,
+/// bounded by the lane capacity.
+fn combine_pairs(
+    pairs: &[PackPair],
+    block: &BasicBlock,
+    lane_cap: &mut impl FnMut(StmtId) -> usize,
+) -> Vec<Unit> {
+    let mut chains: Vec<Vec<StmtId>> = Vec::new();
+    let mut used = vec![false; pairs.len()];
+    for (i, p) in pairs.iter().enumerate() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        let mut chain = vec![p.left, p.right];
+        // Extend to the right while a pair continues the chain.
+        loop {
+            let cap = lane_cap(chain[0]);
+            if chain.len() >= cap {
+                break;
+            }
+            let tail = *chain.last().expect("chain non-empty");
+            let next = pairs
+                .iter()
+                .enumerate()
+                .find(|(j, q)| !used[*j] && q.left == tail && !chain.contains(&q.right));
+            match next {
+                Some((j, q)) => {
+                    used[j] = true;
+                    chain.push(q.right);
+                }
+                None => break,
+            }
+        }
+        chains.push(chain);
+    }
+
+    let mut units: Vec<Unit> = Vec::new();
+    let mut taken: Vec<StmtId> = Vec::new();
+    for chain in chains {
+        // A statement can only belong to one group; later chains skip
+        // already-taken members (drop the whole chain if < 2 remain).
+        let members: Vec<StmtId> = chain
+            .into_iter()
+            .filter(|s| !taken.contains(s))
+            .collect();
+        if members.len() >= 2 {
+            taken.extend(&members);
+            let mut unit = Unit::singleton(members[0]);
+            for &m in &members[1..] {
+                unit = Unit::merged(&unit, &Unit::singleton(m));
+            }
+            units.push(unit);
+        }
+    }
+    for s in block.iter() {
+        if !taken.contains(&s.id()) {
+            units.push(Unit::singleton(s.id()));
+        }
+    }
+    units
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::superword::{validate_schedule, ScheduledItem};
+    use slp_ir::{AccessVector, AffineExpr, ArrayRef, BinOp, Expr, Program, ScalarType};
+
+    /// a = A[2i]; b = A[2i+1]; c = a * x; d = b * x;
+    fn adjacent_block() -> (Program, BasicBlock) {
+        let mut p = Program::new("adj");
+        let arr = p.add_array("A", ScalarType::F64, vec![64], true);
+        let i = p.add_loop_var("i");
+        let names = ["a", "b", "c", "d", "x"];
+        let v: Vec<_> = names
+            .iter()
+            .map(|n| p.add_scalar(*n, ScalarType::F64))
+            .collect();
+        let at = |cst: i64| {
+            ArrayRef::new(
+                arr,
+                AccessVector::new(vec![AffineExpr::var(i).scaled(2).offset(cst)]),
+            )
+        };
+        let s0 = p.make_stmt(v[0].into(), Expr::Copy(at(0).into()));
+        let s1 = p.make_stmt(v[1].into(), Expr::Copy(at(1).into()));
+        let s2 = p.make_stmt(v[2].into(), Expr::Binary(BinOp::Mul, v[0].into(), v[4].into()));
+        let s3 = p.make_stmt(v[3].into(), Expr::Binary(BinOp::Mul, v[1].into(), v[4].into()));
+        let bb: BasicBlock = [s0, s1, s2, s3].into_iter().collect();
+        (p, bb)
+    }
+
+    #[test]
+    fn seeds_from_adjacent_refs_and_extends_def_use() {
+        let (p, bb) = adjacent_block();
+        let deps = BlockDeps::analyze(&bb);
+        let sched = baseline_block(&bb, &deps, &p, |_| 2);
+        validate_schedule(&bb, &deps, &sched, &p, |_| 2).unwrap();
+        // Both the load pair and the multiply pair get vectorized.
+        assert_eq!(sched.superword_count(), 2);
+    }
+
+    #[test]
+    fn no_adjacency_means_no_seeds() {
+        // Scalar-only isomorphic statements: the baseline finds nothing
+        // (no adjacent memory references to seed from).
+        let mut p = Program::new("scalars");
+        let x = p.add_scalar("x", ScalarType::F64);
+        let a = p.add_scalar("a", ScalarType::F64);
+        let b = p.add_scalar("b", ScalarType::F64);
+        let s0 = p.make_stmt(a.into(), Expr::Binary(BinOp::Add, x.into(), 1.0.into()));
+        let s1 = p.make_stmt(b.into(), Expr::Binary(BinOp::Add, x.into(), 2.0.into()));
+        let bb: BasicBlock = [s0, s1].into_iter().collect();
+        let deps = BlockDeps::analyze(&bb);
+        let sched = baseline_block(&bb, &deps, &p, |_| 2);
+        assert_eq!(sched.superword_count(), 0);
+    }
+
+    #[test]
+    fn chains_combine_to_lane_cap() {
+        // Four adjacent loads with a 4-lane cap combine into one group.
+        let mut p = Program::new("c4");
+        let arr = p.add_array("A", ScalarType::F32, vec![64], true);
+        let i = p.add_loop_var("i");
+        let v: Vec<_> = (0..4)
+            .map(|k| p.add_scalar(format!("t{k}"), ScalarType::F32))
+            .collect();
+        let stmts: Vec<_> = (0..4)
+            .map(|k| {
+                let r = ArrayRef::new(
+                    arr,
+                    AccessVector::new(vec![AffineExpr::var(i).scaled(4).offset(k)]),
+                );
+                p.make_stmt(v[k as usize].into(), Expr::Copy(r.into()))
+            })
+            .collect();
+        let bb: BasicBlock = stmts.into_iter().collect();
+        let deps = BlockDeps::analyze(&bb);
+        let sched = baseline_block(&bb, &deps, &p, |_| 4);
+        validate_schedule(&bb, &deps, &sched, &p, |_| 4).unwrap();
+        assert_eq!(sched.superword_count(), 1);
+        let ScheduledItem::Superword(sw) = &sched.items()[0] else {
+            panic!("expected superword");
+        };
+        assert_eq!(sw.width(), 4);
+        // Lane order follows ascending addresses.
+        assert_eq!(
+            sw.lanes().to_vec(),
+            (0..4).map(StmtId::new).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn lane_cap_cuts_chains() {
+        let (p, bb) = adjacent_block();
+        let deps = BlockDeps::analyze(&bb);
+        let sched = baseline_block(&bb, &deps, &p, |_| 2);
+        for item in sched.items() {
+            assert!(item.stmts().len() <= 2);
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! The holistic statement-grouping phase (§4.2): the paper's main
+//! contribution.
+//!
+//! Unlike the seed-and-extend heuristic of the original SLP algorithm,
+//! every grouping decision here is scored against the *whole basic block*:
+//! the candidate whose variable packs promise the largest average superword
+//! reuse (weight `W = r / Nt`, computed over the variable-pack conflicting
+//! graph) is committed first, the graphs are updated, and the process
+//! repeats until no candidate remains. Iterative grouping (§4.2.2) then
+//! treats each decided group as an atomic unit and reruns the basic
+//! algorithm to fill wider datapaths.
+
+use slp_analysis::{
+    find_candidates, Candidate, ConflictMatrix, PackContent, PackGraph, Unit, WeightContext,
+    WeightParams,
+};
+use slp_ir::{BasicBlock, BlockDeps, StmtId, TypeEnv};
+
+/// A record of one grouping decision, for tracing and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupingDecision {
+    /// The statements merged by this decision.
+    pub stmts: Vec<StmtId>,
+    /// The weight the decision was taken at.
+    pub weight: f64,
+    /// The grouping round (0 = pairs, 1 = pairs of pairs, ...).
+    pub round: usize,
+}
+
+/// The result of the grouping phase for one basic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grouping {
+    /// All units: SIMD groups (width ≥ 2) and leftover singletons.
+    pub units: Vec<Unit>,
+    /// The decision trace, in the order decisions were made.
+    pub decisions: Vec<GroupingDecision>,
+}
+
+impl Grouping {
+    /// The SIMD groups (units of width ≥ 2).
+    pub fn groups(&self) -> impl Iterator<Item = &Unit> {
+        self.units.iter().filter(|u| !u.is_singleton())
+    }
+
+    /// Number of statements covered by SIMD groups.
+    pub fn vectorized_stmts(&self) -> usize {
+        self.groups().map(Unit::width).sum()
+    }
+}
+
+/// Runs holistic grouping on one basic block.
+///
+/// `lane_cap` bounds the group width per statement (datapath width divided
+/// by the statement's element width — §4.1 constraint 4).
+pub fn group_block<E: TypeEnv>(
+    block: &BasicBlock,
+    deps: &BlockDeps,
+    env: &E,
+    lane_cap: impl FnMut(StmtId) -> usize,
+) -> Grouping {
+    group_block_with(block, deps, env, lane_cap, &WeightParams::default())
+}
+
+/// [`group_block`] with explicit weight parameters.
+pub fn group_block_with<E: TypeEnv>(
+    block: &BasicBlock,
+    deps: &BlockDeps,
+    env: &E,
+    mut lane_cap: impl FnMut(StmtId) -> usize,
+    weights: &WeightParams,
+) -> Grouping {
+    let mut units: Vec<Unit> = block.iter().map(|s| Unit::singleton(s.id())).collect();
+    let mut decisions = Vec::new();
+    let mut round = 0;
+    loop {
+        let made = basic_round(
+            &mut units,
+            block,
+            deps,
+            env,
+            &mut lane_cap,
+            round,
+            &mut decisions,
+            weights,
+        );
+        if made == 0 {
+            break;
+        }
+        round += 1;
+    }
+    Grouping { units, decisions }
+}
+
+/// One round of the basic grouping algorithm (§4.2.1, Figure 10) over the
+/// current unit set. Returns the number of decisions made and merges the
+/// decided pairs in `units`.
+#[allow(clippy::too_many_arguments)]
+fn basic_round<E: TypeEnv>(
+    units: &mut Vec<Unit>,
+    block: &BasicBlock,
+    deps: &BlockDeps,
+    env: &E,
+    lane_cap: &mut impl FnMut(StmtId) -> usize,
+    round: usize,
+    decisions: &mut Vec<GroupingDecision>,
+    weights: &WeightParams,
+) -> usize {
+    // Steps 1-2: candidates, conflicts and the variable-pack graph.
+    let candidates = find_candidates(units, block, deps, env, &mut *lane_cap);
+    if candidates.is_empty() {
+        return 0;
+    }
+    let conflicts = ConflictMatrix::compute(&candidates, deps);
+    let vp = PackGraph::build(&candidates);
+    let wcx = WeightContext::new(&candidates, &vp, &conflicts, weights);
+
+    // Step 4: pick the best candidate, update, repeat.
+    let mut alive = vec![true; candidates.len()];
+    let mut decided: Vec<usize> = Vec::new();
+    let mut decided_packs: Vec<PackContent> = Vec::new();
+    loop {
+        let best = alive
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a)
+            .map(|(c, _)| (c, wcx.weight(c, &alive, &decided_packs, weights)))
+            .max_by(|(ca, wa), (cb, wb)| {
+                wa.partial_cmp(wb)
+                    .expect("weights are finite")
+                    // Deterministic tie-break: earliest statements win
+                    // (the paper chooses randomly; determinism keeps the
+                    // evaluation reproducible).
+                    .then_with(|| tie_key(&candidates[*cb]).cmp(&tie_key(&candidates[*ca])))
+            });
+        let Some((c, w)) = best else { break };
+        alive[c] = false;
+        decided.push(c);
+        decisions.push(GroupingDecision {
+            stmts: candidates[c].stmts.clone(),
+            weight: w,
+            round,
+        });
+        for p in &candidates[c].packs {
+            decided_packs.push(p.content.clone());
+        }
+        // Kill every conflicting candidate (they share a unit with the
+        // decision or would form a dependence cycle with it).
+        for (other, slot) in alive.iter_mut().enumerate() {
+            if *slot && conflicts.get(c, other) {
+                *slot = false;
+            }
+        }
+    }
+
+    // Merge the decided pairs into new units.
+    let mut merged_away = vec![false; units.len()];
+    let mut new_units = Vec::with_capacity(units.len());
+    for &c in &decided {
+        let cand = &candidates[c];
+        new_units.push(Unit::merged(&units[cand.a], &units[cand.b]));
+        merged_away[cand.a] = true;
+        merged_away[cand.b] = true;
+    }
+    for (i, u) in units.iter().enumerate() {
+        if !merged_away[i] {
+            new_units.push(u.clone());
+        }
+    }
+    *units = new_units;
+    decided.len()
+}
+
+/// Tie-break key: the sorted statement ids of a candidate; smaller wins.
+fn tie_key(c: &Candidate) -> Vec<StmtId> {
+    let mut k = c.stmts.clone();
+    k.sort();
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_ir::{BinOp, Expr, Program, ScalarType};
+
+    /// The paper's Figure 2 block (see `slp-analysis` for the derivation).
+    fn figure2() -> (Program, BasicBlock) {
+        let mut p = Program::new("fig2");
+        let v: Vec<_> = (0..8)
+            .map(|k| p.add_scalar(format!("V{k}"), ScalarType::F32))
+            .collect();
+        let s1 = p.make_stmt(v[1].into(), Expr::Copy(v[3].into()));
+        let s2 = p.make_stmt(v[2].into(), Expr::Copy(v[5].into()));
+        let s3 = p.make_stmt(v[5].into(), Expr::Copy(v[7].into()));
+        let s4 = p.make_stmt(v[1].into(), Expr::Binary(BinOp::Mul, v[3].into(), v[1].into()));
+        let s5 = p.make_stmt(v[5].into(), Expr::Binary(BinOp::Mul, v[5].into(), v[2].into()));
+        let bb: BasicBlock = [s1, s2, s3, s4, s5].into_iter().collect();
+        (p, bb)
+    }
+
+    #[test]
+    fn figure2_grouping_decisions() {
+        let (p, bb) = figure2();
+        let deps = BlockDeps::analyze(&bb);
+        // The paper's unadjusted weights reproduce its decision trace.
+        let g = group_block_with(&bb, &deps, &p, |_| 2, &WeightParams::reuse_only());
+        // The paper decides {S1,S2} first (weight 1), then {S4,S5}
+        // (weight 2/3); {S1,S3} dies with the first decision.
+        assert_eq!(g.decisions.len(), 2);
+        assert_eq!(
+            g.decisions[0].stmts,
+            vec![StmtId::new(0), StmtId::new(1)]
+        );
+        assert!((g.decisions[0].weight - 1.0).abs() < 1e-9);
+        assert_eq!(
+            g.decisions[1].stmts,
+            vec![StmtId::new(3), StmtId::new(4)]
+        );
+        assert!((g.decisions[1].weight - 2.0 / 3.0).abs() < 1e-9);
+        // S3 stays scalar.
+        assert_eq!(g.units.iter().filter(|u| u.is_singleton()).count(), 1);
+        assert_eq!(g.vectorized_stmts(), 4);
+    }
+
+    #[test]
+    fn iterative_grouping_reaches_datapath_width() {
+        // Eight independent isomorphic statements and a 4-lane datapath:
+        // two rounds must produce two 4-wide groups.
+        let mut p = Program::new("wide");
+        let x = p.add_scalar("x", ScalarType::F32);
+        let dsts: Vec<_> = (0..8)
+            .map(|k| p.add_scalar(format!("d{k}"), ScalarType::F32))
+            .collect();
+        let stmts: Vec<_> = dsts
+            .iter()
+            .map(|&d| p.make_stmt(d.into(), Expr::Binary(BinOp::Add, x.into(), 1.0.into())))
+            .collect();
+        let bb: BasicBlock = stmts.into_iter().collect();
+        let deps = BlockDeps::analyze(&bb);
+        let g = group_block(&bb, &deps, &p, |_| 4);
+        let widths: Vec<usize> = g.groups().map(Unit::width).collect();
+        assert_eq!(widths, vec![4, 4]);
+        assert!(g.decisions.iter().any(|d| d.round == 1), "needs round 2");
+    }
+
+    #[test]
+    fn groups_never_exceed_lane_cap() {
+        let mut p = Program::new("cap");
+        let x = p.add_scalar("x", ScalarType::F64);
+        let dsts: Vec<_> = (0..6)
+            .map(|k| p.add_scalar(format!("d{k}"), ScalarType::F64))
+            .collect();
+        let stmts: Vec<_> = dsts
+            .iter()
+            .map(|&d| p.make_stmt(d.into(), Expr::Binary(BinOp::Mul, x.into(), 2.0.into())))
+            .collect();
+        let bb: BasicBlock = stmts.into_iter().collect();
+        let deps = BlockDeps::analyze(&bb);
+        let g = group_block(&bb, &deps, &p, |_| 2);
+        assert!(g.groups().all(|u| u.width() <= 2));
+        assert_eq!(g.vectorized_stmts(), 6);
+    }
+
+    #[test]
+    fn dependent_statements_stay_scalar() {
+        // A chain a -> b -> c has no independent isomorphic pair.
+        let mut p = Program::new("chain");
+        let a = p.add_scalar("a", ScalarType::F64);
+        let b = p.add_scalar("b", ScalarType::F64);
+        let c = p.add_scalar("c", ScalarType::F64);
+        let s0 = p.make_stmt(b.into(), Expr::Binary(BinOp::Add, a.into(), 1.0.into()));
+        let s1 = p.make_stmt(c.into(), Expr::Binary(BinOp::Add, b.into(), 1.0.into()));
+        let s2 = p.make_stmt(a.into(), Expr::Binary(BinOp::Add, c.into(), 1.0.into()));
+        let bb: BasicBlock = [s0, s1, s2].into_iter().collect();
+        let deps = BlockDeps::analyze(&bb);
+        let g = group_block(&bb, &deps, &p, |_| 4);
+        assert_eq!(g.decisions.len(), 0);
+        assert!(g.units.iter().all(Unit::is_singleton));
+    }
+
+    #[test]
+    fn empty_block_is_fine() {
+        let p = Program::new("empty");
+        let bb = BasicBlock::new();
+        let deps = BlockDeps::analyze(&bb);
+        let g = group_block(&bb, &deps, &p, |_| 4);
+        assert!(g.units.is_empty());
+        assert!(g.decisions.is_empty());
+    }
+}

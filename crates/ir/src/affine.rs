@@ -1,0 +1,426 @@
+//! Affine index expressions over loop induction variables.
+//!
+//! Array subscripts in the IR are affine functions of the enclosing loop
+//! indices, exactly the class the paper's §5.2 data layout optimization
+//! requires ("loop bounds and array references are affine functions of the
+//! enclosing loop indices and loop independent variables").
+//!
+//! An [`AffineExpr`] is `c0 + Σ ci * iv_i` with integer coefficients; the
+//! polyhedral access form of Eq. (1), `r = Q·i + O`, is recovered by
+//! [`AccessVector`], one affine expression per array dimension.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::ids::LoopVarId;
+
+/// An affine expression `c0 + Σ ci * iv_i` over loop induction variables.
+///
+/// # Examples
+///
+/// ```
+/// use slp_ir::{AffineExpr, LoopVarId};
+///
+/// let i = LoopVarId::new(0);
+/// // 4*i + 3
+/// let e = AffineExpr::var(i).scaled(4).offset(3);
+/// assert_eq!(e.coeff(i), 4);
+/// assert_eq!(e.constant(), 3);
+/// assert_eq!(e.eval(&[(i, 2)]), 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AffineExpr {
+    /// Sorted map from loop variable to (non-zero) coefficient.
+    coeffs: BTreeMap<LoopVarId, i64>,
+    /// Constant term `c0`.
+    constant: i64,
+}
+
+impl AffineExpr {
+    /// The constant expression `c`.
+    pub fn constant_expr(c: i64) -> Self {
+        AffineExpr {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression consisting of a single loop variable with
+    /// coefficient 1.
+    pub fn var(v: LoopVarId) -> Self {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, 1);
+        AffineExpr {
+            coeffs,
+            constant: 0,
+        }
+    }
+
+    /// Builds `c0 + Σ ci*vi` from explicit terms, dropping zero
+    /// coefficients.
+    pub fn from_terms<I: IntoIterator<Item = (LoopVarId, i64)>>(terms: I, constant: i64) -> Self {
+        let mut coeffs = BTreeMap::new();
+        for (v, c) in terms {
+            if c != 0 {
+                *coeffs.entry(v).or_insert(0) += c;
+            }
+        }
+        coeffs.retain(|_, c| *c != 0);
+        AffineExpr { coeffs, constant }
+    }
+
+    /// The constant term `c0`.
+    pub fn constant(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of loop variable `v` (0 if absent).
+    pub fn coeff(&self, v: LoopVarId) -> i64 {
+        self.coeffs.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(variable, coefficient)` pairs with non-zero
+    /// coefficients, in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (LoopVarId, i64)> + '_ {
+        self.coeffs.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Whether the expression is a plain constant (no variable terms).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The loop variables referenced by this expression.
+    pub fn vars(&self) -> impl Iterator<Item = LoopVarId> + '_ {
+        self.coeffs.keys().copied()
+    }
+
+    /// Returns `self + other`.
+    pub fn add(&self, other: &AffineExpr) -> AffineExpr {
+        let mut coeffs = self.coeffs.clone();
+        for (&v, &c) in &other.coeffs {
+            *coeffs.entry(v).or_insert(0) += c;
+        }
+        coeffs.retain(|_, c| *c != 0);
+        AffineExpr {
+            coeffs,
+            constant: self.constant + other.constant,
+        }
+    }
+
+    /// Returns `self - other`.
+    pub fn sub(&self, other: &AffineExpr) -> AffineExpr {
+        self.add(&other.scaled(-1))
+    }
+
+    /// Returns `self * k`.
+    pub fn scaled(&self, k: i64) -> AffineExpr {
+        if k == 0 {
+            return AffineExpr::constant_expr(0);
+        }
+        AffineExpr {
+            coeffs: self.coeffs.iter().map(|(&v, &c)| (v, c * k)).collect(),
+            constant: self.constant * k,
+        }
+    }
+
+    /// Returns `self + k`.
+    pub fn offset(&self, k: i64) -> AffineExpr {
+        AffineExpr {
+            coeffs: self.coeffs.clone(),
+            constant: self.constant + k,
+        }
+    }
+
+    /// Substitutes loop variable `v` with the expression `e`.
+    ///
+    /// Used by loop unrolling to rewrite replica `k` of a body statement:
+    /// `i ↦ i + k*step`.
+    pub fn substitute(&self, v: LoopVarId, e: &AffineExpr) -> AffineExpr {
+        match self.coeffs.get(&v) {
+            None => self.clone(),
+            Some(&c) => {
+                let mut base = self.clone();
+                base.coeffs.remove(&v);
+                base.add(&e.scaled(c))
+            }
+        }
+    }
+
+    /// Evaluates the expression given concrete values for loop variables.
+    ///
+    /// Variables absent from `env` are treated as 0, which matches
+    /// evaluation outside their loop.
+    pub fn eval(&self, env: &[(LoopVarId, i64)]) -> i64 {
+        let mut acc = self.constant;
+        for (&v, &c) in &self.coeffs {
+            if let Some(&(_, val)) = env.iter().find(|&&(ev, _)| ev == v) {
+                acc += c * val;
+            }
+        }
+        acc
+    }
+
+    /// Whether two expressions have identical variable parts (all
+    /// coefficients equal), so their difference is the constant
+    /// `other.constant - self.constant`.
+    ///
+    /// This is the core test for *adjacent memory references* (difference
+    /// of exactly one element) and for the no-alias guarantee used by the
+    /// dependence analysis: equal coefficients with different constants can
+    /// never access the same element in the same iteration.
+    pub fn same_linear_part(&self, other: &AffineExpr) -> bool {
+        self.coeffs == other.coeffs
+    }
+
+    /// If `self` and `other` differ only in their constant term, returns
+    /// `other.constant - self.constant`.
+    pub fn constant_difference(&self, other: &AffineExpr) -> Option<i64> {
+        if self.same_linear_part(other) {
+            Some(other.constant - self.constant)
+        } else {
+            None
+        }
+    }
+}
+
+impl From<i64> for AffineExpr {
+    fn from(c: i64) -> Self {
+        AffineExpr::constant_expr(c)
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.terms() {
+            if first {
+                match c {
+                    1 => write!(f, "{v}")?,
+                    -1 => write!(f, "-{v}")?,
+                    _ => write!(f, "{c}*{v}")?,
+                }
+                first = false;
+            } else if c >= 0 {
+                if c == 1 {
+                    write!(f, "+{v}")?;
+                } else {
+                    write!(f, "+{c}*{v}")?;
+                }
+            } else if c == -1 {
+                write!(f, "-{v}")?;
+            } else {
+                write!(f, "{c}*{v}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, "+{}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// The polyhedral access form of Eq. (1): `r = Q·i + O`.
+///
+/// One [`AffineExpr`] per array dimension; the access matrix `Q` row for
+/// dimension `d` holds the coefficients of that dimension's expression and
+/// the offset vector `O` holds its constant.
+///
+/// # Examples
+///
+/// ```
+/// use slp_ir::{AccessVector, AffineExpr, LoopVarId};
+///
+/// let i = LoopVarId::new(0);
+/// // A[4i + 3]
+/// let acc = AccessVector::new(vec![AffineExpr::var(i).scaled(4).offset(3)]);
+/// assert_eq!(acc.rank(), 1);
+/// assert_eq!(acc.offset_vector(), vec![3]);
+/// assert_eq!(acc.matrix_row(0, &[i]), vec![4]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccessVector {
+    dims: Vec<AffineExpr>,
+}
+
+impl AccessVector {
+    /// Builds an access vector from per-dimension index expressions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty: arrays have at least one dimension.
+    pub fn new(dims: Vec<AffineExpr>) -> Self {
+        assert!(!dims.is_empty(), "access vector needs at least 1 dimension");
+        AccessVector { dims }
+    }
+
+    /// Number of array dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The index expression of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= self.rank()`.
+    pub fn dim(&self, d: usize) -> &AffineExpr {
+        &self.dims[d]
+    }
+
+    /// All per-dimension expressions, outermost dimension first.
+    pub fn dims(&self) -> &[AffineExpr] {
+        &self.dims
+    }
+
+    /// The offset vector `O` of Eq. (1).
+    pub fn offset_vector(&self) -> Vec<i64> {
+        self.dims.iter().map(|e| e.constant()).collect()
+    }
+
+    /// Row `d` of the access matrix `Q`, with columns ordered by `ivs`.
+    pub fn matrix_row(&self, d: usize, ivs: &[LoopVarId]) -> Vec<i64> {
+        ivs.iter().map(|&v| self.dims[d].coeff(v)).collect()
+    }
+
+    /// Evaluates every dimension under `env`.
+    pub fn eval(&self, env: &[(LoopVarId, i64)]) -> Vec<i64> {
+        self.dims.iter().map(|e| e.eval(env)).collect()
+    }
+
+    /// Applies `substitute` to every dimension.
+    pub fn substitute(&self, v: LoopVarId, e: &AffineExpr) -> AccessVector {
+        AccessVector {
+            dims: self.dims.iter().map(|d| d.substitute(v, e)).collect(),
+        }
+    }
+
+    /// Whether both access vectors have the same linear part in every
+    /// dimension.
+    pub fn same_linear_part(&self, other: &AccessVector) -> bool {
+        self.rank() == other.rank()
+            && self
+                .dims
+                .iter()
+                .zip(&other.dims)
+                .all(|(a, b)| a.same_linear_part(b))
+    }
+
+    /// For same-linear-part accesses, the per-dimension constant
+    /// differences `other - self`.
+    pub fn constant_difference(&self, other: &AccessVector) -> Option<Vec<i64>> {
+        if self.rank() != other.rank() {
+            return None;
+        }
+        self.dims
+            .iter()
+            .zip(&other.dims)
+            .map(|(a, b)| a.constant_difference(b))
+            .collect()
+    }
+}
+
+impl fmt::Display for AccessVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.dims {
+            write!(f, "[{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i() -> LoopVarId {
+        LoopVarId::new(0)
+    }
+    fn j() -> LoopVarId {
+        LoopVarId::new(1)
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let e = AffineExpr::var(i()).scaled(4).offset(3); // 4i+3
+        let f = AffineExpr::var(i()).scaled(-4).offset(1); // -4i+1
+        let sum = e.add(&f);
+        assert!(sum.is_constant());
+        assert_eq!(sum.constant(), 4);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let e = AffineExpr::from_terms([(i(), 2), (j(), 0)], 5);
+        assert_eq!(e.vars().count(), 1);
+        let g = e.sub(&AffineExpr::var(i()).scaled(2));
+        assert!(g.is_constant());
+        assert_eq!(g, AffineExpr::constant_expr(5));
+    }
+
+    #[test]
+    fn substitute_for_unrolling() {
+        // 4i + 3 with i -> i + 2 gives 4i + 11 (unroll replica at step 2).
+        let e = AffineExpr::var(i()).scaled(4).offset(3);
+        let repl = AffineExpr::var(i()).offset(2);
+        let e2 = e.substitute(i(), &repl);
+        assert_eq!(e2, AffineExpr::var(i()).scaled(4).offset(11));
+    }
+
+    #[test]
+    fn substitute_absent_var_is_identity() {
+        let e = AffineExpr::var(i()).scaled(4).offset(3);
+        assert_eq!(e.substitute(j(), &AffineExpr::constant_expr(9)), e);
+    }
+
+    #[test]
+    fn eval_multi_var() {
+        // 2i + 3j - 1 at (i,j)=(5,2) is 15.
+        let e = AffineExpr::from_terms([(i(), 2), (j(), 3)], -1);
+        assert_eq!(e.eval(&[(i(), 5), (j(), 2)]), 15);
+        // Missing vars evaluate as 0.
+        assert_eq!(e.eval(&[(i(), 5)]), 9);
+    }
+
+    #[test]
+    fn constant_difference_detects_adjacency() {
+        let a = AffineExpr::var(i()).scaled(4); // 4i
+        let b = AffineExpr::var(i()).scaled(4).offset(1); // 4i+1
+        assert_eq!(a.constant_difference(&b), Some(1));
+        let c = AffineExpr::var(i()).scaled(2);
+        assert_eq!(a.constant_difference(&c), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = AffineExpr::from_terms([(i(), 4)], 3);
+        assert_eq!(e.to_string(), "4*i0+3");
+        assert_eq!(AffineExpr::constant_expr(-2).to_string(), "-2");
+        let m = AffineExpr::from_terms([(i(), 1), (j(), -1)], 0);
+        assert_eq!(m.to_string(), "i0-i1");
+    }
+
+    #[test]
+    fn access_vector_matrix_view() {
+        // A[2i+j][3j+1]: Q = [[2,1],[0,3]], O = (0,1).
+        let a = AccessVector::new(vec![
+            AffineExpr::from_terms([(i(), 2), (j(), 1)], 0),
+            AffineExpr::from_terms([(j(), 3)], 1),
+        ]);
+        let ivs = [i(), j()];
+        assert_eq!(a.matrix_row(0, &ivs), vec![2, 1]);
+        assert_eq!(a.matrix_row(1, &ivs), vec![0, 3]);
+        assert_eq!(a.offset_vector(), vec![0, 1]);
+        assert_eq!(a.eval(&[(i(), 1), (j(), 2)]), vec![4, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 dimension")]
+    fn empty_access_vector_panics() {
+        let _ = AccessVector::new(vec![]);
+    }
+}

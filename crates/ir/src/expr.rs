@@ -1,0 +1,483 @@
+//! Operands, operators and right-hand-side expressions.
+//!
+//! Statements in the IR are in three-address style: a destination and an
+//! expression of at most one operator, which is the granularity at which
+//! the paper's isomorphism test (§4.1 constraint 3: "same operations in the
+//! same order") and variable-pack extraction ("variables coming from the
+//! same position of different isomorphic statements") operate.
+
+use std::fmt;
+
+use crate::affine::AccessVector;
+use crate::ids::{ArrayId, VarId};
+use crate::types::ScalarType;
+
+/// A reference to an array element with affine subscripts, e.g. `A[4i+3]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayRef {
+    /// The array being accessed.
+    pub array: ArrayId,
+    /// One affine index expression per dimension.
+    pub access: AccessVector,
+}
+
+impl ArrayRef {
+    /// Creates a reference to `array` with the given per-dimension access.
+    pub fn new(array: ArrayId, access: AccessVector) -> Self {
+        ArrayRef { array, access }
+    }
+
+    /// Whether the two references certainly touch the same element in every
+    /// iteration (same array, identical access expressions).
+    pub fn must_alias(&self, other: &ArrayRef) -> bool {
+        self.array == other.array && self.access == other.access
+    }
+
+    /// Whether the two references might touch the same element in some
+    /// iteration.
+    ///
+    /// Distinct arrays never alias (the IR has no pointers). Within the
+    /// same array, accesses whose index expressions share the linear part
+    /// alias iff their constant parts are equal; anything else is
+    /// conservatively assumed to alias.
+    pub fn may_alias(&self, other: &ArrayRef) -> bool {
+        if self.array != other.array {
+            return false;
+        }
+        match self.access.constant_difference(&other.access) {
+            Some(diff) => diff.iter().all(|&d| d == 0),
+            None => true,
+        }
+    }
+}
+
+impl fmt::Display for ArrayRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.array, self.access)
+    }
+}
+
+/// An operand of an expression: a scalar variable, an array element or an
+/// immediate constant.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Operand {
+    /// A scalar variable.
+    Scalar(VarId),
+    /// An array element with affine subscripts.
+    Array(ArrayRef),
+    /// An immediate constant (stored as `f64`; integer types truncate on
+    /// evaluation).
+    Const(f64),
+}
+
+impl Operand {
+    /// Returns the scalar variable if this operand is one.
+    pub fn as_scalar(&self) -> Option<VarId> {
+        match self {
+            Operand::Scalar(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the array reference if this operand is one.
+    pub fn as_array(&self) -> Option<&ArrayRef> {
+        match self {
+            Operand::Array(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// Whether this operand reads from memory or a register (i.e. is not a
+    /// constant).
+    pub fn is_location(&self) -> bool {
+        !matches!(self, Operand::Const(_))
+    }
+
+    /// The structural kind of the operand, used by the isomorphism test.
+    pub fn kind(&self) -> OperandKind {
+        match self {
+            Operand::Scalar(_) => OperandKind::Scalar,
+            Operand::Array(_) => OperandKind::Array,
+            Operand::Const(_) => OperandKind::Const,
+        }
+    }
+}
+
+impl From<VarId> for Operand {
+    fn from(v: VarId) -> Self {
+        Operand::Scalar(v)
+    }
+}
+
+impl From<ArrayRef> for Operand {
+    fn from(r: ArrayRef) -> Self {
+        Operand::Array(r)
+    }
+}
+
+impl From<f64> for Operand {
+    fn from(c: f64) -> Self {
+        Operand::Const(c)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Scalar(v) => write!(f, "{v}"),
+            Operand::Array(r) => write!(f, "{r}"),
+            Operand::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// The structural kind of an [`Operand`], compared positionally by the
+/// isomorphism test ("the operands in the corresponding positions should
+/// have the same data type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OperandKind {
+    /// A scalar variable operand.
+    Scalar,
+    /// An array element operand.
+    Array,
+    /// A constant operand.
+    Const,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Lane-wise minimum.
+    Min,
+    /// Lane-wise maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Applies the operator to two values.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+
+    /// Whether `a op b == b op a` for all finite inputs.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Min | BinOp::Max)
+    }
+
+    /// All binary operators (handy for tests and generators).
+    pub fn all() -> [BinOp; 6] {
+        [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Min,
+            BinOp::Max,
+        ]
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnOp {
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+}
+
+impl UnOp {
+    /// Applies the operator to a value.
+    pub fn apply(self, a: f64) -> f64 {
+        match self {
+            UnOp::Neg => -a,
+            UnOp::Abs => a.abs(),
+            UnOp::Sqrt => a.sqrt(),
+        }
+    }
+
+    /// All unary operators.
+    pub fn all() -> [UnOp; 3] {
+        [UnOp::Neg, UnOp::Abs, UnOp::Sqrt]
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOp::Neg => "neg",
+            UnOp::Abs => "abs",
+            UnOp::Sqrt => "sqrt",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A right-hand-side expression: at most one operator over operands.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Expr {
+    /// A plain copy `dst = src`.
+    Copy(Operand),
+    /// A unary operation `dst = op src`.
+    Unary(UnOp, Operand),
+    /// A binary operation `dst = a op b`.
+    Binary(BinOp, Operand, Operand),
+    /// A fused multiply-add `dst = a + b * c`, the shape of the example
+    /// statements `A[2i] = d + a*c` in the paper's Figure 15.
+    MulAdd(Operand, Operand, Operand),
+}
+
+impl Expr {
+    /// The operands of the expression in positional order.
+    pub fn operands(&self) -> Vec<&Operand> {
+        match self {
+            Expr::Copy(a) | Expr::Unary(_, a) => vec![a],
+            Expr::Binary(_, a, b) => vec![a, b],
+            Expr::MulAdd(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// Mutable access to the operands in positional order.
+    pub fn operands_mut(&mut self) -> Vec<&mut Operand> {
+        match self {
+            Expr::Copy(a) | Expr::Unary(_, a) => vec![a],
+            Expr::Binary(_, a, b) => vec![a, b],
+            Expr::MulAdd(a, b, c) => vec![a, b, c],
+        }
+    }
+
+    /// Number of operand positions.
+    pub fn arity(&self) -> usize {
+        match self {
+            Expr::Copy(_) | Expr::Unary(_, _) => 1,
+            Expr::Binary(_, _, _) => 2,
+            Expr::MulAdd(_, _, _) => 3,
+        }
+    }
+
+    /// A discriminant describing the operator shape, ignoring operands.
+    /// Two expressions with equal shape and positionally equal operand
+    /// kinds are isomorphic.
+    pub fn shape(&self) -> ExprShape {
+        match self {
+            Expr::Copy(_) => ExprShape::Copy,
+            Expr::Unary(op, _) => ExprShape::Unary(*op),
+            Expr::Binary(op, _, _) => ExprShape::Binary(*op),
+            Expr::MulAdd(_, _, _) => ExprShape::MulAdd,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Copy(a) => write!(f, "{a}"),
+            Expr::Unary(op, a) => write!(f, "{op}({a})"),
+            Expr::Binary(op, a, b) => match op {
+                BinOp::Min | BinOp::Max => write!(f, "{op}({a}, {b})"),
+                _ => write!(f, "{a} {op} {b}"),
+            },
+            Expr::MulAdd(a, b, c) => write!(f, "{a} + {b} * {c}"),
+        }
+    }
+}
+
+/// The operator shape of an [`Expr`], used as an isomorphism-class key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExprShape {
+    /// Shape of [`Expr::Copy`].
+    Copy,
+    /// Shape of [`Expr::Unary`].
+    Unary(UnOp),
+    /// Shape of [`Expr::Binary`].
+    Binary(BinOp),
+    /// Shape of [`Expr::MulAdd`].
+    MulAdd,
+}
+
+/// A typed destination: where a statement writes.
+#[derive(Debug, Clone, PartialEq, PartialOrd)]
+pub enum Dest {
+    /// Write to a scalar variable.
+    Scalar(VarId),
+    /// Write to an array element.
+    Array(ArrayRef),
+}
+
+impl Dest {
+    /// Views the destination as an operand (for uniform location handling).
+    pub fn as_operand(&self) -> Operand {
+        match self {
+            Dest::Scalar(v) => Operand::Scalar(*v),
+            Dest::Array(r) => Operand::Array(r.clone()),
+        }
+    }
+
+    /// The structural kind of the destination.
+    pub fn kind(&self) -> OperandKind {
+        match self {
+            Dest::Scalar(_) => OperandKind::Scalar,
+            Dest::Array(_) => OperandKind::Array,
+        }
+    }
+}
+
+impl From<VarId> for Dest {
+    fn from(v: VarId) -> Self {
+        Dest::Scalar(v)
+    }
+}
+
+impl From<ArrayRef> for Dest {
+    fn from(r: ArrayRef) -> Self {
+        Dest::Array(r)
+    }
+}
+
+impl fmt::Display for Dest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dest::Scalar(v) => write!(f, "{v}"),
+            Dest::Array(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// Element type context: anything that can report the [`ScalarType`] of a
+/// scalar variable or array. Implemented by
+/// [`Program`](crate::program::Program).
+pub trait TypeEnv {
+    /// The element type of scalar variable `v`.
+    fn scalar_type(&self, v: VarId) -> ScalarType;
+    /// The element type of array `a`.
+    fn array_type(&self, a: ArrayId) -> ScalarType;
+
+    /// The element type of an operand; constants default to `F64`.
+    fn operand_type(&self, op: &Operand) -> ScalarType {
+        match op {
+            Operand::Scalar(v) => self.scalar_type(*v),
+            Operand::Array(r) => self.array_type(r.array),
+            Operand::Const(_) => ScalarType::F64,
+        }
+    }
+
+    /// The element type of a destination.
+    fn dest_type(&self, d: &Dest) -> ScalarType {
+        match d {
+            Dest::Scalar(v) => self.scalar_type(*v),
+            Dest::Array(r) => self.array_type(r.array),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineExpr;
+    use crate::ids::LoopVarId;
+
+    fn aref(a: u32, coeff: i64, cst: i64) -> ArrayRef {
+        ArrayRef::new(
+            ArrayId::new(a),
+            AccessVector::new(vec![
+                AffineExpr::var(LoopVarId::new(0)).scaled(coeff).offset(cst)
+            ]),
+        )
+    }
+
+    #[test]
+    fn alias_rules() {
+        let a = aref(0, 4, 0);
+        let b = aref(0, 4, 3);
+        let c = aref(0, 2, 0);
+        let d = aref(1, 4, 0);
+        assert!(a.must_alias(&a));
+        assert!(!a.may_alias(&b)); // same linear part, different constant
+        assert!(a.may_alias(&c)); // different linear part: conservative
+        assert!(!a.may_alias(&d)); // different arrays never alias
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Div.apply(7.0, 2.0), 3.5);
+        assert_eq!(BinOp::Min.apply(2.0, -3.0), -3.0);
+        assert_eq!(BinOp::Max.apply(2.0, -3.0), 2.0);
+        assert!(BinOp::Add.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+    }
+
+    #[test]
+    fn unop_semantics() {
+        assert_eq!(UnOp::Neg.apply(2.0), -2.0);
+        assert_eq!(UnOp::Abs.apply(-2.0), 2.0);
+        assert_eq!(UnOp::Sqrt.apply(9.0), 3.0);
+    }
+
+    #[test]
+    fn expr_shape_distinguishes_ops() {
+        let x = Operand::Const(1.0);
+        let add = Expr::Binary(BinOp::Add, x.clone(), x.clone());
+        let mul = Expr::Binary(BinOp::Mul, x.clone(), x.clone());
+        assert_ne!(add.shape(), mul.shape());
+        assert_eq!(add.shape(), ExprShape::Binary(BinOp::Add));
+        assert_eq!(add.arity(), 2);
+        assert_eq!(Expr::MulAdd(x.clone(), x.clone(), x.clone()).arity(), 3);
+    }
+
+    #[test]
+    fn operand_kind_and_conversions() {
+        let v: Operand = VarId::new(3).into();
+        assert_eq!(v.kind(), OperandKind::Scalar);
+        assert_eq!(v.as_scalar(), Some(VarId::new(3)));
+        let c: Operand = 2.5.into();
+        assert_eq!(c.kind(), OperandKind::Const);
+        assert!(!c.is_location());
+        let r: Operand = aref(0, 1, 0).into();
+        assert_eq!(r.kind(), OperandKind::Array);
+        assert!(r.as_array().is_some());
+    }
+
+    #[test]
+    fn display_statement_pieces() {
+        let e = Expr::Binary(
+            BinOp::Mul,
+            Operand::Scalar(VarId::new(0)),
+            Operand::Array(aref(1, 4, 0)),
+        );
+        assert_eq!(e.to_string(), "v0 * A1[4*i0]");
+        let m = Expr::Binary(BinOp::Min, 1.0.into(), 2.0.into());
+        assert_eq!(m.to_string(), "min(1, 2)");
+    }
+}

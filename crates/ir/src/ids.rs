@@ -1,0 +1,88 @@
+//! Interned identifiers for IR entities.
+//!
+//! All names in a [`Program`](crate::Program) are interned into dense
+//! integer ids so analyses can use them as vector indices and store them in
+//! copyable graph nodes.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u32);
+
+        impl $name {
+            /// Creates an id from its dense index.
+            pub fn new(index: u32) -> Self {
+                $name(index)
+            }
+
+            /// The dense index backing this id.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A scalar variable in a program's symbol table.
+    VarId,
+    "v"
+);
+define_id!(
+    /// An array in a program's symbol table.
+    ArrayId,
+    "A"
+);
+define_id!(
+    /// A loop induction variable.
+    LoopVarId,
+    "i"
+);
+define_id!(
+    /// A statement within a basic block. Ids are unique program-wide and
+    /// stable across transformation passes so analyses can refer back to
+    /// original statements.
+    StmtId,
+    "S"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        let v = VarId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.to_string(), "v7");
+        assert_eq!(usize::from(v), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(StmtId::new(1) < StmtId::new(2));
+        assert_eq!(ArrayId::new(3), ArrayId::new(3));
+    }
+
+    #[test]
+    fn display_prefixes_distinguish_kinds() {
+        assert_eq!(ArrayId::new(0).to_string(), "A0");
+        assert_eq!(LoopVarId::new(2).to_string(), "i2");
+        assert_eq!(StmtId::new(9).to_string(), "S9");
+    }
+}

@@ -1,0 +1,381 @@
+//! Loop unrolling, the main pre-processing transformation.
+//!
+//! "For loop-intensive applications, loop unrolling can be used to reveal
+//! more opportunities for short SIMD operations and to fully utilize the
+//! superword datapath available in the underlying architecture" (§3). Both
+//! the paper's framework and its reimplementation of the baseline SLP
+//! algorithm use the *same* pre-processing, so this pass is shared by every
+//! optimizer in `slp-core`.
+//!
+//! Unrolling an innermost loop by factor `u` replicates the body `u` times,
+//! substituting `i ↦ i + k` into affine subscripts of replica `k`, renames
+//! privatizable scalars (those written before read within the body) per
+//! replica to avoid false dependences, and multiplies the loop step by `u`.
+//! A remainder loop is emitted when the trip count is not divisible.
+
+use std::collections::HashMap;
+
+use crate::affine::AffineExpr;
+use crate::expr::{Dest, Operand};
+use crate::ids::VarId;
+use crate::program::{Item, Loop, Program};
+use crate::stmt::Statement;
+
+/// Unrolls every innermost loop of `program` by `factor`.
+///
+/// Loops whose step is not 1, loops with fewer than `factor` iterations and
+/// non-innermost loops are left untouched. Returns the number of loops that
+/// were unrolled.
+///
+/// # Examples
+///
+/// ```
+/// use slp_ir::{Program, ScalarType, Expr, BinOp, ArrayRef, AccessVector, AffineExpr};
+/// use slp_ir::{Item, Loop, LoopHeader};
+///
+/// let mut p = Program::new("k");
+/// let a = p.add_array("A", ScalarType::F64, vec![64], true);
+/// let i = p.add_loop_var("i");
+/// let s = p.make_stmt(
+///     ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)])).into(),
+///     Expr::Copy(1.0.into()),
+/// );
+/// p.push_item(Item::Loop(Loop {
+///     header: LoopHeader { var: i, lower: 0, upper: 64, step: 1 },
+///     body: vec![Item::Stmt(s)],
+/// }));
+/// assert_eq!(slp_ir::unroll_program(&mut p, 4), 1);
+/// // The unrolled body now exposes four statements to the SLP optimizer.
+/// assert_eq!(p.blocks()[0].block.len(), 4);
+/// ```
+pub fn unroll_program(program: &mut Program, factor: usize) -> usize {
+    if factor < 2 {
+        return 0;
+    }
+    let mut items = std::mem::take(program.items_mut());
+    let mut count = 0;
+    unroll_items(&mut items, factor, program, &mut count);
+    *program.items_mut() = items;
+    count
+}
+
+fn unroll_items(items: &mut Vec<Item>, factor: usize, program: &mut Program, count: &mut usize) {
+    let mut idx = 0;
+    while idx < items.len() {
+        if let Item::Loop(l) = &mut items[idx] {
+            if is_innermost(l) {
+                if let Some(replacement) = unroll_loop(l, factor, program) {
+                    let n = replacement.len();
+                    items.splice(idx..=idx, replacement);
+                    *count += 1;
+                    idx += n;
+                    continue;
+                }
+            } else {
+                unroll_items(&mut l.body, factor, program, count);
+            }
+        }
+        idx += 1;
+    }
+}
+
+fn is_innermost(l: &Loop) -> bool {
+    l.body.iter().all(|it| matches!(it, Item::Stmt(_)))
+}
+
+/// The scalars of a straight-line body that are defined before any use, and
+/// may therefore be renamed per unroll replica (privatization).
+fn privatizable_scalars(body: &[Statement]) -> Vec<VarId> {
+    let mut seen_use: Vec<VarId> = Vec::new();
+    let mut defined_first: Vec<VarId> = Vec::new();
+    for s in body {
+        for u in s.uses() {
+            if let Operand::Scalar(v) = u {
+                if !defined_first.contains(v) && !seen_use.contains(v) {
+                    seen_use.push(*v);
+                }
+            }
+        }
+        if let Dest::Scalar(v) = s.dest() {
+            if !seen_use.contains(v) && !defined_first.contains(v) {
+                defined_first.push(*v);
+            }
+        }
+    }
+    defined_first
+}
+
+/// Unrolls one innermost loop. Returns the replacement item sequence (the
+/// unrolled main loop, plus a remainder loop when the trip count is not
+/// divisible by `factor`), or `None` when the loop is left untouched.
+fn unroll_loop(l: &Loop, factor: usize, program: &mut Program) -> Option<Vec<Item>> {
+    let h = l.header;
+    if h.step != 1 {
+        return None;
+    }
+    let trip = h.trip_count();
+    if trip < factor as i64 {
+        return None;
+    }
+    let body: Vec<Statement> = l
+        .body
+        .iter()
+        .map(|it| match it {
+            Item::Stmt(s) => s.clone(),
+            Item::Loop(_) => unreachable!("innermost loop"),
+        })
+        .collect();
+
+    let private = privatizable_scalars(&body);
+    let main_trips = trip / factor as i64;
+    let main_upper = h.lower + main_trips * factor as i64;
+
+    let mut new_body = Vec::with_capacity(body.len() * factor);
+    for k in 0..factor {
+        // Rename privatizable scalars in replicas 1..factor.
+        let renames: HashMap<VarId, VarId> = if k == 0 {
+            HashMap::new()
+        } else {
+            private
+                .iter()
+                .map(|&v| {
+                    let name = format!("{}.u{}", program.scalar(v).name, k);
+                    let ty = program.scalar(v).ty;
+                    (v, program.add_scalar(name, ty))
+                })
+                .collect()
+        };
+        let shift = AffineExpr::var(h.var).offset(k as i64);
+        for s in &body {
+            let id = program.fresh_stmt_id();
+            let mut dest = s.dest().clone();
+            rewrite_dest(&mut dest, h, &shift, &renames);
+            let mut expr = s.expr().clone();
+            for op in expr.operands_mut() {
+                rewrite_operand(op, h, &shift, &renames);
+            }
+            new_body.push(Item::Stmt(Statement::new(id, dest, expr)));
+        }
+    }
+
+    let main = Loop {
+        header: crate::program::LoopHeader {
+            var: h.var,
+            lower: h.lower,
+            upper: main_upper,
+            step: factor as i64,
+        },
+        body: new_body,
+    };
+
+    if main_upper == h.upper {
+        return Some(vec![Item::Loop(main)]);
+    }
+    // Remainder loop with fresh statement ids.
+    let mut rem_body = Vec::with_capacity(body.len());
+    for s in &body {
+        let id = program.fresh_stmt_id();
+        rem_body.push(Item::Stmt(Statement::new(id, s.dest().clone(), s.expr().clone())));
+    }
+    let rem = Loop {
+        header: crate::program::LoopHeader {
+            var: h.var,
+            lower: main_upper,
+            upper: h.upper,
+            step: 1,
+        },
+        body: rem_body,
+    };
+    Some(vec![Item::Loop(main), Item::Loop(rem)])
+}
+
+fn rewrite_dest(
+    dest: &mut Dest,
+    h: crate::program::LoopHeader,
+    shift: &AffineExpr,
+    renames: &HashMap<VarId, VarId>,
+) {
+    match dest {
+        Dest::Scalar(v) => {
+            if let Some(&nv) = renames.get(v) {
+                *v = nv;
+            }
+        }
+        Dest::Array(r) => {
+            r.access = r.access.substitute(h.var, shift);
+        }
+    }
+}
+
+fn rewrite_operand(
+    op: &mut Operand,
+    h: crate::program::LoopHeader,
+    shift: &AffineExpr,
+    renames: &HashMap<VarId, VarId>,
+) {
+    match op {
+        Operand::Scalar(v) => {
+            if let Some(&nv) = renames.get(v) {
+                *v = nv;
+            }
+        }
+        Operand::Array(r) => {
+            r.access = r.access.substitute(h.var, shift);
+        }
+        Operand::Const(_) => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AccessVector;
+    use crate::expr::{ArrayRef, BinOp, Expr};
+    use crate::program::LoopHeader;
+    use crate::types::ScalarType;
+
+    /// for i in 0..n { t = A[i]; A[i] = t * 2 }
+    fn make_loop_program(n: i64) -> Program {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![n.max(1)], true);
+        let t = p.add_scalar("t", ScalarType::F64);
+        let i = p.add_loop_var("i");
+        let r = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        let s1 = p.make_stmt(t.into(), Expr::Copy(r.clone().into()));
+        let s2 = p.make_stmt(
+            r.clone().into(),
+            Expr::Binary(BinOp::Mul, t.into(), 2.0.into()),
+        );
+        p.push_item(Item::Loop(Loop {
+            header: LoopHeader {
+                var: i,
+                lower: 0,
+                upper: n,
+                step: 1,
+            },
+            body: vec![Item::Stmt(s1), Item::Stmt(s2)],
+        }));
+        p
+    }
+
+    #[test]
+    fn unroll_divisible_trip() {
+        let mut p = make_loop_program(8);
+        assert_eq!(unroll_program(&mut p, 4), 1);
+        let blocks = p.blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0].block.len(), 8);
+        let h = blocks[0].innermost_loop().unwrap();
+        assert_eq!(h.step, 4);
+        assert_eq!(h.upper, 8);
+    }
+
+    #[test]
+    fn unrolled_subscripts_are_shifted() {
+        let mut p = make_loop_program(8);
+        unroll_program(&mut p, 2);
+        let blocks = p.blocks();
+        let stmts = blocks[0].block.stmts();
+        // Replica 1's array refs read A[i+1].
+        let second_load = &stmts[2];
+        let uses = second_load.uses();
+        let r = uses[0].as_array().unwrap();
+        assert_eq!(r.access.dim(0).constant(), 1);
+    }
+
+    #[test]
+    fn privatizable_scalar_renamed_per_replica() {
+        let mut p = make_loop_program(8);
+        unroll_program(&mut p, 4);
+        let blocks = p.blocks();
+        let stmts = blocks[0].block.stmts();
+        // Four distinct destinations for the four `t = A[i+k]` statements.
+        let mut dests = Vec::new();
+        for k in 0..4 {
+            match stmts[2 * k].dest() {
+                Dest::Scalar(v) => dests.push(*v),
+                _ => panic!("expected scalar dest"),
+            }
+        }
+        dests.sort();
+        dests.dedup();
+        assert_eq!(dests.len(), 4, "each replica must get a private t");
+        // And the block is now fully parallel across replicas.
+        let d = crate::deps::BlockDeps::analyze(&blocks[0].block);
+        assert!(d.independent(stmts[0].id(), stmts[2].id()));
+    }
+
+    #[test]
+    fn remainder_loop_emitted() {
+        let mut p = make_loop_program(10);
+        assert_eq!(unroll_program(&mut p, 4), 1);
+        let blocks = p.blocks();
+        assert_eq!(blocks.len(), 2, "main + remainder blocks");
+        assert_eq!(blocks[0].block.len(), 8);
+        assert_eq!(blocks[1].block.len(), 2);
+        let main = blocks[0].innermost_loop().unwrap();
+        let rem = blocks[1].innermost_loop().unwrap();
+        assert_eq!((main.lower, main.upper, main.step), (0, 8, 4));
+        assert_eq!((rem.lower, rem.upper, rem.step), (8, 10, 1));
+    }
+
+    #[test]
+    fn short_loops_left_alone() {
+        let mut p = make_loop_program(2);
+        assert_eq!(unroll_program(&mut p, 4), 0);
+        assert_eq!(p.blocks()[0].block.len(), 2);
+    }
+
+    #[test]
+    fn factor_one_is_noop() {
+        let mut p = make_loop_program(8);
+        assert_eq!(unroll_program(&mut p, 1), 0);
+    }
+
+    #[test]
+    fn stmt_ids_remain_unique_after_unrolling() {
+        let mut p = make_loop_program(10);
+        unroll_program(&mut p, 4);
+        let mut ids = Vec::new();
+        p.for_each_stmt(|s| ids.push(s.id()));
+        let n = ids.len();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn reduction_scalar_not_privatized() {
+        // for i in 0..8 { acc = acc + A[i] } : acc is used before defined,
+        // so all replicas must share it.
+        let mut p = Program::new("red");
+        let a = p.add_array("A", ScalarType::F64, vec![8], true);
+        let acc = p.add_scalar("acc", ScalarType::F64);
+        let i = p.add_loop_var("i");
+        let r = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        let s = p.make_stmt(
+            acc.into(),
+            Expr::Binary(BinOp::Add, acc.into(), r.into()),
+        );
+        p.push_item(Item::Loop(Loop {
+            header: LoopHeader {
+                var: i,
+                lower: 0,
+                upper: 8,
+                step: 1,
+            },
+            body: vec![Item::Stmt(s)],
+        }));
+        unroll_program(&mut p, 4);
+        let blocks = p.blocks();
+        let stmts = blocks[0].block.stmts();
+        let dests: Vec<_> = stmts
+            .iter()
+            .map(|s| match s.dest() {
+                Dest::Scalar(v) => *v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert!(dests.iter().all(|&d| d == acc), "reduction must stay shared");
+    }
+}

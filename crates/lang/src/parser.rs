@@ -1,0 +1,559 @@
+//! Recursive-descent parser for the kernel mini-language.
+//!
+//! ```text
+//! kernel  ::= 'kernel' (ident | string) '{' decl* item* '}'
+//! decl    ::= 'const' ident '=' intexpr ';'
+//!           | 'array' ident ':' type ('[' intexpr ']')+ ';'
+//!           | 'scalar' ident (',' ident)* ':' type ';'
+//! item    ::= 'for' ident 'in' intexpr '..' intexpr '{' item* '}'
+//!           | lvalue '=' rhs ';'
+//! lvalue  ::= ident ('[' affine ']')*
+//! rhs     ::= fn '(' term (',' term)? ')'      fn ∈ {neg, abs, sqrt, min, max}
+//!           | term (('+'|'-'|'*'|'/') term)?   with a + b * c parsed as muladd
+//! term    ::= ('-')? number | lvalue
+//! affine  ::= ('+'|'-')? aterm (('+'|'-') aterm)*
+//! aterm   ::= int ('*' ident)? | ident ('*' int)?
+//! intexpr ::= affine over `const` names and integers, folded to a value
+//! ```
+
+use std::collections::HashMap;
+
+use slp_ir::{BinOp, UnOp};
+
+use crate::ast::{AstAffine, AstItem, AstLValue, AstRhs, AstTerm, KernelAst};
+use crate::error::{ParseError, Result};
+use crate::lexer::lex;
+use crate::token::{Spanned, Token};
+
+/// Parses a kernel source into its AST.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with position information for lexical errors,
+/// syntax errors and undefined `const` names.
+///
+/// # Examples
+///
+/// ```
+/// let src = r#"
+///     kernel demo {
+///         const N = 8;
+///         array A: f64[2*N];
+///         scalar x: f64;
+///         for i in 0..N {
+///             x = A[2*i] + A[2*i+1];
+///             A[2*i] = x * 0.5;
+///         }
+///     }
+/// "#;
+/// let ast = slp_lang::parse(src).unwrap();
+/// assert_eq!(ast.name, "demo");
+/// assert_eq!(ast.arrays[0].2, vec![16]);
+/// ```
+pub fn parse(src: &str) -> Result<KernelAst> {
+    let tokens = lex(src)?;
+    Parser {
+        tokens,
+        pos: 0,
+        consts: HashMap::new(),
+    }
+    .kernel()
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    consts: HashMap<String, i64>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Spanned {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Spanned {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        let s = self.peek();
+        Err(ParseError::new(msg, s.line, s.col))
+    }
+
+    fn expect(&mut self, want: &Token) -> Result<Spanned> {
+        if &self.peek().token == want {
+            Ok(self.bump())
+        } else {
+            self.err(format!("expected '{want}', found '{}'", self.peek().token))
+        }
+    }
+
+    fn eat(&mut self, want: &Token) -> bool {
+        if &self.peek().token == want {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().token {
+            Token::Ident(_) => match self.bump().token {
+                Token::Ident(s) => Ok(s),
+                _ => unreachable!(),
+            },
+            other => self.err(format!("expected identifier, found '{other}'")),
+        }
+    }
+
+    fn kernel(mut self) -> Result<KernelAst> {
+        self.expect(&Token::Kernel)?;
+        let name = match &self.peek().token {
+            Token::Ident(_) => self.ident()?,
+            Token::Str(_) => match self.bump().token {
+                Token::Str(s) => s,
+                _ => unreachable!(),
+            },
+            other => return self.err(format!("expected kernel name, found '{other}'")),
+        };
+        self.expect(&Token::LBrace)?;
+        let mut arrays = Vec::new();
+        let mut scalars = Vec::new();
+        loop {
+            match &self.peek().token {
+                Token::Const => {
+                    self.bump();
+                    let n = self.ident()?;
+                    self.expect(&Token::Eq)?;
+                    let v = self.intexpr()?;
+                    self.expect(&Token::Semi)?;
+                    self.consts.insert(n, v);
+                }
+                Token::Array => {
+                    self.bump();
+                    let n = self.ident()?;
+                    self.expect(&Token::Colon)?;
+                    let ty = self.scalar_type()?;
+                    let mut dims = Vec::new();
+                    while self.eat(&Token::LBracket) {
+                        dims.push(self.intexpr()?);
+                        self.expect(&Token::RBracket)?;
+                    }
+                    if dims.is_empty() {
+                        return self.err("array declaration needs at least one dimension");
+                    }
+                    self.expect(&Token::Semi)?;
+                    arrays.push((n, ty, dims));
+                }
+                Token::Scalar => {
+                    self.bump();
+                    let mut names = vec![self.ident()?];
+                    while self.eat(&Token::Comma) {
+                        names.push(self.ident()?);
+                    }
+                    self.expect(&Token::Colon)?;
+                    let ty = self.scalar_type()?;
+                    self.expect(&Token::Semi)?;
+                    for n in names {
+                        scalars.push((n, ty));
+                    }
+                }
+                _ => break,
+            }
+        }
+        let items = self.items_until(&Token::RBrace)?;
+        self.expect(&Token::RBrace)?;
+        Ok(KernelAst {
+            name,
+            arrays,
+            scalars,
+            items,
+        })
+    }
+
+    fn scalar_type(&mut self) -> Result<slp_ir::ScalarType> {
+        match self.peek().token {
+            Token::Type(t) => {
+                self.bump();
+                Ok(t)
+            }
+            _ => self.err(format!("expected a type, found '{}'", self.peek().token)),
+        }
+    }
+
+    fn items_until(&mut self, end: &Token) -> Result<Vec<AstItem>> {
+        let mut items = Vec::new();
+        while &self.peek().token != end {
+            if self.peek().token == Token::Eof {
+                return self.err(format!("expected '{end}' before end of input"));
+            }
+            items.push(self.item()?);
+        }
+        Ok(items)
+    }
+
+    fn item(&mut self) -> Result<AstItem> {
+        if self.eat(&Token::For) {
+            let var = self.ident()?;
+            self.expect(&Token::In)?;
+            let lower = self.intexpr()?;
+            self.expect(&Token::DotDot)?;
+            let upper = self.intexpr()?;
+            let step = if self.eat(&Token::Step) {
+                let s = self.intexpr()?;
+                if s <= 0 {
+                    return self.err("loop step must be positive");
+                }
+                s
+            } else {
+                1
+            };
+            self.expect(&Token::LBrace)?;
+            let body = self.items_until(&Token::RBrace)?;
+            self.expect(&Token::RBrace)?;
+            Ok(AstItem::For {
+                var,
+                lower,
+                upper,
+                step,
+                body,
+            })
+        } else {
+            let line = self.peek().line;
+            let lhs = self.lvalue()?;
+            self.expect(&Token::Eq)?;
+            let rhs = self.rhs()?;
+            self.expect(&Token::Semi)?;
+            Ok(AstItem::Assign { lhs, rhs, line })
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<AstLValue> {
+        let name = self.ident()?;
+        if self.peek().token == Token::LBracket {
+            let mut indices = Vec::new();
+            while self.eat(&Token::LBracket) {
+                indices.push(self.affine()?);
+                self.expect(&Token::RBracket)?;
+            }
+            Ok(AstLValue {
+                name,
+                indices: Some(indices),
+            })
+        } else {
+            Ok(AstLValue {
+                name,
+                indices: None,
+            })
+        }
+    }
+
+    fn rhs(&mut self) -> Result<AstRhs> {
+        // Call syntax: fn '(' ... ')' for the named operators.
+        if let Token::Ident(name) = &self.peek().token {
+            let fun: Option<FnKind> = match name.as_str() {
+                "neg" => Some(FnKind::Un(UnOp::Neg)),
+                "abs" => Some(FnKind::Un(UnOp::Abs)),
+                "sqrt" => Some(FnKind::Un(UnOp::Sqrt)),
+                "min" => Some(FnKind::Bin(BinOp::Min)),
+                "max" => Some(FnKind::Bin(BinOp::Max)),
+                _ => None,
+            };
+            if let Some(kind) = fun {
+                // Only treat as a call when followed by '('; `min` may be
+                // an ordinary variable name otherwise.
+                if self.tokens.get(self.pos + 1).map(|s| &s.token) == Some(&Token::LParen) {
+                    self.bump(); // fn name
+                    self.bump(); // '('
+                    let a = self.term()?;
+                    let out = match kind {
+                        FnKind::Un(op) => AstRhs::Unary(op, a),
+                        FnKind::Bin(op) => {
+                            self.expect(&Token::Comma)?;
+                            let b = self.term()?;
+                            AstRhs::Binary(op, a, b)
+                        }
+                    };
+                    self.expect(&Token::RParen)?;
+                    return Ok(out);
+                }
+            }
+        }
+        let a = self.term()?;
+        let op = match self.peek().token {
+            Token::Plus => Some(BinOp::Add),
+            Token::Minus => Some(BinOp::Sub),
+            Token::Star => Some(BinOp::Mul),
+            Token::Slash => Some(BinOp::Div),
+            _ => None,
+        };
+        let Some(op) = op else {
+            return Ok(AstRhs::Copy(a));
+        };
+        self.bump();
+        let b = self.term()?;
+        // `a + b * c` is the fused mul-add shape of the paper's examples.
+        if op == BinOp::Add && self.eat(&Token::Star) {
+            let c = self.term()?;
+            return Ok(AstRhs::MulAdd(a, b, c));
+        }
+        Ok(AstRhs::Binary(op, a, b))
+    }
+
+    fn term(&mut self) -> Result<AstTerm> {
+        match &self.peek().token {
+            Token::Minus => {
+                self.bump();
+                match self.bump().token {
+                    Token::Int(v) => Ok(AstTerm::Num(-(v as f64))),
+                    Token::Float(v) => Ok(AstTerm::Num(-v)),
+                    other => self.err(format!("expected number after '-', found '{other}'")),
+                }
+            }
+            Token::Int(v) => {
+                let v = *v;
+                self.bump();
+                Ok(AstTerm::Num(v as f64))
+            }
+            Token::Float(v) => {
+                let v = *v;
+                self.bump();
+                Ok(AstTerm::Num(v))
+            }
+            Token::Ident(_) => Ok(AstTerm::Loc(self.lvalue()?)),
+            other => self.err(format!("expected operand, found '{other}'")),
+        }
+    }
+
+    /// Parses an affine subscript over loop variables (and `const` names,
+    /// which fold into the constant term).
+    fn affine(&mut self) -> Result<AstAffine> {
+        let mut out = AstAffine::default();
+        let mut sign = 1i64;
+        if self.eat(&Token::Minus) {
+            sign = -1;
+        } else {
+            self.eat(&Token::Plus);
+        }
+        loop {
+            self.affine_term(sign, &mut out)?;
+            if self.eat(&Token::Plus) {
+                sign = 1;
+            } else if self.eat(&Token::Minus) {
+                sign = -1;
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn affine_term(&mut self, sign: i64, out: &mut AstAffine) -> Result<()> {
+        match self.bump().token {
+            Token::Int(c) => {
+                if self.eat(&Token::Star) {
+                    let name = self.ident()?;
+                    self.add_term(out, sign * c, name);
+                } else {
+                    out.constant += sign * c;
+                }
+            }
+            Token::Ident(name) => {
+                if self.eat(&Token::Star) {
+                    match self.bump().token {
+                        Token::Int(c) => self.add_term(out, sign * c, name),
+                        other => {
+                            return self
+                                .err(format!("expected integer coefficient, found '{other}'"))
+                        }
+                    }
+                } else {
+                    self.add_term(out, sign, name);
+                }
+            }
+            other => return self.err(format!("expected subscript term, found '{other}'")),
+        }
+        Ok(())
+    }
+
+    fn add_term(&self, out: &mut AstAffine, coeff: i64, name: String) {
+        if let Some(&v) = self.consts.get(&name) {
+            out.constant += coeff * v;
+        } else if let Some(t) = out.terms.iter_mut().find(|(_, n)| *n == name) {
+            t.0 += coeff;
+        } else {
+            out.terms.push((coeff, name));
+        }
+    }
+
+    /// Parses and folds an integer constant expression (ints and `const`
+    /// names combined with `+`, `-`, `*`).
+    fn intexpr(&mut self) -> Result<i64> {
+        let a = self.affine()?;
+        if let Some((_, name)) = a.terms.first() {
+            return self.err(format!("'{name}' is not a declared const"));
+        }
+        Ok(a.constant)
+    }
+}
+
+enum FnKind {
+    Un(UnOp),
+    Bin(BinOp),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_kernel() {
+        let src = r#"
+            kernel "demo" {
+                const N = 4;
+                const M = 2*N+1;
+                array A: f64[2*N];
+                array B: f32[N][M];
+                scalar a, b: f64;
+                a = 1.5;
+                for i in 0..N {
+                    b = A[2*i+1] * a;
+                    A[2*i] = b + a * b;
+                }
+            }
+        "#;
+        let k = parse(src).unwrap();
+        assert_eq!(k.name, "demo");
+        assert_eq!(k.arrays.len(), 2);
+        assert_eq!(k.arrays[0].2, vec![8]);
+        assert_eq!(k.arrays[1].2, vec![4, 9]);
+        assert_eq!(k.scalars.len(), 2);
+        assert_eq!(k.items.len(), 2);
+        match &k.items[1] {
+            AstItem::For {
+                var, lower, upper, step, ..
+            } => {
+                assert_eq!(var, "i");
+                assert_eq!((*lower, *upper, *step), (0, 4, 1));
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_step() {
+        let k = parse("kernel k { array A: f64[64]; for i in 0..32 step 4 { A[i] = 1.0; } }").unwrap();
+        assert!(matches!(&k.items[0], AstItem::For { step: 4, .. }));
+        assert!(parse("kernel k { for i in 0..4 step 0 { } }").is_err());
+    }
+
+    #[test]
+    fn muladd_is_recognized() {
+        let k = parse("kernel k { scalar a,b,c,d: f64; a = b + c * d; }").unwrap();
+        match &k.items[0] {
+            AstItem::Assign {
+                rhs: AstRhs::MulAdd(_, _, _),
+                ..
+            } => {}
+            other => panic!("expected muladd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_syntax_ops() {
+        let k = parse("kernel k { scalar a,b,c: f64; a = min(b, c); b = sqrt(c); }").unwrap();
+        assert!(matches!(
+            &k.items[0],
+            AstItem::Assign {
+                rhs: AstRhs::Binary(BinOp::Min, _, _),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &k.items[1],
+            AstItem::Assign {
+                rhs: AstRhs::Unary(UnOp::Sqrt, _),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn affine_subscripts() {
+        let k = parse("kernel k { array A: f64[64]; scalar x: f64; for i in 0..4 { x = A[4*i-2]; } }")
+            .unwrap();
+        let AstItem::For { body, .. } = &k.items[0] else {
+            panic!()
+        };
+        let AstItem::Assign {
+            rhs: AstRhs::Copy(AstTerm::Loc(l)),
+            ..
+        } = &body[0]
+        else {
+            panic!()
+        };
+        let idx = &l.indices.as_ref().unwrap()[0];
+        assert_eq!(idx.terms, vec![(4, "i".to_string())]);
+        assert_eq!(idx.constant, -2);
+    }
+
+    #[test]
+    fn coefficient_on_either_side() {
+        let k = parse("kernel k { array A: f64[64]; scalar x: f64; for i in 0..4 { x = A[i*3+1]; } }")
+            .unwrap();
+        let AstItem::For { body, .. } = &k.items[0] else {
+            panic!()
+        };
+        let AstItem::Assign {
+            rhs: AstRhs::Copy(AstTerm::Loc(l)),
+            ..
+        } = &body[0]
+        else {
+            panic!()
+        };
+        let idx = &l.indices.as_ref().unwrap()[0];
+        assert_eq!(idx.terms, vec![(3, "i".to_string())]);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let e = parse("kernel k { array A f64[4]; }").unwrap_err();
+        assert!(e.to_string().contains("expected ':'"), "{e}");
+        let e2 = parse("kernel k { scalar a: f64; a = ; }").unwrap_err();
+        assert!(e2.message().contains("expected operand"));
+    }
+
+    #[test]
+    fn undeclared_const_in_bound() {
+        let e = parse("kernel k { array A: f64[Q]; }").unwrap_err();
+        assert!(e.message().contains("not a declared const"));
+    }
+
+    #[test]
+    fn negative_literals() {
+        let k = parse("kernel k { scalar a: f64; a = -2.5; }").unwrap();
+        assert!(matches!(
+            &k.items[0],
+            AstItem::Assign {
+                rhs: AstRhs::Copy(AstTerm::Num(v)),
+                ..
+            } if *v == -2.5
+        ));
+    }
+
+    #[test]
+    fn min_as_variable_name_still_works() {
+        let k = parse("kernel k { scalar min, a: f64; a = min; }").unwrap();
+        assert!(matches!(
+            &k.items[0],
+            AstItem::Assign {
+                rhs: AstRhs::Copy(AstTerm::Loc(l)),
+                ..
+            } if l.name == "min"
+        ));
+    }
+}

@@ -1,0 +1,66 @@
+//! Frontend robustness: the lexer/parser/lowering must never panic —
+//! any input either compiles or produces a positioned `ParseError`.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary byte soup never panics the frontend.
+    #[test]
+    fn arbitrary_text_never_panics(src in ".{0,200}") {
+        let _ = slp_lang::compile(&src);
+    }
+
+    /// Arbitrary sequences of the language's own tokens never panic.
+    #[test]
+    fn token_soup_never_panics(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("kernel"), Just("array"), Just("scalar"), Just("const"),
+            Just("for"), Just("in"), Just("step"), Just("f64"), Just("f32"),
+            Just("{"), Just("}"), Just("["), Just("]"), Just("("), Just(")"),
+            Just(":"), Just(";"), Just(","), Just("="), Just("+"), Just("-"),
+            Just("*"), Just("/"), Just(".."), Just("x"), Just("A"), Just("i"),
+            Just("0"), Just("1"), Just("2.5"), Just("min"), Just("sqrt"),
+        ],
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        let _ = slp_lang::compile(&src);
+    }
+
+    /// Mutating one byte of a valid kernel never panics.
+    #[test]
+    fn mutated_valid_kernel_never_panics(pos in 0usize..180, byte in 0u8..127) {
+        let mut src = String::from(
+            "kernel k { const N = 8; array A: f64[2*N]; scalar x, y: f64; \
+             for i in 0..N { x = A[2*i] + A[2*i+1]; A[2*i] = x * 0.5; y = min(x, y); } }",
+        );
+        if pos < src.len() && src.is_char_boundary(pos) && byte.is_ascii() {
+            let mut bytes = src.clone().into_bytes();
+            bytes[pos] = byte;
+            if let Ok(mutated) = String::from_utf8(bytes) {
+                src = mutated;
+            }
+        }
+        let _ = slp_lang::compile(&src);
+    }
+}
+
+#[test]
+fn errors_carry_positions_not_panics() {
+    for src in [
+        "",
+        "kernel",
+        "kernel k {",
+        "kernel k { array A: f64; }",
+        "kernel k { scalar a: f64; a = ; }",
+        "kernel k { for i in 0..4 step -1 { } }",
+        "kernel k { scalar a: f64; a = b + c * ; }",
+        "kernel k { array A: f64[0]; }",
+    ] {
+        if let Err(e) = slp_lang::compile(src) {
+            assert!(e.line() >= 1 || e.message().contains("duplicate"), "{src:?}: {e}");
+        }
+    }
+}

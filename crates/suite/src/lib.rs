@@ -1,0 +1,30 @@
+//! # slp-suite — the evaluation workloads
+//!
+//! Two ingredients of the §7 evaluation:
+//!
+//! * [`catalog`] / [`kernel`] / [`all`]: the sixteen benchmark kernels of
+//!   Table 3 (ten SPEC2006 floating-point surrogates and six NAS
+//!   surrogates), written in the `slp-lang` mini-language with the access
+//!   patterns and reuse structure of the originals' hot loops,
+//! * [`random_program`]: a seeded generator of arbitrary valid kernels
+//!   for the property-based tests.
+//!
+//! # Examples
+//!
+//! ```
+//! // The Table 3 catalog: 10 SPEC2006 + 6 NAS entries.
+//! let specs = slp_suite::catalog();
+//! assert_eq!(specs.len(), 16);
+//! let lbm = slp_suite::kernel("lbm", 1);
+//! assert!(lbm.stmt_count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod generator;
+mod kernels;
+
+pub use generator::{random_program, GeneratorConfig};
+pub use kernels::{all, catalog, kernel, nas, source, spec_of, BenchmarkSpec, SuiteKind};

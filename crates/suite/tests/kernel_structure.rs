@@ -1,0 +1,116 @@
+//! Meta-tests tying each benchmark kernel's structure to the evaluation
+//! role DESIGN.md assigns it: the Figure 16 categories and the Figure 19
+//! layout winners are properties of the kernels' access patterns, so the
+//! patterns themselves are pinned here.
+
+use slp_ir::{Dest, Operand, Program};
+
+fn array_ops(p: &Program) -> Vec<(String, Vec<i64>)> {
+    // (array name, distinct innermost-coefficient list) over all reads.
+    let mut out: Vec<(String, Vec<i64>)> = Vec::new();
+    p.for_each_stmt(|s| {
+        for u in s.uses() {
+            if let Operand::Array(r) = u {
+                let name = p.array(r.array).name.clone();
+                let coeff = r
+                    .access
+                    .dims()
+                    .last()
+                    .map(|e| e.terms().map(|(_, c)| c).max().unwrap_or(0))
+                    .unwrap_or(0);
+                match out.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, cs)) => {
+                        if !cs.contains(&coeff) {
+                            cs.push(coeff);
+                        }
+                    }
+                    None => out.push((name, vec![coeff])),
+                }
+            }
+        }
+    });
+    out
+}
+
+#[test]
+fn layout_winners_have_strided_read_only_tables_under_outer_sweeps() {
+    // The kernels DESIGN.md marks as §5.2 replication targets must have a
+    // read-only array accessed with stride > 2 inside a ≥2-deep nest.
+    for name in ["gromacs", "calculix", "ua", "ft", "wrf"] {
+        let p = slp_suite::kernel(name, 1);
+        let strided: Vec<String> = array_ops(&p)
+            .into_iter()
+            .filter(|(n, cs)| {
+                cs.iter().any(|&c| c >= 4) && {
+                    let id = p
+                        .array_ids()
+                        .find(|&a| p.array(a).name == *n)
+                        .expect("named array");
+                    p.array_is_read_only(id)
+                }
+            })
+            .map(|(n, _)| n)
+            .collect();
+        assert!(!strided.is_empty(), "{name} lost its strided read-only table");
+        let max_depth = p.blocks().iter().map(|b| b.loops.len()).max().unwrap_or(0);
+        assert!(max_depth >= 2, "{name} needs an outer sweep for replication to pay");
+    }
+}
+
+#[test]
+fn contiguous_kernels_have_no_strided_reads() {
+    // The Native == SLP == Global kernels are pure unit-stride streams.
+    for name in ["soplex", "sp", "cg"] {
+        let p = slp_suite::kernel(name, 1);
+        for (array, coeffs) in array_ops(&p) {
+            if array == "SERIAL_" {
+                continue; // the calibration section is scalar-serial
+            }
+            assert!(
+                coeffs.iter().all(|&c| c <= 1),
+                "{name}: array {array} has strided access {coeffs:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scalar_staged_kernels_defeat_the_native_vectorizer() {
+    // Kernels staged through scalar temporaries must contain scalar
+    // destinations (what Native rejects and SLP/Global handle).
+    for name in ["lbm", "milc", "namd", "povray", "wrf", "cactusADM"] {
+        let p = slp_suite::kernel(name, 1);
+        let mut scalar_dests = 0;
+        p.for_each_stmt(|s| {
+            if matches!(s.dest(), Dest::Scalar(_)) {
+                scalar_dests += 1;
+            }
+        });
+        assert!(scalar_dests > 0, "{name} should stage through scalars");
+    }
+}
+
+#[test]
+fn every_kernel_has_a_serial_calibration_section() {
+    for spec in slp_suite::catalog() {
+        let src = slp_suite::source(spec.name, 1);
+        assert!(
+            src.contains("SERIAL_"),
+            "{} lost its serial section",
+            spec.name
+        );
+        let p = slp_suite::kernel(spec.name, 1);
+        p.validate()
+            .unwrap_or_else(|e| panic!("{} invalid: {e:?}", spec.name));
+    }
+}
+
+#[test]
+fn scales_multiply_problem_sizes() {
+    let small = slp_suite::kernel("mg", 1);
+    let big = slp_suite::kernel("mg", 4);
+    let extent = |p: &Program| p.arrays().iter().map(|a| a.len()).sum::<i64>();
+    assert!(extent(&big) > 3 * extent(&small));
+    // Statement counts are per-iteration and stay fixed.
+    assert_eq!(small.stmt_count(), big.stmt_count());
+}

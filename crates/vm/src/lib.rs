@@ -1,0 +1,65 @@
+//! # slp-vm — the cycle-approximate SIMD virtual machine
+//!
+//! The execution substrate standing in for the paper's Intel/AMD SSE2
+//! hardware. It has four layers:
+//!
+//! * [`code`]: a small vector instruction set ([`VInst`]) whose
+//!   instructions know their cycle costs and their contribution to the
+//!   §7 counters (dynamic instructions, memory operations,
+//!   packing/unpacking operations, permutations),
+//! * [`codegen`]: lowers a [`slp_core::BlockSchedule`] to vector code with
+//!   register-resident pack reuse (direct reuse = free, permuted reuse =
+//!   one shuffle, otherwise load/gather), and applies the §4.3 cost-model
+//!   gate,
+//! * [`exec`]: an interpreter that actually *runs* the code on seeded
+//!   memory, so any vectorized build can be checked bit-for-bit against
+//!   the scalar build — an oracle the original paper did not have,
+//! * [`multicore`]: the analytic model behind the Figure 21 multicore
+//!   scaling experiments.
+//!
+//! # Examples
+//!
+//! Compile a kernel two ways and compare both results and speed:
+//!
+//! ```
+//! use slp_core::{compile, MachineConfig, SlpConfig, Strategy};
+//! use slp_vm::execute;
+//!
+//! let src = "kernel k { array A: f64[64]; array B: f64[64];
+//!            for i in 0..32 { A[i] = B[i] * 2.0; } }";
+//! let program = slp_lang::compile(src).unwrap();
+//! let machine = MachineConfig::intel_dunnington();
+//!
+//! let scalar = compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar));
+//! let global = compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic));
+//! let s = execute(&scalar, &machine).unwrap();
+//! let g = execute(&global, &machine).unwrap();
+//! assert!(g.state.arrays_bitwise_eq(&s.state, 2));
+//! assert!(g.stats.metrics.cycles < s.stats.metrics.cycles);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod carry;
+pub mod code;
+pub mod codegen;
+pub mod exec;
+pub mod hoist;
+pub mod memory;
+pub mod multicore;
+pub mod regalloc;
+
+pub use code::{AccessClass, InstMetrics, LaneSink, ScalarPackClass, SplatSrc, VInst, VReg};
+pub use carry::apply_cross_iteration_reuse;
+pub use codegen::{lower_block, lower_kernel, lower_kernel_with, BlockCode};
+pub use exec::{execute, execute_gated, run_scalar, ExecError, Outcome, RunStats};
+pub use hoist::hoist_invariant_packs;
+pub use memory::{seed_scalar, seed_value, MachineState};
+pub use multicore::{reduction_percent, MulticoreModel};
+pub use regalloc::{allocate, insert_spill_code, Allocation};
+
+// Re-export the machine descriptions for convenience: the VM and the
+// optimizer share them.
+pub use slp_core::{CostParams, MachineConfig};

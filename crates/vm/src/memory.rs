@@ -1,0 +1,196 @@
+//! The simulated machine's memory: arrays plus the scalar frame.
+//!
+//! All values are computed in `f64` regardless of the declared element
+//! type; the declared type only affects lane counts and addressing, which
+//! is all the SLP algorithms care about. Arrays are seeded with a
+//! deterministic pseudo-random pattern so that a scalar run and any
+//! vectorized run of the same kernel can be compared bit for bit.
+
+use slp_ir::{ArrayId, Program, VarId};
+
+/// The memory image of one program run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    arrays: Vec<Vec<f64>>,
+    scalars: Vec<f64>,
+}
+
+/// SplitMix64 — the seeding PRNG (tiny, deterministic, well distributed).
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic seed value of element `index` of array `id`.
+///
+/// Values land in `[0.25, 4.25)`: never zero (no divide-by-zero), never
+/// negative (no NaN from `sqrt`), spread enough to make value mismatches
+/// obvious.
+pub fn seed_value(id: ArrayId, index: usize) -> f64 {
+    let bits = mix((id.index() as u64) << 32 | index as u64);
+    0.25 + 4.0 * ((bits >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+/// The deterministic initial value of scalar `v`.
+pub fn seed_scalar(v: VarId) -> f64 {
+    let bits = mix(0xABCD_0000 ^ v.index() as u64);
+    0.25 + 4.0 * ((bits >> 11) as f64 / (1u64 << 53) as f64)
+}
+
+impl MachineState {
+    /// Allocates and seeds memory for `program`. Integer-typed arrays
+    /// and scalars are seeded with whole values (their storage semantics
+    /// truncate, so fractional seeds would be unrepresentable).
+    pub fn seeded(program: &Program) -> Self {
+        let arrays = program
+            .array_ids()
+            .map(|a| {
+                let ty = program.array(a).ty;
+                let len = program.array(a).len().max(0) as usize;
+                (0..len).map(|i| ty.coerce(seed_value(a, i) * 4.0)).collect()
+            })
+            .collect();
+        let scalars = program
+            .scalar_ids()
+            .map(|v| {
+                use slp_ir::TypeEnv;
+                program.scalar_type(v).coerce(seed_scalar(v) * 4.0)
+            })
+            .collect();
+        MachineState { arrays, scalars }
+    }
+
+    /// The contents of array `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not allocated in this state.
+    pub fn array(&self, a: ArrayId) -> &[f64] {
+        &self.arrays[a.index()]
+    }
+
+    /// Reads element `offset` of array `a`.
+    pub fn load_array(&self, a: ArrayId, offset: usize) -> Option<f64> {
+        self.arrays.get(a.index())?.get(offset).copied()
+    }
+
+    /// Writes element `offset` of array `a`. Returns `false` when out of
+    /// bounds.
+    pub fn store_array(&mut self, a: ArrayId, offset: usize, value: f64) -> bool {
+        match self
+            .arrays
+            .get_mut(a.index())
+            .and_then(|arr| arr.get_mut(offset))
+        {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads scalar `v`.
+    pub fn scalar(&self, v: VarId) -> f64 {
+        self.scalars[v.index()]
+    }
+
+    /// Writes scalar `v`.
+    pub fn set_scalar(&mut self, v: VarId, value: f64) {
+        self.scalars[v.index()] = value;
+    }
+
+    /// Bitwise equality of the first `n_arrays` arrays — the observable
+    /// output of a kernel. (Scalar temporaries are renamed by unrolling
+    /// and replicated arrays are appended by the layout stage, so only
+    /// the original arrays are comparable across optimization levels.)
+    pub fn arrays_bitwise_eq(&self, other: &MachineState, n_arrays: usize) -> bool {
+        if self.arrays.len() < n_arrays || other.arrays.len() < n_arrays {
+            return false;
+        }
+        (0..n_arrays).all(|a| {
+            let (x, y) = (&self.arrays[a], &other.arrays[a]);
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y)
+                    .all(|(u, v)| u.to_bits() == v.to_bits())
+        })
+    }
+
+    /// A 64-bit digest of the full array contents, for cheap regression
+    /// assertions.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for arr in &self.arrays {
+            for v in arr {
+                h = (h ^ v.to_bits()).wrapping_mul(0x1000_0000_01B3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_ir::ScalarType;
+
+    fn program() -> Program {
+        let mut p = Program::new("t");
+        p.add_array("A", ScalarType::F64, vec![8], true);
+        p.add_array("B", ScalarType::F64, vec![4], true);
+        p.add_scalar("x", ScalarType::F64);
+        p
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_nonzero() {
+        let p = program();
+        let s1 = MachineState::seeded(&p);
+        let s2 = MachineState::seeded(&p);
+        assert!(s1.arrays_bitwise_eq(&s2, 2));
+        assert!(s1.array(ArrayId::new(0)).iter().all(|&v| v >= 0.25));
+        assert_ne!(
+            seed_value(ArrayId::new(0), 0),
+            seed_value(ArrayId::new(0), 1)
+        );
+        assert_ne!(
+            seed_value(ArrayId::new(0), 0),
+            seed_value(ArrayId::new(1), 0)
+        );
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let p = program();
+        let mut s = MachineState::seeded(&p);
+        assert!(s.store_array(ArrayId::new(0), 3, 7.5));
+        assert_eq!(s.load_array(ArrayId::new(0), 3), Some(7.5));
+        assert!(!s.store_array(ArrayId::new(0), 99, 1.0));
+        assert_eq!(s.load_array(ArrayId::new(1), 99), None);
+        s.set_scalar(VarId::new(0), 2.5);
+        assert_eq!(s.scalar(VarId::new(0)), 2.5);
+    }
+
+    #[test]
+    fn digest_tracks_changes() {
+        let p = program();
+        let mut s = MachineState::seeded(&p);
+        let d0 = s.digest();
+        s.store_array(ArrayId::new(0), 0, -1.0);
+        assert_ne!(s.digest(), d0);
+    }
+
+    #[test]
+    fn equality_is_bitwise_per_array_prefix() {
+        let p = program();
+        let mut a = MachineState::seeded(&p);
+        let b = MachineState::seeded(&p);
+        assert!(a.arrays_bitwise_eq(&b, 2));
+        a.store_array(ArrayId::new(1), 0, 0.0);
+        assert!(!a.arrays_bitwise_eq(&b, 2));
+        assert!(a.arrays_bitwise_eq(&b, 1)); // array 0 still matches
+    }
+}

@@ -1,0 +1,41 @@
+//! The Figure 21 multicore model: project single-core measurements of a
+//! NAS kernel onto 1–12 cores of the Dunnington machine.
+//!
+//! ```text
+//! cargo run --release --example multicore_scaling [kernel]
+//! ```
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::suite::spec_of;
+use slp::vm::{execute, reduction_percent, MulticoreModel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "mg".into());
+    let spec = spec_of(&name).ok_or("unknown benchmark")?;
+    let program = slp::suite::kernel(&name, 8);
+    let machine = MachineConfig::intel_dunnington();
+
+    let run = |strategy: Strategy| -> Result<_, Box<dyn std::error::Error>> {
+        let kernel = compile(&program, &SlpConfig::for_machine(machine.clone(), strategy));
+        Ok(execute(&kernel, &machine)?.stats)
+    };
+    let scalar = run(Strategy::Scalar)?;
+    let global = run(Strategy::Holistic)?;
+
+    let model = MulticoreModel::with_serial_fraction(spec.serial_fraction);
+    println!(
+        "{name}: serial fraction {:.0}%, single-core Global reduction {:.1}%",
+        spec.serial_fraction * 100.0,
+        reduction_percent(&scalar, &global, 1, &model),
+    );
+    println!("{:<8} {:>14} {:>14} {:>12}", "cores", "scalar (ms)", "Global (ms)", "reduction");
+    for cores in [1usize, 2, 4, 6, 8, 10, 12] {
+        let ts = model.seconds(&scalar, cores, &machine) * 1e3;
+        let tg = model.seconds(&global, cores, &machine) * 1e3;
+        println!(
+            "{cores:<8} {ts:>14.4} {tg:>14.4} {:>11.1}%",
+            reduction_percent(&scalar, &global, cores, &model)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! `slpc` — the command-line driver for the SLP framework.
+//!
+//! ```text
+//! slpc <kernel.slp> [options]
+//!
+//! options:
+//!   --strategy scalar|native|slp|global   optimizer (default: global)
+//!   --layout                              enable the §5 data layout stage
+//!   --machine intel|amd                   cost model (default: intel)
+//!   --emit source|schedule|code|stats     what to print (default: stats)
+//!   --run                                 execute and print counters
+//!   --unroll N                            unroll factor (default: auto)
+//! ```
+//!
+//! Exit codes: 0 success, 1 compile/run error, 2 usage error.
+
+use std::process::ExitCode;
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::vm::{execute, lower_kernel};
+
+struct Options {
+    path: String,
+    strategy: Strategy,
+    layout: bool,
+    machine: MachineConfig,
+    emit: String,
+    run: bool,
+    unroll: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: slpc <kernel.slp> [--strategy scalar|native|slp|global] \
+         [--layout] [--machine intel|amd] [--emit source|schedule|code|stats] \
+         [--run] [--unroll N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Options {
+        path: String::new(),
+        strategy: Strategy::Holistic,
+        layout: false,
+        machine: MachineConfig::intel_dunnington(),
+        emit: "stats".to_string(),
+        run: false,
+        unroll: 0,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strategy" => {
+                opts.strategy = match args.next().as_deref() {
+                    Some("scalar") => Strategy::Scalar,
+                    Some("native") => Strategy::Native,
+                    Some("slp") => Strategy::Baseline,
+                    Some("global") => Strategy::Holistic,
+                    _ => return Err(usage()),
+                }
+            }
+            "--layout" => opts.layout = true,
+            "--machine" => {
+                opts.machine = match args.next().as_deref() {
+                    Some("intel") => MachineConfig::intel_dunnington(),
+                    Some("amd") => MachineConfig::amd_phenom_ii(),
+                    _ => return Err(usage()),
+                }
+            }
+            "--emit" => match args.next() {
+                Some(e) if ["source", "schedule", "code", "stats"].contains(&e.as_str()) => {
+                    opts.emit = e
+                }
+                _ => return Err(usage()),
+            },
+            "--run" => opts.run = true,
+            "--unroll" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.unroll = n,
+                None => return Err(usage()),
+            },
+            path if !path.starts_with('-') && opts.path.is_empty() => {
+                opts.path = path.to_string()
+            }
+            _ => return Err(usage()),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let source = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("slpc: cannot read {}: {e}", opts.path);
+            return ExitCode::from(1);
+        }
+    };
+    let program = match slp::lang::compile(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}", e.render(&source));
+            return ExitCode::from(1);
+        }
+    };
+    if let Err(errors) = program.validate() {
+        for e in errors {
+            eprintln!("slpc: {e}");
+        }
+        return ExitCode::from(1);
+    }
+
+    let mut cfg = SlpConfig::for_machine(opts.machine.clone(), opts.strategy);
+    cfg.unroll = opts.unroll;
+    if opts.layout {
+        cfg = cfg.with_layout();
+    }
+    let kernel = compile(&program, &cfg);
+
+    match opts.emit.as_str() {
+        "source" => print!("{}", kernel.program.to_source()),
+        "schedule" => {
+            for (bid, sched) in &kernel.schedules {
+                println!("block {bid}:");
+                for item in sched.items() {
+                    println!("  {item}");
+                }
+            }
+        }
+        "code" => {
+            for (bid, code) in lower_kernel(&kernel, &opts.machine, true) {
+                println!("block {bid} (vectorized = {}):", code.vectorized);
+                if !code.preheader.is_empty() {
+                    println!("  preheader:");
+                    for inst in &code.preheader {
+                        println!("    {inst}");
+                    }
+                }
+                for inst in &code.insts {
+                    println!("  {inst}");
+                }
+            }
+        }
+        "stats" => {
+            let s = kernel.stats;
+            println!("statements            {}", s.stmts);
+            println!("blocks                {}", s.blocks);
+            println!("superword statements  {}", s.superwords);
+            println!("vectorized statements {}", s.vectorized_stmts);
+            println!("scalar packs laid out {}", s.scalar_packs_laid_out);
+            println!("array replications    {}", s.replications);
+        }
+        _ => unreachable!("validated in parse_args"),
+    }
+
+    if opts.run {
+        match execute(&kernel, &opts.machine) {
+            Ok(out) => {
+                let m = &out.stats.metrics;
+                println!("-- run on {} --", opts.machine.name);
+                println!("cycles                {:.0}", m.cycles);
+                println!("dynamic instructions  {}", m.dynamic_instructions);
+                println!("memory operations     {}", m.memory_ops);
+                println!("packing/unpacking ops {}", m.packing_ops);
+                println!("permutations          {}", m.permutes);
+                println!("simulated time        {:.3} µs", out.stats.seconds(&opts.machine) * 1e6);
+                if out.block_cycles.len() > 1 {
+                    println!("hottest blocks:");
+                    for (bid, cycles) in out.block_cycles.iter().take(5) {
+                        println!(
+                            "  {bid:<6} {cycles:>10.0} cycles ({:.1}%)",
+                            cycles / out.stats.metrics.cycles * 100.0
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("slpc: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

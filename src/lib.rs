@@ -1,0 +1,55 @@
+//! # slp — a compiler framework for extracting superword level parallelism
+//!
+//! A from-scratch Rust reproduction of *Liu, Zhang, Jang, Ding, Kandemir:
+//! "A Compiler Framework for Extracting Superword Level Parallelism"*
+//! (PLDI 2012): a holistic SLP auto-vectorizer whose statement grouping
+//! maximizes superword reuse over whole basic blocks, a scheduling phase
+//! that fixes lane orders against a live superword set, and a data layout
+//! stage (scalar offset assignment and array mapping/replication) — plus
+//! everything the evaluation needs: an IR, a kernel language, the
+//! Larsen–Amarasinghe baseline, a native-style vectorizer, a
+//! cycle-approximate SIMD virtual machine modelling the paper's two test
+//! machines, and the sixteen-benchmark suite.
+//!
+//! The workspace crates are re-exported here under short names:
+//!
+//! * [`ir`] — typed IR, affine subscripts, dependence analysis, unrolling
+//! * [`lang`] — the kernel mini-language frontend
+//! * [`analysis`] — candidate groups, conflict graphs, reuse weights
+//! * [`core`] — grouping, scheduling, baselines, cost model, layout
+//! * [`vm`] — vector code generation and the simulated machines
+//! * [`suite`] — the Table 3 benchmark kernels and a program generator
+//!
+//! # Examples
+//!
+//! Vectorize a kernel and verify both speed and semantics:
+//!
+//! ```
+//! use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+//! use slp::vm::execute;
+//!
+//! let program = slp::lang::compile(
+//!     "kernel axpy { array X: f64[64]; array Y: f64[64]; scalar a: f64;
+//!      for i in 0..64 { Y[i] = Y[i] + a * X[i]; } }",
+//! )?;
+//! let machine = MachineConfig::intel_dunnington();
+//!
+//! let scalar = compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar));
+//! let global = compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic));
+//!
+//! let s = execute(&scalar, &machine)?;
+//! let g = execute(&global, &machine)?;
+//! assert!(g.state.arrays_bitwise_eq(&s.state, program.arrays().len()));
+//! assert!(g.stats.metrics.cycles < s.stats.metrics.cycles);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use slp_analysis as analysis;
+pub use slp_core as core;
+pub use slp_ir as ir;
+pub use slp_lang as lang;
+pub use slp_suite as suite;
+pub use slp_vm as vm;

@@ -1,0 +1,93 @@
+//! Degenerate-input robustness: empty kernels, zero-trip loops, single
+//! statements, one-element arrays — every pipeline stage must handle
+//! them without panicking and without changing semantics.
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::vm::execute;
+
+fn all_schemes_agree(src: &str) {
+    let program = slp::lang::compile(src).expect("compiles");
+    program.validate().expect("valid");
+    let machine = MachineConfig::intel_dunnington();
+    let n = program.arrays().len();
+    let scalar = execute(
+        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &machine,
+    )
+    .expect("scalar run");
+    for strategy in [Strategy::Native, Strategy::Baseline, Strategy::Holistic] {
+        for layout in [false, true] {
+            let mut cfg = SlpConfig::for_machine(machine.clone(), strategy);
+            if layout {
+                cfg = cfg.with_layout();
+            }
+            let out = execute(&compile(&program, &cfg), &machine).expect("runs");
+            assert!(out.state.arrays_bitwise_eq(&scalar.state, n), "{src}");
+        }
+    }
+}
+
+#[test]
+fn empty_kernel() {
+    all_schemes_agree("kernel empty { }");
+}
+
+#[test]
+fn declarations_only() {
+    all_schemes_agree("kernel decls { array A: f64[4]; scalar x, y: f64; }");
+}
+
+#[test]
+fn zero_trip_loop() {
+    all_schemes_agree(
+        "kernel zt { array A: f64[8]; for i in 4..4 { A[i] = 1.0; } }",
+    );
+}
+
+#[test]
+fn single_iteration_loop() {
+    all_schemes_agree(
+        "kernel one { array A: f64[8]; scalar x: f64;
+         for i in 0..1 { x = A[i]; A[i+1] = x * 2.0; } }",
+    );
+}
+
+#[test]
+fn single_statement_kernel() {
+    all_schemes_agree("kernel s1 { array A: f64[2]; A[1] = 3.5; }");
+}
+
+#[test]
+fn one_element_arrays() {
+    all_schemes_agree(
+        "kernel tiny { array A: f64[1]; array B: f64[1];
+         for i in 0..1 { A[i] = B[i] * 2.0; } }",
+    );
+}
+
+#[test]
+fn loop_with_nonzero_lower_bound() {
+    all_schemes_agree(
+        "kernel lb { array A: f64[40];
+         for i in 5..20 { A[2*i-10] = A[2*i-9] + 1.0; } }",
+    );
+}
+
+#[test]
+fn deeply_nested_empty_inner() {
+    all_schemes_agree(
+        "kernel nest { array A: f64[8];
+         for i in 0..2 { for j in 0..2 { for k in 2..2 { A[k] = 1.0; } A[j] = 2.0; } } }",
+    );
+}
+
+#[test]
+fn top_level_code_between_loops() {
+    all_schemes_agree(
+        "kernel mix { array A: f64[16]; scalar s: f64;
+         s = 3.0;
+         for i in 0..8 { A[i] = s * 2.0; }
+         s = s + 1.0;
+         for i in 0..8 { A[i+8] = s; } }",
+    );
+}

@@ -1,0 +1,151 @@
+//! Cross-crate integration tests: lang → core → vm on the full benchmark
+//! suite, checking both semantics and the paper's headline relationships.
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::vm::execute;
+
+fn reduction(scalar: f64, opt: f64) -> f64 {
+    (1.0 - opt / scalar) * 100.0
+}
+
+/// Compiles and runs one program under a scheme, returning cycles.
+fn run(program: &slp::ir::Program, machine: &MachineConfig, strategy: Strategy, layout: bool) -> f64 {
+    let mut cfg = SlpConfig::for_machine(machine.clone(), strategy);
+    if layout {
+        cfg = cfg.with_layout();
+    }
+    let kernel = compile(program, &cfg);
+    execute(&kernel, machine)
+        .expect("suite kernels execute")
+        .stats
+        .metrics
+        .cycles
+}
+
+#[test]
+fn all_benchmarks_run_equivalently_under_all_schemes() {
+    let machine = MachineConfig::intel_dunnington();
+    for (spec, program) in slp::suite::all(1) {
+        let n = program.arrays().len();
+        let scalar = execute(
+            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+            &machine,
+        )
+        .expect("scalar run");
+        for (strategy, layout) in [
+            (Strategy::Native, false),
+            (Strategy::Baseline, false),
+            (Strategy::Holistic, false),
+            (Strategy::Holistic, true),
+        ] {
+            let mut cfg = SlpConfig::for_machine(machine.clone(), strategy);
+            if layout {
+                cfg = cfg.with_layout();
+            }
+            let out = execute(&compile(&program, &cfg), &machine).expect("vector run");
+            assert!(
+                out.state.arrays_bitwise_eq(&scalar.state, n),
+                "{} under {strategy:?} (layout={layout}) diverged",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn global_never_loses_to_the_baseline() {
+    let machine = MachineConfig::intel_dunnington();
+    for (spec, program) in slp::suite::all(1) {
+        let scalar = run(&program, &machine, Strategy::Scalar, false);
+        let slp = run(&program, &machine, Strategy::Baseline, false);
+        let global = run(&program, &machine, Strategy::Holistic, false);
+        assert!(
+            reduction(scalar, global) >= reduction(scalar, slp) - 0.05,
+            "{}: Global {:.1}% < SLP {:.1}%",
+            spec.name,
+            reduction(scalar, global),
+            reduction(scalar, slp)
+        );
+    }
+}
+
+#[test]
+fn layout_never_hurts_and_helps_somewhere() {
+    let machine = MachineConfig::intel_dunnington();
+    let mut helped = 0;
+    for (spec, program) in slp::suite::all(1) {
+        let global = run(&program, &machine, Strategy::Holistic, false);
+        let layout = run(&program, &machine, Strategy::Holistic, true);
+        assert!(
+            layout <= global * 1.01,
+            "{}: layout degraded {global} -> {layout}",
+            spec.name
+        );
+        if layout < global * 0.995 {
+            helped += 1;
+        }
+    }
+    assert!(helped >= 3, "layout helped only {helped} benchmarks");
+}
+
+#[test]
+fn amd_savings_are_lower_than_intel_on_average() {
+    let intel = MachineConfig::intel_dunnington();
+    let amd = MachineConfig::amd_phenom_ii();
+    let mut intel_avg = 0.0;
+    let mut amd_avg = 0.0;
+    for (_, program) in slp::suite::all(1) {
+        let si = run(&program, &intel, Strategy::Scalar, false);
+        let gi = run(&program, &intel, Strategy::Holistic, false);
+        intel_avg += reduction(si, gi);
+        let sa = run(&program, &amd, Strategy::Scalar, false);
+        let ga = run(&program, &amd, Strategy::Holistic, false);
+        amd_avg += reduction(sa, ga);
+    }
+    assert!(
+        amd_avg < intel_avg,
+        "AMD total {amd_avg:.1} should trail Intel {intel_avg:.1} (higher pack/unpack costs)"
+    );
+}
+
+#[test]
+fn wider_datapaths_eliminate_more_instructions() {
+    let base = MachineConfig::intel_dunnington();
+    let program = slp::suite::kernel("lbm", 1);
+    let mut last = -1.0;
+    for bits in [128u32, 256, 512] {
+        let machine = base.with_datapath_bits(bits);
+        let scalar_cfg = SlpConfig::for_machine(machine.clone(), Strategy::Scalar);
+        let global_cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+        let s = execute(&compile(&program, &scalar_cfg), &machine).expect("scalar");
+        let g = execute(&compile(&program, &global_cfg), &machine).expect("global");
+        let eliminated = 1.0
+            - g.stats.metrics.dynamic_instructions as f64
+                / s.stats.metrics.dynamic_instructions as f64;
+        assert!(
+            eliminated > last,
+            "elimination should grow with datapath width ({bits}-bit: {eliminated})"
+        );
+        last = eliminated;
+    }
+}
+
+#[test]
+fn scale_does_not_change_semantics() {
+    let machine = MachineConfig::intel_dunnington();
+    for scale in [1, 2] {
+        let program = slp::suite::kernel("milc", scale);
+        let n = program.arrays().len();
+        let scalar = execute(
+            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+            &machine,
+        )
+        .expect("scalar");
+        let global = execute(
+            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic)),
+            &machine,
+        )
+        .expect("global");
+        assert!(global.state.arrays_bitwise_eq(&scalar.state, n));
+    }
+}

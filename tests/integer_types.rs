@@ -1,0 +1,71 @@
+//! Integer element types: i32 packs four lanes on SSE2, storage
+//! truncates exactly once per store, and every scheme agrees bit for bit
+//! under those semantics.
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::vm::execute;
+
+const SRC: &str = "kernel ints {
+    array A: i32[64]; array B: i32[64];
+    scalar q: i32;
+    for i in 0..32 {
+        A[2*i] = B[2*i] / 2.0;
+        A[2*i+1] = B[2*i+1] / 2.0;
+    }
+}";
+
+#[test]
+fn integer_division_truncates_identically_across_schemes() {
+    let program = slp::lang::compile(SRC).expect("compiles");
+    let machine = MachineConfig::intel_dunnington();
+    let n = program.arrays().len();
+    let scalar = execute(
+        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &machine,
+    )
+    .expect("scalar");
+    // The stored values are whole numbers (truncated).
+    let a = scalar.state.array(slp::ir::ArrayId::new(0));
+    assert!(a.iter().all(|v| v.fract() == 0.0), "i32 stores must truncate");
+    for strategy in [Strategy::Native, Strategy::Baseline, Strategy::Holistic] {
+        let out = execute(
+            &compile(&program, &SlpConfig::for_machine(machine.clone(), strategy)),
+            &machine,
+        )
+        .expect("vector");
+        assert!(out.state.arrays_bitwise_eq(&scalar.state, n), "{strategy:?}");
+    }
+}
+
+#[test]
+fn i32_packs_four_lanes() {
+    let src = "kernel i4 {
+        array A: i32[64]; array B: i32[64];
+        for i in 0..16 {
+            A[4*i] = B[4*i] + 1.0;
+            A[4*i+1] = B[4*i+1] + 1.0;
+            A[4*i+2] = B[4*i+2] + 1.0;
+            A[4*i+3] = B[4*i+3] + 1.0;
+        }
+    }";
+    let program = slp::lang::compile(src).expect("compiles");
+    let machine = MachineConfig::intel_dunnington();
+    let mut cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+    cfg.unroll = 1;
+    let kernel = compile(&program, &cfg);
+    let widths: Vec<usize> = kernel
+        .schedules
+        .iter()
+        .flat_map(|(_, s)| s.items().iter().map(|i| i.stmts().len()))
+        .filter(|&w| w > 1)
+        .collect();
+    assert!(widths.contains(&4), "i32 at 128 bits should pack 4: {widths:?}");
+}
+
+#[test]
+fn narrow_types_pack_many_lanes_per_superword() {
+    use slp::ir::ScalarType;
+    let machine = MachineConfig::intel_dunnington();
+    assert_eq!(machine.lanes_for(ScalarType::I16), 8);
+    assert_eq!(machine.lanes_for(ScalarType::I8), 16);
+}

@@ -1,0 +1,73 @@
+//! Mixed element types in one kernel: f32 statements pack four lanes,
+//! f64 statements two, and the two families never mix in one superword
+//! (the §4.1 isomorphism constraint covers element types).
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::vm::execute;
+
+const SRC: &str = "kernel mixed {
+    array F: f32[64]; array G: f32[64];
+    array D: f64[64]; array E: f64[64];
+    for i in 0..16 {
+        F[4*i] = G[4*i] * 2.0;
+        F[4*i+1] = G[4*i+1] * 2.0;
+        F[4*i+2] = G[4*i+2] * 2.0;
+        F[4*i+3] = G[4*i+3] * 2.0;
+        D[2*i] = E[2*i] + 1.0;
+        D[2*i+1] = E[2*i+1] + 1.0;
+    }
+}";
+
+#[test]
+fn lane_widths_follow_element_types() {
+    let program = slp::lang::compile(SRC).expect("compiles");
+    let machine = MachineConfig::intel_dunnington();
+    let mut cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+    cfg.unroll = 1; // keep the handwritten lane structure exact
+    let kernel = compile(&program, &cfg);
+    let mut widths: Vec<usize> = kernel
+        .schedules
+        .iter()
+        .flat_map(|(_, s)| s.items().iter().map(|i| i.stmts().len()))
+        .filter(|&w| w > 1)
+        .collect();
+    widths.sort_unstable();
+    assert_eq!(widths, vec![2, 4], "one 2-wide f64 and one 4-wide f32 superword");
+
+    // No superword mixes element types.
+    for (_, sched) in &kernel.schedules {
+        for item in sched.items() {
+            let blocks = kernel.program.blocks();
+            let stmt_ty = |id: slp::ir::StmtId| {
+                use slp::ir::TypeEnv;
+                let stmt = blocks
+                    .iter()
+                    .find_map(|b| b.block.stmt(id))
+                    .expect("stmt somewhere");
+                kernel.program.dest_type(stmt.dest())
+            };
+            let tys: Vec<_> = item.stmts().iter().map(|&s| stmt_ty(s)).collect();
+            assert!(tys.windows(2).all(|w| w[0] == w[1]), "mixed-type superword");
+        }
+    }
+}
+
+#[test]
+fn mixed_type_kernels_stay_bit_exact() {
+    let program = slp::lang::compile(SRC).expect("compiles");
+    let machine = MachineConfig::intel_dunnington();
+    let n = program.arrays().len();
+    let scalar = execute(
+        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &machine,
+    )
+    .expect("scalar");
+    for strategy in [Strategy::Native, Strategy::Baseline, Strategy::Holistic] {
+        let out = execute(
+            &compile(&program, &SlpConfig::for_machine(machine.clone(), strategy)),
+            &machine,
+        )
+        .expect("vector");
+        assert!(out.state.arrays_bitwise_eq(&scalar.state, n), "{strategy:?}");
+    }
+}

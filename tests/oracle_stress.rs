@@ -1,0 +1,87 @@
+//! Stress matrix for the bit-exactness oracle: every suite kernel ×
+//! {Intel, AMD} × {128, 256-bit datapaths} × all schemes must agree with
+//! the scalar run, and the headline Figure 16 relationships must hold in
+//! loose bands (guarding the calibrated cost model against accidental
+//! drift).
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::vm::execute;
+
+#[test]
+fn oracle_matrix_over_machines_and_datapaths() {
+    let machines = [
+        MachineConfig::intel_dunnington(),
+        MachineConfig::amd_phenom_ii(),
+        MachineConfig::intel_dunnington().with_datapath_bits(256),
+    ];
+    for machine in &machines {
+        for (spec, program) in slp::suite::all(1) {
+            let n = program.arrays().len();
+            let scalar = execute(
+                &compile(
+                    &program,
+                    &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+                ),
+                machine,
+            )
+            .expect("scalar run");
+            for (strategy, layout) in [
+                (Strategy::Baseline, false),
+                (Strategy::Holistic, false),
+                (Strategy::Holistic, true),
+            ] {
+                let mut cfg = SlpConfig::for_machine(machine.clone(), strategy);
+                if layout {
+                    cfg = cfg.with_layout();
+                }
+                let out = execute(&compile(&program, &cfg), machine).expect("vector run");
+                assert!(
+                    out.state.arrays_bitwise_eq(&scalar.state, n),
+                    "{} under {strategy:?}/layout={layout} on {} ({} bits) diverged",
+                    spec.name,
+                    machine.name,
+                    machine.datapath_bits
+                );
+            }
+        }
+    }
+}
+
+/// Loose regression bands around the calibrated Figure 16 magnitudes.
+/// These are deliberately wide — they exist to catch accidental
+/// cost-model or pipeline regressions, not to pin exact numbers.
+#[test]
+fn headline_magnitudes_stay_in_their_bands() {
+    let machine = MachineConfig::intel_dunnington();
+    let mut global_sum = 0.0;
+    let mut slp_sum = 0.0;
+    for (_, program) in slp::suite::all(1) {
+        let run = |strategy: Strategy| {
+            execute(
+                &compile(&program, &SlpConfig::for_machine(machine.clone(), strategy)),
+                &machine,
+            )
+            .expect("runs")
+            .stats
+            .metrics
+            .cycles
+        };
+        let scalar = run(Strategy::Scalar);
+        global_sum += (1.0 - run(Strategy::Holistic) / scalar) * 100.0;
+        slp_sum += (1.0 - run(Strategy::Baseline) / scalar) * 100.0;
+    }
+    let global_avg = global_sum / 16.0;
+    let slp_avg = slp_sum / 16.0;
+    assert!(
+        (12.0..=28.0).contains(&global_avg),
+        "Global average drifted out of band: {global_avg:.1}%"
+    );
+    assert!(
+        (10.0..=26.0).contains(&slp_avg),
+        "SLP average drifted out of band: {slp_avg:.1}%"
+    );
+    assert!(
+        global_avg - slp_avg >= 1.0,
+        "the holistic advantage collapsed: {global_avg:.1}% vs {slp_avg:.1}%"
+    );
+}

@@ -1,0 +1,158 @@
+//! Property-based tests: for arbitrary generated programs, every
+//! optimization strategy must preserve execution semantics, schedules
+//! must satisfy the §4.1 validity constraints (asserted inside the
+//! pipeline), and the pre-processing transformations must be meaning
+//! preserving.
+
+use proptest::prelude::*;
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy as Scheme};
+use slp::suite::{random_program, GeneratorConfig};
+use slp::vm::execute;
+
+fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
+    (1usize..=3, 2usize..=6, 2usize..=14, 4i64..=24, 1i64..=4, 0i64..=4).prop_map(
+        |(arrays, scalars, body_stmts, trip_count, max_stride, outer_sweeps)| GeneratorConfig {
+            arrays,
+            scalars,
+            body_stmts,
+            trip_count,
+            max_stride,
+            outer_sweeps,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every strategy (including the layout stage and the opt-in
+    /// cross-iteration reuse extension) computes bit-identical array
+    /// contents to the scalar run, on any valid program.
+    #[test]
+    fn all_strategies_preserve_semantics(
+        seed in any::<u64>(),
+        cfg in generator_config(),
+        carry in any::<bool>(),
+    ) {
+        let program = random_program(seed, &cfg);
+        let machine = MachineConfig::intel_dunnington();
+        let n = program.arrays().len();
+        let scalar = execute(
+            &compile(&program, &SlpConfig::for_machine(machine.clone(), Scheme::Scalar)),
+            &machine,
+        ).expect("generated programs are in bounds");
+        for (strategy, layout) in [
+            (Scheme::Native, false),
+            (Scheme::Baseline, false),
+            (Scheme::Holistic, false),
+            (Scheme::Holistic, true),
+        ] {
+            let mut c = SlpConfig::for_machine(machine.clone(), strategy);
+            if layout {
+                c = c.with_layout();
+            }
+            c.cross_iteration_reuse = carry;
+            // `compile` internally validates every schedule against the
+            // §4.1 constraints and panics on violation.
+            let out = execute(&compile(&program, &c), &machine).expect("vector run");
+            prop_assert!(
+                out.state.arrays_bitwise_eq(&scalar.state, n),
+                "{strategy:?} layout={layout} carry={carry} diverged on seed {seed}"
+            );
+        }
+    }
+
+    /// No strategy makes the program slower than scalar once the §4.3
+    /// cost gate has run.
+    #[test]
+    fn cost_gate_bounds_regressions(seed in any::<u64>()) {
+        let program = random_program(seed, &GeneratorConfig::default());
+        let machine = MachineConfig::intel_dunnington();
+        let scalar = execute(
+            &compile(&program, &SlpConfig::for_machine(machine.clone(), Scheme::Scalar)),
+            &machine,
+        ).expect("scalar run");
+        for strategy in [Scheme::Baseline, Scheme::Holistic] {
+            let c = SlpConfig::for_machine(machine.clone(), strategy);
+            let out = execute(&compile(&program, &c), &machine).expect("vector run");
+            prop_assert!(
+                out.stats.metrics.cycles <= scalar.stats.metrics.cycles * 1.001,
+                "{strategy:?} slower than scalar on seed {seed}: {} vs {}",
+                out.stats.metrics.cycles,
+                scalar.stats.metrics.cycles,
+            );
+        }
+    }
+
+    /// Loop unrolling is meaning preserving on its own.
+    #[test]
+    fn unrolling_preserves_semantics(seed in any::<u64>(), factor in 2usize..=4) {
+        let program = random_program(seed, &GeneratorConfig::default());
+        let machine = MachineConfig::intel_dunnington();
+        let n = program.arrays().len();
+        let base = execute(
+            &compile(&program, &SlpConfig::for_machine(machine.clone(), Scheme::Scalar)),
+            &machine,
+        ).expect("scalar run");
+        let mut unrolled = program.clone();
+        slp::ir::unroll_program(&mut unrolled, factor);
+        let out = execute(
+            &compile(&unrolled, &SlpConfig::for_machine(machine.clone(), Scheme::Scalar)),
+            &machine,
+        ).expect("unrolled run");
+        prop_assert!(out.state.arrays_bitwise_eq(&base.state, n));
+    }
+
+    /// The affine substitution used by unrolling matches direct
+    /// evaluation: eval(e[v := v + k]) == eval(e) with v shifted by k.
+    #[test]
+    fn affine_substitution_matches_shifted_evaluation(
+        coeff in -8i64..=8, cst in -16i64..=16, k in -8i64..=8, at in -32i64..=32,
+    ) {
+        use slp::ir::{AffineExpr, LoopVarId};
+        let v = LoopVarId::new(0);
+        let e = AffineExpr::from_terms([(v, coeff)], cst);
+        let shifted = e.substitute(v, &AffineExpr::var(v).offset(k));
+        prop_assert_eq!(shifted.eval(&[(v, at)]), e.eval(&[(v, at + k)]));
+    }
+
+    /// Eq. (4): the layout mapping sends each element a reference touches
+    /// to the strided interleaved slot, injectively per lane.
+    #[test]
+    fn eq4_is_a_strided_injection(a in 1i64..=8, b in 0i64..=8, l in 1i64..=4, iters in 1i64..=32) {
+        for p in 0..l {
+            for i in 0..iters {
+                let d = a * i + b;
+                let mapped = slp::core::eq4_map(d, a, b, l, p);
+                prop_assert_eq!(mapped, l * i + p);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated programs satisfy the static validator, and unrolling
+    /// preserves validity (ids stay unique, subscripts stay in bounds).
+    #[test]
+    fn generated_programs_validate_and_stay_valid_after_unrolling(
+        seed in any::<u64>(),
+        factor in 2usize..=4,
+    ) {
+        let mut program = random_program(seed, &GeneratorConfig::default());
+        program.validate().expect("generator emits valid programs");
+        slp::ir::unroll_program(&mut program, factor);
+        program.validate().expect("unrolling preserves validity");
+    }
+}
+
+#[test]
+fn suite_kernels_validate() {
+    for (spec, program) in slp::suite::all(1) {
+        program
+            .validate()
+            .unwrap_or_else(|e| panic!("{} is invalid: {e:?}", spec.name));
+    }
+}

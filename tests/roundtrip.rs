@@ -1,0 +1,74 @@
+//! Source round-trip: emitting any program back to `slp-lang` text and
+//! recompiling it must preserve execution semantics exactly — including
+//! unrolled programs (the `step` clause) and privatized temporaries.
+
+use proptest::prelude::*;
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy as Scheme};
+use slp::suite::{random_program, GeneratorConfig};
+use slp::vm::execute;
+
+fn scalar_run(
+    program: &slp::ir::Program,
+    machine: &MachineConfig,
+) -> slp::vm::Outcome {
+    execute(
+        &compile(program, &SlpConfig::for_machine(machine.clone(), Scheme::Scalar)),
+        machine,
+    )
+    .expect("programs are in bounds")
+}
+
+#[test]
+fn suite_kernels_round_trip() {
+    let machine = MachineConfig::intel_dunnington();
+    for (spec, program) in slp::suite::all(1) {
+        let src = program.to_source();
+        let reparsed = slp::lang::compile(&src)
+            .unwrap_or_else(|e| panic!("{} failed to re-parse: {e}\n{src}", spec.name));
+        assert_eq!(program.stmt_count(), reparsed.stmt_count(), "{}", spec.name);
+        let a = scalar_run(&program, &machine);
+        let b = scalar_run(&reparsed, &machine);
+        assert!(
+            a.state.arrays_bitwise_eq(&b.state, program.arrays().len()),
+            "{} changed meaning across the round trip",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn unrolled_programs_round_trip_via_step_syntax() {
+    let machine = MachineConfig::intel_dunnington();
+    for name in ["lbm", "milc", "wrf"] {
+        let mut program = slp::suite::kernel(name, 1);
+        slp::ir::unroll_program(&mut program, 2);
+        let src = program.to_source();
+        assert!(src.contains("step 2"), "{name} should emit a step clause");
+        let reparsed = slp::lang::compile(&src)
+            .unwrap_or_else(|e| panic!("{name} unrolled failed to re-parse: {e}\n{src}"));
+        let a = scalar_run(&program, &machine);
+        let b = scalar_run(&reparsed, &machine);
+        assert!(a.state.arrays_bitwise_eq(&b.state, program.arrays().len()), "{name}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_programs_round_trip(seed in any::<u64>(), cfg_seed in 0u64..4) {
+        let cfg = GeneratorConfig {
+            body_stmts: 6 + cfg_seed as usize,
+            ..GeneratorConfig::default()
+        };
+        let program = random_program(seed, &cfg);
+        let machine = MachineConfig::intel_dunnington();
+        let src = program.to_source();
+        let reparsed = slp::lang::compile(&src)
+            .unwrap_or_else(|e| panic!("seed {seed} failed to re-parse: {e}\n{src}"));
+        let a = scalar_run(&program, &machine);
+        let b = scalar_run(&reparsed, &machine);
+        prop_assert!(a.state.arrays_bitwise_eq(&b.state, program.arrays().len()));
+    }
+}

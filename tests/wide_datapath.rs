@@ -1,0 +1,129 @@
+//! Wider-than-SSE datapaths (the Figure 18 regime): iterative grouping
+//! must fill 4–16 lanes, schedules stay valid (checked inside `compile`),
+//! execution stays bit-exact, and f32 kernels pack twice as many lanes as
+//! f64.
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::vm::execute;
+
+fn equivalent_at(program: &slp::ir::Program, bits: u32) {
+    let machine = MachineConfig::intel_dunnington().with_datapath_bits(bits);
+    let n = program.arrays().len();
+    let scalar = execute(
+        &compile(program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &machine,
+    )
+    .expect("scalar run");
+    for strategy in [Strategy::Baseline, Strategy::Holistic] {
+        let kernel = compile(program, &SlpConfig::for_machine(machine.clone(), strategy));
+        let out = execute(&kernel, &machine).expect("vector run");
+        assert!(
+            out.state.arrays_bitwise_eq(&scalar.state, n),
+            "{} under {strategy:?} at {bits}-bit diverged",
+            program.name()
+        );
+    }
+}
+
+#[test]
+fn suite_subset_is_equivalent_at_256_and_512_bits() {
+    for name in ["lbm", "soplex", "cactusADM", "ft", "cg"] {
+        let program = slp::suite::kernel(name, 1);
+        equivalent_at(&program, 256);
+        equivalent_at(&program, 512);
+    }
+}
+
+#[test]
+fn iterative_grouping_fills_wide_datapaths() {
+    // An embarrassingly parallel stream: at 512 bits (8 f64 lanes) the
+    // holistic optimizer must emit 8-wide superword statements.
+    let program = slp::lang::compile(
+        "kernel wide { array A: f64[128]; array B: f64[128];
+         for i in 0..128 { A[i] = B[i] * 3.0; } }",
+    )
+    .expect("compiles");
+    let machine = MachineConfig::intel_dunnington().with_datapath_bits(512);
+    let kernel = compile(
+        &program,
+        &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
+    );
+    let widths: Vec<usize> = kernel
+        .schedules
+        .iter()
+        .flat_map(|(_, s)| s.items().iter().map(|i| i.stmts().len()))
+        .filter(|&w| w > 1)
+        .collect();
+    assert!(
+        widths.contains(&8),
+        "expected 8-wide superwords, got {widths:?}"
+    );
+    let out = execute(&kernel, &machine).expect("runs");
+    assert!(out.vectorized_blocks > 0);
+}
+
+#[test]
+fn f32_kernels_pack_four_lanes_on_sse() {
+    // f32 at 128 bits: four lanes per superword statement.
+    let program = slp::lang::compile(
+        "kernel floats { array A: f32[64]; array B: f32[64];
+         for i in 0..64 { A[i] = B[i] + 1.5; } }",
+    )
+    .expect("compiles");
+    let machine = MachineConfig::intel_dunnington();
+    let kernel = compile(
+        &program,
+        &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
+    );
+    // Auto-unroll picks 4 for the dominant f32 type.
+    assert_eq!(kernel.stats.stmts, 4, "64-trip loop unrolled 4x has 4-stmt body");
+    let widths: Vec<usize> = kernel
+        .schedules
+        .iter()
+        .flat_map(|(_, s)| s.items().iter().map(|i| i.stmts().len()))
+        .filter(|&w| w > 1)
+        .collect();
+    assert!(widths.contains(&4), "expected 4-wide f32 superwords, got {widths:?}");
+    let n = program.arrays().len();
+    let scalar = execute(
+        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &machine,
+    )
+    .expect("scalar");
+    let out = execute(&kernel, &machine).expect("vector");
+    assert!(out.state.arrays_bitwise_eq(&scalar.state, n));
+    assert!(out.stats.metrics.cycles < scalar.stats.metrics.cycles);
+}
+
+#[test]
+fn tiny_register_files_spill_but_stay_correct() {
+    // Shrinking the register file to 2 forces spills on a reuse-heavy
+    // kernel; results must not change and memory traffic must grow.
+    let program = slp::suite::kernel("milc", 1);
+    let n = program.arrays().len();
+    let full = MachineConfig::intel_dunnington();
+    let mut tiny = MachineConfig::intel_dunnington();
+    tiny.vector_regs = 2;
+
+    let scalar = execute(
+        &compile(&program, &SlpConfig::for_machine(full.clone(), Strategy::Scalar)),
+        &full,
+    )
+    .expect("scalar");
+    let on_full = execute(
+        &compile(&program, &SlpConfig::for_machine(full.clone(), Strategy::Holistic)),
+        &full,
+    )
+    .expect("full file");
+    let on_tiny = execute(
+        &compile(&program, &SlpConfig::for_machine(tiny.clone(), Strategy::Holistic)),
+        &tiny,
+    )
+    .expect("tiny file");
+    assert!(on_full.state.arrays_bitwise_eq(&scalar.state, n));
+    assert!(on_tiny.state.arrays_bitwise_eq(&scalar.state, n));
+    assert!(
+        on_tiny.stats.metrics.memory_ops >= on_full.stats.metrics.memory_ops,
+        "spilling should not reduce memory traffic"
+    );
+}
