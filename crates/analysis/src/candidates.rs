@@ -88,11 +88,7 @@ impl ConflictMatrix {
             bits: vec![false; n * n],
         };
         // Unit-level reachability over the units the candidates mention.
-        let units = 1 + candidates
-            .iter()
-            .map(|c| c.a.max(c.b))
-            .max()
-            .unwrap_or(0);
+        let units = 1 + candidates.iter().map(|c| c.a.max(c.b)).max().unwrap_or(0);
         let mut unit_stmts: Vec<&[StmtId]> = vec![&[]; units];
         for c in candidates {
             let (sa, sb) = c.stmts.split_at(c.split);
@@ -172,8 +168,14 @@ pub(crate) mod tests {
         let s1 = p.make_stmt(v[1].into(), Expr::Copy(v[3].into()));
         let s2 = p.make_stmt(v[2].into(), Expr::Copy(v[5].into()));
         let s3 = p.make_stmt(v[5].into(), Expr::Copy(v[7].into()));
-        let s4 = p.make_stmt(v[1].into(), Expr::Binary(BinOp::Mul, v[3].into(), v[1].into()));
-        let s5 = p.make_stmt(v[5].into(), Expr::Binary(BinOp::Mul, v[5].into(), v[2].into()));
+        let s4 = p.make_stmt(
+            v[1].into(),
+            Expr::Binary(BinOp::Mul, v[3].into(), v[1].into()),
+        );
+        let s5 = p.make_stmt(
+            v[5].into(),
+            Expr::Binary(BinOp::Mul, v[5].into(), v[2].into()),
+        );
         let bb: BasicBlock = [s1, s2, s3, s4, s5].into_iter().collect();
         (p, bb)
     }

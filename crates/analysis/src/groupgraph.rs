@@ -141,8 +141,7 @@ mod tests {
     #[test]
     fn ordering_matches_the_paper_decision_sequence() {
         let sg = graph(&WeightParams::reuse_only());
-        let order: Vec<(usize, usize)> =
-            sg.edges_by_weight().iter().map(|e| (e.a, e.b)).collect();
+        let order: Vec<(usize, usize)> = sg.edges_by_weight().iter().map(|e| (e.a, e.b)).collect();
         // {S1,S2} first (1.0), then {S4,S5} (2/3), then {S1,S3} (1/2).
         assert_eq!(order, vec![(0, 1), (3, 4), (0, 2)]);
     }

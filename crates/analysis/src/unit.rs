@@ -133,11 +133,7 @@ impl Unit {
         deps: &BlockDeps,
         env: &E,
     ) -> bool {
-        if self
-            .stmts
-            .iter()
-            .any(|s| other.stmts.contains(s))
-        {
+        if self.stmts.iter().any(|s| other.stmts.contains(s)) {
             return false;
         }
         let a = self.resolve(block);
@@ -185,8 +181,14 @@ mod tests {
         let s1 = p.make_stmt(v[1].into(), Expr::Copy(v[3].into()));
         let s2 = p.make_stmt(v[2].into(), Expr::Copy(v[5].into()));
         let s3 = p.make_stmt(v[5].into(), Expr::Copy(v[7].into()));
-        let s4 = p.make_stmt(v[8].into(), Expr::Binary(BinOp::Add, v[3].into(), v[1].into()));
-        let s5 = p.make_stmt(v[9].into(), Expr::Binary(BinOp::Add, v[5].into(), v[2].into()));
+        let s4 = p.make_stmt(
+            v[8].into(),
+            Expr::Binary(BinOp::Add, v[3].into(), v[1].into()),
+        );
+        let s5 = p.make_stmt(
+            v[9].into(),
+            Expr::Binary(BinOp::Add, v[5].into(), v[2].into()),
+        );
         let bb: BasicBlock = [s1, s2, s3, s4, s5].into_iter().collect();
         (p, bb)
     }

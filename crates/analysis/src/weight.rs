@@ -412,18 +412,17 @@ mod tests {
         // degree 2, so it is eliminated and the two C0 packs survive —
         // exactly the paper's Figure 6 → Figure 7 transition.
         let f = fixture();
-        let aux: Vec<usize> = f
-            .vp
-            .nodes()
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| {
-                n.cand != 2
-                    && !f.conflicts.get(2, n.cand)
-                    && f.candidates[2].packs.iter().any(|p| p.content == n.content)
-            })
-            .map(|(i, _)| i)
-            .collect();
+        let aux: Vec<usize> =
+            f.vp.nodes()
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| {
+                    n.cand != 2
+                        && !f.conflicts.get(2, n.cand)
+                        && f.candidates[2].packs.iter().any(|p| p.content == n.content)
+                })
+                .map(|(i, _)| i)
+                .collect();
         assert_eq!(aux.len(), 3);
         let survivors = eliminate_conflicts(&aux, &f.vp, &f.conflicts);
         assert_eq!(survivors.len(), 2);

@@ -56,31 +56,41 @@ fn bench_ablations(c: &mut Criterion) {
         });
     }
     for cap in [2usize, 16] {
-        group.bench_with_input(BenchmarkId::new("live-set-capacity", cap), &cap, |b, &cap| {
-            b.iter(|| {
-                std::hint::black_box(suite_cycles(&machine, |cfg| {
-                    cfg.schedule.live_set_capacity = cap
-                }))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("live-set-capacity", cap),
+            &cap,
+            |b, &cap| {
+                b.iter(|| {
+                    std::hint::black_box(suite_cycles(&machine, |cfg| {
+                        cfg.schedule.live_set_capacity = cap
+                    }))
+                })
+            },
+        );
     }
     group.finish();
 
     // Cycle-impact summary.
     let base = suite_cycles(&machine, |_| {});
     let report = |label: &str, cycles: f64| {
-        println!("{label:<38} {:+6.2}% cycles vs default", (cycles / base - 1.0) * 100.0);
+        println!(
+            "{label:<38} {:+6.2}% cycles vs default",
+            (cycles / base - 1.0) * 100.0
+        );
     };
     println!("\n== ablation summary (suite total, Intel, scale 1) ==");
-    report("pure-reuse weights (paper formula)", suite_cycles(&machine, |cfg| {
-        cfg.weights = WeightParams::reuse_only()
-    }));
-    report("live superword set capacity = 2", suite_cycles(&machine, |cfg| {
-        cfg.schedule.live_set_capacity = 2
-    }));
-    report("vector register file = 4", suite_cycles(&machine, |cfg| {
-        cfg.machine.vector_regs = 4
-    }));
+    report(
+        "pure-reuse weights (paper formula)",
+        suite_cycles(&machine, |cfg| cfg.weights = WeightParams::reuse_only()),
+    );
+    report(
+        "live superword set capacity = 2",
+        suite_cycles(&machine, |cfg| cfg.schedule.live_set_capacity = 2),
+    );
+    report(
+        "vector register file = 4",
+        suite_cycles(&machine, |cfg| cfg.machine.vector_regs = 4),
+    );
     let with = suite_static_cycles(&machine, true);
     let without = suite_static_cycles(&machine, false);
     println!(

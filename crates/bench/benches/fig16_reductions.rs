@@ -27,7 +27,10 @@ fn bench_fig16(c: &mut Criterion) {
         );
     }
     group.finish();
-    println!("\n== Figure 16 (scale 1) ==\n{}", render_fig16(&measure_suite(&machine, 1)));
+    println!(
+        "\n== Figure 16 (scale 1) ==\n{}",
+        render_fig16(&measure_suite(&machine, 1))
+    );
 }
 
 criterion_group! {

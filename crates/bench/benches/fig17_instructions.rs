@@ -10,7 +10,10 @@ fn bench_fig17(c: &mut Criterion) {
     c.bench_function("fig17_instruction_counters", |b| {
         b.iter(|| std::hint::black_box(measure_suite(&machine, 1)))
     });
-    println!("\n== Figure 17 (scale 1) ==\n{}", render_fig17(&measure_suite(&machine, 1)));
+    println!(
+        "\n== Figure 17 (scale 1) ==\n{}",
+        render_fig17(&measure_suite(&machine, 1))
+    );
 }
 
 criterion_group! {

@@ -24,7 +24,10 @@ fn bench_fig19(c: &mut Criterion) {
         );
     }
     group.finish();
-    println!("\n== Figure 19 (scale 1) ==\n{}", render_fig19(&measure_suite(&machine, 1)));
+    println!(
+        "\n== Figure 19 (scale 1) ==\n{}",
+        render_fig19(&measure_suite(&machine, 1))
+    );
 }
 
 criterion_group! {

@@ -12,7 +12,10 @@ fn bench_fig20(c: &mut Criterion) {
     });
     let intel_results = measure_suite(&MachineConfig::intel_dunnington(), 1);
     let amd_results = measure_suite(&amd, 1);
-    println!("\n== Figure 20 (scale 1) ==\n{}", render_fig20(&amd_results, &intel_results));
+    println!(
+        "\n== Figure 20 (scale 1) ==\n{}",
+        render_fig20(&amd_results, &intel_results)
+    );
 }
 
 criterion_group! {

@@ -10,7 +10,10 @@ fn bench_fig21(c: &mut Criterion) {
     c.bench_function("fig21_nas_multicore", |b| {
         b.iter(|| std::hint::black_box(fig21(&machine, 2)))
     });
-    println!("\n== Figure 21 (scale 8) ==\n{}", render_fig21(&fig21(&machine, 8)));
+    println!(
+        "\n== Figure 21 (scale 8) ==\n{}",
+        render_fig21(&fig21(&machine, 8))
+    );
 }
 
 criterion_group! {

@@ -16,8 +16,14 @@ fn bench_tables(c: &mut Criterion) {
             }
         })
     });
-    println!("\n== Table 1 ==\n{}", render_machine_table(&MachineConfig::intel_dunnington()));
-    println!("== Table 2 ==\n{}", render_machine_table(&MachineConfig::amd_phenom_ii()));
+    println!(
+        "\n== Table 1 ==\n{}",
+        render_machine_table(&MachineConfig::intel_dunnington())
+    );
+    println!(
+        "== Table 2 ==\n{}",
+        render_machine_table(&MachineConfig::amd_phenom_ii())
+    );
     println!("== Table 3 ==\n{}", render_table3());
 }
 

@@ -9,8 +9,8 @@
 //! ```
 
 use slp_bench::figures::{
-    compile_overhead, fig18_series, fig21, measure_suite, render_fig16, render_fig17,
-    render_fig18, render_fig19, render_fig20, render_fig21, render_machine_table, render_table3,
+    compile_overhead, fig18_series, fig21, measure_suite, render_fig16, render_fig17, render_fig18,
+    render_fig19, render_fig20, render_fig21, render_machine_table, render_table3,
 };
 use slp_core::MachineConfig;
 
@@ -52,11 +52,17 @@ fn main() {
 
     if wants("fig16") {
         println!("== Figure 16: execution-time reductions over scalar (Intel) ==");
-        println!("{}", render_fig16(intel_results.as_ref().expect("measured")));
+        println!(
+            "{}",
+            render_fig16(intel_results.as_ref().expect("measured"))
+        );
     }
     if wants("fig17") {
         println!("== Figure 17: Global-over-SLP reductions in dynamic instructions and packing/unpacking ==");
-        println!("{}", render_fig17(intel_results.as_ref().expect("measured")));
+        println!(
+            "{}",
+            render_fig17(intel_results.as_ref().expect("measured"))
+        );
     }
     if wants("fig18") {
         println!("== Figure 18: dynamic instructions eliminated vs datapath width ==");
@@ -67,7 +73,10 @@ fn main() {
     }
     if wants("fig19") {
         println!("== Figure 19: Global vs Global+Layout (Intel) ==");
-        println!("{}", render_fig19(intel_results.as_ref().expect("measured")));
+        println!(
+            "{}",
+            render_fig19(intel_results.as_ref().expect("measured"))
+        );
     }
     if wants("fig20") {
         println!("== Figure 20: reductions on the AMD machine ==");

@@ -7,7 +7,10 @@ fn main() {
         Some("amd") => MachineConfig::amd_phenom_ii(),
         _ => MachineConfig::intel_dunnington(),
     };
-    println!("{:<12} {:>8} {:>8} {:>8} {:>8}  repl", "kernel", "Native", "SLP", "Global", "G+L");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8}  repl",
+        "kernel", "Native", "SLP", "Global", "G+L"
+    );
     for (spec, p) in slp_suite::all(1) {
         let ms = measure_all(&p, &machine);
         assert_equivalent(&p, &ms);

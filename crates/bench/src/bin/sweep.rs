@@ -18,31 +18,31 @@ fn main() {
     for sigma in [0.2, 0.4, 0.6, 1.0] {
         for bonus in [0.5, 1.0, 1.5] {
             for penalty in [0.25, 0.5, 1.0] {
-              for store in [1.0, 2.0, 3.0] {
-                let w = WeightParams {
-                    contiguous_bonus: bonus,
-                    gather_penalty: penalty,
-                    scalar_reuse_weight: sigma,
-                    store_factor: store,
-                };
-                let mut losses = 0usize;
-                let mut total_gap = 0.0;
-                let mut details = Vec::new();
-                for (i, (spec, p)) in kernels.iter().enumerate() {
-                    let mut cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
-                    cfg.weights = w;
-                    let k = compile(p, &cfg);
-                    let g = execute(&k, &machine).unwrap().stats.metrics.cycles;
-                    // Reductions over scalar.
-                    let rg = (1.0 - g / scalar[i]) * 100.0;
-                    let rs = (1.0 - slp[i] / scalar[i]) * 100.0;
-                    if rg < rs - 0.5 {
-                        losses += 1;
-                        details.push(format!("{}({:.0}<{:.0})", spec.name, rg, rs));
+                for store in [1.0, 2.0, 3.0] {
+                    let w = WeightParams {
+                        contiguous_bonus: bonus,
+                        gather_penalty: penalty,
+                        scalar_reuse_weight: sigma,
+                        store_factor: store,
+                    };
+                    let mut losses = 0usize;
+                    let mut total_gap = 0.0;
+                    let mut details = Vec::new();
+                    for (i, (spec, p)) in kernels.iter().enumerate() {
+                        let mut cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+                        cfg.weights = w;
+                        let k = compile(p, &cfg);
+                        let g = execute(&k, &machine).unwrap().stats.metrics.cycles;
+                        // Reductions over scalar.
+                        let rg = (1.0 - g / scalar[i]) * 100.0;
+                        let rs = (1.0 - slp[i] / scalar[i]) * 100.0;
+                        if rg < rs - 0.5 {
+                            losses += 1;
+                            details.push(format!("{}({:.0}<{:.0})", spec.name, rg, rs));
+                        }
+                        total_gap += rg - rs;
                     }
-                    total_gap += rg - rs;
-                }
-                best.push((
+                    best.push((
                     losses as f64 * 1000.0 - total_gap,
                     format!(
                         "s={sigma} b={bonus} p={penalty} f={store}: losses={losses} avg_gap={:+.2} [{}]",
@@ -50,7 +50,7 @@ fn main() {
                         details.join(",")
                     ),
                 ));
-              }
+                }
             }
         }
     }

@@ -35,7 +35,13 @@ pub fn render_table3() -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{:<12} {:<10} description", "benchmark", "suite");
     for spec in catalog() {
-        let _ = writeln!(s, "{:<12} {:<10} {}", spec.name, spec.suite.to_string(), spec.description);
+        let _ = writeln!(
+            s,
+            "{:<12} {:<10} {}",
+            spec.name,
+            spec.suite.to_string(),
+            spec.description
+        );
     }
     s
 }
@@ -127,7 +133,10 @@ pub fn render_fig16(results: &[BenchmarkResult]) -> String {
         .iter()
         .filter(|r| (r.reduction(Scheme::Slp) - r.reduction(Scheme::Native)).abs() < 0.05)
         .count();
-    let _ = writeln!(s, "Global == SLP on {ties} benchmarks; SLP == Native on {native_ties}.");
+    let _ = writeln!(
+        s,
+        "Global == SLP on {ties} benchmarks; SLP == Native on {native_ties}."
+    );
     s
 }
 
@@ -154,10 +163,13 @@ pub fn fig17_rows(results: &[BenchmarkResult]) -> Vec<(String, Fig17Row)> {
                 global.dynamic_excluding_packing() as f64,
             );
             let packr = reduction(slp.packing_ops as f64, global.packing_ops as f64);
-            (r.spec.name.to_string(), Fig17Row {
-                dynamic_reduction: dynr,
-                packing_reduction: packr,
-            })
+            (
+                r.spec.name.to_string(),
+                Fig17Row {
+                    dynamic_reduction: dynr,
+                    packing_reduction: packr,
+                },
+            )
         })
         .collect()
 }
@@ -174,7 +186,11 @@ fn reduction(base: f64, new: f64) -> f64 {
 pub fn render_fig17(results: &[BenchmarkResult]) -> String {
     let rows = fig17_rows(results);
     let mut s = String::new();
-    let _ = writeln!(s, "{:<12} {:>10} {:>12}", "benchmark", "dyn insts", "pack/unpack");
+    let _ = writeln!(
+        s,
+        "{:<12} {:>10} {:>12}",
+        "benchmark", "dyn insts", "pack/unpack"
+    );
     for (name, row) in &rows {
         let _ = writeln!(
             s,
@@ -269,14 +285,26 @@ pub fn render_fig19(results: &[BenchmarkResult]) -> String {
         } else {
             ""
         };
-        let _ = writeln!(s, "{:<12} {:>7.1}% {:>13.1}% {:>5.1}{}", r.spec.name, g, gl, gl - g, marker);
+        let _ = writeln!(
+            s,
+            "{:<12} {:>7.1}% {:>13.1}% {:>5.1}{}",
+            r.spec.name,
+            g,
+            gl,
+            gl - g,
+            marker
+        );
     }
     let n = sorted.len() as f64;
     let _ = writeln!(
         s,
         "{:<12} {:>7.1}% {:>13.1}%",
         "average",
-        sorted.iter().map(|r| r.reduction(Scheme::Global)).sum::<f64>() / n,
+        sorted
+            .iter()
+            .map(|r| r.reduction(Scheme::Global))
+            .sum::<f64>()
+            / n,
         sorted
             .iter()
             .map(|r| r.reduction(Scheme::GlobalLayout))
@@ -455,7 +483,10 @@ mod tests {
         // the median and on the winners.
         let med = median(rows.iter().map(|(_, r)| r.packing_reduction));
         assert!(med > 5.0, "median packing reduction {med}");
-        let big_winners = rows.iter().filter(|(_, r)| r.packing_reduction > 20.0).count();
+        let big_winners = rows
+            .iter()
+            .filter(|(_, r)| r.packing_reduction > 20.0)
+            .count();
         assert!(big_winners >= 4, "winners: {big_winners}");
     }
 
@@ -466,7 +497,11 @@ mod tests {
         for r in &results {
             let g = r.reduction(Scheme::Global);
             let gl = r.reduction(Scheme::GlobalLayout);
-            assert!(gl >= g - 0.6, "{}: layout degraded {g} -> {gl}", r.spec.name);
+            assert!(
+                gl >= g - 0.6,
+                "{}: layout degraded {g} -> {gl}",
+                r.spec.name
+            );
             if gl > g + 0.05 {
                 winners += 1;
             }

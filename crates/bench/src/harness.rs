@@ -125,22 +125,43 @@ pub fn of(measurements: &[Measurement], scheme: Scheme) -> &Measurement {
 
 /// Asserts that every vectorized scheme computed the same array contents
 /// as the scalar scheme — the semantic oracle run before any number is
-/// reported.
+/// reported. Routed through the `slp-verify` differential validator so a
+/// divergence is reported with the array, index, and both values.
 ///
 /// # Panics
 ///
 /// Panics on the first divergence.
 pub fn assert_equivalent(program: &Program, measurements: &[Measurement]) {
-    let n_arrays = program.arrays().len();
     let scalar = of(measurements, Scheme::Scalar);
     for m in measurements {
-        assert!(
-            m.outcome.state.arrays_bitwise_eq(&scalar.outcome.state, n_arrays),
-            "{} under {} diverged from scalar execution",
-            program.name(),
-            m.scheme.label()
+        slp_verify::assert_states_equivalent(
+            program,
+            &scalar.outcome.state,
+            &m.outcome.state,
+            m.scheme.label(),
         );
     }
+}
+
+/// Runs the full `slp-verify` battery (static checks plus differential
+/// translation validation) over every scheme's compiled kernel and
+/// returns the combined report — the harness hook the stress tests call
+/// before trusting any measured number.
+pub fn verify_schemes(program: &Program, machine: &MachineConfig) -> slp_verify::Report {
+    let mut report = slp_verify::Report::new();
+    for scheme in Scheme::all() {
+        let kernel = compile(program, &scheme.config(machine));
+        report.extend(
+            slp_verify::verify_with_execution(program, &kernel)
+                .diagnostics
+                .into_iter()
+                .map(|mut d| {
+                    d.message = format!("[{}] {}", scheme.label(), d.message);
+                    d
+                }),
+        );
+    }
+    report
 }
 
 #[cfg(test)]
@@ -157,7 +178,11 @@ mod tests {
         // The scalar scheme is the slowest or tied.
         let scalar = of(&ms, Scheme::Scalar).cycles();
         for m in &ms {
-            assert!(m.cycles() <= scalar + 1e-9, "{} slower than scalar", m.scheme.label());
+            assert!(
+                m.cycles() <= scalar + 1e-9,
+                "{} slower than scalar",
+                m.scheme.label()
+            );
         }
     }
 

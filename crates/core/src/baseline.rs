@@ -73,12 +73,10 @@ fn has_adjacent_refs(s: &Statement, t: &Statement) -> bool {
 
 fn adjacent(a: &slp_ir::ArrayRef, b: &slp_ir::ArrayRef) -> bool {
     a.array == b.array
-        && a.access
-            .constant_difference(&b.access)
-            .is_some_and(|d| {
-                let (last, outer) = d.split_last().expect("arrays have rank >= 1");
-                *last == 1 && outer.iter().all(|&x| x == 0)
-            })
+        && a.access.constant_difference(&b.access).is_some_and(|d| {
+            let (last, outer) = d.split_last().expect("arrays have rank >= 1");
+            *last == 1 && outer.iter().all(|&x| x == 0)
+        })
 }
 
 /// Phases 1-2 of the baseline: seed with adjacent memory references, then
@@ -91,17 +89,14 @@ fn build_pack_set<E: TypeEnv>(block: &BasicBlock, deps: &BlockDeps, env: &E) -> 
     let mut left_used: Vec<StmtId> = Vec::new();
     let mut right_used: Vec<StmtId> = Vec::new();
 
-    let can_pack = |s: &Statement,
-                    t: &Statement,
-                    left_used: &[StmtId],
-                    right_used: &[StmtId]|
-     -> bool {
-        s.id() != t.id()
-            && !left_used.contains(&s.id())
-            && !right_used.contains(&t.id())
-            && s.isomorphic(t, env)
-            && deps.independent(s.id(), t.id())
-    };
+    let can_pack =
+        |s: &Statement, t: &Statement, left_used: &[StmtId], right_used: &[StmtId]| -> bool {
+            s.id() != t.id()
+                && !left_used.contains(&s.id())
+                && !right_used.contains(&t.id())
+                && s.isomorphic(t, env)
+                && deps.independent(s.id(), t.id())
+        };
 
     // Seeds: adjacent memory references, oriented low address -> left.
     for (i, s) in stmts.iter().enumerate() {
@@ -142,10 +137,9 @@ fn build_pack_set<E: TypeEnv>(block: &BasicBlock, deps: &BlockDeps, env: &E) -> 
                 if let (Some(lv), Some(rv)) = (lu.as_scalar(), ru.as_scalar()) {
                     let lp = block.position(pair.left).expect("in block");
                     let rp = block.position(pair.right).expect("in block");
-                    if let (Some(ld), Some(rd)) = (
-                        reaching_def(stmts, lv, lp),
-                        reaching_def(stmts, rv, rp),
-                    ) {
+                    if let (Some(ld), Some(rd)) =
+                        (reaching_def(stmts, lv, lp), reaching_def(stmts, rv, rp))
+                    {
                         if can_pack(ld, rd, &left_used, &right_used) {
                             pairs.push(PackPair {
                                 left: ld.id(),
@@ -163,10 +157,9 @@ fn build_pack_set<E: TypeEnv>(block: &BasicBlock, deps: &BlockDeps, env: &E) -> 
                 let lp = block.position(pair.left).expect("in block");
                 let rp = block.position(pair.right).expect("in block");
                 for k in 0..3 {
-                    if let (Some(lu), Some(ru)) = (
-                        first_use(stmts, *lv, lp, k),
-                        first_use(stmts, *rv, rp, k),
-                    ) {
+                    if let (Some(lu), Some(ru)) =
+                        (first_use(stmts, *lv, lp, k), first_use(stmts, *rv, rp, k))
+                    {
                         if can_pack(lu, ru, &left_used, &right_used) {
                             pairs.push(PackPair {
                                 left: lu.id(),
@@ -245,10 +238,7 @@ fn combine_pairs(
     for chain in chains {
         // A statement can only belong to one group; later chains skip
         // already-taken members (drop the whole chain if < 2 remain).
-        let members: Vec<StmtId> = chain
-            .into_iter()
-            .filter(|s| !taken.contains(s))
-            .collect();
+        let members: Vec<StmtId> = chain.into_iter().filter(|s| !taken.contains(s)).collect();
         if members.len() >= 2 {
             taken.extend(&members);
             let mut unit = Unit::singleton(members[0]);
@@ -290,8 +280,14 @@ mod tests {
         };
         let s0 = p.make_stmt(v[0].into(), Expr::Copy(at(0).into()));
         let s1 = p.make_stmt(v[1].into(), Expr::Copy(at(1).into()));
-        let s2 = p.make_stmt(v[2].into(), Expr::Binary(BinOp::Mul, v[0].into(), v[4].into()));
-        let s3 = p.make_stmt(v[3].into(), Expr::Binary(BinOp::Mul, v[1].into(), v[4].into()));
+        let s2 = p.make_stmt(
+            v[2].into(),
+            Expr::Binary(BinOp::Mul, v[0].into(), v[4].into()),
+        );
+        let s3 = p.make_stmt(
+            v[3].into(),
+            Expr::Binary(BinOp::Mul, v[1].into(), v[4].into()),
+        );
         let bb: BasicBlock = [s0, s1, s2, s3].into_iter().collect();
         (p, bb)
     }

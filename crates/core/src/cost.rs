@@ -176,9 +176,8 @@ fn pack_cost(ops: &[Operand], cx: &CostContext<'_>, is_load: bool) -> f64 {
                     && refs.iter().all(|r| r.array == refs[0].array)
                     && cx.program.array_is_read_only(refs[0].array)
                     && cx.loops.iter().any(|h| {
-                        refs.iter().all(|r| {
-                            r.access.dims().iter().all(|e| e.coeff(h.var) == 0)
-                        })
+                        refs.iter()
+                            .all(|r| r.access.dims().iter().all(|e| e.coeff(h.var) == 0))
                     });
                 if replicable {
                     cx.cost.vector_load
@@ -201,9 +200,7 @@ fn pack_cost(ops: &[Operand], cx: &CostContext<'_>, is_load: bool) -> f64 {
             }
             let mem = ops
                 .iter()
-                .filter(|o| {
-                    matches!(o, Operand::Scalar(v) if cx.exposed[v.index()])
-                })
+                .filter(|o| matches!(o, Operand::Scalar(v) if cx.exposed[v.index()]))
                 .count() as f64;
             if cx.assume_layout && mem == w {
                 // §5.1 will place an all-exposed pack contiguously.

@@ -191,8 +191,14 @@ mod tests {
         let s1 = p.make_stmt(v[1].into(), Expr::Copy(v[3].into()));
         let s2 = p.make_stmt(v[2].into(), Expr::Copy(v[5].into()));
         let s3 = p.make_stmt(v[5].into(), Expr::Copy(v[7].into()));
-        let s4 = p.make_stmt(v[1].into(), Expr::Binary(BinOp::Mul, v[3].into(), v[1].into()));
-        let s5 = p.make_stmt(v[5].into(), Expr::Binary(BinOp::Mul, v[5].into(), v[2].into()));
+        let s4 = p.make_stmt(
+            v[1].into(),
+            Expr::Binary(BinOp::Mul, v[3].into(), v[1].into()),
+        );
+        let s5 = p.make_stmt(
+            v[5].into(),
+            Expr::Binary(BinOp::Mul, v[5].into(), v[2].into()),
+        );
         let bb: BasicBlock = [s1, s2, s3, s4, s5].into_iter().collect();
         (p, bb)
     }
@@ -206,15 +212,9 @@ mod tests {
         // The paper decides {S1,S2} first (weight 1), then {S4,S5}
         // (weight 2/3); {S1,S3} dies with the first decision.
         assert_eq!(g.decisions.len(), 2);
-        assert_eq!(
-            g.decisions[0].stmts,
-            vec![StmtId::new(0), StmtId::new(1)]
-        );
+        assert_eq!(g.decisions[0].stmts, vec![StmtId::new(0), StmtId::new(1)]);
         assert!((g.decisions[0].weight - 1.0).abs() < 1e-9);
-        assert_eq!(
-            g.decisions[1].stmts,
-            vec![StmtId::new(3), StmtId::new(4)]
-        );
+        assert_eq!(g.decisions[1].stmts, vec![StmtId::new(3), StmtId::new(4)]);
         assert!((g.decisions[1].weight - 2.0 / 3.0).abs() < 1e-9);
         // S3 stays scalar.
         assert_eq!(g.units.iter().filter(|u| u.is_singleton()).count(), 1);

@@ -20,8 +20,8 @@
 use std::collections::BTreeMap;
 
 use slp_ir::{
-    pack_is_aligned, pack_is_contiguous, AccessVector, AffineExpr, ArrayId, ArrayRef,
-    LoopHeader, Operand, Program, ScalarType,
+    pack_is_aligned, pack_is_contiguous, AccessVector, AffineExpr, ArrayId, ArrayRef, LoopHeader,
+    Operand, Program, ScalarType,
 };
 
 use slp_analysis::PackPos;
@@ -112,11 +112,8 @@ pub fn optimize_array_layout(
         let Some((array, lanes)) = array_pack(u) else {
             continue;
         };
-        let loop_key: Vec<(i64, i64, i64)> = u
-            .loops
-            .iter()
-            .map(|h| (h.lower, h.upper, h.step))
-            .collect();
+        let loop_key: Vec<(i64, i64, i64)> =
+            u.loops.iter().map(|h| (h.lower, h.upper, h.step)).collect();
         let e = agg
             .entry((array, lanes, loop_key))
             .or_insert_with(|| (Vec::new(), 0, Vec::new()));
@@ -134,8 +131,15 @@ pub fn optimize_array_layout(
         }
         let info = program.array(array).clone();
         let loops = pack_uses[0].loops.clone();
-        if let Some(r) = plan_replication(program, array, &info.ty, &lanes, &loops, occurrences, config)
-        {
+        if let Some(r) = plan_replication(
+            program,
+            array,
+            &info.ty,
+            &lanes,
+            &loops,
+            occurrences,
+            config,
+        ) {
             rewrite_uses(program, &pack_uses, &lanes, array, &r);
             out.push(r);
         }
@@ -200,7 +204,11 @@ fn plan_replication(
     // which is precisely when replication pays off.
     let used: Vec<LoopHeader> = loops
         .iter()
-        .filter(|h| lanes.iter().any(|a| a.dims().iter().any(|e| e.coeff(h.var) != 0)))
+        .filter(|h| {
+            lanes
+                .iter()
+                .any(|a| a.dims().iter().any(|e| e.coeff(h.var) != 0))
+        })
         .copied()
         .collect();
 
@@ -228,11 +236,7 @@ fn plan_replication(
     let mut base = AffineExpr::constant_expr(0);
     let mut stride = l;
     for h in used.iter().rev() {
-        base = base.add(
-            &AffineExpr::var(h.var)
-                .offset(-h.lower)
-                .scaled(stride),
-        );
+        base = base.add(&AffineExpr::var(h.var).offset(-h.lower).scaled(stride));
         stride = stride.saturating_mul((h.upper - h.lower).max(1));
     }
     let dest_exprs: Vec<AffineExpr> = (0..l).map(|p| base.offset(p)).collect();
@@ -338,10 +342,7 @@ mod tests {
             block: BlockId(0),
             stmts: vec![StmtId::new(0), StmtId::new(1)],
             pos: PackPos::Operand(0),
-            ops: vec![
-                ArrayRef::new(a, acc0).into(),
-                ArrayRef::new(a, acc3).into(),
-            ],
+            ops: vec![ArrayRef::new(a, acc0).into(), ArrayRef::new(a, acc3).into()],
             loops,
         };
         (p, u)

@@ -75,9 +75,10 @@ impl ScalarLayout {
         let base = self.address(first);
         let width = u64::from(elem_size) * lanes.len() as u64;
         base.is_multiple_of(width)
-            && lanes.iter().enumerate().all(|(k, &v)| {
-                self.address(v) == base + k as u64 * u64::from(elem_size)
-            })
+            && lanes
+                .iter()
+                .enumerate()
+                .all(|(k, &v)| self.address(v) == base + k as u64 * u64::from(elem_size))
     }
 }
 

@@ -15,15 +15,13 @@ mod superword;
 
 pub use baseline::{baseline_block, baseline_groups};
 pub use cost::{estimate_scalar_cost, estimate_schedule_cost, CostContext};
-pub use layout::array::{
-    eq4_map, optimize_array_layout, ArrayLayoutConfig, Replication,
-};
+pub use group::{group_block, group_block_with, Grouping, GroupingDecision};
+pub use layout::array::{eq4_map, optimize_array_layout, ArrayLayoutConfig, Replication};
 pub use layout::scalar::{optimize_scalar_layout, ScalarLayout};
 pub use layout::{collect_pack_uses, PackUse};
-pub use group::{group_block, group_block_with, Grouping, GroupingDecision};
 pub use machine::{op_cost_factor, CostParams, MachineConfig};
 pub use native::native_block;
-pub use pipeline::{compile, CompileStats, CompiledKernel, SlpConfig, Strategy};
+pub use pipeline::{compile, CompileStats, CompiledKernel, SlpConfig, Strategy, VerifyHook};
 pub use schedule::{schedule_block, schedule_in_program_order, ScheduleConfig};
 pub use superword::{
     validate_schedule, BlockSchedule, ScheduledItem, SuperwordStmt, ValidityError,

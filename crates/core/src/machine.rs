@@ -214,7 +214,10 @@ mod tests {
     #[test]
     fn expensive_ops_cost_more() {
         use slp_ir::{BinOp, ExprShape};
-        assert!(op_cost_factor(ExprShape::Binary(BinOp::Div)) > op_cost_factor(ExprShape::Binary(BinOp::Add)));
+        assert!(
+            op_cost_factor(ExprShape::Binary(BinOp::Div))
+                > op_cost_factor(ExprShape::Binary(BinOp::Add))
+        );
         assert!(op_cost_factor(ExprShape::MulAdd) > op_cost_factor(ExprShape::Binary(BinOp::Add)));
     }
 }

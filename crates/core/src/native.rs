@@ -105,9 +105,7 @@ fn run_is_vectorizable<E: TypeEnv>(
             }
             // Uniform scalar or constant: a splat.
             Operand::Scalar(v) => ops.iter().all(|o| o.as_scalar() == Some(*v)),
-            Operand::Const(c) => ops
-                .iter()
-                .all(|o| matches!(o, Operand::Const(d) if d == c)),
+            Operand::Const(c) => ops.iter().all(|o| matches!(o, Operand::Const(d) if d == c)),
         };
         if !ok {
             return false;

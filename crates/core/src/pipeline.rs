@@ -14,8 +14,8 @@ use crate::baseline::{baseline_block, baseline_groups};
 use crate::cost::{estimate_schedule_cost, CostContext};
 use crate::group::group_block_with;
 use crate::layout::array::{optimize_array_layout, ArrayLayoutConfig, Replication};
-use crate::layout::scalar::{optimize_scalar_layout, ScalarLayout};
 use crate::layout::collect_pack_uses;
+use crate::layout::scalar::{optimize_scalar_layout, ScalarLayout};
 use crate::machine::MachineConfig;
 use crate::native::native_block;
 use crate::schedule::{schedule_block, schedule_in_program_order, ScheduleConfig};
@@ -47,6 +47,17 @@ impl Strategy {
     }
 }
 
+/// Signature of a post-compile verification hook: the original program
+/// plus the finished kernel, returning a rendered report on failure.
+///
+/// [`compile`] calls the hook once on its final output (after the
+/// Global+Layout dual arbitration picked a winner) and panics with the
+/// returned message if it fails. The `slp-verify` crate provides two
+/// implementations (`pipeline_hook` for the static checks,
+/// `pipeline_hook_full` adding differential translation validation);
+/// this type lives here so `slp-core` does not depend on the checker.
+pub type VerifyHook = fn(&Program, &CompiledKernel) -> Result<(), String>;
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct SlpConfig {
@@ -70,6 +81,9 @@ pub struct SlpConfig {
     /// next-iteration content equals another pack loaded this iteration
     /// is carried in a register instead of reloaded. Off by default.
     pub cross_iteration_reuse: bool,
+    /// Post-compile verification hook; `None` (the default) skips
+    /// verification. See [`VerifyHook`].
+    pub verify: Option<VerifyHook>,
 }
 
 impl SlpConfig {
@@ -89,12 +103,19 @@ impl SlpConfig {
             array_layout,
             weights: WeightParams::default(),
             cross_iteration_reuse: false,
+            verify: None,
         }
     }
 
     /// Enables the data layout stage (the paper's Global+Layout scheme).
     pub fn with_layout(mut self) -> Self {
         self.layout = true;
+        self
+    }
+
+    /// Installs a post-compile verification hook. See [`VerifyHook`].
+    pub fn with_verifier(mut self, hook: VerifyHook) -> Self {
+        self.verify = Some(hook);
         self
     }
 }
@@ -157,18 +178,30 @@ impl CompiledKernel {
 ///
 /// Panics if an optimizer produces a schedule violating the §4.1 validity
 /// constraints — an internal invariant, exercised heavily by the test
-/// suite.
+/// suite — or if an installed [`SlpConfig::verify`] hook rejects the
+/// finished kernel.
 pub fn compile(program: &Program, config: &SlpConfig) -> CompiledKernel {
-    if config.strategy == Strategy::Holistic && config.layout {
+    let kernel = if config.strategy == Strategy::Holistic && config.layout {
         let optimistic = compile_inner(program, config, true);
         let plain = compile_inner(program, config, false);
-        return if estimated_total_cost(&optimistic) <= estimated_total_cost(&plain) {
+        if estimated_total_cost(&optimistic) <= estimated_total_cost(&plain) {
             optimistic
         } else {
             plain
-        };
+        }
+    } else {
+        compile_inner(program, config, config.layout)
+    };
+    if let Some(hook) = config.verify {
+        if let Err(report) = hook(program, &kernel) {
+            panic!(
+                "verification rejected '{}' under the {} strategy:\n{report}",
+                program.name(),
+                config.strategy.label()
+            );
+        }
     }
-    compile_inner(program, config, config.layout)
+    kernel
 }
 
 /// Total estimated cycles of a compiled kernel: per-block schedule cost
@@ -426,8 +459,14 @@ mod arbitration_tests {
         )
         .expect("compiles");
         let machine = MachineConfig::intel_dunnington();
-        let global = compile(&p, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic));
-        let baseline = compile(&p, &SlpConfig::for_machine(machine.clone(), Strategy::Baseline));
+        let global = compile(
+            &p,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
+        );
+        let baseline = compile(
+            &p,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Baseline),
+        );
         let exposed = global.program.upward_exposed_scalars();
         let cost_of = |k: &CompiledKernel| -> f64 {
             k.program
@@ -459,7 +498,10 @@ mod arbitration_tests {
     fn layout_arbitration_never_regresses_estimates() {
         let machine = MachineConfig::intel_dunnington();
         for (spec, p) in slp_suite::all(1) {
-            let g = compile(&p, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic));
+            let g = compile(
+                &p,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
+            );
             let gl = compile(
                 &p,
                 &SlpConfig::for_machine(machine.clone(), Strategy::Holistic).with_layout(),

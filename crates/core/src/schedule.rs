@@ -256,9 +256,7 @@ fn try_schedule(
     let mut items = Vec::with_capacity(n);
 
     while remaining > 0 {
-        let ready: Vec<usize> = (0..n)
-            .filter(|&u| !scheduled[u] && preds[u] == 0)
-            .collect();
+        let ready: Vec<usize> = (0..n).filter(|&u| !scheduled[u] && preds[u] == 0).collect();
         if ready.is_empty() {
             // Deadlock: report the first unscheduled group for splitting.
             return Err((0..n)
@@ -445,8 +443,7 @@ fn align_order(
     let mut order = Vec::with_capacity(unit.width());
     let stmt_keys: Vec<OperandKey> = ordered_keys(unit.stmts(), block, pos);
     for want in target {
-        let m = (0..unit.width())
-            .find(|&m| !used[m] && &stmt_keys[m] == want)?;
+        let m = (0..unit.width()).find(|&m| !used[m] && &stmt_keys[m] == want)?;
         used[m] = true;
         order.push(unit.stmts()[m]);
     }
@@ -466,18 +463,38 @@ mod tests {
     /// S5: e1 = V2 - y;  S6: e2 = V1 - y;     permuted reuse <V2,V1>
     fn figure1() -> (Program, BasicBlock) {
         let mut p = Program::new("fig1");
-        let names = ["V1", "V2", "k", "x", "y", "c1", "c2", "d1", "d2", "e1", "e2"];
+        let names = [
+            "V1", "V2", "k", "x", "y", "c1", "c2", "d1", "d2", "e1", "e2",
+        ];
         let v: Vec<_> = names
             .iter()
             .map(|n| p.add_scalar(*n, ScalarType::F32))
             .collect();
         let s = [
-            p.make_stmt(v[5].into(), Expr::Binary(BinOp::Mul, v[0].into(), v[2].into())),
-            p.make_stmt(v[6].into(), Expr::Binary(BinOp::Mul, v[1].into(), v[2].into())),
-            p.make_stmt(v[7].into(), Expr::Binary(BinOp::Add, v[0].into(), v[3].into())),
-            p.make_stmt(v[8].into(), Expr::Binary(BinOp::Add, v[1].into(), v[3].into())),
-            p.make_stmt(v[9].into(), Expr::Binary(BinOp::Sub, v[1].into(), v[4].into())),
-            p.make_stmt(v[10].into(), Expr::Binary(BinOp::Sub, v[0].into(), v[4].into())),
+            p.make_stmt(
+                v[5].into(),
+                Expr::Binary(BinOp::Mul, v[0].into(), v[2].into()),
+            ),
+            p.make_stmt(
+                v[6].into(),
+                Expr::Binary(BinOp::Mul, v[1].into(), v[2].into()),
+            ),
+            p.make_stmt(
+                v[7].into(),
+                Expr::Binary(BinOp::Add, v[0].into(), v[3].into()),
+            ),
+            p.make_stmt(
+                v[8].into(),
+                Expr::Binary(BinOp::Add, v[1].into(), v[3].into()),
+            ),
+            p.make_stmt(
+                v[9].into(),
+                Expr::Binary(BinOp::Sub, v[1].into(), v[4].into()),
+            ),
+            p.make_stmt(
+                v[10].into(),
+                Expr::Binary(BinOp::Sub, v[0].into(), v[4].into()),
+            ),
         ];
         let bb: BasicBlock = s.into_iter().collect();
         (p, bb)
@@ -523,9 +540,18 @@ mod tests {
             .iter()
             .map(|n| p.add_scalar(*n, ScalarType::F64))
             .collect();
-        let s0 = p.make_stmt(v[0].into(), Expr::Binary(BinOp::Add, v[1].into(), v[2].into()));
-        let s1 = p.make_stmt(v[3].into(), Expr::Binary(BinOp::Mul, v[0].into(), v[1].into()));
-        let s2 = p.make_stmt(v[4].into(), Expr::Binary(BinOp::Mul, v[0].into(), v[2].into()));
+        let s0 = p.make_stmt(
+            v[0].into(),
+            Expr::Binary(BinOp::Add, v[1].into(), v[2].into()),
+        );
+        let s1 = p.make_stmt(
+            v[3].into(),
+            Expr::Binary(BinOp::Mul, v[0].into(), v[1].into()),
+        );
+        let s2 = p.make_stmt(
+            v[4].into(),
+            Expr::Binary(BinOp::Mul, v[0].into(), v[2].into()),
+        );
         let bb: BasicBlock = [s0, s1, s2].into_iter().collect();
         let deps = BlockDeps::analyze(&bb);
         let g = group_block(&bb, &deps, &p, |_| 2);
@@ -547,11 +573,26 @@ mod tests {
             .iter()
             .map(|n| p.add_scalar(*n, ScalarType::F64))
             .collect();
-        let s0 = p.make_stmt(v[0].into(), Expr::Binary(BinOp::Add, v[2].into(), 1.0.into()));
-        let s1 = p.make_stmt(v[1].into(), Expr::Binary(BinOp::Add, v[2].into(), 2.0.into()));
-        let s2 = p.make_stmt(v[0].into(), Expr::Binary(BinOp::Mul, v[0].into(), 3.0.into()));
-        let s3 = p.make_stmt(v[3].into(), Expr::Binary(BinOp::Sub, v[0].into(), v[2].into()));
-        let s4 = p.make_stmt(v[4].into(), Expr::Binary(BinOp::Sub, v[1].into(), v[2].into()));
+        let s0 = p.make_stmt(
+            v[0].into(),
+            Expr::Binary(BinOp::Add, v[2].into(), 1.0.into()),
+        );
+        let s1 = p.make_stmt(
+            v[1].into(),
+            Expr::Binary(BinOp::Add, v[2].into(), 2.0.into()),
+        );
+        let s2 = p.make_stmt(
+            v[0].into(),
+            Expr::Binary(BinOp::Mul, v[0].into(), 3.0.into()),
+        );
+        let s3 = p.make_stmt(
+            v[3].into(),
+            Expr::Binary(BinOp::Sub, v[0].into(), v[2].into()),
+        );
+        let s4 = p.make_stmt(
+            v[4].into(),
+            Expr::Binary(BinOp::Sub, v[1].into(), v[2].into()),
+        );
         let bb: BasicBlock = [s0, s1, s2, s3, s4].into_iter().collect();
         let deps = BlockDeps::analyze(&bb);
         let g = group_block(&bb, &deps, &p, |_| 2);

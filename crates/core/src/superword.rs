@@ -92,7 +92,10 @@ impl BlockSchedule {
     /// The schedule that leaves every statement scalar in program order.
     pub fn scalar(block: &BasicBlock) -> Self {
         BlockSchedule {
-            items: block.iter().map(|s| ScheduledItem::Single(s.id())).collect(),
+            items: block
+                .iter()
+                .map(|s| ScheduledItem::Single(s.id()))
+                .collect(),
         }
     }
 
@@ -154,7 +157,10 @@ impl fmt::Display for ValidityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ValidityError::IntraGroupDependence(a, b) => {
-                write!(f, "lanes {a} and {b} of one superword statement are dependent")
+                write!(
+                    f,
+                    "lanes {a} and {b} of one superword statement are dependent"
+                )
             }
             ValidityError::DependenceViolated(a, b) => {
                 write!(f, "schedule reorders dependent statements {a} -> {b}")
@@ -163,7 +169,10 @@ impl fmt::Display for ValidityError {
                 write!(f, "lanes {a} and {b} are not isomorphic")
             }
             ValidityError::TooWide(w, cap) => {
-                write!(f, "superword statement of {w} lanes exceeds the {cap}-lane datapath")
+                write!(
+                    f,
+                    "superword statement of {w} lanes exceeds the {cap}-lane datapath"
+                )
             }
             ValidityError::NotAPermutation => {
                 write!(f, "schedule is not a permutation of the block's statements")
@@ -260,10 +269,22 @@ mod tests {
             .iter()
             .map(|n| p.add_scalar(*n, ScalarType::F64))
             .collect();
-        let s0 = p.make_stmt(v[0].into(), Expr::Binary(BinOp::Add, v[4].into(), v[5].into()));
-        let s1 = p.make_stmt(v[1].into(), Expr::Binary(BinOp::Add, v[4].into(), v[5].into()));
-        let s2 = p.make_stmt(v[2].into(), Expr::Binary(BinOp::Add, v[0].into(), v[1].into()));
-        let s3 = p.make_stmt(v[3].into(), Expr::Binary(BinOp::Add, v[0].into(), v[1].into()));
+        let s0 = p.make_stmt(
+            v[0].into(),
+            Expr::Binary(BinOp::Add, v[4].into(), v[5].into()),
+        );
+        let s1 = p.make_stmt(
+            v[1].into(),
+            Expr::Binary(BinOp::Add, v[4].into(), v[5].into()),
+        );
+        let s2 = p.make_stmt(
+            v[2].into(),
+            Expr::Binary(BinOp::Add, v[0].into(), v[1].into()),
+        );
+        let s3 = p.make_stmt(
+            v[3].into(),
+            Expr::Binary(BinOp::Add, v[0].into(), v[1].into()),
+        );
         let bb: BasicBlock = [s0, s1, s2, s3].into_iter().collect();
         (p, bb)
     }

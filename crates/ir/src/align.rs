@@ -53,7 +53,14 @@ pub fn guaranteed_alignment(expr: &AffineExpr, elem_size: u32, max_align: u32) -
     for (_, c) in expr.terms() {
         g = gcd(g, c * e);
     }
-    g = gcd(g, if expr.constant() == 0 { g } else { expr.constant() * e });
+    g = gcd(
+        g,
+        if expr.constant() == 0 {
+            g
+        } else {
+            expr.constant() * e
+        },
+    );
     // Largest power of two dividing g, capped at max_align.
     let mut a = 1i64;
     while a * 2 <= g && g % (a * 2) == 0 && a * 2 <= i64::from(max_align) {
@@ -77,7 +84,10 @@ pub fn pack_is_contiguous(refs: &[&ArrayRef]) -> bool {
         r.array == first.array
             && r.access.rank() == rank
             && (0..rank - 1).all(|d| r.access.dim(d) == first.access.dim(d))
-            && first.access.dim(rank - 1).constant_difference(r.access.dim(rank - 1))
+            && first
+                .access
+                .dim(rank - 1)
+                .constant_difference(r.access.dim(rank - 1))
                 == Some(k as i64)
     })
 }
@@ -172,14 +182,20 @@ mod tests {
     #[test]
     fn guaranteed_alignment_values() {
         // 4i with f32 (4 bytes): offsets are multiples of 16.
-        assert_eq!(guaranteed_alignment(&AffineExpr::var(i()).scaled(4), 4, 64), 16);
+        assert_eq!(
+            guaranteed_alignment(&AffineExpr::var(i()).scaled(4), 4, 64),
+            16
+        );
         // 4i + 2 with f32: multiples of 8 only.
         assert_eq!(
             guaranteed_alignment(&AffineExpr::var(i()).scaled(4).offset(2), 4, 64),
             8
         );
         // Constant 0 is aligned to anything.
-        assert_eq!(guaranteed_alignment(&AffineExpr::constant_expr(0), 8, 32), 32);
+        assert_eq!(
+            guaranteed_alignment(&AffineExpr::constant_expr(0), 8, 32),
+            32
+        );
     }
 
     #[test]

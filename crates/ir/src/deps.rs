@@ -240,12 +240,8 @@ impl BlockDeps {
     /// would create a dependence cycle between them (used by iterative
     /// grouping where groups have more than two members).
     pub fn sets_form_cycle(&self, a: &[StmtId], b: &[StmtId]) -> bool {
-        let a_to_b = a
-            .iter()
-            .any(|&x| b.iter().any(|&y| self.depends(x, y)));
-        let b_to_a = b
-            .iter()
-            .any(|&x| a.iter().any(|&y| self.depends(x, y)));
+        let a_to_b = a.iter().any(|&x| b.iter().any(|&y| self.depends(x, y)));
+        let b_to_a = b.iter().any(|&x| a.iter().any(|&y| self.depends(x, y)));
         a_to_b && b_to_a
     }
 
@@ -364,7 +360,9 @@ mod tests {
     fn aref(cst: i64) -> ArrayRef {
         ArrayRef::new(
             ArrayId::new(0),
-            AccessVector::new(vec![AffineExpr::var(LoopVarId::new(0)).scaled(2).offset(cst)]),
+            AccessVector::new(vec![AffineExpr::var(LoopVarId::new(0))
+                .scaled(2)
+                .offset(cst)]),
         )
     }
 
@@ -546,7 +544,11 @@ mod tests {
         // the refined analysis instead: only the scalar RAW remains.
         let refined = BlockDeps::analyze_in(&bb, &[h]);
         let kinds: Vec<DepKind> = refined.direct().iter().map(|d| d.kind).collect();
-        assert_eq!(kinds, vec![DepKind::Raw], "only v's flow dependence survives");
+        assert_eq!(
+            kinds,
+            vec![DepKind::Raw],
+            "only v's flow dependence survives"
+        );
     }
 
     #[test]

@@ -410,9 +410,9 @@ mod tests {
     fn aref(a: u32, coeff: i64, cst: i64) -> ArrayRef {
         ArrayRef::new(
             ArrayId::new(a),
-            AccessVector::new(vec![
-                AffineExpr::var(LoopVarId::new(0)).scaled(coeff).offset(cst)
-            ]),
+            AccessVector::new(vec![AffineExpr::var(LoopVarId::new(0))
+                .scaled(coeff)
+                .offset(cst)]),
         )
     }
 

@@ -63,9 +63,7 @@ pub use deps::{
 };
 pub use expr::{ArrayRef, BinOp, Dest, Expr, ExprShape, Operand, OperandKind, TypeEnv, UnOp};
 pub use ids::{ArrayId, LoopVarId, StmtId, VarId};
-pub use program::{
-    ArrayInfo, BlockId, BlockInfo, Item, Loop, LoopHeader, Program, ScalarInfo,
-};
+pub use program::{ArrayInfo, BlockId, BlockInfo, Item, Loop, LoopHeader, Program, ScalarInfo};
 pub use stmt::Statement;
 pub use types::ScalarType;
 pub use unroll::unroll_program;

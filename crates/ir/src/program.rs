@@ -520,11 +520,7 @@ mod tests {
         let i = p.add_loop_var("i");
         p.push_stmt(x.into(), Expr::Copy(1.0.into()));
         let body_stmt = p.make_stmt(
-            ArrayRef::new(
-                a,
-                AccessVector::new(vec![AffineExpr::var(i).scaled(2)]),
-            )
-            .into(),
+            ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i).scaled(2)])).into(),
             Expr::Binary(
                 BinOp::Add,
                 x.into(),
@@ -592,7 +588,12 @@ mod tests {
         let s1 = q.make_stmt(t.into(), Expr::Copy(r.clone().into()));
         let s2 = q.make_stmt(r.into(), Expr::Binary(BinOp::Mul, t.into(), 2.0.into()));
         q.push_item(Item::Loop(Loop {
-            header: LoopHeader { var: i, lower: 0, upper: 8, step: 1 },
+            header: LoopHeader {
+                var: i,
+                lower: 0,
+                upper: 8,
+                step: 1,
+            },
             body: vec![Item::Stmt(s1), Item::Stmt(s2)],
         }));
         assert_eq!(q.upward_exposed_scalars(), vec![false]);

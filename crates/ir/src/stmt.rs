@@ -91,9 +91,9 @@ impl Statement {
         let a = self.expr.operands();
         let b = other.expr.operands();
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(&b).all(|(x, y)| {
-            x.kind() == y.kind() && env.operand_type(x) == env.operand_type(y)
-        })
+        a.iter()
+            .zip(&b)
+            .all(|(x, y)| x.kind() == y.kind() && env.operand_type(x) == env.operand_type(y))
     }
 }
 

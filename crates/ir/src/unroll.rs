@@ -175,7 +175,11 @@ fn unroll_loop(l: &Loop, factor: usize, program: &mut Program) -> Option<Vec<Ite
     let mut rem_body = Vec::with_capacity(body.len());
     for s in &body {
         let id = program.fresh_stmt_id();
-        rem_body.push(Item::Stmt(Statement::new(id, s.dest().clone(), s.expr().clone())));
+        rem_body.push(Item::Stmt(Statement::new(
+            id,
+            s.dest().clone(),
+            s.expr().clone(),
+        )));
     }
     let rem = Loop {
         header: crate::program::LoopHeader {
@@ -353,10 +357,7 @@ mod tests {
         let acc = p.add_scalar("acc", ScalarType::F64);
         let i = p.add_loop_var("i");
         let r = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
-        let s = p.make_stmt(
-            acc.into(),
-            Expr::Binary(BinOp::Add, acc.into(), r.into()),
-        );
+        let s = p.make_stmt(acc.into(), Expr::Binary(BinOp::Add, acc.into(), r.into()));
         p.push_item(Item::Loop(Loop {
             header: LoopHeader {
                 var: i,
@@ -376,6 +377,9 @@ mod tests {
                 _ => unreachable!(),
             })
             .collect();
-        assert!(dests.iter().all(|&d| d == acc), "reduction must stay shared");
+        assert!(
+            dests.iter().all(|&d| d == acc),
+            "reduction must stay shared"
+        );
     }
 }

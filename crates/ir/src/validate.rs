@@ -225,7 +225,10 @@ mod tests {
         let errs = looped(8, 2, -1, 16).validate().unwrap_err();
         assert!(matches!(
             errs[0],
-            ValidationError::OutOfBounds { range: (-1, 13), .. }
+            ValidationError::OutOfBounds {
+                range: (-1, 13),
+                ..
+            }
         ));
     }
 
@@ -263,7 +266,9 @@ mod tests {
         p.push_item(Item::Stmt(s.clone()));
         p.push_item(Item::Stmt(s));
         let errs = p.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ValidationError::BadArrayExtent(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::BadArrayExtent(_))));
         assert!(errs
             .iter()
             .any(|e| matches!(e, ValidationError::DuplicateStmtId(s) if *s == StmtId::new(7))));

@@ -52,7 +52,10 @@ impl ParseError {
     /// the excerpt.
     pub fn render(&self, src: &str) -> String {
         use std::fmt::Write as _;
-        let mut out = format!("error: {}\n  --> {}:{}\n", self.message, self.line, self.col);
+        let mut out = format!(
+            "error: {}\n  --> {}:{}\n",
+            self.message, self.line, self.col
+        );
         if self.line >= 1 {
             if let Some(text) = src.lines().nth(self.line as usize - 1) {
                 let gutter = self.line.to_string();

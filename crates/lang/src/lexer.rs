@@ -249,7 +249,11 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             toks("a // comment\n b"),
-            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+            vec![
+                Token::Ident("a".into()),
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
         );
     }
 
@@ -297,9 +301,6 @@ mod tests {
 
     #[test]
     fn dotted_idents() {
-        assert_eq!(
-            toks("t.u1"),
-            vec![Token::Ident("t.u1".into()), Token::Eof]
-        );
+        assert_eq!(toks("t.u1"), vec![Token::Ident("t.u1".into()), Token::Eof]);
     }
 }

@@ -125,7 +125,11 @@ impl<'a> Lowerer<'a> {
             .find(|(n, _)| *n == name)
             .map(|&(_, id)| id)
             .ok_or_else(|| {
-                ParseError::new(format!("'{name}' is not an in-scope loop variable"), line, 0)
+                ParseError::new(
+                    format!("'{name}' is not an in-scope loop variable"),
+                    line,
+                    0,
+                )
             })
     }
 
@@ -138,9 +142,10 @@ impl<'a> Lowerer<'a> {
     }
 
     fn array_ref(&self, name: &str, indices: &[AstAffine], line: u32) -> Result<ArrayRef> {
-        let id = *self.arrays.get(name).ok_or_else(|| {
-            ParseError::new(format!("'{name}' is not a declared array"), line, 0)
-        })?;
+        let id = *self
+            .arrays
+            .get(name)
+            .ok_or_else(|| ParseError::new(format!("'{name}' is not a declared array"), line, 0))?;
         let rank = self.program.array(id).dims.len();
         if indices.len() != rank {
             return Err(ParseError::new(
@@ -171,11 +176,7 @@ impl<'a> Lowerer<'a> {
                     ));
                 }
                 let v = self.scalars.get(lhs.name.as_str()).ok_or_else(|| {
-                    ParseError::new(
-                        format!("'{}' is not a declared scalar", lhs.name),
-                        line,
-                        0,
-                    )
+                    ParseError::new(format!("'{}' is not a declared scalar", lhs.name), line, 0)
                 })?;
                 Ok((*v).into())
             }
@@ -253,8 +254,9 @@ mod tests {
 
     #[test]
     fn rejects_rank_mismatch() {
-        let e = compile("kernel k { array A: f64[4][4]; scalar a: f64; for i in 0..4 { a = A[i]; } }")
-            .unwrap_err();
+        let e =
+            compile("kernel k { array A: f64[4][4]; scalar a: f64; for i in 0..4 { a = A[i]; } }")
+                .unwrap_err();
         assert!(e.message().contains("rank"));
     }
 

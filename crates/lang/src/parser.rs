@@ -435,7 +435,11 @@ mod tests {
         assert_eq!(k.items.len(), 2);
         match &k.items[1] {
             AstItem::For {
-                var, lower, upper, step, ..
+                var,
+                lower,
+                upper,
+                step,
+                ..
             } => {
                 assert_eq!(var, "i");
                 assert_eq!((*lower, *upper, *step), (0, 4, 1));
@@ -446,7 +450,8 @@ mod tests {
 
     #[test]
     fn explicit_step() {
-        let k = parse("kernel k { array A: f64[64]; for i in 0..32 step 4 { A[i] = 1.0; } }").unwrap();
+        let k =
+            parse("kernel k { array A: f64[64]; for i in 0..32 step 4 { A[i] = 1.0; } }").unwrap();
         assert!(matches!(&k.items[0], AstItem::For { step: 4, .. }));
         assert!(parse("kernel k { for i in 0..4 step 0 { } }").is_err());
     }
@@ -484,8 +489,9 @@ mod tests {
 
     #[test]
     fn affine_subscripts() {
-        let k = parse("kernel k { array A: f64[64]; scalar x: f64; for i in 0..4 { x = A[4*i-2]; } }")
-            .unwrap();
+        let k =
+            parse("kernel k { array A: f64[64]; scalar x: f64; for i in 0..4 { x = A[4*i-2]; } }")
+                .unwrap();
         let AstItem::For { body, .. } = &k.items[0] else {
             panic!()
         };
@@ -503,8 +509,9 @@ mod tests {
 
     #[test]
     fn coefficient_on_either_side() {
-        let k = parse("kernel k { array A: f64[64]; scalar x: f64; for i in 0..4 { x = A[i*3+1]; } }")
-            .unwrap();
+        let k =
+            parse("kernel k { array A: f64[64]; scalar x: f64; for i in 0..4 { x = A[i*3+1]; } }")
+                .unwrap();
         let AstItem::For { body, .. } = &k.items[0] else {
             panic!()
         };

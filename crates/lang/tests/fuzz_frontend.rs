@@ -60,7 +60,10 @@ fn errors_carry_positions_not_panics() {
         "kernel k { array A: f64[0]; }",
     ] {
         if let Err(e) = slp_lang::compile(src) {
-            assert!(e.line() >= 1 || e.message().contains("duplicate"), "{src:?}: {e}");
+            assert!(
+                e.line() >= 1 || e.message().contains("duplicate"),
+                "{src:?}: {e}"
+            );
         }
     }
 }

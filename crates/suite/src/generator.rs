@@ -104,12 +104,12 @@ pub fn random_program(seed: u64, config: &GeneratorConfig) -> Program {
             1 => Expr::Unary(
                 // sqrt over seeded positive data stays real; neg and abs
                 // are always safe.
-                [UnOp::Neg, UnOp::Abs, UnOp::Sqrt][rng.gen_range(0..3)],
+                [UnOp::Neg, UnOp::Abs, UnOp::Sqrt][rng.gen_range(0..3usize)],
                 operand(&mut rng),
             ),
             2..=6 => {
                 let op = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Min, BinOp::Max]
-                    [rng.gen_range(0..5)];
+                    [rng.gen_range(0..5usize)];
                 Expr::Binary(op, operand(&mut rng), operand(&mut rng))
             }
             _ => Expr::MulAdd(operand(&mut rng), operand(&mut rng), operand(&mut rng)),

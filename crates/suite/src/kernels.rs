@@ -52,16 +52,51 @@ pub struct BenchmarkSpec {
 pub fn catalog() -> Vec<BenchmarkSpec> {
     use SuiteKind::*;
     vec![
-        spec("cactusADM", "Solving the Einstein evolution equations", Spec2006, 0.06),
-        spec("soplex", "Linear programming solver using simplex algorithm", Spec2006, 0.10),
+        spec(
+            "cactusADM",
+            "Solving the Einstein evolution equations",
+            Spec2006,
+            0.06,
+        ),
+        spec(
+            "soplex",
+            "Linear programming solver using simplex algorithm",
+            Spec2006,
+            0.10,
+        ),
         spec("lbm", "Lattice Boltzmann method", Spec2006, 0.04),
-        spec("milc", "Simulations of 3-D SU(3) lattice gauge theory", Spec2006, 0.05),
-        spec("povray", "Ray-tracing: a rendering technique", Spec2006, 0.12),
+        spec(
+            "milc",
+            "Simulations of 3-D SU(3) lattice gauge theory",
+            Spec2006,
+            0.05,
+        ),
+        spec(
+            "povray",
+            "Ray-tracing: a rendering technique",
+            Spec2006,
+            0.12,
+        ),
         spec("gromacs", "Performing molecular dynamics", Spec2006, 0.07),
-        spec("calculix", "Setting up finite element equations and solving them", Spec2006, 0.09),
-        spec("dealII", "Object oriented finite element software library", Spec2006, 0.08),
+        spec(
+            "calculix",
+            "Setting up finite element equations and solving them",
+            Spec2006,
+            0.09,
+        ),
+        spec(
+            "dealII",
+            "Object oriented finite element software library",
+            Spec2006,
+            0.08,
+        ),
         spec("wrf", "Weather research and forecasting", Spec2006, 0.06),
-        spec("namd", "Simulation of large biomolecular systems", Spec2006, 0.05),
+        spec(
+            "namd",
+            "Simulation of large biomolecular systems",
+            Spec2006,
+            0.05,
+        ),
         spec("ua", "Unstructured adaptive 3-D", Nas, 0.08),
         spec("ft", "Fast fourier transform (FFT)", Nas, 0.06),
         spec("bt", "Block tridiagonal", Nas, 0.05),
@@ -504,7 +539,10 @@ mod tests {
     fn catalog_matches_table3() {
         let c = catalog();
         assert_eq!(c.len(), 16);
-        assert_eq!(c.iter().filter(|s| s.suite == SuiteKind::Spec2006).count(), 10);
+        assert_eq!(
+            c.iter().filter(|s| s.suite == SuiteKind::Spec2006).count(),
+            10
+        );
         assert_eq!(c.iter().filter(|s| s.suite == SuiteKind::Nas).count(), 6);
         let nas_names: Vec<_> = c
             .iter()
@@ -547,7 +585,11 @@ mod tests {
     #[test]
     fn serial_fractions_are_sane() {
         for s in catalog() {
-            assert!(s.serial_fraction > 0.0 && s.serial_fraction < 0.5, "{}", s.name);
+            assert!(
+                s.serial_fraction > 0.0 && s.serial_fraction < 0.5,
+                "{}",
+                s.name
+            );
         }
     }
 }

@@ -51,9 +51,15 @@ fn layout_winners_have_strided_read_only_tables_under_outer_sweeps() {
             })
             .map(|(n, _)| n)
             .collect();
-        assert!(!strided.is_empty(), "{name} lost its strided read-only table");
+        assert!(
+            !strided.is_empty(),
+            "{name} lost its strided read-only table"
+        );
         let max_depth = p.blocks().iter().map(|b| b.loops.len()).max().unwrap_or(0);
-        assert!(max_depth >= 2, "{name} needs an outer sweep for replication to pay");
+        assert!(
+            max_depth >= 2,
+            "{name} needs an outer sweep for replication to pay"
+        );
     }
 }
 

@@ -1,0 +1,123 @@
+//! Differential translation validation: run it both ways, diff memory.
+//!
+//! The static checkers prove structural properties; this one executes.
+//! The original program is compiled under the scalar strategy (no
+//! unrolling, no packs, no layout changes) and the kernel under test is
+//! executed as compiled; both start from the same deterministic seeded
+//! memory, and the final contents of every original array are compared
+//! bit for bit. Replicas appended by the layout stage are scratch space,
+//! not program output, and are excluded from the diff.
+
+use slp_core::{CompiledKernel, SlpConfig, Strategy};
+use slp_ir::Program;
+use slp_vm::{execute, MachineState};
+
+use crate::diag::{Diagnostic, LintCode, Span};
+
+/// Compiles and runs the scalar baseline of `original`, runs `kernel`,
+/// and diffs the final memories.
+///
+/// The scalar compile uses a fresh [`SlpConfig`] with no verification
+/// hook, so a hook installed on the kernel's own config cannot recurse.
+pub fn check_differential(original: &Program, kernel: &CompiledKernel) -> Vec<Diagnostic> {
+    let machine = &kernel.config.machine;
+    let scalar_cfg = SlpConfig::for_machine(machine.clone(), Strategy::Scalar);
+    let scalar = slp_core::compile(original, &scalar_cfg);
+    let reference = match execute(&scalar, machine) {
+        Ok(out) => out,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                LintCode::ExecutionFailed,
+                Span::program(),
+                format!(
+                    "scalar baseline of '{}' failed to run: {e}",
+                    original.name()
+                ),
+            )]
+        }
+    };
+    let candidate = match execute(kernel, machine) {
+        Ok(out) => out,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                LintCode::ExecutionFailed,
+                Span::program(),
+                format!(
+                    "compiled kernel of '{}' ({} strategy) failed to run: {e}",
+                    original.name(),
+                    kernel.config.strategy.label()
+                ),
+            )]
+        }
+    };
+    diff_states(original, &reference.state, &candidate.state)
+}
+
+/// Diffs two final machine states over the arrays of `program`, bit for
+/// bit, reporting the first divergent element of each divergent array.
+///
+/// This is the comparison `check_differential` performs, exposed
+/// separately so harnesses that already hold executed [`MachineState`]s
+/// (the bench harness, the oracle stress test) can route their
+/// equivalence assertions through the same validator.
+pub fn diff_states(
+    program: &Program,
+    reference: &MachineState,
+    candidate: &MachineState,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for a in program.array_ids() {
+        let name = &program.array(a).name;
+        let (x, y) = (reference.array(a), candidate.array(a));
+        if x.len() != y.len() {
+            out.push(Diagnostic::new(
+                LintCode::DifferentialMismatch,
+                Span::program(),
+                format!(
+                    "array {name} has {} elements after scalar execution but \
+                     {} after vectorized execution",
+                    x.len(),
+                    y.len()
+                ),
+            ));
+            continue;
+        }
+        if let Some(i) = (0..x.len()).find(|&i| x[i].to_bits() != y[i].to_bits()) {
+            let total = (0..x.len())
+                .filter(|&i| x[i].to_bits() != y[i].to_bits())
+                .count();
+            out.push(Diagnostic::new(
+                LintCode::DifferentialMismatch,
+                Span::program(),
+                format!(
+                    "array {name} diverges at [{i}]: scalar {} vs vectorized \
+                     {} ({total} element(s) differ)",
+                    x[i], y[i]
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Convenience used by harness assertions: diffs every measurement's
+/// state against the reference and panics with the rendered diagnostics
+/// on divergence.
+pub fn assert_states_equivalent(
+    program: &Program,
+    reference: &MachineState,
+    candidate: &MachineState,
+    label: &str,
+) {
+    let diags = diff_states(program, reference, candidate);
+    assert!(
+        diags.is_empty(),
+        "{} under {label} diverged from the scalar execution:\n{}",
+        program.name(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,100 @@
+//! # slp-verify — legality lints and translation validation
+//!
+//! An independent checker for the output of the SLP pipeline. Where
+//! `slp-core` validates its own schedules while compiling, this crate
+//! re-derives every obligation from scratch over the *finished*
+//! [`CompiledKernel`] and reports findings as structured
+//! [`Diagnostic`]s instead of panicking:
+//!
+//! * [`check_dependences`] — recomputes the dependence graph on the
+//!   scalar block and proves the superword schedule preserves it
+//!   (`V1xx` codes),
+//! * [`check_packs`] — per-superword legality lints: lane isomorphism,
+//!   datapath fit, disjoint destinations, alignment, loop-variable
+//!   scope (`V2xx`),
+//! * [`check_layout`] — proves each §5.2 array replication injective,
+//!   in-bounds, immutable, and fully populated (`V3xx`),
+//! * [`check_differential`] — executes the scalar baseline and the
+//!   compiled kernel on identical seeded memory and diffs the final
+//!   arrays bit for bit (`V4xx`).
+//!
+//! [`verify_kernel`] bundles the static checks; [`verify_with_execution`]
+//! adds the differential run. [`pipeline_hook`] and
+//! [`pipeline_hook_full`] adapt them to the [`SlpConfig::verify`] slot so
+//! every `slp_core::compile` call can self-check:
+//!
+//! ```
+//! use slp_core::{compile, MachineConfig, SlpConfig, Strategy};
+//!
+//! let program = slp_lang::compile(
+//!     "kernel axpy { array X: f64[64]; array Y: f64[64]; scalar a: f64;
+//!      for i in 0..64 { Y[i] = Y[i] + a * X[i]; } }",
+//! )?;
+//! let cfg = SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic)
+//!     .with_verifier(slp_verify::pipeline_hook);
+//! let kernel = compile(&program, &cfg); // panics if verification fails
+//! let report = slp_verify::verify_with_execution(&program, &kernel);
+//! assert!(report.passes());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod deps;
+mod diag;
+mod differential;
+mod layout;
+mod packs;
+
+pub use deps::check_dependences;
+pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
+pub use differential::{assert_states_equivalent, check_differential, diff_states};
+pub use layout::check_layout;
+pub use packs::check_packs;
+
+use slp_core::CompiledKernel;
+#[cfg(doc)]
+use slp_core::SlpConfig;
+use slp_ir::Program;
+
+/// Runs all static checkers (dependences, packs, layout) over a compiled
+/// kernel.
+pub fn verify_kernel(kernel: &CompiledKernel) -> Report {
+    let mut report = Report::new();
+    report.extend(check_dependences(kernel));
+    report.extend(check_packs(kernel));
+    report.extend(check_layout(kernel));
+    report
+}
+
+/// Runs the static checkers plus the differential translation validation
+/// against `original`, the program as it was before compilation.
+pub fn verify_with_execution(original: &Program, kernel: &CompiledKernel) -> Report {
+    let mut report = verify_kernel(kernel);
+    report.extend(check_differential(original, kernel));
+    report
+}
+
+/// Adapter for [`SlpConfig::verify`]: runs the static checkers and
+/// reports an error (the rendered diagnostics) if any has error
+/// severity. Warnings do not fail the compile.
+pub fn pipeline_hook(_original: &Program, kernel: &CompiledKernel) -> Result<(), String> {
+    report_to_result(verify_kernel(kernel))
+}
+
+/// Adapter for [`SlpConfig::verify`] that also runs the differential
+/// translation validation. Each compile then executes the program twice;
+/// meant for tests and `slpc check`, not for hot compile paths.
+pub fn pipeline_hook_full(original: &Program, kernel: &CompiledKernel) -> Result<(), String> {
+    report_to_result(verify_with_execution(original, kernel))
+}
+
+fn report_to_result(report: Report) -> Result<(), String> {
+    if report.passes() {
+        Ok(())
+    } else {
+        Err(report.to_string())
+    }
+}

@@ -58,10 +58,8 @@ pub fn apply_cross_iteration_reuse(
                 .map(|r| {
                     slp_ir::ArrayRef::new(
                         r.array,
-                        r.access.substitute(
-                            h.var,
-                            &slp_ir::AffineExpr::var(h.var).offset(h.step),
-                        ),
+                        r.access
+                            .substitute(h.var, &slp_ir::AffineExpr::var(h.var).offset(h.step)),
                     )
                 })
                 .collect(),
@@ -124,11 +122,9 @@ mod tests {
             .map(|k| {
                 ArrayRef::new(
                     slp_ir::ArrayId::new(array),
-                    AccessVector::new(vec![
-                        AffineExpr::var(slp_ir::LoopVarId::new(0))
-                            .scaled(2)
-                            .offset(base + k),
-                    ]),
+                    AccessVector::new(vec![AffineExpr::var(slp_ir::LoopVarId::new(0))
+                        .scaled(2)
+                        .offset(base + k)]),
                 )
             })
             .collect();
@@ -149,7 +145,10 @@ mod tests {
         assert_eq!(n, 1);
         assert!(matches!(
             &body[0],
-            VInst::CarriedLoad { carried_from: VReg(1), .. }
+            VInst::CarriedLoad {
+                carried_from: VReg(1),
+                ..
+            }
         ));
         // The source stays a plain load.
         assert!(matches!(&body[1], VInst::Load { .. }));

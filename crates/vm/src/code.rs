@@ -268,8 +268,7 @@ impl VInst {
                 mem_stores,
             } => {
                 let (l, s) = (u64::from(*mem_loads), u64::from(*mem_stores));
-                let mem_cycles =
-                    l as f64 * params.scalar_load + s as f64 * params.scalar_store;
+                let mem_cycles = l as f64 * params.scalar_load + s as f64 * params.scalar_store;
                 InstMetrics {
                     cycles: mem_cycles + op_cost_factor(stmt.expr().shape()) * params.scalar_op,
                     dynamic_instructions: l + s + 1,
@@ -422,16 +421,33 @@ impl fmt::Display for VInst {
                 write!(f, "vload.{} {dst}, {}", class_suffix(class), refs_str(refs))
             }
             VInst::Store { src, refs, class } => {
-                write!(f, "vstore.{} {}, {src}", class_suffix(class), refs_str(refs))
+                write!(
+                    f,
+                    "vstore.{} {}, {src}",
+                    class_suffix(class),
+                    refs_str(refs)
+                )
             }
-            VInst::PackScalars { dst, vars, class, .. } => {
+            VInst::PackScalars {
+                dst, vars, class, ..
+            } => {
                 let names: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
-                let m = if *class == ScalarPackClass::VectorMem { ".m" } else { "" };
+                let m = if *class == ScalarPackClass::VectorMem {
+                    ".m"
+                } else {
+                    ""
+                };
                 write!(f, "pack{m}   {dst}, [{}]", names.join(","))
             }
-            VInst::UnpackScalars { src, vars, class, .. } => {
+            VInst::UnpackScalars {
+                src, vars, class, ..
+            } => {
                 let names: Vec<String> = vars.iter().map(|v| v.to_string()).collect();
-                let m = if *class == ScalarPackClass::VectorMem { ".m" } else { "" };
+                let m = if *class == ScalarPackClass::VectorMem {
+                    ".m"
+                } else {
+                    ""
+                };
                 write!(f, "unpack{m} [{}], {src}", names.join(","))
             }
             VInst::ConstVec { dst, values } => {
@@ -472,7 +488,9 @@ impl fmt::Display for VInst {
             }
             VInst::Spill { src } => write!(f, "spill   [slot], {src}"),
             VInst::Reload { dst } => write!(f, "reload  {dst}, [slot]"),
-            VInst::CarriedLoad { dst, carried_from, .. } => {
+            VInst::CarriedLoad {
+                dst, carried_from, ..
+            } => {
                 write!(f, "carry   {dst}, {carried_from} (load on iter 0)")
             }
         }

@@ -102,10 +102,7 @@ pub fn lower_block(
     let (preheader, _) = crate::regalloc::insert_spill_code(pre_raw, &alloc, &machine.cost);
     let (vector_code, _) = crate::regalloc::insert_spill_code(body_raw, &alloc, &machine.cost);
 
-    let scalar_code: Vec<VInst> = block
-        .iter()
-        .map(|s| scalar_vinst(s, exposed))
-        .collect();
+    let scalar_code: Vec<VInst> = block.iter().map(|s| scalar_vinst(s, exposed)).collect();
     let cost = |insts: &[VInst]| {
         let mut m = InstMetrics::default();
         for i in insts {
@@ -479,8 +476,7 @@ impl<'a> Codegen<'a> {
                     .iter()
                     .map(|o| o.as_scalar().expect("uniform operand kinds"))
                     .collect();
-                let lane_mem: Vec<bool> =
-                    vars.iter().map(|v| self.exposed[v.index()]).collect();
+                let lane_mem: Vec<bool> = vars.iter().map(|v| self.exposed[v.index()]).collect();
                 let class = self.scalar_pack_class(&vars, lane_mem.iter().all(|&m| m));
                 VInst::PackScalars {
                     dst,
@@ -592,7 +588,15 @@ mod tests {
         let aligned_loads = code
             .insts
             .iter()
-            .filter(|i| matches!(i, VInst::Load { class: AccessClass::Aligned, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    VInst::Load {
+                        class: AccessClass::Aligned,
+                        ..
+                    }
+                )
+            })
             .count();
         assert!(aligned_loads >= 1, "{:#?}", code.insts);
         // One splat for the uniform scalar s (exposed: never written) —
@@ -629,7 +633,11 @@ mod tests {
             .iter()
             .filter(|i| matches!(i, VInst::Load { .. }))
             .count();
-        assert_eq!(loads, 1, "B pack must be loaded exactly once: {:#?}", code.insts);
+        assert_eq!(
+            loads, 1,
+            "B pack must be loaded exactly once: {:#?}",
+            code.insts
+        );
     }
 
     #[test]
@@ -749,7 +757,10 @@ mod tests {
         let codes = lower_kernel(&k, &m, true);
         let gated = &codes[0].1;
         assert!(!gated.vectorized, "{:#?}", gated.insts);
-        assert!(gated.insts.iter().all(|i| matches!(i, VInst::Scalar { .. })));
+        assert!(gated
+            .insts
+            .iter()
+            .all(|i| matches!(i, VInst::Scalar { .. })));
         // Without the gate the vector code stays.
         let ungated = lower_kernel(&k, &m, false);
         assert!(ungated[0].1.vectorized);

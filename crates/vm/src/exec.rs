@@ -12,9 +12,7 @@ use std::error::Error;
 use std::fmt;
 
 use slp_core::{CompiledKernel, MachineConfig, Replication};
-use slp_ir::{
-    ArrayRef, BinOp, Dest, ExprShape, Item, LoopVarId, Operand, Program, StmtId, UnOp,
-};
+use slp_ir::{ArrayRef, BinOp, Dest, ExprShape, Item, LoopVarId, Operand, Program, StmtId, UnOp};
 
 use crate::code::{InstMetrics, SplatSrc, VInst};
 use crate::codegen::{lower_kernel, BlockCode};

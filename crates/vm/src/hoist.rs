@@ -60,9 +60,7 @@ pub fn hoist_invariant_packs(
                         .iter()
                         .all(|e| e.coeff(loop_header.var) == 0)
             }),
-            VInst::PackScalars { vars, .. } => {
-                vars.iter().all(|v| !written_scalars.contains(v))
-            }
+            VInst::PackScalars { vars, .. } => vars.iter().all(|v| !written_scalars.contains(v)),
             _ => false,
         }
     };

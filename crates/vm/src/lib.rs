@@ -51,8 +51,8 @@ pub mod memory;
 pub mod multicore;
 pub mod regalloc;
 
-pub use code::{AccessClass, InstMetrics, LaneSink, ScalarPackClass, SplatSrc, VInst, VReg};
 pub use carry::apply_cross_iteration_reuse;
+pub use code::{AccessClass, InstMetrics, LaneSink, ScalarPackClass, SplatSrc, VInst, VReg};
 pub use codegen::{lower_block, lower_kernel, lower_kernel_with, BlockCode};
 pub use exec::{execute, execute_gated, run_scalar, ExecError, Outcome, RunStats};
 pub use hoist::hoist_invariant_packs;

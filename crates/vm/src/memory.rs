@@ -49,7 +49,9 @@ impl MachineState {
             .map(|a| {
                 let ty = program.array(a).ty;
                 let len = program.array(a).len().max(0) as usize;
-                (0..len).map(|i| ty.coerce(seed_value(a, i) * 4.0)).collect()
+                (0..len)
+                    .map(|i| ty.coerce(seed_value(a, i) * 4.0))
+                    .collect()
             })
             .collect();
         let scalars = program
@@ -112,10 +114,7 @@ impl MachineState {
         }
         (0..n_arrays).all(|a| {
             let (x, y) = (&self.arrays[a], &other.arrays[a]);
-            x.len() == y.len()
-                && x.iter()
-                    .zip(y)
-                    .all(|(u, v)| u.to_bits() == v.to_bits())
+            x.len() == y.len() && x.iter().zip(y).all(|(u, v)| u.to_bits() == v.to_bits())
         })
     }
 

@@ -74,8 +74,7 @@ impl MulticoreModel {
         }
         let serial = total * self.serial_fraction;
         let parallel = total - serial;
-        let amdahl =
-            serial + parallel / cores as f64 + self.sync_cycles_per_core * cores as f64;
+        let amdahl = serial + parallel / cores as f64 + self.sync_cycles_per_core * cores as f64;
         let bandwidth = (cores as f64).min(self.bandwidth_saturation_cores).max(1.0);
         let memory_floor = stats.metrics.memory_cycles / bandwidth;
         amdahl.max(memory_floor)

@@ -283,24 +283,30 @@ mod tests {
 
     #[test]
     fn spill_code_brackets_defs_and_uses() {
-        let insts = vec![
-            splat(0),
-            splat(1),
-            splat(2),
-            op(3, 1, 2),
-            op(4, 3, 0),
-        ];
+        let insts = vec![splat(0), splat(1), splat(2), op(3, 1, 2), op(4, 3, 0)];
         let alloc = allocate(&insts, 2);
         let (with_spills, extra) = insert_spill_code(insts, &alloc, &CostParams::intel());
-        let spills = with_spills.iter().filter(|i| matches!(i, VInst::Spill { .. })).count();
-        let reloads = with_spills.iter().filter(|i| matches!(i, VInst::Reload { .. })).count();
+        let spills = with_spills
+            .iter()
+            .filter(|i| matches!(i, VInst::Spill { .. }))
+            .count();
+        let reloads = with_spills
+            .iter()
+            .filter(|i| matches!(i, VInst::Reload { .. }))
+            .count();
         assert_eq!(spills, 1);
         assert_eq!(reloads, 1);
         assert!(extra.memory_ops == 2);
         assert!(extra.cycles > 0.0);
         // The reload precedes the use of v0.
-        let reload_at = with_spills.iter().position(|i| matches!(i, VInst::Reload { .. })).expect("reload");
-        let use_at = with_spills.iter().position(|i| matches!(i, VInst::Op { dst: VReg(4), .. })).expect("op");
+        let reload_at = with_spills
+            .iter()
+            .position(|i| matches!(i, VInst::Reload { .. }))
+            .expect("reload");
+        let use_at = with_spills
+            .iter()
+            .position(|i| matches!(i, VInst::Op { dst: VReg(4), .. }))
+            .expect("op");
         assert!(reload_at < use_at);
     }
 

@@ -9,8 +9,8 @@
 //! estimates must always agree).
 
 use slp_core::{
-    compile, estimate_scalar_cost, estimate_schedule_cost, CostContext, MachineConfig,
-    SlpConfig, Strategy,
+    compile, estimate_scalar_cost, estimate_schedule_cost, CostContext, MachineConfig, SlpConfig,
+    Strategy,
 };
 use slp_vm::lower_kernel;
 

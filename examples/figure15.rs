@@ -12,8 +12,8 @@
 //! ```
 
 use slp::core::{
-    baseline_block, compile, group_block, schedule_block, MachineConfig, ScheduleConfig,
-    SlpConfig, Strategy,
+    baseline_block, compile, group_block, schedule_block, MachineConfig, ScheduleConfig, SlpConfig,
+    Strategy,
 };
 use slp::ir::BlockDeps;
 use slp::vm::execute;
@@ -66,9 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|s| program.show_stmt(info.block.stmt(*s).expect("stmt")))
             .collect();
-        println!("  w={:.2} round {}: {{{}}}", d.weight, d.round, names.join(" | "));
+        println!(
+            "  w={:.2} round {}: {{{}}}",
+            d.weight,
+            d.round,
+            names.join(" | ")
+        );
     }
-    let global_sched = schedule_block(&info.block, &deps, &grouping.units, &ScheduleConfig::default());
+    let global_sched = schedule_block(
+        &info.block,
+        &deps,
+        &grouping.units,
+        &ScheduleConfig::default(),
+    );
     println!("\n== holistic schedule (Figure 15 c) ==");
     for item in global_sched.items() {
         println!("  {item}");
@@ -77,7 +87,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Measured end-to-end (with the full pipeline, unrolling included).
     println!("\n== measured (whole kernel, Intel machine) ==");
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )?;
     for (label, strategy, layout) in [

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::intel_dunnington();
 
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )?;
     let global_cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
@@ -40,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let layout_kernel = compile(&program, &global_cfg.clone().with_layout());
     let layout = execute(&layout_kernel, &machine)?;
 
-    println!("replications committed: {}", layout_kernel.replications.len());
+    println!(
+        "replications committed: {}",
+        layout_kernel.replications.len()
+    );
     for r in &layout_kernel.replications {
         println!(
             "  {} -> {}: {} lanes, {} one-time copies",
@@ -50,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             r.copy_count(),
         );
         for (p, expr) in r.dest_exprs.iter().enumerate() {
-            println!("    lane {p} now reads {}[{expr}]", layout_kernel.program.array(r.dest).name);
+            println!(
+                "    lane {p} now reads {}[{expr}]",
+                layout_kernel.program.array(r.dest).name
+            );
         }
     }
 
@@ -64,9 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(layout.state.arrays_bitwise_eq(&scalar.state, 2));
     println!(
         "\ncycles: scalar {:.0}, Global {:.0}, Global+Layout {:.0}",
-        scalar.stats.metrics.cycles,
-        global.stats.metrics.cycles,
-        layout.stats.metrics.cycles,
+        scalar.stats.metrics.cycles, global.stats.metrics.cycles, layout.stats.metrics.cycles,
     );
     println!(
         "layout saves an extra {:.1}% over Global",

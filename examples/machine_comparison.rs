@@ -11,13 +11,22 @@ use slp::vm::execute;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = slp::suite::kernel("milc", 1);
 
-    for machine in [MachineConfig::intel_dunnington(), MachineConfig::amd_phenom_ii()] {
+    for machine in [
+        MachineConfig::intel_dunnington(),
+        MachineConfig::amd_phenom_ii(),
+    ] {
         let scalar = execute(
-            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+            &compile(
+                &program,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+            ),
             &machine,
         )?;
         let global = execute(
-            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic)),
+            &compile(
+                &program,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
+            ),
             &machine,
         )?;
         println!(
@@ -35,11 +44,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for bits in [128u32, 256, 512, 1024] {
         let machine = base.with_datapath_bits(bits);
         let scalar = execute(
-            &compile(&sweep_kernel, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+            &compile(
+                &sweep_kernel,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+            ),
             &machine,
         )?;
         let global = execute(
-            &compile(&sweep_kernel, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic)),
+            &compile(
+                &sweep_kernel,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
+            ),
             &machine,
         )?;
         let dyn_elim = 1.0

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.serial_fraction * 100.0,
         reduction_percent(&scalar, &global, 1, &model),
     );
-    println!("{:<8} {:>14} {:>14} {:>12}", "cores", "scalar (ms)", "Global (ms)", "reduction");
+    println!(
+        "{:<8} {:>14} {:>14} {:>12}",
+        "cores", "scalar (ms)", "Global (ms)", "reduction"
+    );
     for cores in [1usize, 2, 4, 6, 8, 10, 12] {
         let ts = model.seconds(&scalar, cores, &machine) * 1e3;
         let tg = model.seconds(&global, cores, &machine) * 1e3;

@@ -10,9 +10,22 @@
 //!   --emit source|schedule|code|stats     what to print (default: stats)
 //!   --run                                 execute and print counters
 //!   --unroll N                            unroll factor (default: auto)
+//!
+//! slpc check <kernel.slp>... [options]
+//!
+//! Compiles each kernel under every vectorizing configuration (Native,
+//! SLP, Global, Global+Layout) and runs the slp-verify checkers over the
+//! output: dependence preservation, pack legality, layout soundness, and
+//! differential translation validation against the scalar build.
+//!
+//! options:
+//!   --machine intel|amd                   cost model (default: intel)
+//!   --static                              skip the differential execution
+//!   --unroll N                            unroll factor (default: auto)
 //! ```
 //!
-//! Exit codes: 0 success, 1 compile/run error, 2 usage error.
+//! Exit codes: 0 success, 1 compile/run/verification error, 2 usage
+//! error.
 
 use std::process::ExitCode;
 
@@ -33,7 +46,9 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: slpc <kernel.slp> [--strategy scalar|native|slp|global] \
          [--layout] [--machine intel|amd] [--emit source|schedule|code|stats] \
-         [--run] [--unroll N]"
+         [--run] [--unroll N]\n       \
+         slpc check <kernel.slp>... [--machine intel|amd] [--static] \
+         [--unroll N]"
     );
     ExitCode::from(2)
 }
@@ -79,9 +94,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 Some(n) => opts.unroll = n,
                 None => return Err(usage()),
             },
-            path if !path.starts_with('-') && opts.path.is_empty() => {
-                opts.path = path.to_string()
-            }
+            path if !path.starts_with('-') && opts.path.is_empty() => opts.path = path.to_string(),
             _ => return Err(usage()),
         }
     }
@@ -91,7 +104,134 @@ fn parse_args() -> Result<Options, ExitCode> {
     Ok(opts)
 }
 
+/// Options of the `check` subcommand.
+struct CheckOptions {
+    paths: Vec<String>,
+    machine: MachineConfig,
+    differential: bool,
+    unroll: usize,
+}
+
+fn parse_check_args(mut args: impl Iterator<Item = String>) -> Result<CheckOptions, ExitCode> {
+    let mut opts = CheckOptions {
+        paths: Vec::new(),
+        machine: MachineConfig::intel_dunnington(),
+        differential: true,
+        unroll: 0,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--machine" => {
+                opts.machine = match args.next().as_deref() {
+                    Some("intel") => MachineConfig::intel_dunnington(),
+                    Some("amd") => MachineConfig::amd_phenom_ii(),
+                    _ => return Err(usage()),
+                }
+            }
+            "--static" => opts.differential = false,
+            "--unroll" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.unroll = n,
+                None => return Err(usage()),
+            },
+            path if !path.starts_with('-') => opts.paths.push(path.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+/// The configurations `slpc check` verifies each kernel under.
+fn check_configs(opts: &CheckOptions) -> Vec<(String, SlpConfig)> {
+    let mut configs = Vec::new();
+    for (label, strategy, layout) in [
+        ("Native", Strategy::Native, false),
+        ("SLP", Strategy::Baseline, false),
+        ("Global", Strategy::Holistic, false),
+        ("Global+Layout", Strategy::Holistic, true),
+    ] {
+        let mut cfg = SlpConfig::for_machine(opts.machine.clone(), strategy);
+        cfg.unroll = opts.unroll;
+        if layout {
+            cfg = cfg.with_layout();
+        }
+        configs.push((label.to_string(), cfg));
+    }
+    configs
+}
+
+fn run_check(opts: &CheckOptions) -> ExitCode {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut kernels = 0usize;
+    for path in &opts.paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("slpc: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let program = match slp::lang::compile(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}", e.render(&source));
+                return ExitCode::from(1);
+            }
+        };
+        if let Err(es) = program.validate() {
+            for e in es {
+                eprintln!("slpc: {path}: {e}");
+            }
+            return ExitCode::from(1);
+        }
+        kernels += 1;
+        for (label, cfg) in check_configs(opts) {
+            let kernel = compile(&program, &cfg);
+            let report = if opts.differential {
+                slp::verify::verify_with_execution(&program, &kernel)
+            } else {
+                slp::verify::verify_kernel(&kernel)
+            };
+            errors += report.error_count();
+            warnings += report.warning_count();
+            if report.is_clean() {
+                println!(
+                    "{path} [{label}]: ok ({} superword statement(s), {} replication(s))",
+                    kernel.stats.superwords, kernel.stats.replications
+                );
+            } else {
+                println!("{path} [{label}]:");
+                for d in &report.diagnostics {
+                    println!("  {d}");
+                }
+            }
+        }
+    }
+    println!(
+        "checked {kernels} kernel(s) x {} configuration(s) on {}: \
+         {errors} error(s), {warnings} warning(s)",
+        check_configs(opts).len(),
+        opts.machine.name
+    );
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1).peekable();
+    if argv.peek().map(String::as_str) == Some("check") {
+        argv.next();
+        return match parse_check_args(argv) {
+            Ok(opts) => run_check(&opts),
+            Err(code) => code,
+        };
+    }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,
@@ -170,7 +310,10 @@ fn main() -> ExitCode {
                 println!("memory operations     {}", m.memory_ops);
                 println!("packing/unpacking ops {}", m.packing_ops);
                 println!("permutations          {}", m.permutes);
-                println!("simulated time        {:.3} µs", out.stats.seconds(&opts.machine) * 1e6);
+                println!(
+                    "simulated time        {:.3} µs",
+                    out.stats.seconds(&opts.machine) * 1e6
+                );
                 if out.block_cycles.len() > 1 {
                     println!("hottest blocks:");
                     for (bid, cycles) in out.block_cycles.iter().take(5) {

@@ -19,6 +19,7 @@
 //! * [`core`] — grouping, scheduling, baselines, cost model, layout
 //! * [`vm`] — vector code generation and the simulated machines
 //! * [`suite`] — the Table 3 benchmark kernels and a program generator
+//! * [`verify`] — legality lints and differential translation validation
 //!
 //! # Examples
 //!
@@ -52,4 +53,5 @@ pub use slp_core as core;
 pub use slp_ir as ir;
 pub use slp_lang as lang;
 pub use slp_suite as suite;
+pub use slp_verify as verify;
 pub use slp_vm as vm;

@@ -1,0 +1,96 @@
+//! End-to-end tests for the `slpc check` subcommand over the example
+//! kernel suite: every kernel must verify cleanly under all four shipped
+//! configurations, and the exit status must reflect the diagnostic count.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn slpc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_slpc"))
+}
+
+fn example_kernels() -> Vec<PathBuf> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/kernels");
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("examples/kernels directory")
+        .map(|e| e.expect("directory entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "slp"))
+        .collect();
+    paths.sort();
+    assert!(
+        !paths.is_empty(),
+        "no .slp kernels found in {}",
+        dir.display()
+    );
+    paths
+}
+
+#[test]
+fn example_suite_checks_clean() {
+    let paths = example_kernels();
+    let n = paths.len();
+    let out = slpc()
+        .arg("check")
+        .args(&paths)
+        .output()
+        .expect("run slpc check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "slpc check failed\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains(&format!("checked {n} kernel(s)")),
+        "unexpected summary line:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("0 error(s), 0 warning(s)"),
+        "example suite is expected to be diagnostic-free:\n{stdout}"
+    );
+    assert!(
+        !stdout.contains("error[") && !stdout.contains("warning["),
+        "no individual diagnostics expected:\n{stdout}"
+    );
+}
+
+#[test]
+fn check_static_mode_skips_differential_validation() {
+    let paths = example_kernels();
+    let out = slpc()
+        .arg("check")
+        .args(&paths)
+        .arg("--static")
+        .output()
+        .expect("run slpc check --static");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "static check failed:\n{stdout}");
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+}
+
+#[test]
+fn check_reports_failure_for_missing_file() {
+    let out = slpc()
+        .arg("check")
+        .arg("examples/kernels/no-such-kernel.slp")
+        .output()
+        .expect("run slpc check");
+    assert!(
+        !out.status.success(),
+        "checking a nonexistent kernel should exit nonzero"
+    );
+}
+
+#[test]
+fn check_amd_machine_is_also_clean() {
+    let paths = example_kernels();
+    let out = slpc()
+        .arg("check")
+        .args(&paths)
+        .args(["--machine", "amd"])
+        .output()
+        .expect("run slpc check --machine amd");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "amd check failed:\n{stdout}");
+    assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
+}

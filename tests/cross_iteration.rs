@@ -27,7 +27,10 @@ fn carried_packs_preserve_semantics() {
     let program = slp::lang::compile(STENCIL).expect("compiles");
     let machine = MachineConfig::intel_dunnington();
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar");
@@ -64,7 +67,10 @@ fn suite_stays_equivalent_with_the_extension_enabled() {
     for (spec, program) in slp::suite::all(1) {
         let n = program.arrays().len();
         let scalar = execute(
-            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+            &compile(
+                &program,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+            ),
             &machine,
         )
         .expect("scalar");

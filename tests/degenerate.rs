@@ -11,7 +11,10 @@ fn all_schemes_agree(src: &str) {
     let machine = MachineConfig::intel_dunnington();
     let n = program.arrays().len();
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar run");
@@ -39,9 +42,7 @@ fn declarations_only() {
 
 #[test]
 fn zero_trip_loop() {
-    all_schemes_agree(
-        "kernel zt { array A: f64[8]; for i in 4..4 { A[i] = 1.0; } }",
-    );
+    all_schemes_agree("kernel zt { array A: f64[8]; for i in 4..4 { A[i] = 1.0; } }");
 }
 
 #[test]

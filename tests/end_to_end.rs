@@ -9,7 +9,12 @@ fn reduction(scalar: f64, opt: f64) -> f64 {
 }
 
 /// Compiles and runs one program under a scheme, returning cycles.
-fn run(program: &slp::ir::Program, machine: &MachineConfig, strategy: Strategy, layout: bool) -> f64 {
+fn run(
+    program: &slp::ir::Program,
+    machine: &MachineConfig,
+    strategy: Strategy,
+    layout: bool,
+) -> f64 {
     let mut cfg = SlpConfig::for_machine(machine.clone(), strategy);
     if layout {
         cfg = cfg.with_layout();
@@ -28,7 +33,10 @@ fn all_benchmarks_run_equivalently_under_all_schemes() {
     for (spec, program) in slp::suite::all(1) {
         let n = program.arrays().len();
         let scalar = execute(
-            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+            &compile(
+                &program,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+            ),
             &machine,
         )
         .expect("scalar run");
@@ -137,12 +145,18 @@ fn scale_does_not_change_semantics() {
         let program = slp::suite::kernel("milc", scale);
         let n = program.arrays().len();
         let scalar = execute(
-            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+            &compile(
+                &program,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+            ),
             &machine,
         )
         .expect("scalar");
         let global = execute(
-            &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic)),
+            &compile(
+                &program,
+                &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
+            ),
             &machine,
         )
         .expect("global");

@@ -20,20 +20,29 @@ fn integer_division_truncates_identically_across_schemes() {
     let machine = MachineConfig::intel_dunnington();
     let n = program.arrays().len();
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar");
     // The stored values are whole numbers (truncated).
     let a = scalar.state.array(slp::ir::ArrayId::new(0));
-    assert!(a.iter().all(|v| v.fract() == 0.0), "i32 stores must truncate");
+    assert!(
+        a.iter().all(|v| v.fract() == 0.0),
+        "i32 stores must truncate"
+    );
     for strategy in [Strategy::Native, Strategy::Baseline, Strategy::Holistic] {
         let out = execute(
             &compile(&program, &SlpConfig::for_machine(machine.clone(), strategy)),
             &machine,
         )
         .expect("vector");
-        assert!(out.state.arrays_bitwise_eq(&scalar.state, n), "{strategy:?}");
+        assert!(
+            out.state.arrays_bitwise_eq(&scalar.state, n),
+            "{strategy:?}"
+        );
     }
 }
 
@@ -59,7 +68,10 @@ fn i32_packs_four_lanes() {
         .flat_map(|(_, s)| s.items().iter().map(|i| i.stmts().len()))
         .filter(|&w| w > 1)
         .collect();
-    assert!(widths.contains(&4), "i32 at 128 bits should pack 4: {widths:?}");
+    assert!(
+        widths.contains(&4),
+        "i32 at 128 bits should pack 4: {widths:?}"
+    );
 }
 
 #[test]

@@ -56,12 +56,18 @@ fn two_dimensional_replication_is_bit_exact_and_profitable() {
     let machine = MachineConfig::intel_dunnington();
     let n = program.arrays().len();
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar");
     let global = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Holistic)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
+        ),
         &machine,
     )
     .expect("global");
@@ -114,7 +120,10 @@ fn conflicting_patterns_get_independent_replicas() {
     // Semantics preserved regardless of how many replicas were taken.
     let n = program.arrays().len();
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar");

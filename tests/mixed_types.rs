@@ -32,7 +32,11 @@ fn lane_widths_follow_element_types() {
         .filter(|&w| w > 1)
         .collect();
     widths.sort_unstable();
-    assert_eq!(widths, vec![2, 4], "one 2-wide f64 and one 4-wide f32 superword");
+    assert_eq!(
+        widths,
+        vec![2, 4],
+        "one 2-wide f64 and one 4-wide f32 superword"
+    );
 
     // No superword mixes element types.
     for (_, sched) in &kernel.schedules {
@@ -58,7 +62,10 @@ fn mixed_type_kernels_stay_bit_exact() {
     let machine = MachineConfig::intel_dunnington();
     let n = program.arrays().len();
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar");
@@ -68,6 +75,9 @@ fn mixed_type_kernels_stay_bit_exact() {
             &machine,
         )
         .expect("vector");
-        assert!(out.state.arrays_bitwise_eq(&scalar.state, n), "{strategy:?}");
+        assert!(
+            out.state.arrays_bitwise_eq(&scalar.state, n),
+            "{strategy:?}"
+        );
     }
 }

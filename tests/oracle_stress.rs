@@ -1,10 +1,12 @@
 //! Stress matrix for the bit-exactness oracle: every suite kernel ×
-//! {Intel, AMD} × {128, 256-bit datapaths} × all schemes must agree with
-//! the scalar run, and the headline Figure 16 relationships must hold in
-//! loose bands (guarding the calibrated cost model against accidental
-//! drift).
+//! {Intel, AMD} × {128, 256-bit datapaths} × all schemes must pass the
+//! full `slp-verify` battery (static legality checks plus differential
+//! translation validation against the scalar run), and the headline
+//! Figure 16 relationships must hold in loose bands (guarding the
+//! calibrated cost model against accidental drift).
 
 use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::verify::verify_with_execution;
 use slp::vm::execute;
 
 #[test]
@@ -16,15 +18,6 @@ fn oracle_matrix_over_machines_and_datapaths() {
     ];
     for machine in &machines {
         for (spec, program) in slp::suite::all(1) {
-            let n = program.arrays().len();
-            let scalar = execute(
-                &compile(
-                    &program,
-                    &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
-                ),
-                machine,
-            )
-            .expect("scalar run");
             for (strategy, layout) in [
                 (Strategy::Baseline, false),
                 (Strategy::Holistic, false),
@@ -34,10 +27,16 @@ fn oracle_matrix_over_machines_and_datapaths() {
                 if layout {
                     cfg = cfg.with_layout();
                 }
-                let out = execute(&compile(&program, &cfg), machine).expect("vector run");
+                let kernel = compile(&program, &cfg);
+                // The differential validator recompiles and runs the
+                // scalar baseline itself, then diffs final memory bit
+                // for bit; the static checkers re-prove dependence
+                // preservation, pack legality, and layout soundness.
+                let report = verify_with_execution(&program, &kernel);
                 assert!(
-                    out.state.arrays_bitwise_eq(&scalar.state, n),
-                    "{} under {strategy:?}/layout={layout} on {} ({} bits) diverged",
+                    report.passes(),
+                    "{} under {strategy:?}/layout={layout} on {} ({} bits) \
+                     failed verification:\n{report}",
                     spec.name,
                     machine.name,
                     machine.datapath_bits

@@ -21,8 +21,14 @@ fn figure2() -> (Program, BasicBlock) {
         p.make_stmt(v[1].into(), Expr::Copy(v[3].into())),
         p.make_stmt(v[2].into(), Expr::Copy(v[5].into())),
         p.make_stmt(v[5].into(), Expr::Copy(v[7].into())),
-        p.make_stmt(v[1].into(), Expr::Binary(BinOp::Mul, v[3].into(), v[1].into())),
-        p.make_stmt(v[5].into(), Expr::Binary(BinOp::Mul, v[5].into(), v[2].into())),
+        p.make_stmt(
+            v[1].into(),
+            Expr::Binary(BinOp::Mul, v[3].into(), v[1].into()),
+        ),
+        p.make_stmt(
+            v[5].into(),
+            Expr::Binary(BinOp::Mul, v[5].into(), v[2].into()),
+        ),
     ];
     let bb: BasicBlock = stmts.into_iter().collect();
     (p, bb)
@@ -101,7 +107,12 @@ fn figure15_grouping_structure() {
         "expected the Figure 15(c) grouping {{a,b}} {{c,h}} {{d,g}} {{stores}}"
     );
     // And the schedule keeps every reuse possible (4 superwords).
-    let sched = schedule_block(&info.block, &deps, &grouping.units, &ScheduleConfig::default());
+    let sched = schedule_block(
+        &info.block,
+        &deps,
+        &grouping.units,
+        &ScheduleConfig::default(),
+    );
     assert_eq!(sched.superword_count(), 4);
 }
 
@@ -109,12 +120,24 @@ fn figure15_grouping_structure() {
 fn tables_1_and_2_reproduce_machine_configs() {
     let intel = MachineConfig::intel_dunnington();
     assert_eq!(
-        (intel.cores, intel.clock_ghz, intel.l1_data_kb, intel.l2_total_kb, intel.l3_total_kb),
+        (
+            intel.cores,
+            intel.clock_ghz,
+            intel.l1_data_kb,
+            intel.l2_total_kb,
+            intel.l3_total_kb
+        ),
         (12, 2.40, 32, 18 * 1024, 24 * 1024)
     );
     let amd = MachineConfig::amd_phenom_ii();
     assert_eq!(
-        (amd.cores, amd.clock_ghz, amd.l1_data_kb, amd.l2_total_kb, amd.l3_total_kb),
+        (
+            amd.cores,
+            amd.clock_ghz,
+            amd.l1_data_kb,
+            amd.l2_total_kb,
+            amd.l3_total_kb
+        ),
         (4, 3.00, 64, 2 * 1024, 6 * 1024)
     );
     // Both are 128-bit SSE2-class machines.
@@ -129,8 +152,22 @@ fn table3_catalog_matches_the_paper() {
     assert_eq!(
         names,
         [
-            "cactusADM", "soplex", "lbm", "milc", "povray", "gromacs", "calculix", "dealII",
-            "wrf", "namd", "ua", "ft", "bt", "sp", "mg", "cg"
+            "cactusADM",
+            "soplex",
+            "lbm",
+            "milc",
+            "povray",
+            "gromacs",
+            "calculix",
+            "dealII",
+            "wrf",
+            "namd",
+            "ua",
+            "ft",
+            "bt",
+            "sp",
+            "mg",
+            "cg"
         ]
     );
 }

@@ -11,16 +11,24 @@ use slp::suite::{random_program, GeneratorConfig};
 use slp::vm::execute;
 
 fn generator_config() -> impl Strategy<Value = GeneratorConfig> {
-    (1usize..=3, 2usize..=6, 2usize..=14, 4i64..=24, 1i64..=4, 0i64..=4).prop_map(
-        |(arrays, scalars, body_stmts, trip_count, max_stride, outer_sweeps)| GeneratorConfig {
-            arrays,
-            scalars,
-            body_stmts,
-            trip_count,
-            max_stride,
-            outer_sweeps,
-        },
+    (
+        1usize..=3,
+        2usize..=6,
+        2usize..=14,
+        4i64..=24,
+        1i64..=4,
+        0i64..=4,
     )
+        .prop_map(
+            |(arrays, scalars, body_stmts, trip_count, max_stride, outer_sweeps)| GeneratorConfig {
+                arrays,
+                scalars,
+                body_stmts,
+                trip_count,
+                max_stride,
+                outer_sweeps,
+            },
+        )
 }
 
 proptest! {

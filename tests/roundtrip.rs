@@ -8,12 +8,12 @@ use slp::core::{compile, MachineConfig, SlpConfig, Strategy as Scheme};
 use slp::suite::{random_program, GeneratorConfig};
 use slp::vm::execute;
 
-fn scalar_run(
-    program: &slp::ir::Program,
-    machine: &MachineConfig,
-) -> slp::vm::Outcome {
+fn scalar_run(program: &slp::ir::Program, machine: &MachineConfig) -> slp::vm::Outcome {
     execute(
-        &compile(program, &SlpConfig::for_machine(machine.clone(), Scheme::Scalar)),
+        &compile(
+            program,
+            &SlpConfig::for_machine(machine.clone(), Scheme::Scalar),
+        ),
         machine,
     )
     .expect("programs are in bounds")
@@ -49,7 +49,10 @@ fn unrolled_programs_round_trip_via_step_syntax() {
             .unwrap_or_else(|e| panic!("{name} unrolled failed to re-parse: {e}\n{src}"));
         let a = scalar_run(&program, &machine);
         let b = scalar_run(&reparsed, &machine);
-        assert!(a.state.arrays_bitwise_eq(&b.state, program.arrays().len()), "{name}");
+        assert!(
+            a.state.arrays_bitwise_eq(&b.state, program.arrays().len()),
+            "{name}"
+        );
     }
 }
 

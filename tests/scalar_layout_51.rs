@@ -46,12 +46,21 @@ fn layout_turns_exposed_scalar_packs_into_vector_memory_ops() {
 
     let (vm_plain, _) = class_counts(&plain);
     let (vm_layout, _) = class_counts(&laid_out);
-    assert_eq!(vm_plain, 0, "without §5.1 the frame gives no adjacency guarantee");
-    assert!(vm_layout >= 1, "layout should vectorize the <acc0,acc1> pack moves");
+    assert_eq!(
+        vm_plain, 0,
+        "without §5.1 the frame gives no adjacency guarantee"
+    );
+    assert!(
+        vm_layout >= 1,
+        "layout should vectorize the <acc0,acc1> pack moves"
+    );
 
     // And it pays: fewer cycles, identical results.
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar");
@@ -79,5 +88,9 @@ fn scalar_layout_reports_satisfied_packs() {
     let ids: Vec<_> = kernel.program.scalar_ids().collect();
     let addr0 = kernel.scalar_layout.address(ids[0]);
     let addr1 = kernel.scalar_layout.address(ids[4]);
-    assert_eq!((addr1 as i64 - addr0 as i64).abs(), 8, "accumulators should be adjacent");
+    assert_eq!(
+        (addr1 as i64 - addr0 as i64).abs(),
+        8,
+        "accumulators should be adjacent"
+    );
 }

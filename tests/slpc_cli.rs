@@ -28,9 +28,16 @@ fn compiles_and_runs_a_kernel() {
         .args(["--emit", "schedule", "--run"])
         .output()
         .expect("spawn slpc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("<S"), "vectorized schedule expected:\n{stdout}");
+    assert!(
+        stdout.contains("<S"),
+        "vectorized schedule expected:\n{stdout}"
+    );
     assert!(stdout.contains("cycles"), "{stdout}");
     let _ = std::fs::remove_file(path);
 }
@@ -97,12 +104,19 @@ fn amd_machine_and_layout_flags_work() {
         .args(["--machine", "amd", "--layout", "--emit", "stats"])
         .output()
         .expect("spawn slpc");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let repl_line = stdout
         .lines()
         .find(|l| l.starts_with("array replications"))
         .expect("stats output");
-    assert!(!repl_line.ends_with(" 0"), "layout should replicate: {stdout}");
+    assert!(
+        !repl_line.ends_with(" 0"),
+        "layout should replicate: {stdout}"
+    );
     let _ = std::fs::remove_file(path);
 }

@@ -10,7 +10,10 @@ fn equivalent_at(program: &slp::ir::Program, bits: u32) {
     let machine = MachineConfig::intel_dunnington().with_datapath_bits(bits);
     let n = program.arrays().len();
     let scalar = execute(
-        &compile(program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar run");
@@ -76,17 +79,26 @@ fn f32_kernels_pack_four_lanes_on_sse() {
         &SlpConfig::for_machine(machine.clone(), Strategy::Holistic),
     );
     // Auto-unroll picks 4 for the dominant f32 type.
-    assert_eq!(kernel.stats.stmts, 4, "64-trip loop unrolled 4x has 4-stmt body");
+    assert_eq!(
+        kernel.stats.stmts, 4,
+        "64-trip loop unrolled 4x has 4-stmt body"
+    );
     let widths: Vec<usize> = kernel
         .schedules
         .iter()
         .flat_map(|(_, s)| s.items().iter().map(|i| i.stmts().len()))
         .filter(|&w| w > 1)
         .collect();
-    assert!(widths.contains(&4), "expected 4-wide f32 superwords, got {widths:?}");
+    assert!(
+        widths.contains(&4),
+        "expected 4-wide f32 superwords, got {widths:?}"
+    );
     let n = program.arrays().len();
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(machine.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(machine.clone(), Strategy::Scalar),
+        ),
         &machine,
     )
     .expect("scalar");
@@ -106,17 +118,26 @@ fn tiny_register_files_spill_but_stay_correct() {
     tiny.vector_regs = 2;
 
     let scalar = execute(
-        &compile(&program, &SlpConfig::for_machine(full.clone(), Strategy::Scalar)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(full.clone(), Strategy::Scalar),
+        ),
         &full,
     )
     .expect("scalar");
     let on_full = execute(
-        &compile(&program, &SlpConfig::for_machine(full.clone(), Strategy::Holistic)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(full.clone(), Strategy::Holistic),
+        ),
         &full,
     )
     .expect("full file");
     let on_tiny = execute(
-        &compile(&program, &SlpConfig::for_machine(tiny.clone(), Strategy::Holistic)),
+        &compile(
+            &program,
+            &SlpConfig::for_machine(tiny.clone(), Strategy::Holistic),
+        ),
         &tiny,
     )
     .expect("tiny file");
