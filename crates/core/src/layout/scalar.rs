@@ -44,6 +44,25 @@ impl ScalarLayout {
         }
     }
 
+    /// Reconstructs a layout from its raw parts — the per-variable byte
+    /// addresses (indexed by `VarId`), the frame size, and whether the
+    /// layout came out of the §5.1 optimization. Used by the
+    /// `slp-driver` compile cache to restore persisted kernels; the
+    /// caller is responsible for the parts being mutually consistent.
+    pub fn from_raw(addr: Vec<u64>, total_bytes: u64, optimized: bool) -> Self {
+        ScalarLayout {
+            addr,
+            total_bytes,
+            optimized,
+        }
+    }
+
+    /// The per-variable byte addresses backing this layout, indexed by
+    /// `VarId` (the inverse of [`ScalarLayout::from_raw`]).
+    pub fn addresses(&self) -> &[u64] {
+        &self.addr
+    }
+
     /// Whether this layout was produced by the §5.1 optimization. Only
     /// then may the code generator rely on slot adjacency — an
     /// un-optimized stack layout gives no such guarantee once register

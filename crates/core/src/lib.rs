@@ -12,6 +12,7 @@ mod native;
 mod pipeline;
 mod schedule;
 mod superword;
+mod telemetry;
 
 pub use baseline::{baseline_block, baseline_groups};
 pub use cost::{estimate_scalar_cost, estimate_schedule_cost, CostContext};
@@ -21,8 +22,16 @@ pub use layout::scalar::{optimize_scalar_layout, ScalarLayout};
 pub use layout::{collect_pack_uses, PackUse};
 pub use machine::{op_cost_factor, CostParams, MachineConfig};
 pub use native::native_block;
-pub use pipeline::{compile, CompileStats, CompiledKernel, SlpConfig, Strategy, VerifyHook};
+pub use pipeline::{
+    compile, compile_timed, CompileStats, CompiledKernel, SlpConfig, Strategy, VerifyHook,
+};
 pub use schedule::{schedule_block, schedule_in_program_order, ScheduleConfig};
+pub use telemetry::{Phase, PhaseTimings};
+
+// `SlpConfig::weights` is part of this crate's public configuration
+// surface; re-export its type so config-building crates (slp-driver)
+// need not depend on slp-analysis directly.
+pub use slp_analysis::WeightParams;
 pub use superword::{
     validate_schedule, BlockSchedule, ScheduledItem, SuperwordStmt, ValidityError,
 };

@@ -20,6 +20,7 @@ use crate::machine::MachineConfig;
 use crate::native::native_block;
 use crate::schedule::{schedule_block, schedule_in_program_order, ScheduleConfig};
 use crate::superword::{validate_schedule, BlockSchedule};
+use crate::telemetry::{Phase, PhaseTimings};
 
 /// Which SLP strategy to compile with — the four schemes compared in §7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -181,19 +182,32 @@ impl CompiledKernel {
 /// suite — or if an installed [`SlpConfig::verify`] hook rejects the
 /// finished kernel.
 pub fn compile(program: &Program, config: &SlpConfig) -> CompiledKernel {
+    compile_timed(program, config).0
+}
+
+/// Compiles `program` under `config`, additionally returning the wall
+/// time each pipeline [`Phase`] consumed.
+///
+/// The timings of the Global+Layout dual arbitration accumulate across
+/// both inner compiles — they answer "where did this compilation spend
+/// its time", not "how long would a single pass take". Semantics and
+/// panics are identical to [`compile`].
+pub fn compile_timed(program: &Program, config: &SlpConfig) -> (CompiledKernel, PhaseTimings) {
+    let mut timings = PhaseTimings::new();
     let kernel = if config.strategy == Strategy::Holistic && config.layout {
-        let optimistic = compile_inner(program, config, true);
-        let plain = compile_inner(program, config, false);
+        let optimistic = compile_inner(program, config, true, &mut timings);
+        let plain = compile_inner(program, config, false, &mut timings);
         if estimated_total_cost(&optimistic) <= estimated_total_cost(&plain) {
             optimistic
         } else {
             plain
         }
     } else {
-        compile_inner(program, config, config.layout)
+        compile_inner(program, config, config.layout, &mut timings)
     };
     if let Some(hook) = config.verify {
-        if let Err(report) = hook(program, &kernel) {
+        let verdict = timings.time(Phase::Verify, || hook(program, &kernel));
+        if let Err(report) = verdict {
             panic!(
                 "verification rejected '{}' under the {} strategy:\n{report}",
                 program.name(),
@@ -201,7 +215,7 @@ pub fn compile(program: &Program, config: &SlpConfig) -> CompiledKernel {
             );
         }
     }
-    kernel
+    (kernel, timings)
 }
 
 /// Total estimated cycles of a compiled kernel: per-block schedule cost
@@ -232,7 +246,12 @@ fn estimated_total_cost(kernel: &CompiledKernel) -> f64 {
     total
 }
 
-fn compile_inner(program: &Program, config: &SlpConfig, optimism: bool) -> CompiledKernel {
+fn compile_inner(
+    program: &Program,
+    config: &SlpConfig,
+    optimism: bool,
+    timings: &mut PhaseTimings,
+) -> CompiledKernel {
     let mut program = program.clone();
 
     // Pre-processing: unroll innermost loops to expose SLP.
@@ -242,7 +261,7 @@ fn compile_inner(program: &Program, config: &SlpConfig, optimism: bool) -> Compi
         config.unroll
     };
     if config.strategy != Strategy::Scalar {
-        unroll_program(&mut program, unroll);
+        timings.time(Phase::Unroll, || unroll_program(&mut program, unroll));
     }
 
     // Stage 1: superword statement generation, block by block.
@@ -255,15 +274,21 @@ fn compile_inner(program: &Program, config: &SlpConfig, optimism: bool) -> Compi
         ..CompileStats::default()
     };
     for info in &infos {
-        let deps = BlockDeps::analyze_in(&info.block, &info.loops);
+        let deps = timings.time(Phase::Alignment, || {
+            BlockDeps::analyze_in(&info.block, &info.loops)
+        });
         let lane_cap = |s: StmtId| {
             let stmt = info.block.stmt(s).expect("stmt in block");
             config.machine.lanes_for(program.dest_type(stmt.dest()))
         };
         let sched = match config.strategy {
             Strategy::Scalar => BlockSchedule::scalar(&info.block),
-            Strategy::Native => native_block(&info.block, &deps, &program, lane_cap),
-            Strategy::Baseline => baseline_block(&info.block, &deps, &program, lane_cap),
+            Strategy::Native => timings.time(Phase::Grouping, || {
+                native_block(&info.block, &deps, &program, lane_cap)
+            }),
+            Strategy::Baseline => timings.time(Phase::Grouping, || {
+                baseline_block(&info.block, &deps, &program, lane_cap)
+            }),
             Strategy::Holistic => {
                 // The §4.3 cost model arbitrates between grouping
                 // proposals: the holistic grouping under the configured
@@ -293,22 +318,22 @@ fn compile_inner(program: &Program, config: &SlpConfig, optimism: bool) -> Compi
                 }
                 let mut proposals: Vec<BlockSchedule> = Vec::new();
                 for w in profiles {
-                    let g = group_block_with(&info.block, &deps, &program, lane_cap, &w);
-                    proposals.push(schedule_block(
-                        &info.block,
-                        &deps,
-                        &g.units,
-                        &config.schedule,
-                    ));
+                    let g = timings.time(Phase::Grouping, || {
+                        group_block_with(&info.block, &deps, &program, lane_cap, &w)
+                    });
+                    proposals.push(timings.time(Phase::Scheduling, || {
+                        schedule_block(&info.block, &deps, &g.units, &config.schedule)
+                    }));
                 }
-                let bg = baseline_groups(&info.block, &deps, &program, lane_cap);
-                proposals.push(schedule_block(&info.block, &deps, &bg, &config.schedule));
-                proposals.push(schedule_in_program_order(
-                    &info.block,
-                    &deps,
-                    &bg,
-                    &config.schedule,
-                ));
+                let bg = timings.time(Phase::Grouping, || {
+                    baseline_groups(&info.block, &deps, &program, lane_cap)
+                });
+                proposals.push(timings.time(Phase::Scheduling, || {
+                    schedule_block(&info.block, &deps, &bg, &config.schedule)
+                }));
+                proposals.push(timings.time(Phase::Scheduling, || {
+                    schedule_in_program_order(&info.block, &deps, &bg, &config.schedule)
+                }));
                 proposals
                     .into_iter()
                     .map(|s| {
@@ -333,6 +358,7 @@ fn compile_inner(program: &Program, config: &SlpConfig, optimism: bool) -> Compi
     }
 
     // Stage 2: data layout optimization.
+    let layout_start = std::time::Instant::now();
     let uses = collect_pack_uses(&schedules);
     let (scalar_layout, satisfied) = if config.layout {
         optimize_scalar_layout(&program, &uses)
@@ -346,6 +372,7 @@ fn compile_inner(program: &Program, config: &SlpConfig, optimism: bool) -> Compi
         Vec::new()
     };
     stats.replications = replications.len();
+    timings.add(Phase::Layout, layout_start.elapsed());
 
     CompiledKernel {
         program,

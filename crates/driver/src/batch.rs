@@ -1,0 +1,288 @@
+//! Parallel batch compilation with panic isolation, time budgets and
+//! graceful degradation.
+//!
+//! A batch shards its requests across a scoped worker pool. Each request
+//! compiles inside a guard ([`compile_guarded`]): the actual pipeline
+//! runs on a dedicated, named thread so that
+//!
+//! * a panicking compile (an optimizer invariant violation, a rejecting
+//!   verify hook) is caught and reported as [`DriverError::Panic`]
+//!   without printing a backtrace or taking the worker down, and
+//! * a compile that exceeds its time budget is abandoned
+//!   ([`DriverError::Timeout`]) — the guard thread is orphaned and the
+//!   worker moves on.
+//!
+//! With [`BatchConfig::degrade`] set (the default), a panicked or
+//! timed-out kernel is recompiled under [`Strategy::Scalar`] with the
+//! layout stage off — the configuration that exercises none of the
+//! optimizer — so the batch still produces a runnable kernel for every
+//! well-formed input. The degradation is recorded, never silent. Parse
+//! and validation errors are the *input's* fault and are reported as
+//! hard failures without a scalar retry.
+//!
+//! Output order is deterministic: results are addressed by input index,
+//! so neither the thread count nor scheduling jitter can reorder them.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Once};
+use std::thread;
+use std::time::Duration;
+
+use slp_core::Strategy;
+
+use crate::{
+    CacheDisposition, CachedCompile, CompileCache, CompileOutcome, CompileRequest, DriverError,
+};
+
+/// Name prefix of the threads that run untrusted compiles. The panic
+/// hook installed by [`compile_guarded`] suppresses panic output for
+/// these threads only; everything else panics loudly as usual.
+const GUARD_PREFIX: &str = "slp-guard:";
+
+static SILENCER: Once = Once::new();
+
+fn install_panic_silencer() {
+    SILENCER.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let guarded = thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with(GUARD_PREFIX));
+            if !guarded {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// [`crate::compile_source`] wrapped in panic isolation and an optional
+/// time budget.
+///
+/// The cache is consulted and updated on the *calling* thread; only the
+/// parse→validate→compile→verify work runs on the guard thread. On a
+/// timeout the guard thread is orphaned (it parks no locks and will be
+/// reaped at process exit); its eventual result is discarded rather
+/// than cached, so a hung compile can never poison the cache.
+pub fn compile_guarded(
+    req: &CompileRequest,
+    cache: Option<&CompileCache>,
+    budget_ms: Option<u64>,
+) -> Result<CompileOutcome, DriverError> {
+    let start = std::time::Instant::now();
+    let fp = req.fingerprint();
+    if let Some(cache) = cache {
+        if let Some((entry, tier)) = cache.get(fp) {
+            return Ok(CompileOutcome {
+                kernel: entry.kernel,
+                report: entry.report,
+                timings: entry.timings,
+                fingerprint: fp,
+                cache: match tier {
+                    crate::CacheTier::Memory => CacheDisposition::MemoryHit,
+                    crate::CacheTier::Disk => CacheDisposition::DiskHit,
+                },
+                wall_nanos: crate::elapsed_nanos(start),
+            });
+        }
+    }
+
+    install_panic_silencer();
+    let (tx, rx) = mpsc::channel();
+    let guarded_req = req.clone();
+    thread::Builder::new()
+        .name(format!("{GUARD_PREFIX}{}", req.name))
+        .spawn(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                crate::compile_source(&guarded_req, None)
+            }));
+            let flattened = match result {
+                Ok(r) => r,
+                Err(payload) => Err(DriverError::Panic(panic_message(payload.as_ref()))),
+            };
+            // The receiver may have timed out and gone away; that is
+            // fine, the result is simply dropped.
+            let _ = tx.send(flattened);
+        })
+        .expect("spawn compile guard thread");
+
+    let dead = || DriverError::Panic("compile guard thread died".to_string());
+    let outcome = match budget_ms {
+        Some(ms) => match rx.recv_timeout(Duration::from_millis(ms)) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(DriverError::Timeout(ms)),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(dead()),
+        },
+        None => rx.recv().unwrap_or_else(|_| Err(dead())),
+    }?;
+
+    if let Some(cache) = cache {
+        cache.put(
+            fp,
+            &CachedCompile {
+                kernel: outcome.kernel.clone(),
+                report: outcome.report.clone(),
+                timings: outcome.timings,
+            },
+        );
+    }
+    Ok(CompileOutcome {
+        fingerprint: fp,
+        wall_nanos: crate::elapsed_nanos(start),
+        ..outcome
+    })
+}
+
+/// Knobs of [`compile_batch`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Per-kernel compile budget in milliseconds; `None` means
+    /// unbounded.
+    pub budget_ms: Option<u64>,
+    /// Whether a panicked or timed-out kernel is retried under
+    /// [`Strategy::Scalar`] instead of failing the entry.
+    pub degrade: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            threads: 0,
+            budget_ms: None,
+            degrade: true,
+        }
+    }
+}
+
+/// The batch's verdict on one request.
+#[derive(Debug)]
+pub struct KernelOutcome {
+    /// The request's display name.
+    pub name: String,
+    /// The compilation result. When `degraded` is set, this is the
+    /// *scalar fallback's* result.
+    pub result: Result<CompileOutcome, DriverError>,
+    /// `Some(why)` when the requested configuration failed and the
+    /// entry was recompiled under [`Strategy::Scalar`]; the payload
+    /// describes the original failure.
+    pub degraded: Option<String>,
+}
+
+impl KernelOutcome {
+    /// Whether this entry produced a kernel at the *requested*
+    /// configuration (no degradation, no error).
+    pub fn is_clean(&self) -> bool {
+        self.result.is_ok() && self.degraded.is_none()
+    }
+}
+
+fn scalar_fallback(req: &CompileRequest) -> CompileRequest {
+    let mut fallback = req.clone();
+    fallback.config.strategy = Strategy::Scalar;
+    fallback.config.layout = false;
+    // The fallback must exercise as little machinery as possible — in
+    // particular not a custom verify hook, which may be the very thing
+    // that panicked or hung.
+    fallback.config.verify = None;
+    fallback
+}
+
+fn run_one(
+    req: &CompileRequest,
+    cache: Option<&CompileCache>,
+    config: &BatchConfig,
+) -> KernelOutcome {
+    let first = compile_guarded(req, cache, config.budget_ms);
+    match first {
+        Ok(outcome) => KernelOutcome {
+            name: req.name.clone(),
+            result: Ok(outcome),
+            degraded: None,
+        },
+        Err(err @ (DriverError::Panic(_) | DriverError::Timeout(_))) if config.degrade => {
+            let reason = err.to_string();
+            let retry = compile_guarded(&scalar_fallback(req), cache, config.budget_ms);
+            match retry {
+                Ok(outcome) => KernelOutcome {
+                    name: req.name.clone(),
+                    result: Ok(outcome),
+                    degraded: Some(reason),
+                },
+                Err(retry_err) => KernelOutcome {
+                    name: req.name.clone(),
+                    result: Err(retry_err),
+                    degraded: Some(reason),
+                },
+            }
+        }
+        Err(err) => KernelOutcome {
+            name: req.name.clone(),
+            result: Err(err),
+            degraded: None,
+        },
+    }
+}
+
+/// Compiles `requests` across a scoped worker pool.
+///
+/// Workers pull indices from a shared atomic counter, so load balances
+/// dynamically, but results are written back by index: the returned
+/// vector is always in input order with one entry per request,
+/// regardless of thread count or scheduling. The batch never aborts —
+/// every entry carries its own success, degradation or failure.
+pub fn compile_batch(
+    requests: &[CompileRequest],
+    cache: Option<&CompileCache>,
+    config: &BatchConfig,
+) -> Vec<KernelOutcome> {
+    let n = requests.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = match config.threads {
+        0 => thread::available_parallelism().map_or(1, |p| p.get()),
+        t => t,
+    }
+    .min(n);
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel();
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let outcome = run_one(&requests[i], cache, config);
+                if tx.send((i, outcome)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<KernelOutcome>> = (0..n).map(|_| None).collect();
+    for (i, outcome) in rx {
+        slots[i] = Some(outcome);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index produced exactly one outcome"))
+        .collect()
+}

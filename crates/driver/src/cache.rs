@@ -1,0 +1,379 @@
+//! The content-addressed compile cache: an in-memory LRU tier plus an
+//! optional on-disk tier.
+//!
+//! Entries are whole compilations — the [`CompiledKernel`], the verify
+//! [`Report`] (if the request asked for verification) and the original
+//! compile's [`PhaseTimings`] — keyed by [`Fingerprint`]. The memory
+//! tier serves repeat requests within a process (the `slpd serve` loop,
+//! repeated kernels in one batch); the disk tier under `.slp-cache/`
+//! makes whole corpus re-runs warm across processes, which is what turns
+//! a second `slpc batch` over an unchanged tree into a near-no-op.
+//!
+//! Robustness rules:
+//!
+//! * a corrupt, truncated or version-mismatched disk entry is a miss —
+//!   it is deleted and recompiled, never an error;
+//! * disk I/O failures (permissions, full disk) degrade the cache to
+//!   memory-only for that operation and are counted in
+//!   [`CacheStats::disk_errors`];
+//! * disk writes go through a temp file + rename, so a crashed or
+//!   concurrent writer can never leave a half-written entry under the
+//!   final name.
+//!
+//! The whole cache is internally synchronized (`&self` methods), so one
+//! instance can be shared by every worker of a batch and every request
+//! of a serve session.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use slp_core::{CompiledKernel, PhaseTimings};
+use slp_verify::Report;
+
+use crate::codec;
+use crate::fingerprint::Fingerprint;
+use crate::json::{self, Json};
+
+/// One cached compilation.
+#[derive(Debug, Clone)]
+pub struct CachedCompile {
+    /// The compiled kernel.
+    pub kernel: CompiledKernel,
+    /// The verify report of the original compile, if verification ran.
+    pub report: Option<Report>,
+    /// Per-phase timings of the original (cold) compile.
+    pub timings: PhaseTimings,
+}
+
+/// Where a cache lookup was answered from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheTier {
+    /// The in-memory LRU tier.
+    Memory,
+    /// The on-disk tier (the entry was promoted to memory on the way).
+    Disk,
+}
+
+/// Running counters of cache behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the memory tier.
+    pub memory_hits: u64,
+    /// Lookups answered from the disk tier.
+    pub disk_hits: u64,
+    /// Lookups answered by neither tier.
+    pub misses: u64,
+    /// Entries stored.
+    pub stores: u64,
+    /// Memory-tier evictions (LRU overflow).
+    pub evictions: u64,
+    /// Disk entries dropped or skipped because of I/O or decode
+    /// problems.
+    pub disk_errors: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.memory_hits + self.disk_hits + self.misses
+    }
+
+    /// Hits (either tier) over lookups, in `[0, 1]`; `0` before any
+    /// lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.memory_hits + self.disk_hits) as f64 / lookups as f64
+        }
+    }
+}
+
+struct MemoryTier {
+    entries: HashMap<Fingerprint, CachedCompile>,
+    /// LRU order, least recently used first.
+    order: Vec<Fingerprint>,
+    capacity: usize,
+}
+
+impl MemoryTier {
+    fn touch(&mut self, fp: Fingerprint) {
+        self.order.retain(|&f| f != fp);
+        self.order.push(fp);
+    }
+
+    fn get(&mut self, fp: Fingerprint) -> Option<CachedCompile> {
+        let entry = self.entries.get(&fp).cloned()?;
+        self.touch(fp);
+        Some(entry)
+    }
+
+    fn put(&mut self, fp: Fingerprint, entry: CachedCompile) -> u64 {
+        self.entries.insert(fp, entry);
+        self.touch(fp);
+        let mut evictions = 0;
+        while self.entries.len() > self.capacity && !self.order.is_empty() {
+            let victim = self.order.remove(0);
+            self.entries.remove(&victim);
+            evictions += 1;
+        }
+        evictions
+    }
+}
+
+/// The two-tier compile cache. See the module docs for the design.
+#[derive(Debug)]
+pub struct CompileCache {
+    memory: Mutex<MemoryTierBox>,
+    disk_dir: Option<PathBuf>,
+    stats: Mutex<CacheStats>,
+}
+
+// Wrapper so `CompileCache` can derive a useful `Debug` without dumping
+// whole kernels.
+struct MemoryTierBox(MemoryTier);
+
+impl std::fmt::Debug for MemoryTierBox {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryTier")
+            .field("entries", &self.0.entries.len())
+            .field("capacity", &self.0.capacity)
+            .finish()
+    }
+}
+
+/// The default memory-tier capacity (entries).
+pub const DEFAULT_MEMORY_CAPACITY: usize = 256;
+
+/// The conventional on-disk cache location relative to the working
+/// directory, used by the `slpc`/`slpd` front-ends.
+pub const DEFAULT_DISK_DIR: &str = ".slp-cache";
+
+impl CompileCache {
+    /// A memory-only cache holding at most `capacity` entries.
+    pub fn in_memory(capacity: usize) -> Self {
+        CompileCache {
+            memory: Mutex::new(MemoryTierBox(MemoryTier {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                capacity: capacity.max(1),
+            })),
+            disk_dir: None,
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// A two-tier cache persisting entries under `dir` (created on first
+    /// store).
+    pub fn with_disk(capacity: usize, dir: impl Into<PathBuf>) -> Self {
+        let mut cache = CompileCache::in_memory(capacity);
+        cache.disk_dir = Some(dir.into());
+        cache
+    }
+
+    /// The on-disk directory, if this cache has a disk tier.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk_dir.as_deref()
+    }
+
+    /// A snapshot of the running counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("cache stats lock")
+    }
+
+    /// Number of entries currently in the memory tier.
+    pub fn memory_len(&self) -> usize {
+        self.memory.lock().expect("cache lock").0.entries.len()
+    }
+
+    /// Empties the memory tier (the disk tier is untouched). Useful in
+    /// tests and for bounding memory between batches.
+    pub fn clear_memory(&self) {
+        let mut mem = self.memory.lock().expect("cache lock");
+        mem.0.entries.clear();
+        mem.0.order.clear();
+    }
+
+    /// Looks up a compilation, returning the entry and the tier that
+    /// answered.
+    pub fn get(&self, fp: Fingerprint) -> Option<(CachedCompile, CacheTier)> {
+        if let Some(entry) = self.memory.lock().expect("cache lock").0.get(fp) {
+            self.stats.lock().expect("cache stats lock").memory_hits += 1;
+            return Some((entry, CacheTier::Memory));
+        }
+        if let Some(entry) = self.disk_get(fp) {
+            // Promote to memory so repeat lookups stay cheap.
+            self.memory
+                .lock()
+                .expect("cache lock")
+                .0
+                .put(fp, entry.clone());
+            self.stats.lock().expect("cache stats lock").disk_hits += 1;
+            return Some((entry, CacheTier::Disk));
+        }
+        self.stats.lock().expect("cache stats lock").misses += 1;
+        None
+    }
+
+    /// Stores a compilation under `fp` in both tiers.
+    pub fn put(&self, fp: Fingerprint, entry: &CachedCompile) {
+        let evictions = self
+            .memory
+            .lock()
+            .expect("cache lock")
+            .0
+            .put(fp, entry.clone());
+        {
+            let mut stats = self.stats.lock().expect("cache stats lock");
+            stats.stores += 1;
+            stats.evictions += evictions;
+        }
+        if self.disk_dir.is_some() {
+            if let Err(()) = self.disk_put(fp, entry) {
+                self.stats.lock().expect("cache stats lock").disk_errors += 1;
+            }
+        }
+    }
+
+    fn entry_path(&self, fp: Fingerprint) -> Option<PathBuf> {
+        self.disk_dir
+            .as_ref()
+            .map(|d| d.join(format!("{}.json", fp.to_hex())))
+    }
+
+    fn disk_get(&self, fp: Fingerprint) -> Option<CachedCompile> {
+        let path = self.entry_path(fp)?;
+        let text = std::fs::read_to_string(&path).ok()?;
+        match decode_entry(&text, fp) {
+            Ok(entry) => Some(entry),
+            Err(_) => {
+                // Corrupt or stale: drop it so the slot recompiles clean.
+                let _ = std::fs::remove_file(&path);
+                self.stats.lock().expect("cache stats lock").disk_errors += 1;
+                None
+            }
+        }
+    }
+
+    fn disk_put(&self, fp: Fingerprint, entry: &CachedCompile) -> Result<(), ()> {
+        let dir = self.disk_dir.as_ref().ok_or(())?;
+        std::fs::create_dir_all(dir).map_err(|_| ())?;
+        let path = self.entry_path(fp).ok_or(())?;
+        let text = encode_entry(fp, entry).to_compact();
+        // Write-then-rename keeps concurrent readers (and crashes) from
+        // ever seeing a partial entry.
+        let tmp = dir.join(format!("{}.tmp.{}", fp.to_hex(), std::process::id()));
+        std::fs::write(&tmp, text).map_err(|_| ())?;
+        std::fs::rename(&tmp, &path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            let _ = e;
+        })
+    }
+}
+
+fn encode_entry(fp: Fingerprint, entry: &CachedCompile) -> Json {
+    Json::obj([
+        ("format", Json::num(codec::FORMAT_VERSION)),
+        ("fingerprint", Json::str(fp.to_hex())),
+        ("kernel", codec::encode_kernel(&entry.kernel)),
+        (
+            "report",
+            match &entry.report {
+                Some(r) => codec::encode_report(r),
+                None => Json::Null,
+            },
+        ),
+        ("timings", codec::encode_timings(&entry.timings)),
+    ])
+}
+
+fn decode_entry(text: &str, expect_fp: Fingerprint) -> Result<CachedCompile, String> {
+    let v = json::parse(text).map_err(|e| e.to_string())?;
+    let format = v
+        .get("format")
+        .and_then(Json::u64)
+        .ok_or("missing format")?;
+    if format != codec::FORMAT_VERSION {
+        return Err(format!("format version {format}"));
+    }
+    let fp = v
+        .get("fingerprint")
+        .and_then(Json::string)
+        .and_then(Fingerprint::from_hex)
+        .ok_or("missing fingerprint")?;
+    if fp != expect_fp {
+        // A renamed or mis-filed entry; treat as corrupt.
+        return Err("fingerprint mismatch".to_string());
+    }
+    let kernel = codec::decode_kernel(v.get("kernel").ok_or("missing kernel")?)
+        .map_err(|e| e.to_string())?;
+    let report = match v.get("report") {
+        None | Some(Json::Null) => None,
+        Some(r) => Some(codec::decode_report(r).map_err(|e| e.to_string())?),
+    };
+    let timings = codec::decode_timings(v.get("timings").ok_or("missing timings")?)
+        .map_err(|e| e.to_string())?;
+    Ok(CachedCompile {
+        kernel,
+        report,
+        timings,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_core::{MachineConfig, SlpConfig, Strategy};
+
+    fn entry_for(src: &str) -> (Fingerprint, CachedCompile) {
+        let cfg = SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic);
+        let p = slp_lang::compile(src).expect("compiles");
+        let (kernel, timings) = slp_core::compile_timed(&p, &cfg);
+        let fp = crate::fingerprint::fingerprint(src, &cfg);
+        (
+            fp,
+            CachedCompile {
+                kernel,
+                report: None,
+                timings,
+            },
+        )
+    }
+
+    fn source(n: usize) -> String {
+        format!("kernel k{n} {{ array A: f64[64]; for i in 0..32 {{ A[i] = A[i] + {n}.0; }} }}")
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = CompileCache::in_memory(2);
+        let (fp0, e0) = entry_for(&source(0));
+        let (fp1, e1) = entry_for(&source(1));
+        let (fp2, e2) = entry_for(&source(2));
+        cache.put(fp0, &e0);
+        cache.put(fp1, &e1);
+        assert!(cache.get(fp0).is_some()); // fp0 now most recent
+        cache.put(fp2, &e2); // evicts fp1
+        assert!(cache.get(fp1).is_none());
+        assert!(cache.get(fp0).is_some());
+        assert!(cache.get(fp2).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn hit_rate_tallies() {
+        let cache = CompileCache::in_memory(8);
+        let (fp, e) = entry_for(&source(3));
+        assert!(cache.get(fp).is_none());
+        cache.put(fp, &e);
+        assert!(cache.get(fp).is_some());
+        assert!(cache.get(fp).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.lookups(), 3);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

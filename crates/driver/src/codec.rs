@@ -1,0 +1,954 @@
+//! Persistence codec: [`CompiledKernel`], verify [`Report`]s and
+//! [`PhaseTimings`] to/from the driver's JSON value type.
+//!
+//! The on-disk cache tier stores whole compilations; this module defines
+//! the stable encoding. Two properties matter more than compactness:
+//!
+//! * **Bit-exactness** — constants, cost parameters and scalar addresses
+//!   must survive a round trip unchanged (floats use shortest-roundtrip
+//!   rendering, see [`crate::json`]), and statement/block ids must be
+//!   preserved verbatim because schedules reference them.
+//! * **Determinism** — encoding the same kernel twice yields identical
+//!   bytes, so the batch determinism tests can compare outputs across
+//!   thread counts, and cache files are reproducible.
+//!
+//! The one lossy spot is [`SlpConfig::verify`]: a function pointer has
+//! no serialized form, so decoded configs carry `None`. The driver never
+//! relies on the hook of a cached kernel — it re-runs verification
+//! itself and caches the resulting report beside the kernel.
+
+use slp_core::{
+    ArrayLayoutConfig, BlockSchedule, CompileStats, CompiledKernel, CostParams, MachineConfig,
+    Phase, PhaseTimings, ScalarLayout, ScheduleConfig, ScheduledItem, SlpConfig, Strategy,
+    SuperwordStmt, WeightParams,
+};
+use slp_ir::{
+    AccessVector, AffineExpr, ArrayId, ArrayRef, BinOp, BlockId, Dest, Expr, Item, Loop,
+    LoopHeader, LoopVarId, Operand, Program, ScalarType, Statement, StmtId, UnOp, VarId,
+};
+use slp_verify::{Diagnostic, LintCode, Report, Span};
+
+use crate::json::Json;
+
+/// The encoding version stamped into every payload; bumped on any
+/// incompatible change so old cache files read as misses, not garbage.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// A decode failure: the payload was syntactically valid JSON but not a
+/// valid kernel encoding (truncated, corrupted, or a different format
+/// version).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "kernel codec: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+type Result<T> = std::result::Result<T, CodecError>;
+
+fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(CodecError(msg.into()))
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json> {
+    match v.get(key) {
+        Some(x) => Ok(x),
+        None => err(format!("missing key '{key}'")),
+    }
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64> {
+    req(v, key)?
+        .u64()
+        .ok_or_else(|| CodecError(format!("'{key}' is not an unsigned integer")))
+}
+
+fn req_u32(v: &Json, key: &str) -> Result<u32> {
+    u32::try_from(req_u64(v, key)?).map_err(|_| CodecError(format!("'{key}' overflows u32")))
+}
+
+fn req_i64(v: &Json, key: &str) -> Result<i64> {
+    req(v, key)?
+        .i64()
+        .ok_or_else(|| CodecError(format!("'{key}' is not an integer")))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64> {
+    req(v, key)?
+        .f64()
+        .ok_or_else(|| CodecError(format!("'{key}' is not a number")))
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool> {
+    req(v, key)?
+        .bool()
+        .ok_or_else(|| CodecError(format!("'{key}' is not a bool")))
+}
+
+fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str> {
+    req(v, key)?
+        .string()
+        .ok_or_else(|| CodecError(format!("'{key}' is not a string")))
+}
+
+fn req_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json]> {
+    req(v, key)?
+        .array()
+        .ok_or_else(|| CodecError(format!("'{key}' is not an array")))
+}
+
+// ---- scalar types and operators ------------------------------------------
+
+fn scalar_type_tag(ty: ScalarType) -> &'static str {
+    match ty {
+        ScalarType::I8 => "i8",
+        ScalarType::I16 => "i16",
+        ScalarType::I32 => "i32",
+        ScalarType::I64 => "i64",
+        ScalarType::F32 => "f32",
+        ScalarType::F64 => "f64",
+    }
+}
+
+fn scalar_type_from(tag: &str) -> Result<ScalarType> {
+    Ok(match tag {
+        "i8" => ScalarType::I8,
+        "i16" => ScalarType::I16,
+        "i32" => ScalarType::I32,
+        "i64" => ScalarType::I64,
+        "f32" => ScalarType::F32,
+        "f64" => ScalarType::F64,
+        other => return err(format!("unknown scalar type '{other}'")),
+    })
+}
+
+fn expr_op_tag(e: &Expr) -> &'static str {
+    match e {
+        Expr::Copy(_) => "copy",
+        Expr::Unary(UnOp::Neg, _) => "neg",
+        Expr::Unary(UnOp::Abs, _) => "abs",
+        Expr::Unary(UnOp::Sqrt, _) => "sqrt",
+        Expr::Binary(BinOp::Add, _, _) => "add",
+        Expr::Binary(BinOp::Sub, _, _) => "sub",
+        Expr::Binary(BinOp::Mul, _, _) => "mul",
+        Expr::Binary(BinOp::Div, _, _) => "div",
+        Expr::Binary(BinOp::Min, _, _) => "min",
+        Expr::Binary(BinOp::Max, _, _) => "max",
+        Expr::MulAdd(_, _, _) => "muladd",
+    }
+}
+
+// ---- affine expressions and references -----------------------------------
+
+fn encode_affine(e: &AffineExpr) -> Json {
+    Json::obj([
+        ("c", Json::Num(e.constant() as f64)),
+        (
+            "t",
+            Json::Arr(
+                e.terms()
+                    .map(|(v, k)| Json::Arr(vec![Json::num(v.index() as u64), Json::Num(k as f64)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn decode_affine(v: &Json) -> Result<AffineExpr> {
+    let constant = req_i64(v, "c")?;
+    let mut terms = Vec::new();
+    for t in req_arr(v, "t")? {
+        let pair = t
+            .array()
+            .ok_or_else(|| CodecError("term not a pair".into()))?;
+        if pair.len() != 2 {
+            return err("term not a pair");
+        }
+        let var = pair[0].u64().ok_or_else(|| CodecError("term var".into()))? as u32;
+        let coeff = pair[1]
+            .i64()
+            .ok_or_else(|| CodecError("term coeff".into()))?;
+        terms.push((LoopVarId::new(var), coeff));
+    }
+    Ok(AffineExpr::from_terms(terms, constant))
+}
+
+fn encode_access(a: &AccessVector) -> Json {
+    Json::Arr(a.dims().iter().map(encode_affine).collect())
+}
+
+fn decode_access(v: &Json) -> Result<AccessVector> {
+    let dims = v
+        .array()
+        .ok_or_else(|| CodecError("access not an array".into()))?
+        .iter()
+        .map(decode_affine)
+        .collect::<Result<Vec<_>>>()?;
+    Ok(AccessVector::new(dims))
+}
+
+fn encode_array_ref(r: &ArrayRef) -> Json {
+    Json::obj([
+        ("a", Json::num(r.array.index() as u64)),
+        ("x", encode_access(&r.access)),
+    ])
+}
+
+fn decode_array_ref(v: &Json) -> Result<ArrayRef> {
+    let array = ArrayId::new(req_u32(v, "a")?);
+    let access = decode_access(req(v, "x")?)?;
+    Ok(ArrayRef::new(array, access))
+}
+
+// ---- operands, destinations, expressions, statements ---------------------
+
+fn encode_operand(o: &Operand) -> Json {
+    match o {
+        Operand::Scalar(v) => Json::obj([("s", Json::num(v.index() as u64))]),
+        Operand::Array(r) => Json::obj([("a", encode_array_ref(r))]),
+        Operand::Const(c) => Json::obj([("k", Json::float(*c))]),
+    }
+}
+
+fn decode_operand(v: &Json) -> Result<Operand> {
+    if let Some(s) = v.get("s") {
+        let idx = s.u64().ok_or_else(|| CodecError("operand var".into()))? as u32;
+        Ok(Operand::Scalar(VarId::new(idx)))
+    } else if let Some(a) = v.get("a") {
+        Ok(Operand::Array(decode_array_ref(a)?))
+    } else if let Some(k) = v.get("k") {
+        let c = k.f64().ok_or_else(|| CodecError("operand const".into()))?;
+        Ok(Operand::Const(c))
+    } else {
+        err("operand has no 's'/'a'/'k' key")
+    }
+}
+
+fn encode_dest(d: &Dest) -> Json {
+    match d {
+        Dest::Scalar(v) => Json::obj([("s", Json::num(v.index() as u64))]),
+        Dest::Array(r) => Json::obj([("a", encode_array_ref(r))]),
+    }
+}
+
+fn decode_dest(v: &Json) -> Result<Dest> {
+    if let Some(s) = v.get("s") {
+        let idx = s.u64().ok_or_else(|| CodecError("dest var".into()))? as u32;
+        Ok(Dest::Scalar(VarId::new(idx)))
+    } else if let Some(a) = v.get("a") {
+        Ok(Dest::Array(decode_array_ref(a)?))
+    } else {
+        err("dest has no 's'/'a' key")
+    }
+}
+
+fn encode_expr(e: &Expr) -> Json {
+    Json::obj([
+        ("o", Json::str(expr_op_tag(e))),
+        (
+            "v",
+            Json::Arr(e.operands().into_iter().map(encode_operand).collect()),
+        ),
+    ])
+}
+
+fn decode_expr(v: &Json) -> Result<Expr> {
+    let op = req_str(v, "o")?;
+    let args = req_arr(v, "v")?
+        .iter()
+        .map(decode_operand)
+        .collect::<Result<Vec<_>>>()?;
+    let arity_err = || CodecError(format!("operator '{op}' has wrong arity"));
+    let mut args = args.into_iter();
+    let mut next = || args.next().ok_or_else(arity_err);
+    Ok(match op {
+        "copy" => Expr::Copy(next()?),
+        "neg" => Expr::Unary(UnOp::Neg, next()?),
+        "abs" => Expr::Unary(UnOp::Abs, next()?),
+        "sqrt" => Expr::Unary(UnOp::Sqrt, next()?),
+        "add" => Expr::Binary(BinOp::Add, next()?, next()?),
+        "sub" => Expr::Binary(BinOp::Sub, next()?, next()?),
+        "mul" => Expr::Binary(BinOp::Mul, next()?, next()?),
+        "div" => Expr::Binary(BinOp::Div, next()?, next()?),
+        "min" => Expr::Binary(BinOp::Min, next()?, next()?),
+        "max" => Expr::Binary(BinOp::Max, next()?, next()?),
+        "muladd" => Expr::MulAdd(next()?, next()?, next()?),
+        other => return err(format!("unknown operator '{other}'")),
+    })
+}
+
+fn encode_stmt(s: &Statement) -> Json {
+    Json::obj([
+        ("i", Json::num(s.id().index() as u64)),
+        ("d", encode_dest(s.dest())),
+        ("e", encode_expr(s.expr())),
+    ])
+}
+
+fn decode_stmt(v: &Json, max_id: &mut u32) -> Result<Statement> {
+    let id = req_u32(v, "i")?;
+    *max_id = (*max_id).max(id);
+    let dest = decode_dest(req(v, "d")?)?;
+    let expr = decode_expr(req(v, "e")?)?;
+    Ok(Statement::new(StmtId::new(id), dest, expr))
+}
+
+// ---- loop structure -------------------------------------------------------
+
+fn encode_header(h: &LoopHeader) -> Json {
+    Json::obj([
+        ("v", Json::num(h.var.index() as u64)),
+        ("lo", Json::Num(h.lower as f64)),
+        ("hi", Json::Num(h.upper as f64)),
+        ("st", Json::Num(h.step as f64)),
+    ])
+}
+
+fn decode_header(v: &Json) -> Result<LoopHeader> {
+    Ok(LoopHeader {
+        var: LoopVarId::new(req_u32(v, "v")?),
+        lower: req_i64(v, "lo")?,
+        upper: req_i64(v, "hi")?,
+        step: req_i64(v, "st")?,
+    })
+}
+
+fn encode_item(item: &Item) -> Json {
+    match item {
+        Item::Stmt(s) => Json::obj([("stmt", encode_stmt(s))]),
+        Item::Loop(l) => Json::obj([
+            ("loop", encode_header(&l.header)),
+            ("body", Json::Arr(l.body.iter().map(encode_item).collect())),
+        ]),
+    }
+}
+
+fn decode_item(v: &Json, max_id: &mut u32) -> Result<Item> {
+    if let Some(s) = v.get("stmt") {
+        Ok(Item::Stmt(decode_stmt(s, max_id)?))
+    } else if let Some(h) = v.get("loop") {
+        let header = decode_header(h)?;
+        let body = req_arr(v, "body")?
+            .iter()
+            .map(|i| decode_item(i, max_id))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Item::Loop(Loop { header, body }))
+    } else {
+        err("item has no 'stmt'/'loop' key")
+    }
+}
+
+// ---- programs -------------------------------------------------------------
+
+/// Encodes a whole program, ids included.
+pub fn encode_program(p: &Program) -> Json {
+    Json::obj([
+        ("name", Json::str(p.name())),
+        (
+            "scalars",
+            Json::Arr(
+                p.scalars()
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("n", Json::str(&s.name)),
+                            ("t", Json::str(scalar_type_tag(s.ty))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "arrays",
+            Json::Arr(
+                p.arrays()
+                    .iter()
+                    .map(|a| {
+                        Json::obj([
+                            ("n", Json::str(&a.name)),
+                            ("t", Json::str(scalar_type_tag(a.ty))),
+                            (
+                                "d",
+                                Json::Arr(a.dims.iter().map(|&d| Json::Num(d as f64)).collect()),
+                            ),
+                            ("in", Json::Bool(a.is_input)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "loop_vars",
+            Json::Arr(
+                (0..p.loop_var_count())
+                    .map(|i| Json::str(p.loop_var_name(LoopVarId::new(i as u32))))
+                    .collect(),
+            ),
+        ),
+        (
+            "items",
+            Json::Arr(p.items().iter().map(encode_item).collect()),
+        ),
+    ])
+}
+
+/// Decodes a program encoded by [`encode_program`], restoring all ids.
+pub fn decode_program(v: &Json) -> Result<Program> {
+    let mut p = Program::new(req_str(v, "name")?);
+    for s in req_arr(v, "scalars")? {
+        p.add_scalar(req_str(s, "n")?, scalar_type_from(req_str(s, "t")?)?);
+    }
+    for a in req_arr(v, "arrays")? {
+        let dims = req_arr(a, "d")?
+            .iter()
+            .map(|d| d.i64().ok_or_else(|| CodecError("array dim".into())))
+            .collect::<Result<Vec<_>>>()?;
+        p.add_array(
+            req_str(a, "n")?,
+            scalar_type_from(req_str(a, "t")?)?,
+            dims,
+            req_bool(a, "in")?,
+        );
+    }
+    for lv in req_arr(v, "loop_vars")? {
+        p.add_loop_var(
+            lv.string()
+                .ok_or_else(|| CodecError("loop var name".into()))?,
+        );
+    }
+    let mut max_id = 0u32;
+    for item in req_arr(v, "items")? {
+        let item = decode_item(item, &mut max_id)?;
+        p.push_item(item);
+    }
+    p.ensure_stmt_ids(max_id.saturating_add(1));
+    Ok(p)
+}
+
+// ---- schedules, layouts, stats, config ------------------------------------
+
+fn encode_schedule(s: &BlockSchedule) -> Json {
+    Json::Arr(
+        s.items()
+            .iter()
+            .map(|item| match item {
+                ScheduledItem::Single(id) => Json::obj([("1", Json::num(id.index() as u64))]),
+                ScheduledItem::Superword(sw) => Json::obj([(
+                    "w",
+                    Json::Arr(
+                        sw.lanes()
+                            .iter()
+                            .map(|l| Json::num(l.index() as u64))
+                            .collect(),
+                    ),
+                )]),
+            })
+            .collect(),
+    )
+}
+
+fn decode_schedule(v: &Json) -> Result<BlockSchedule> {
+    let mut items = Vec::new();
+    for item in v
+        .array()
+        .ok_or_else(|| CodecError("schedule not an array".into()))?
+    {
+        if let Some(one) = item.get("1") {
+            let id = one.u64().ok_or_else(|| CodecError("single id".into()))? as u32;
+            items.push(ScheduledItem::Single(StmtId::new(id)));
+        } else if let Some(w) = item.get("w") {
+            let lanes = w
+                .array()
+                .ok_or_else(|| CodecError("superword lanes".into()))?
+                .iter()
+                .map(|l| {
+                    l.u64()
+                        .map(|n| StmtId::new(n as u32))
+                        .ok_or_else(|| CodecError("lane id".into()))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            if lanes.len() < 2 {
+                return err("superword with fewer than two lanes");
+            }
+            items.push(ScheduledItem::Superword(SuperwordStmt::new(lanes)));
+        } else {
+            return err("schedule item has no '1'/'w' key");
+        }
+    }
+    Ok(BlockSchedule::new(items))
+}
+
+fn encode_cost(c: &CostParams) -> Json {
+    Json::obj([
+        ("scalar_op", Json::float(c.scalar_op)),
+        ("simd_op", Json::float(c.simd_op)),
+        ("scalar_load", Json::float(c.scalar_load)),
+        ("scalar_store", Json::float(c.scalar_store)),
+        ("vector_load", Json::float(c.vector_load)),
+        ("unaligned_load", Json::float(c.unaligned_load)),
+        ("vector_store", Json::float(c.vector_store)),
+        ("unaligned_store", Json::float(c.unaligned_store)),
+        ("insert", Json::float(c.insert)),
+        ("extract", Json::float(c.extract)),
+        ("permute", Json::float(c.permute)),
+        ("reg_move", Json::float(c.reg_move)),
+        ("loop_overhead", Json::float(c.loop_overhead)),
+    ])
+}
+
+fn decode_cost(v: &Json) -> Result<CostParams> {
+    Ok(CostParams {
+        scalar_op: req_f64(v, "scalar_op")?,
+        simd_op: req_f64(v, "simd_op")?,
+        scalar_load: req_f64(v, "scalar_load")?,
+        scalar_store: req_f64(v, "scalar_store")?,
+        vector_load: req_f64(v, "vector_load")?,
+        unaligned_load: req_f64(v, "unaligned_load")?,
+        vector_store: req_f64(v, "vector_store")?,
+        unaligned_store: req_f64(v, "unaligned_store")?,
+        insert: req_f64(v, "insert")?,
+        extract: req_f64(v, "extract")?,
+        permute: req_f64(v, "permute")?,
+        reg_move: req_f64(v, "reg_move")?,
+        loop_overhead: req_f64(v, "loop_overhead")?,
+    })
+}
+
+fn encode_machine(m: &MachineConfig) -> Json {
+    Json::obj([
+        ("name", Json::str(&m.name)),
+        ("datapath_bits", Json::num(u64::from(m.datapath_bits))),
+        ("vector_regs", Json::num(m.vector_regs as u64)),
+        ("cores", Json::num(m.cores as u64)),
+        ("l1_data_kb", Json::num(u64::from(m.l1_data_kb))),
+        ("l2_total_kb", Json::num(u64::from(m.l2_total_kb))),
+        ("l3_total_kb", Json::num(u64::from(m.l3_total_kb))),
+        ("clock_ghz", Json::float(m.clock_ghz)),
+        ("cost", encode_cost(&m.cost)),
+    ])
+}
+
+fn decode_machine(v: &Json) -> Result<MachineConfig> {
+    Ok(MachineConfig {
+        name: req_str(v, "name")?.to_string(),
+        datapath_bits: req_u32(v, "datapath_bits")?,
+        vector_regs: req_u64(v, "vector_regs")? as usize,
+        cores: req_u64(v, "cores")? as usize,
+        l1_data_kb: req_u32(v, "l1_data_kb")?,
+        l2_total_kb: req_u32(v, "l2_total_kb")?,
+        l3_total_kb: req_u32(v, "l3_total_kb")?,
+        clock_ghz: req_f64(v, "clock_ghz")?,
+        cost: decode_cost(req(v, "cost")?)?,
+    })
+}
+
+fn strategy_tag(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Scalar => "scalar",
+        Strategy::Native => "native",
+        Strategy::Baseline => "baseline",
+        Strategy::Holistic => "holistic",
+    }
+}
+
+fn strategy_from(tag: &str) -> Result<Strategy> {
+    Ok(match tag {
+        "scalar" => Strategy::Scalar,
+        "native" => Strategy::Native,
+        "baseline" => Strategy::Baseline,
+        "holistic" => Strategy::Holistic,
+        other => return err(format!("unknown strategy '{other}'")),
+    })
+}
+
+fn encode_config(c: &SlpConfig) -> Json {
+    Json::obj([
+        ("machine", encode_machine(&c.machine)),
+        ("strategy", Json::str(strategy_tag(c.strategy))),
+        ("unroll", Json::num(c.unroll as u64)),
+        ("layout", Json::Bool(c.layout)),
+        (
+            "live_set_capacity",
+            Json::num(c.schedule.live_set_capacity as u64),
+        ),
+        (
+            "max_replication_factor",
+            Json::float(c.array_layout.max_replication_factor),
+        ),
+        ("layout_cost", encode_cost(&c.array_layout.cost)),
+        (
+            "weights",
+            Json::obj([
+                ("contiguous_bonus", Json::float(c.weights.contiguous_bonus)),
+                ("gather_penalty", Json::float(c.weights.gather_penalty)),
+                (
+                    "scalar_reuse_weight",
+                    Json::float(c.weights.scalar_reuse_weight),
+                ),
+                ("store_factor", Json::float(c.weights.store_factor)),
+            ]),
+        ),
+        ("cross_iteration_reuse", Json::Bool(c.cross_iteration_reuse)),
+    ])
+}
+
+fn decode_config(v: &Json) -> Result<SlpConfig> {
+    let w = req(v, "weights")?;
+    Ok(SlpConfig {
+        machine: decode_machine(req(v, "machine")?)?,
+        strategy: strategy_from(req_str(v, "strategy")?)?,
+        unroll: req_u64(v, "unroll")? as usize,
+        layout: req_bool(v, "layout")?,
+        schedule: ScheduleConfig {
+            live_set_capacity: req_u64(v, "live_set_capacity")? as usize,
+        },
+        array_layout: ArrayLayoutConfig {
+            max_replication_factor: req_f64(v, "max_replication_factor")?,
+            cost: decode_cost(req(v, "layout_cost")?)?,
+        },
+        weights: WeightParams {
+            contiguous_bonus: req_f64(w, "contiguous_bonus")?,
+            gather_penalty: req_f64(w, "gather_penalty")?,
+            scalar_reuse_weight: req_f64(w, "scalar_reuse_weight")?,
+            store_factor: req_f64(w, "store_factor")?,
+        },
+        cross_iteration_reuse: req_bool(v, "cross_iteration_reuse")?,
+        // Function pointers have no serialized form; see module docs.
+        verify: None,
+    })
+}
+
+// ---- the compiled kernel ---------------------------------------------------
+
+/// Encodes a compiled kernel. Deterministic: equal kernels give equal
+/// bytes through [`Json::to_compact`].
+pub fn encode_kernel(k: &CompiledKernel) -> Json {
+    Json::obj([
+        ("format", Json::num(FORMAT_VERSION)),
+        ("program", encode_program(&k.program)),
+        (
+            "schedules",
+            Json::Arr(
+                k.schedules
+                    .iter()
+                    .map(|(b, s)| {
+                        Json::obj([
+                            ("b", Json::num(u64::from(b.0))),
+                            ("items", encode_schedule(s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "scalar_layout",
+            Json::obj([
+                (
+                    "addr",
+                    Json::Arr(
+                        k.scalar_layout
+                            .addresses()
+                            .iter()
+                            .map(|&a| Json::num(a))
+                            .collect(),
+                    ),
+                ),
+                ("total", Json::num(k.scalar_layout.total_bytes())),
+                ("optimized", Json::Bool(k.scalar_layout.is_optimized())),
+            ]),
+        ),
+        (
+            "replications",
+            Json::Arr(
+                k.replications
+                    .iter()
+                    .map(|r| {
+                        Json::obj([
+                            ("src", Json::num(r.source.index() as u64)),
+                            ("dst", Json::num(r.dest.index() as u64)),
+                            (
+                                "lanes",
+                                Json::Arr(r.lanes.iter().map(encode_access).collect()),
+                            ),
+                            (
+                                "dest_exprs",
+                                Json::Arr(r.dest_exprs.iter().map(encode_affine).collect()),
+                            ),
+                            (
+                                "loops",
+                                Json::Arr(r.loops.iter().map(encode_header).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "stats",
+            Json::obj([
+                ("stmts", Json::num(k.stats.stmts as u64)),
+                ("blocks", Json::num(k.stats.blocks as u64)),
+                ("superwords", Json::num(k.stats.superwords as u64)),
+                (
+                    "vectorized_stmts",
+                    Json::num(k.stats.vectorized_stmts as u64),
+                ),
+                (
+                    "scalar_packs_laid_out",
+                    Json::num(k.stats.scalar_packs_laid_out as u64),
+                ),
+                ("replications", Json::num(k.stats.replications as u64)),
+            ]),
+        ),
+        ("config", encode_config(&k.config)),
+    ])
+}
+
+/// Decodes a kernel encoded by [`encode_kernel`].
+pub fn decode_kernel(v: &Json) -> Result<CompiledKernel> {
+    let format = req_u64(v, "format")?;
+    if format != FORMAT_VERSION {
+        return err(format!(
+            "format version {format} (this build reads {FORMAT_VERSION})"
+        ));
+    }
+    let program = decode_program(req(v, "program")?)?;
+    let mut schedules = Vec::new();
+    for entry in req_arr(v, "schedules")? {
+        let block = BlockId(req_u32(entry, "b")?);
+        let sched = decode_schedule(req(entry, "items")?)?;
+        schedules.push((block, sched));
+    }
+    let sl = req(v, "scalar_layout")?;
+    let addr = req_arr(sl, "addr")?
+        .iter()
+        .map(|a| a.u64().ok_or_else(|| CodecError("scalar address".into())))
+        .collect::<Result<Vec<_>>>()?;
+    let scalar_layout =
+        ScalarLayout::from_raw(addr, req_u64(sl, "total")?, req_bool(sl, "optimized")?);
+    let mut replications = Vec::new();
+    for r in req_arr(v, "replications")? {
+        replications.push(slp_core::Replication {
+            source: ArrayId::new(req_u32(r, "src")?),
+            dest: ArrayId::new(req_u32(r, "dst")?),
+            lanes: req_arr(r, "lanes")?
+                .iter()
+                .map(decode_access)
+                .collect::<Result<Vec<_>>>()?,
+            dest_exprs: req_arr(r, "dest_exprs")?
+                .iter()
+                .map(decode_affine)
+                .collect::<Result<Vec<_>>>()?,
+            loops: req_arr(r, "loops")?
+                .iter()
+                .map(decode_header)
+                .collect::<Result<Vec<_>>>()?,
+        });
+    }
+    let st = req(v, "stats")?;
+    let stats = CompileStats {
+        stmts: req_u64(st, "stmts")? as usize,
+        blocks: req_u64(st, "blocks")? as usize,
+        superwords: req_u64(st, "superwords")? as usize,
+        vectorized_stmts: req_u64(st, "vectorized_stmts")? as usize,
+        scalar_packs_laid_out: req_u64(st, "scalar_packs_laid_out")? as usize,
+        replications: req_u64(st, "replications")? as usize,
+    };
+    let config = decode_config(req(v, "config")?)?;
+    Ok(CompiledKernel {
+        program,
+        schedules,
+        scalar_layout,
+        replications,
+        stats,
+        config,
+    })
+}
+
+// ---- verify reports and timings --------------------------------------------
+
+/// Encodes a verify report as a list of structured diagnostics.
+pub fn encode_report(r: &Report) -> Json {
+    Json::Arr(
+        r.diagnostics
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("code", Json::str(d.code.code())),
+                    ("severity", Json::str(d.severity.to_string())),
+                    ("message", Json::str(&d.message)),
+                    (
+                        "block",
+                        match d.span.block {
+                            Some(b) => Json::num(u64::from(b.0)),
+                            None => Json::Null,
+                        },
+                    ),
+                    (
+                        "stmts",
+                        Json::Arr(
+                            d.span
+                                .stmts
+                                .iter()
+                                .map(|s| Json::num(s.index() as u64))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a report encoded by [`encode_report`]. Severity is re-derived
+/// from the lint catalogue, which is the source of truth.
+pub fn decode_report(v: &Json) -> Result<Report> {
+    let mut report = Report::new();
+    for d in v
+        .array()
+        .ok_or_else(|| CodecError("report not an array".into()))?
+    {
+        let code = req_str(d, "code")?;
+        let code = LintCode::from_code(code)
+            .ok_or_else(|| CodecError(format!("unknown lint code '{code}'")))?;
+        let block = match req(d, "block")? {
+            Json::Null => None,
+            b => Some(BlockId(
+                b.u64().ok_or_else(|| CodecError("span block".into()))? as u32,
+            )),
+        };
+        let stmts = req_arr(d, "stmts")?
+            .iter()
+            .map(|s| {
+                s.u64()
+                    .map(|n| StmtId::new(n as u32))
+                    .ok_or_else(|| CodecError("span stmt".into()))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        report.push(Diagnostic::new(
+            code,
+            Span { block, stmts },
+            req_str(d, "message")?,
+        ));
+    }
+    Ok(report)
+}
+
+/// Encodes per-phase timings as `{phase: nanos}`.
+pub fn encode_timings(t: &PhaseTimings) -> Json {
+    Json::Obj(
+        t.iter()
+            .map(|(p, ns)| (p.name().to_string(), Json::num(ns)))
+            .collect(),
+    )
+}
+
+/// Decodes timings encoded by [`encode_timings`].
+pub fn decode_timings(v: &Json) -> Result<PhaseTimings> {
+    let mut t = PhaseTimings::new();
+    for p in Phase::ALL {
+        t.set_nanos(p, req_u64(v, p.name())?);
+    }
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn compiled(src: &str, layout: bool) -> CompiledKernel {
+        let p = slp_lang::compile(src).expect("compiles");
+        let mut cfg = SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic);
+        if layout {
+            cfg = cfg.with_layout();
+        }
+        slp_core::compile(&p, &cfg)
+    }
+
+    const GATHER: &str = "kernel g {
+        const N = 16;
+        array A: f64[8*N];
+        array B: f64[2*N];
+        for i in 0..N {
+            B[2*i] = A[4*i] + 1.0;
+            B[2*i+1] = A[4*i+3] + 1.0;
+        }
+    }";
+
+    #[test]
+    fn kernel_roundtrips_through_text() {
+        for layout in [false, true] {
+            let k = compiled(GATHER, layout);
+            let text = encode_kernel(&k).to_compact();
+            let back = decode_kernel(&json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back.program, k.program);
+            assert_eq!(back.schedules, k.schedules);
+            assert_eq!(back.scalar_layout, k.scalar_layout);
+            assert_eq!(back.replications, k.replications);
+            assert_eq!(back.stats, k.stats);
+            // Re-encoding the decoded kernel is byte-identical.
+            assert_eq!(encode_kernel(&back).to_compact(), text);
+        }
+    }
+
+    #[test]
+    fn decoded_program_allocates_fresh_ids_above_existing() {
+        let k = compiled(GATHER, false);
+        let text = encode_kernel(&k).to_compact();
+        let mut back = decode_kernel(&json::parse(&text).expect("parses")).expect("decodes");
+        let max = {
+            let mut m = 0;
+            back.program.for_each_stmt(|s| m = m.max(s.id().index()));
+            m
+        };
+        assert!(back.program.fresh_stmt_id().index() > max);
+    }
+
+    #[test]
+    fn format_version_gates_decoding() {
+        let k = compiled(GATHER, false);
+        let mut v = encode_kernel(&k);
+        if let Json::Obj(pairs) = &mut v {
+            for (key, val) in pairs.iter_mut() {
+                if key == "format" {
+                    *val = Json::num(FORMAT_VERSION + 1);
+                }
+            }
+        }
+        assert!(decode_kernel(&v).is_err());
+    }
+
+    #[test]
+    fn report_roundtrips() {
+        use slp_ir::BlockId;
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            LintCode::MisalignedPack,
+            Span::stmts(BlockId(1), vec![StmtId::new(3), StmtId::new(4)]),
+            "pack base at odd offset",
+        ));
+        r.push(Diagnostic::new(
+            LintCode::DifferentialMismatch,
+            Span::program(),
+            "array A differs at [2]",
+        ));
+        let text = encode_report(&r).to_compact();
+        let back = decode_report(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn timings_roundtrip() {
+        let mut t = PhaseTimings::new();
+        t.set_nanos(Phase::Grouping, 123_456);
+        t.set_nanos(Phase::Verify, 789);
+        let text = encode_timings(&t).to_compact();
+        let back = decode_timings(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,253 @@
+//! Content-addressed cache keys.
+//!
+//! A compilation is a pure function of (source text, configuration,
+//! compiler version): the pipeline has no other inputs, no randomness
+//! and no environment dependence. The cache can therefore address
+//! compiled kernels by a [`Fingerprint`] of exactly those three things.
+//!
+//! The fingerprint is a 128-bit FNV-1a hash (two independent 64-bit
+//! streams over the same canonical byte string) — not cryptographic,
+//! but collision-safe for cache purposes at any realistic corpus size,
+//! and fully deterministic across processes and platforms, which is
+//! what lets the on-disk tier survive process restarts.
+//!
+//! What goes into the key (see [`fingerprint`]):
+//!
+//! * the crate version — a new compiler silently invalidates every old
+//!   entry rather than replaying stale kernels,
+//! * the source text, byte for byte,
+//! * every semantic knob of [`SlpConfig`]: strategy, unroll factor,
+//!   layout flag, machine description (including the full cost table),
+//!   scheduling/array-layout/grouping parameters, and the
+//!   cross-iteration-reuse flag.
+//!
+//! The [`SlpConfig::verify`] hook is deliberately *excluded*: it cannot
+//! change the produced kernel, only panic on a bad one. The driver's own
+//! verification level is keyed separately (it changes the cached
+//! `Report`), via [`fingerprint_with_tag`].
+
+use std::fmt;
+
+use slp_core::{CostParams, MachineConfig, SlpConfig, Strategy};
+
+/// A 128-bit content-addressed cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64, pub u64);
+
+impl Fingerprint {
+    /// The 32-hex-digit rendering used as the on-disk file stem.
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.0, self.1)
+    }
+
+    /// Parses [`Fingerprint::to_hex`] output.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Fingerprint(hi, lo))
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+// A second, independent stream: same prime, different offset basis
+// (the FNV-0 hash of "slp-driver").
+const FNV_OFFSET_B: u64 = 0x9ae1_6a3b_2f90_404f;
+
+struct Hasher {
+    a: u64,
+    b: u64,
+}
+
+impl Hasher {
+    fn new() -> Self {
+        Hasher {
+            a: FNV_OFFSET,
+            b: FNV_OFFSET_B,
+        }
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.a = (self.a ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            self.b = (self.b ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Writes a field with a separator so concatenations cannot collide
+    /// (`("ab", "c")` hashes differently from `("a", "bc")`).
+    fn field(&mut self, name: &str, value: impl fmt::Display) {
+        self.write(name.as_bytes());
+        self.write(b"=");
+        self.write(value.to_string().as_bytes());
+        self.write(b"\x1f");
+    }
+
+    fn finish(self) -> Fingerprint {
+        Fingerprint(self.a, self.b)
+    }
+}
+
+/// Bit-exact float rendering for key derivation. `{:?}` is Rust's
+/// shortest roundtrip form, so two distinct `f64` values always render
+/// differently (including `-0.0` vs `0.0`).
+fn float(x: f64) -> String {
+    format!("{x:?}")
+}
+
+fn write_cost(h: &mut Hasher, prefix: &str, c: &CostParams) {
+    for (name, v) in [
+        ("scalar_op", c.scalar_op),
+        ("simd_op", c.simd_op),
+        ("scalar_load", c.scalar_load),
+        ("scalar_store", c.scalar_store),
+        ("vector_load", c.vector_load),
+        ("unaligned_load", c.unaligned_load),
+        ("vector_store", c.vector_store),
+        ("unaligned_store", c.unaligned_store),
+        ("insert", c.insert),
+        ("extract", c.extract),
+        ("permute", c.permute),
+        ("reg_move", c.reg_move),
+        ("loop_overhead", c.loop_overhead),
+    ] {
+        h.field(&format!("{prefix}.{name}"), float(v));
+    }
+}
+
+fn write_machine(h: &mut Hasher, m: &MachineConfig) {
+    h.field("machine.name", &m.name);
+    h.field("machine.datapath_bits", m.datapath_bits);
+    h.field("machine.vector_regs", m.vector_regs);
+    h.field("machine.cores", m.cores);
+    h.field("machine.clock_ghz", float(m.clock_ghz));
+    write_cost(h, "machine.cost", &m.cost);
+}
+
+fn strategy_tag(s: Strategy) -> &'static str {
+    match s {
+        Strategy::Scalar => "scalar",
+        Strategy::Native => "native",
+        Strategy::Baseline => "baseline",
+        Strategy::Holistic => "holistic",
+    }
+}
+
+/// Computes the cache key of compiling `source` under `config` with this
+/// crate version.
+pub fn fingerprint(source: &str, config: &SlpConfig) -> Fingerprint {
+    fingerprint_with_tag(source, config, "")
+}
+
+/// Like [`fingerprint`], with an extra caller-chosen tag mixed in.
+///
+/// The driver uses the tag for request dimensions that change the cached
+/// *payload* without changing the kernel — the verification level, whose
+/// `Report` is stored alongside the kernel.
+pub fn fingerprint_with_tag(source: &str, config: &SlpConfig, tag: &str) -> Fingerprint {
+    let mut h = Hasher::new();
+    h.field("version", env!("CARGO_PKG_VERSION"));
+    h.field("tag", tag);
+    h.field("source", source);
+    h.field("strategy", strategy_tag(config.strategy));
+    h.field("unroll", config.unroll);
+    h.field("layout", config.layout);
+    h.field("cross_iteration_reuse", config.cross_iteration_reuse);
+    h.field(
+        "schedule.live_set_capacity",
+        config.schedule.live_set_capacity,
+    );
+    h.field(
+        "array_layout.max_replication_factor",
+        float(config.array_layout.max_replication_factor),
+    );
+    write_cost(&mut h, "array_layout.cost", &config.array_layout.cost);
+    h.field(
+        "weights.contiguous_bonus",
+        float(config.weights.contiguous_bonus),
+    );
+    h.field(
+        "weights.gather_penalty",
+        float(config.weights.gather_penalty),
+    );
+    h.field(
+        "weights.scalar_reuse_weight",
+        float(config.weights.scalar_reuse_weight),
+    );
+    h.field("weights.store_factor", float(config.weights.store_factor));
+    write_machine(&mut h, &config.machine);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_config() -> SlpConfig {
+        SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic)
+    }
+
+    #[test]
+    fn hex_roundtrips() {
+        let fp = Fingerprint(0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210);
+        assert_eq!(Fingerprint::from_hex(&fp.to_hex()), Some(fp));
+        assert_eq!(Fingerprint::from_hex("xyz"), None);
+        assert_eq!(Fingerprint::from_hex(""), None);
+    }
+
+    #[test]
+    fn identical_inputs_agree() {
+        let src = "kernel k { array A: f64[8]; for i in 0..8 { A[i] = A[i] + 1.0; } }";
+        assert_eq!(
+            fingerprint(src, &base_config()),
+            fingerprint(src, &base_config())
+        );
+    }
+
+    #[test]
+    fn each_dimension_changes_the_key() {
+        let src = "kernel k { array A: f64[8]; for i in 0..8 { A[i] = A[i] + 1.0; } }";
+        let base = fingerprint(src, &base_config());
+
+        // Source text.
+        let src2 = "kernel k { array A: f64[8]; for i in 0..8 { A[i] = A[i] + 2.0; } }";
+        assert_ne!(fingerprint(src2, &base_config()), base);
+
+        // Strategy.
+        let mut c = base_config();
+        c.strategy = Strategy::Baseline;
+        assert_ne!(fingerprint(src, &c), base);
+
+        // Machine.
+        let c = SlpConfig::for_machine(MachineConfig::amd_phenom_ii(), Strategy::Holistic);
+        assert_ne!(fingerprint(src, &c), base);
+
+        // Layout flag.
+        let c = base_config().with_layout();
+        assert_ne!(fingerprint(src, &c), base);
+
+        // Unroll factor.
+        let mut c = base_config();
+        c.unroll = 4;
+        assert_ne!(fingerprint(src, &c), base);
+
+        // Verification tag.
+        assert_ne!(fingerprint_with_tag(src, &base_config(), "full"), base);
+    }
+
+    #[test]
+    fn verify_hook_does_not_change_the_key() {
+        let src = "kernel k { array A: f64[8]; for i in 0..8 { A[i] = A[i] + 1.0; } }";
+        let hooked = base_config().with_verifier(slp_verify::pipeline_hook);
+        assert_eq!(fingerprint(src, &hooked), fingerprint(src, &base_config()));
+    }
+}

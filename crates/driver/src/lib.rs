@@ -1,0 +1,315 @@
+//! # slp-driver — the concurrent compilation driver
+//!
+//! The layer between front-ends and `slp-core`. Where the core pipeline
+//! answers "compile this one program", this crate answers the questions
+//! a production service has to: *don't compile it again if nothing
+//! changed* (content-addressed caching), *compile many at once*
+//! (parallel batch with panic isolation, time budgets and graceful
+//! degradation), *keep answering requests* (the `slpd` serve loop) and
+//! *say where the time went* (per-phase telemetry).
+//!
+//! The pieces:
+//!
+//! * [`compile_source`] — the single read→parse→validate→compile entry
+//!   point every front-end shares, with an optional [`CompileCache`],
+//! * [`fingerprint`] / [`Fingerprint`] — stable content-addressed cache
+//!   keys over (source, config, compiler version),
+//! * [`CompileCache`] — in-memory LRU + on-disk tier under
+//!   `.slp-cache/`,
+//! * [`compile_batch`] — shards a corpus across a scoped worker pool
+//!   with deterministic output order; a panicking or over-budget kernel
+//!   degrades to [`Strategy::Scalar`] instead of sinking the batch,
+//! * [`DriverReport`] — machine-readable per-kernel and corpus-wide
+//!   phase timings, cache counters and degradation records,
+//! * [`serve`] — a line-delimited JSON request loop sharing one cache
+//!   across requests.
+//!
+//! ```
+//! use slp_core::{MachineConfig, SlpConfig, Strategy};
+//! use slp_driver::{compile_source, CompileCache, CompileRequest, VerifyLevel};
+//!
+//! let cache = CompileCache::in_memory(16);
+//! let req = CompileRequest {
+//!     name: "axpy".to_string(),
+//!     source: "kernel axpy { array X: f64[64]; array Y: f64[64]; scalar a: f64;
+//!              for i in 0..64 { Y[i] = Y[i] + a * X[i]; } }"
+//!         .to_string(),
+//!     config: SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic),
+//!     verify: VerifyLevel::Static,
+//! };
+//! let cold = compile_source(&req, Some(&cache))?;
+//! assert!(cold.kernel.stats.superwords > 0);
+//! assert!(cold.report.as_ref().expect("verified").passes());
+//! let warm = compile_source(&req, Some(&cache))?;
+//! assert!(warm.cache_hit());
+//! # Ok::<(), slp_driver::DriverError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batch;
+mod cache;
+mod codec;
+mod fingerprint;
+pub mod json;
+mod report;
+mod serve;
+
+pub use batch::{compile_batch, compile_guarded, BatchConfig, KernelOutcome};
+pub use cache::{
+    CacheStats, CacheTier, CachedCompile, CompileCache, DEFAULT_DISK_DIR, DEFAULT_MEMORY_CAPACITY,
+};
+pub use codec::{
+    decode_kernel, decode_program, decode_report, decode_timings, encode_kernel, encode_program,
+    encode_report, encode_timings, CodecError, FORMAT_VERSION,
+};
+pub use fingerprint::{fingerprint, fingerprint_with_tag, Fingerprint};
+pub use report::DriverReport;
+pub use serve::{serve, ServeSummary};
+
+use std::time::Instant;
+
+use slp_core::{
+    compile_timed, CompiledKernel, MachineConfig, Phase, PhaseTimings, SlpConfig, Strategy,
+};
+use slp_verify::Report;
+
+/// How much verification a compile request asks the driver to run over
+/// the finished kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyLevel {
+    /// No verification; `report` stays `None`.
+    None,
+    /// The static checkers (`slp_verify::verify_kernel`).
+    Static,
+    /// Static checkers plus differential translation validation
+    /// (`slp_verify::verify_with_execution`). Executes the kernel twice;
+    /// meant for checks and tests, not hot serving paths.
+    Differential,
+}
+
+impl VerifyLevel {
+    /// The stable name used in cache keys, CLI flags and the serve
+    /// protocol.
+    pub fn name(self) -> &'static str {
+        match self {
+            VerifyLevel::None => "none",
+            VerifyLevel::Static => "static",
+            VerifyLevel::Differential => "full",
+        }
+    }
+
+    /// Parses [`VerifyLevel::name`] output.
+    pub fn from_name(name: &str) -> Option<VerifyLevel> {
+        match name {
+            "none" => Some(VerifyLevel::None),
+            "static" => Some(VerifyLevel::Static),
+            "full" => Some(VerifyLevel::Differential),
+            _ => None,
+        }
+    }
+}
+
+/// One unit of driver work: a named kernel source plus how to compile
+/// and verify it.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// Display name (usually the file stem or the kernel name).
+    pub name: String,
+    /// The `slp-lang` source text.
+    pub source: String,
+    /// The pipeline configuration.
+    pub config: SlpConfig,
+    /// How much verification to run on the result.
+    pub verify: VerifyLevel,
+}
+
+impl CompileRequest {
+    /// The request's content-addressed cache key.
+    pub fn fingerprint(&self) -> Fingerprint {
+        fingerprint_with_tag(&self.source, &self.config, self.verify.name())
+    }
+}
+
+/// Where a compilation came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheDisposition {
+    /// Compiled from scratch this call.
+    Compiled,
+    /// Served from the in-memory tier.
+    MemoryHit,
+    /// Served from the on-disk tier.
+    DiskHit,
+}
+
+impl CacheDisposition {
+    /// The stable name used in reports (`"compiled"`, `"memory"`,
+    /// `"disk"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheDisposition::Compiled => "compiled",
+            CacheDisposition::MemoryHit => "memory",
+            CacheDisposition::DiskHit => "disk",
+        }
+    }
+}
+
+/// The result of one successful driver compilation.
+#[derive(Debug, Clone)]
+pub struct CompileOutcome {
+    /// The compiled kernel.
+    pub kernel: CompiledKernel,
+    /// The verify report ([`None`] iff the request's level was
+    /// [`VerifyLevel::None`]). On a cache hit this is the *original*
+    /// compile's report — verification is as cacheable as compilation.
+    pub report: Option<Report>,
+    /// Per-phase timings of the compile that produced the kernel (the
+    /// cold compile's timings on a cache hit).
+    pub timings: PhaseTimings,
+    /// The request's cache key.
+    pub fingerprint: Fingerprint,
+    /// Where the kernel came from.
+    pub cache: CacheDisposition,
+    /// Wall nanoseconds this call spent (lookup + parse + compile +
+    /// verify as applicable) — near zero on a memory hit.
+    pub wall_nanos: u64,
+}
+
+impl CompileOutcome {
+    /// Whether either cache tier answered.
+    pub fn cache_hit(&self) -> bool {
+        self.cache != CacheDisposition::Compiled
+    }
+}
+
+/// Why a driver compilation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DriverError {
+    /// The source did not parse; the payload is the rendered diagnostic.
+    Parse(String),
+    /// The program parsed but failed semantic validation.
+    Invalid(Vec<String>),
+    /// The pipeline panicked (optimizer invariant violation or a
+    /// rejecting verify hook); the payload is the panic message.
+    Panic(String),
+    /// The compile exceeded its time budget (milliseconds carried).
+    Timeout(u64),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DriverError::Invalid(errors) => {
+                write!(f, "invalid program: {}", errors.join("; "))
+            }
+            DriverError::Panic(msg) => write!(f, "compiler panic: {msg}"),
+            DriverError::Timeout(ms) => write!(f, "compile exceeded {ms} ms budget"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+/// The shared read→parse→validate→compile(→verify) entry point.
+///
+/// With a cache, the request's [`Fingerprint`] is looked up first and
+/// the full outcome (kernel, report, cold-compile timings) is returned
+/// on a hit; on a miss the result is stored in both tiers before
+/// returning. Without a cache it always compiles.
+///
+/// This function does not isolate panics or enforce budgets — it is the
+/// trusted single-kernel path (`slpc`'s default and `check`
+/// subcommands). The batch and serve layers wrap it with
+/// [`compile_guarded`].
+///
+/// # Panics
+///
+/// Propagates pipeline panics (invalid schedules, rejecting
+/// [`SlpConfig::verify`] hooks).
+pub fn compile_source(
+    req: &CompileRequest,
+    cache: Option<&CompileCache>,
+) -> Result<CompileOutcome, DriverError> {
+    let start = Instant::now();
+    let fp = req.fingerprint();
+    if let Some(cache) = cache {
+        if let Some((entry, tier)) = cache.get(fp) {
+            return Ok(CompileOutcome {
+                kernel: entry.kernel,
+                report: entry.report,
+                timings: entry.timings,
+                fingerprint: fp,
+                cache: match tier {
+                    CacheTier::Memory => CacheDisposition::MemoryHit,
+                    CacheTier::Disk => CacheDisposition::DiskHit,
+                },
+                wall_nanos: elapsed_nanos(start),
+            });
+        }
+    }
+
+    let program =
+        slp_lang::compile(&req.source).map_err(|e| DriverError::Parse(e.render(&req.source)))?;
+    program
+        .validate()
+        .map_err(|es| DriverError::Invalid(es.iter().map(|e| e.to_string()).collect()))?;
+
+    let (kernel, mut timings) = compile_timed(&program, &req.config);
+    let report = match req.verify {
+        VerifyLevel::None => None,
+        VerifyLevel::Static => {
+            Some(timings.time(Phase::Verify, || slp_verify::verify_kernel(&kernel)))
+        }
+        VerifyLevel::Differential => Some(timings.time(Phase::Verify, || {
+            slp_verify::verify_with_execution(&program, &kernel)
+        })),
+    };
+
+    if let Some(cache) = cache {
+        cache.put(
+            fp,
+            &CachedCompile {
+                kernel: kernel.clone(),
+                report: report.clone(),
+                timings,
+            },
+        );
+    }
+    Ok(CompileOutcome {
+        kernel,
+        report,
+        timings,
+        fingerprint: fp,
+        cache: CacheDisposition::Compiled,
+        wall_nanos: elapsed_nanos(start),
+    })
+}
+
+pub(crate) fn elapsed_nanos(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Parses the CLI strategy names shared by `slpc`, `slpd` and the serve
+/// protocol (`scalar`, `native`, `slp`, `global`).
+pub fn parse_strategy(name: &str) -> Option<Strategy> {
+    match name {
+        "scalar" => Some(Strategy::Scalar),
+        "native" => Some(Strategy::Native),
+        "slp" => Some(Strategy::Baseline),
+        "global" => Some(Strategy::Holistic),
+        _ => None,
+    }
+}
+
+/// Parses the CLI machine names shared by the front-ends (`intel`,
+/// `amd`).
+pub fn parse_machine(name: &str) -> Option<MachineConfig> {
+    match name {
+        "intel" => Some(MachineConfig::intel_dunnington()),
+        "amd" => Some(MachineConfig::amd_phenom_ii()),
+        _ => None,
+    }
+}

@@ -1,0 +1,319 @@
+//! Machine-readable driver reports.
+//!
+//! A [`DriverReport`] digests a batch run — one row per kernel plus
+//! corpus-wide aggregates (status counts, cache counters, merged
+//! per-phase timings) — and renders either a human summary table or
+//! JSON. Row order is the batch's deterministic input order, and the
+//! JSON serialisation (insertion-ordered objects, shortest-roundtrip
+//! floats) is byte-stable for identical inputs, which is what the
+//! determinism tests and the CI smoke job key on.
+
+use slp_core::{Phase, PhaseTimings};
+
+use crate::json::Json;
+use crate::{CacheStats, KernelOutcome};
+
+/// How one batch entry ended up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowStatus {
+    /// Compiled (or cache-served) at the requested configuration.
+    Ok,
+    /// The requested configuration failed; the row carries the scalar
+    /// fallback's kernel.
+    Degraded,
+    /// No kernel was produced at all.
+    Failed,
+}
+
+impl RowStatus {
+    /// The stable name used in JSON (`"ok"`, `"degraded"`, `"failed"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RowStatus::Ok => "ok",
+            RowStatus::Degraded => "degraded",
+            RowStatus::Failed => "failed",
+        }
+    }
+}
+
+/// One kernel's line in a [`DriverReport`].
+#[derive(Debug, Clone)]
+pub struct KernelRow {
+    /// The kernel's display name.
+    pub name: String,
+    /// The entry's verdict.
+    pub status: RowStatus,
+    /// Where the kernel came from (`"compiled"`, `"memory"`, `"disk"`);
+    /// `None` when the entry failed.
+    pub cache: Option<&'static str>,
+    /// The request's cache key (the fallback's key for degraded rows);
+    /// `None` when the entry failed.
+    pub fingerprint: Option<String>,
+    /// Statements after unrolling.
+    pub stmts: usize,
+    /// Superword statements emitted.
+    pub superwords: usize,
+    /// Statements covered by superwords.
+    pub vectorized_stmts: usize,
+    /// Error-severity verify findings; `None` when verification was not
+    /// requested or the entry failed.
+    pub verify_errors: Option<usize>,
+    /// Warning-severity verify findings, same caveats.
+    pub verify_warnings: Option<usize>,
+    /// Rendered verify diagnostics.
+    pub diagnostics: Vec<String>,
+    /// The failure (for failed rows) or the original failure that forced
+    /// degradation (for degraded rows).
+    pub error: Option<String>,
+    /// Per-phase timings of the compile that produced the kernel.
+    pub timings: PhaseTimings,
+    /// Wall nanoseconds the driver spent on this entry.
+    pub wall_nanos: u64,
+}
+
+/// The aggregated, machine-readable result of a batch run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// One row per request, in input order.
+    pub rows: Vec<KernelRow>,
+    /// Sum of every row's per-phase timings.
+    pub phase_totals: PhaseTimings,
+    /// Wall nanoseconds of the whole batch (caller-measured; covers the
+    /// parallel region, so it is far less than the sum of row times).
+    pub wall_nanos: u64,
+    /// The cache's counters after the run, when a cache was used.
+    pub cache: Option<CacheStats>,
+}
+
+impl DriverReport {
+    /// Digests batch outcomes into a report.
+    pub fn from_outcomes(
+        outcomes: &[KernelOutcome],
+        wall_nanos: u64,
+        cache: Option<CacheStats>,
+    ) -> Self {
+        let mut rows = Vec::with_capacity(outcomes.len());
+        let mut phase_totals = PhaseTimings::new();
+        for outcome in outcomes {
+            let row = match &outcome.result {
+                Ok(compiled) => {
+                    phase_totals.merge(&compiled.timings);
+                    let (verify_errors, verify_warnings, diagnostics) = match &compiled.report {
+                        Some(report) => (
+                            Some(report.error_count()),
+                            Some(report.warning_count()),
+                            report.diagnostics.iter().map(|d| d.to_string()).collect(),
+                        ),
+                        None => (None, None, Vec::new()),
+                    };
+                    KernelRow {
+                        name: outcome.name.clone(),
+                        status: if outcome.degraded.is_some() {
+                            RowStatus::Degraded
+                        } else {
+                            RowStatus::Ok
+                        },
+                        cache: Some(compiled.cache.name()),
+                        fingerprint: Some(compiled.fingerprint.to_hex()),
+                        stmts: compiled.kernel.stats.stmts,
+                        superwords: compiled.kernel.stats.superwords,
+                        vectorized_stmts: compiled.kernel.stats.vectorized_stmts,
+                        verify_errors,
+                        verify_warnings,
+                        diagnostics,
+                        error: outcome.degraded.clone(),
+                        timings: compiled.timings,
+                        wall_nanos: compiled.wall_nanos,
+                    }
+                }
+                Err(err) => KernelRow {
+                    name: outcome.name.clone(),
+                    status: RowStatus::Failed,
+                    cache: None,
+                    fingerprint: None,
+                    stmts: 0,
+                    superwords: 0,
+                    vectorized_stmts: 0,
+                    verify_errors: None,
+                    verify_warnings: None,
+                    diagnostics: Vec::new(),
+                    error: Some(err.to_string()),
+                    timings: PhaseTimings::new(),
+                    wall_nanos: 0,
+                },
+            };
+            rows.push(row);
+        }
+        DriverReport {
+            rows,
+            phase_totals,
+            wall_nanos,
+            cache,
+        }
+    }
+
+    /// Rows that compiled at the requested configuration.
+    pub fn ok_count(&self) -> usize {
+        self.count(RowStatus::Ok)
+    }
+
+    /// Rows that fell back to scalar.
+    pub fn degraded_count(&self) -> usize {
+        self.count(RowStatus::Degraded)
+    }
+
+    /// Rows that produced no kernel.
+    pub fn failed_count(&self) -> usize {
+        self.count(RowStatus::Failed)
+    }
+
+    fn count(&self, status: RowStatus) -> usize {
+        self.rows.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Error-severity verify findings summed over all rows.
+    pub fn verify_error_count(&self) -> usize {
+        self.rows.iter().filter_map(|r| r.verify_errors).sum()
+    }
+
+    /// Whether every row is `ok` and no verify checker found an error —
+    /// the CI smoke job's pass condition.
+    pub fn all_clean(&self) -> bool {
+        self.degraded_count() == 0 && self.failed_count() == 0 && self.verify_error_count() == 0
+    }
+
+    /// The full report as JSON (deterministic key order).
+    pub fn to_json(&self) -> Json {
+        let mut kernels = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let mut fields = vec![
+                ("name", Json::str(&row.name)),
+                ("status", Json::str(row.status.name())),
+                ("cache", row.cache.map_or(Json::Null, Json::str)),
+                (
+                    "fingerprint",
+                    row.fingerprint.as_deref().map_or(Json::Null, Json::str),
+                ),
+                ("stmts", Json::num(row.stmts as u64)),
+                ("superwords", Json::num(row.superwords as u64)),
+                ("vectorized_stmts", Json::num(row.vectorized_stmts as u64)),
+            ];
+            fields.push((
+                "verify_errors",
+                row.verify_errors
+                    .map_or(Json::Null, |n| Json::num(n as u64)),
+            ));
+            fields.push((
+                "verify_warnings",
+                row.verify_warnings
+                    .map_or(Json::Null, |n| Json::num(n as u64)),
+            ));
+            fields.push((
+                "diagnostics",
+                Json::Arr(row.diagnostics.iter().map(Json::str).collect()),
+            ));
+            fields.push(("error", row.error.as_deref().map_or(Json::Null, Json::str)));
+            fields.push(("phase_nanos", timings_json(&row.timings)));
+            fields.push(("wall_nanos", Json::num(row.wall_nanos)));
+            kernels.push(Json::obj(fields));
+        }
+
+        let mut fields = vec![
+            ("kernels", Json::num(self.rows.len() as u64)),
+            ("ok", Json::num(self.ok_count() as u64)),
+            ("degraded", Json::num(self.degraded_count() as u64)),
+            ("failed", Json::num(self.failed_count() as u64)),
+            ("verify_errors", Json::num(self.verify_error_count() as u64)),
+            ("wall_nanos", Json::num(self.wall_nanos)),
+            ("phase_nanos", timings_json(&self.phase_totals)),
+        ];
+        if let Some(stats) = &self.cache {
+            fields.push(("cache", stats_json(stats)));
+        }
+        fields.push(("rows", Json::Arr(kernels)));
+        Json::obj(fields)
+    }
+
+    /// A fixed-width human summary — one line per kernel plus totals.
+    pub fn summary_table(&self) -> String {
+        let name_width = self
+            .rows
+            .iter()
+            .map(|r| r.name.len())
+            .max()
+            .unwrap_or(6)
+            .max(6);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<name_width$}  {:<8}  {:<8}  {:>5}  {:>9}  {:>6}  {:>9}\n",
+            "kernel", "status", "cache", "sw", "vec/stmts", "verify", "time"
+        ));
+        for row in &self.rows {
+            let verify = match row.verify_errors {
+                None => "-".to_string(),
+                Some(0) => "pass".to_string(),
+                Some(n) => format!("{n} err"),
+            };
+            out.push_str(&format!(
+                "{:<name_width$}  {:<8}  {:<8}  {:>5}  {:>9}  {:>6}  {:>9}\n",
+                row.name,
+                row.status.name(),
+                row.cache.unwrap_or("-"),
+                row.superwords,
+                format!("{}/{}", row.vectorized_stmts, row.stmts),
+                verify,
+                millis(row.wall_nanos),
+            ));
+        }
+        out.push_str(&format!(
+            "{} kernels: {} ok, {} degraded, {} failed in {}\n",
+            self.rows.len(),
+            self.ok_count(),
+            self.degraded_count(),
+            self.failed_count(),
+            millis(self.wall_nanos),
+        ));
+        if let Some(stats) = &self.cache {
+            out.push_str(&format!(
+                "cache: {} memory + {} disk hits / {} lookups ({:.1}% hit rate)\n",
+                stats.memory_hits,
+                stats.disk_hits,
+                stats.lookups(),
+                stats.hit_rate() * 100.0,
+            ));
+        }
+        let phases: Vec<String> = Phase::ALL
+            .iter()
+            .map(|&p| format!("{p} {}", millis(self.phase_totals.nanos(p))))
+            .collect();
+        out.push_str(&format!("phases: {}\n", phases.join(" | ")));
+        out
+    }
+}
+
+fn millis(nanos: u64) -> String {
+    format!("{:.2}ms", nanos as f64 / 1.0e6)
+}
+
+/// Phase timings as a `{"unroll": nanos, ...}` object.
+pub(crate) fn timings_json(timings: &PhaseTimings) -> Json {
+    Json::obj(
+        Phase::ALL
+            .iter()
+            .map(|&p| (p.name(), Json::num(timings.nanos(p))))
+            .collect::<Vec<_>>(),
+    )
+}
+
+/// Cache counters as JSON.
+pub(crate) fn stats_json(stats: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("memory_hits", Json::num(stats.memory_hits)),
+        ("disk_hits", Json::num(stats.disk_hits)),
+        ("misses", Json::num(stats.misses)),
+        ("stores", Json::num(stats.stores)),
+        ("evictions", Json::num(stats.evictions)),
+        ("disk_errors", Json::num(stats.disk_errors)),
+        ("hit_rate", Json::float(stats.hit_rate())),
+    ])
+}

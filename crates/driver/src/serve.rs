@@ -1,0 +1,324 @@
+//! The `slpd` serve loop: line-delimited JSON over a reader/writer pair.
+//!
+//! Each input line is one JSON request; each output line is one JSON
+//! response, flushed immediately. All compile requests share the one
+//! [`CompileCache`] passed in, so a long-lived `slpd` process answers
+//! repeated sources from memory and survives restarts via the disk
+//! tier. The loop itself never compiles on the calling thread — every
+//! compile goes through [`crate::compile_guarded`], so a panicking or
+//! over-budget request yields an error *response*, not a dead server.
+//!
+//! Requests (`cmd` selects the verb):
+//!
+//! * `{"cmd":"compile","source":"…", …}` — compile one kernel. Optional
+//!   fields: `name`, `strategy` (`scalar|native|slp|global`, default
+//!   `global`), `machine` (`intel|amd`, default `intel`), `unroll`
+//!   (default `0` = auto), `layout` (default `false`), `verify`
+//!   (`none|static|full`, default `static`), `budget_ms`.
+//! * `{"cmd":"stats"}` — cache counters and request totals.
+//! * `{"cmd":"shutdown"}` — acknowledge and end the loop (EOF works
+//!   too).
+//!
+//! Responses always carry `"ok"`; errors add `"kind"`
+//! (`request|parse|invalid|panic|timeout`) and `"error"`.
+
+use std::io::{BufRead, Write};
+
+use slp_core::SlpConfig;
+
+use crate::json::Json;
+use crate::report::{stats_json, timings_json};
+use crate::{
+    compile_guarded, parse_machine, parse_strategy, CompileCache, CompileOutcome, CompileRequest,
+    DriverError, VerifyLevel,
+};
+
+/// Totals of one [`serve`] loop, returned at shutdown/EOF.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Lines processed (including malformed ones).
+    pub requests: u64,
+    /// Compile requests that produced a kernel.
+    pub compiled: u64,
+    /// Of those, how many either cache tier answered.
+    pub cache_hits: u64,
+    /// Requests answered with `"ok": false`.
+    pub errors: u64,
+}
+
+fn error_response(kind: &str, message: &str) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("kind", Json::str(kind)),
+        ("error", Json::str(message)),
+    ])
+}
+
+fn driver_error_response(err: &DriverError) -> Json {
+    let kind = match err {
+        DriverError::Parse(_) => "parse",
+        DriverError::Invalid(_) => "invalid",
+        DriverError::Panic(_) => "panic",
+        DriverError::Timeout(_) => "timeout",
+    };
+    error_response(kind, &err.to_string())
+}
+
+fn outcome_response(name: &str, outcome: &CompileOutcome) -> Json {
+    let mut fields = vec![
+        ("ok", Json::Bool(true)),
+        ("name", Json::str(name)),
+        ("cache", Json::str(outcome.cache.name())),
+        ("fingerprint", Json::str(outcome.fingerprint.to_hex())),
+        ("stmts", Json::num(outcome.kernel.stats.stmts as u64)),
+        (
+            "superwords",
+            Json::num(outcome.kernel.stats.superwords as u64),
+        ),
+        (
+            "vectorized_stmts",
+            Json::num(outcome.kernel.stats.vectorized_stmts as u64),
+        ),
+    ];
+    match &outcome.report {
+        Some(report) => {
+            fields.push(("verify_errors", Json::num(report.error_count() as u64)));
+            fields.push(("verify_warnings", Json::num(report.warning_count() as u64)));
+            fields.push((
+                "diagnostics",
+                Json::Arr(
+                    report
+                        .diagnostics
+                        .iter()
+                        .map(|d| Json::str(d.to_string()))
+                        .collect(),
+                ),
+            ));
+        }
+        None => {
+            fields.push(("verify_errors", Json::Null));
+            fields.push(("verify_warnings", Json::Null));
+            fields.push(("diagnostics", Json::Arr(Vec::new())));
+        }
+    }
+    fields.push(("phase_nanos", timings_json(&outcome.timings)));
+    fields.push(("wall_nanos", Json::num(outcome.wall_nanos)));
+    Json::obj(fields)
+}
+
+/// Builds a [`CompileRequest`] (plus budget) from a `compile` verb's
+/// fields, or an error message naming the offending field.
+fn parse_compile_request(req: &Json) -> Result<(CompileRequest, Option<u64>), String> {
+    let source = req
+        .get("source")
+        .and_then(Json::string)
+        .ok_or("missing string field \"source\"")?
+        .to_string();
+    let name = req
+        .get("name")
+        .and_then(Json::string)
+        .unwrap_or("<anonymous>")
+        .to_string();
+
+    let strategy_name = req
+        .get("strategy")
+        .and_then(Json::string)
+        .unwrap_or("global");
+    let strategy = parse_strategy(strategy_name)
+        .ok_or_else(|| format!("unknown strategy {strategy_name:?}"))?;
+    let machine_name = req.get("machine").and_then(Json::string).unwrap_or("intel");
+    let machine =
+        parse_machine(machine_name).ok_or_else(|| format!("unknown machine {machine_name:?}"))?;
+    let verify_name = req.get("verify").and_then(Json::string).unwrap_or("static");
+    let verify = VerifyLevel::from_name(verify_name)
+        .ok_or_else(|| format!("unknown verify level {verify_name:?}"))?;
+
+    let mut config = SlpConfig::for_machine(machine, strategy);
+    if let Some(unroll) = req.get("unroll") {
+        config.unroll = usize::try_from(unroll.u64().ok_or("field \"unroll\" must be an integer")?)
+            .map_err(|_| "field \"unroll\" out of range")?;
+    }
+    if let Some(layout) = req.get("layout") {
+        if layout.bool().ok_or("field \"layout\" must be a boolean")? {
+            config = config.with_layout();
+        }
+    }
+    let budget_ms = match req.get("budget_ms") {
+        Some(b) => Some(b.u64().ok_or("field \"budget_ms\" must be an integer")?),
+        None => None,
+    };
+
+    Ok((
+        CompileRequest {
+            name,
+            source,
+            config,
+            verify,
+        },
+        budget_ms,
+    ))
+}
+
+fn handle_line(line: &str, cache: &CompileCache, summary: &mut ServeSummary) -> (Json, bool) {
+    let req = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (error_response("request", &e.to_string()), false),
+    };
+    let cmd = req.get("cmd").and_then(Json::string).unwrap_or("");
+    match cmd {
+        "compile" => match parse_compile_request(&req) {
+            Ok((compile_req, budget_ms)) => {
+                match compile_guarded(&compile_req, Some(cache), budget_ms) {
+                    Ok(outcome) => {
+                        summary.compiled += 1;
+                        if outcome.cache_hit() {
+                            summary.cache_hits += 1;
+                        }
+                        (outcome_response(&compile_req.name, &outcome), false)
+                    }
+                    Err(err) => (driver_error_response(&err), false),
+                }
+            }
+            Err(msg) => (error_response("request", &msg), false),
+        },
+        "stats" => (
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("cache", stats_json(&cache.stats())),
+                ("requests", Json::num(summary.requests)),
+                ("compiled", Json::num(summary.compiled)),
+            ]),
+            false,
+        ),
+        "shutdown" => (
+            Json::obj(vec![
+                ("ok", Json::Bool(true)),
+                ("shutdown", Json::Bool(true)),
+            ]),
+            true,
+        ),
+        "" => (
+            error_response("request", "missing string field \"cmd\""),
+            false,
+        ),
+        other => (
+            error_response("request", &format!("unknown cmd {other:?}")),
+            false,
+        ),
+    }
+}
+
+/// Runs the serve loop until `shutdown` or EOF. Every response is a
+/// single line, flushed before the next request is read.
+pub fn serve(
+    input: impl BufRead,
+    mut output: impl Write,
+    cache: &CompileCache,
+) -> std::io::Result<ServeSummary> {
+    let mut summary = ServeSummary::default();
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        summary.requests += 1;
+        let (response, shutdown) = handle_line(&line, cache, &mut summary);
+        if !matches!(response.get("ok"), Some(Json::Bool(true))) {
+            summary.errors += 1;
+        }
+        writeln!(output, "{}", response.to_compact())?;
+        output.flush()?;
+        if shutdown {
+            break;
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn run(lines: &str) -> (Vec<Json>, ServeSummary) {
+        let cache = CompileCache::in_memory(8);
+        let mut out = Vec::new();
+        let summary = serve(Cursor::new(lines), &mut out, &cache).expect("serve I/O");
+        let responses = String::from_utf8(out)
+            .expect("utf8 output")
+            .lines()
+            .map(|l| Json::parse(l).expect("response parses"))
+            .collect();
+        (responses, summary)
+    }
+
+    const SRC: &str = "kernel k { array A: f64[16]; array B: f64[16]; \
+                       for i in 0..16 { A[i] = A[i] + B[i]; } }";
+
+    #[test]
+    fn compile_then_hit_then_stats() {
+        let compile = format!(
+            "{}\n{}\n{}\n",
+            format_args!(
+                "{{\"cmd\":\"compile\",\"name\":\"k\",\"source\":{:?}}}",
+                SRC
+            ),
+            format_args!(
+                "{{\"cmd\":\"compile\",\"name\":\"k\",\"source\":{:?}}}",
+                SRC
+            ),
+            "{\"cmd\":\"stats\"}",
+        );
+        let (responses, summary) = run(&compile);
+        assert_eq!(responses.len(), 3);
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(
+            responses[0].get("cache").and_then(Json::string),
+            Some("compiled")
+        );
+        assert_eq!(
+            responses[1].get("cache").and_then(Json::string),
+            Some("memory")
+        );
+        // Same source, same config => same key.
+        assert_eq!(
+            responses[0].get("fingerprint").and_then(Json::string),
+            responses[1].get("fingerprint").and_then(Json::string)
+        );
+        let stats = responses[2].get("cache").expect("stats carry cache");
+        assert_eq!(stats.get("memory_hits").and_then(Json::u64), Some(1));
+        assert_eq!(summary.compiled, 2);
+        assert_eq!(summary.cache_hits, 1);
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_are_survivable() {
+        let (responses, summary) =
+            run("not json\n{\"cmd\":\"frobnicate\"}\n{\"cmd\":\"compile\"}\n");
+        assert_eq!(responses.len(), 3);
+        for r in &responses {
+            assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+            assert_eq!(r.get("kind").and_then(Json::string), Some("request"));
+        }
+        assert_eq!(summary.errors, 3);
+    }
+
+    #[test]
+    fn parse_errors_are_reported_with_kind() {
+        let (responses, _) = run("{\"cmd\":\"compile\",\"source\":\"kernel {\"}\n");
+        assert_eq!(responses[0].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            responses[0].get("kind").and_then(Json::string),
+            Some("parse")
+        );
+    }
+
+    #[test]
+    fn shutdown_stops_the_loop() {
+        let (responses, summary) = run("{\"cmd\":\"shutdown\"}\n{\"cmd\":\"stats\"}\n");
+        assert_eq!(responses.len(), 1);
+        assert_eq!(responses[0].get("shutdown"), Some(&Json::Bool(true)));
+        assert_eq!(summary.requests, 1);
+    }
+}

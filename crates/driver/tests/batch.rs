@@ -1,0 +1,171 @@
+//! Integration tests of the batch layer: panic isolation, time budgets,
+//! graceful degradation to scalar, hard failures for bad input, and
+//! determinism of output order and bytes across thread counts.
+
+use slp_core::{CompiledKernel, MachineConfig, SlpConfig, Strategy};
+use slp_driver::{
+    compile_batch, encode_kernel, BatchConfig, CompileCache, CompileRequest, DriverError,
+    VerifyLevel,
+};
+use slp_ir::Program;
+
+const GOOD: &str = "kernel good { array A: f64[16]; array B: f64[16]; \
+                    for i in 0..16 { A[i] = A[i] + B[i]; } }";
+
+fn request(name: &str, source: &str, config: SlpConfig) -> CompileRequest {
+    CompileRequest {
+        name: name.to_string(),
+        source: source.to_string(),
+        config,
+        verify: VerifyLevel::Static,
+    }
+}
+
+fn holistic() -> SlpConfig {
+    SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic)
+}
+
+/// A verify hook that rejects every kernel — the pipeline panics on a
+/// rejecting hook, which is exactly the in-pipeline panic the guard
+/// must contain.
+fn rejecting_hook(_: &Program, _: &CompiledKernel) -> Result<(), String> {
+    Err("injected failure for batch tests".to_string())
+}
+
+/// A verify hook that hangs far past any test budget.
+fn hanging_hook(_: &Program, _: &CompiledKernel) -> Result<(), String> {
+    std::thread::sleep(std::time::Duration::from_secs(300));
+    Ok(())
+}
+
+#[test]
+fn panicking_kernel_degrades_to_scalar_and_the_rest_compile() {
+    let requests = vec![
+        request("first", GOOD, holistic()),
+        request("bomb", GOOD, holistic().with_verifier(rejecting_hook)),
+        request("last", GOOD, holistic()),
+    ];
+    let outcomes = compile_batch(&requests, None, &BatchConfig::default());
+
+    assert_eq!(outcomes.len(), 3);
+    assert_eq!(outcomes[0].name, "first");
+    assert!(outcomes[0].is_clean());
+    assert_eq!(outcomes[2].name, "last");
+    assert!(outcomes[2].is_clean());
+
+    let bomb = &outcomes[1];
+    let reason = bomb.degraded.as_deref().expect("degradation recorded");
+    assert!(reason.contains("panic"), "reason: {reason}");
+    assert!(reason.contains("injected failure"), "reason: {reason}");
+    let kernel = &bomb
+        .result
+        .as_ref()
+        .expect("scalar fallback compiled")
+        .kernel;
+    assert!(matches!(kernel.config.strategy, Strategy::Scalar));
+    assert_eq!(kernel.stats.superwords, 0);
+}
+
+#[test]
+fn over_budget_kernel_degrades_to_scalar() {
+    let requests = vec![
+        request("slow", GOOD, holistic().with_verifier(hanging_hook)),
+        request("fast", GOOD, holistic()),
+    ];
+    let config = BatchConfig {
+        budget_ms: Some(200),
+        ..BatchConfig::default()
+    };
+    let outcomes = compile_batch(&requests, None, &config);
+
+    let slow = &outcomes[0];
+    let reason = slow.degraded.as_deref().expect("timeout recorded");
+    assert!(reason.contains("200 ms"), "reason: {reason}");
+    let kernel = &slow
+        .result
+        .as_ref()
+        .expect("scalar fallback compiled")
+        .kernel;
+    assert!(matches!(kernel.config.strategy, Strategy::Scalar));
+
+    assert!(outcomes[1].is_clean());
+}
+
+#[test]
+fn bad_input_is_a_hard_failure_not_a_degradation() {
+    let requests = vec![
+        request("broken", "kernel oops {", holistic()),
+        request("fine", GOOD, holistic()),
+    ];
+    let outcomes = compile_batch(&requests, None, &BatchConfig::default());
+
+    assert!(outcomes[0].degraded.is_none(), "parse errors never degrade");
+    assert!(matches!(outcomes[0].result, Err(DriverError::Parse(_))));
+    assert!(outcomes[1].is_clean());
+}
+
+#[test]
+fn disabling_degradation_surfaces_the_original_error() {
+    let requests = vec![request(
+        "bomb",
+        GOOD,
+        holistic().with_verifier(rejecting_hook),
+    )];
+    let config = BatchConfig {
+        degrade: false,
+        ..BatchConfig::default()
+    };
+    let outcomes = compile_batch(&requests, None, &config);
+    assert!(outcomes[0].degraded.is_none());
+    assert!(matches!(outcomes[0].result, Err(DriverError::Panic(_))));
+}
+
+#[test]
+fn thread_count_changes_neither_order_nor_bytes() {
+    let corpus = slp_suite::corpus(42, 10);
+    let requests: Vec<CompileRequest> = corpus
+        .iter()
+        .map(|(name, source)| request(name, source, holistic()))
+        .collect();
+
+    let reference: Vec<(String, String)> = compile_batch(&requests, None, &BatchConfig::default())
+        .iter()
+        .map(|o| {
+            let kernel = &o.result.as_ref().expect("corpus compiles").kernel;
+            (o.name.clone(), encode_kernel(kernel).to_compact())
+        })
+        .collect();
+
+    for threads in [1, 2, 8] {
+        let config = BatchConfig {
+            threads,
+            ..BatchConfig::default()
+        };
+        let run: Vec<(String, String)> = compile_batch(&requests, None, &config)
+            .iter()
+            .map(|o| {
+                let kernel = &o.result.as_ref().expect("corpus compiles").kernel;
+                (o.name.clone(), encode_kernel(kernel).to_compact())
+            })
+            .collect();
+        assert_eq!(run, reference, "threads={threads} diverged");
+    }
+}
+
+#[test]
+fn batch_shares_the_cache_across_duplicate_sources() {
+    let corpus = slp_suite::corpus(3, 6);
+    let requests: Vec<CompileRequest> = corpus
+        .iter()
+        .map(|(name, source)| request(name, source, holistic()))
+        .collect();
+
+    let cache = CompileCache::in_memory(64);
+    let first = compile_batch(&requests, Some(&cache), &BatchConfig::default());
+    assert!(first.iter().all(|o| o.is_clean()));
+
+    let second = compile_batch(&requests, Some(&cache), &BatchConfig::default());
+    assert!(second
+        .iter()
+        .all(|o| o.result.as_ref().expect("compiles").cache_hit()));
+}

@@ -1,0 +1,191 @@
+//! Integration tests of the content-addressed cache through the public
+//! [`compile_source`] entry point: fingerprint sensitivity, tier
+//! behaviour, on-disk persistence across cache instances, and the
+//! repeat-batch hit rate the driver promises.
+
+use std::fs;
+use std::path::PathBuf;
+
+use slp_core::{MachineConfig, SlpConfig, Strategy};
+use slp_driver::{
+    compile_source, encode_kernel, CacheDisposition, CompileCache, CompileRequest, VerifyLevel,
+};
+
+const SRC: &str = "kernel k { array A: f64[32]; array B: f64[32]; \
+                   for i in 0..32 { A[i] = A[i] + 2.0 * B[i]; } }";
+
+fn request(source: &str, config: SlpConfig) -> CompileRequest {
+    CompileRequest {
+        name: "k".to_string(),
+        source: source.to_string(),
+        config,
+        verify: VerifyLevel::Static,
+    }
+}
+
+fn holistic() -> SlpConfig {
+    SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic)
+}
+
+/// A unique, empty scratch directory per test (no tempfile crate in the
+/// container; best-effort cleanup by the next run).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("slp-driver-cache-test-{}", tag));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn identical_requests_hit_each_changed_dimension_misses() {
+    let cache = CompileCache::in_memory(64);
+
+    let cold = compile_source(&request(SRC, holistic()), Some(&cache)).expect("compiles");
+    assert_eq!(cold.cache, CacheDisposition::Compiled);
+
+    // Identical request: memory hit with the same kernel bytes.
+    let warm = compile_source(&request(SRC, holistic()), Some(&cache)).expect("compiles");
+    assert_eq!(warm.cache, CacheDisposition::MemoryHit);
+    assert_eq!(warm.fingerprint, cold.fingerprint);
+    assert_eq!(
+        encode_kernel(&warm.kernel).to_compact(),
+        encode_kernel(&cold.kernel).to_compact()
+    );
+    // The cached verify report rides along.
+    assert_eq!(warm.report, cold.report);
+
+    // Whitespace is part of the source text: a cosmetic edit misses.
+    let touched =
+        compile_source(&request(&format!("{SRC} "), holistic()), Some(&cache)).expect("compiles");
+    assert_eq!(touched.cache, CacheDisposition::Compiled);
+    assert_ne!(touched.fingerprint, cold.fingerprint);
+
+    // Strategy change misses.
+    let baseline = compile_source(
+        &request(
+            SRC,
+            SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Baseline),
+        ),
+        Some(&cache),
+    )
+    .expect("compiles");
+    assert_eq!(baseline.cache, CacheDisposition::Compiled);
+
+    // Machine change misses.
+    let amd = compile_source(
+        &request(
+            SRC,
+            SlpConfig::for_machine(MachineConfig::amd_phenom_ii(), Strategy::Holistic),
+        ),
+        Some(&cache),
+    )
+    .expect("compiles");
+    assert_eq!(amd.cache, CacheDisposition::Compiled);
+
+    // Layout flag misses.
+    let layout =
+        compile_source(&request(SRC, holistic().with_layout()), Some(&cache)).expect("compiles");
+    assert_eq!(layout.cache, CacheDisposition::Compiled);
+
+    // Verification level is part of the key (it changes the payload).
+    let mut unverified = request(SRC, holistic());
+    unverified.verify = VerifyLevel::None;
+    let unverified = compile_source(&unverified, Some(&cache)).expect("compiles");
+    assert_eq!(unverified.cache, CacheDisposition::Compiled);
+    assert!(unverified.report.is_none());
+
+    // ...and each of those now hits on repeat.
+    let again =
+        compile_source(&request(SRC, holistic().with_layout()), Some(&cache)).expect("compiles");
+    assert_eq!(again.cache, CacheDisposition::MemoryHit);
+}
+
+#[test]
+fn disk_tier_survives_a_new_cache_instance() {
+    let dir = scratch("persist");
+
+    let cold = {
+        let cache = CompileCache::with_disk(8, &dir);
+        let outcome = compile_source(&request(SRC, holistic()), Some(&cache)).expect("compiles");
+        assert_eq!(outcome.cache, CacheDisposition::Compiled);
+        outcome
+    };
+
+    // One entry landed on disk, named by the fingerprint.
+    let entry = dir.join(format!("{}.json", cold.fingerprint.to_hex()));
+    assert!(entry.is_file(), "expected {}", entry.display());
+
+    // A fresh cache (empty memory tier) over the same directory answers
+    // from disk with byte-identical kernel, the original report and the
+    // original timings.
+    let cache = CompileCache::with_disk(8, &dir);
+    let warm = compile_source(&request(SRC, holistic()), Some(&cache)).expect("compiles");
+    assert_eq!(warm.cache, CacheDisposition::DiskHit);
+    assert_eq!(warm.fingerprint, cold.fingerprint);
+    assert_eq!(
+        encode_kernel(&warm.kernel).to_compact(),
+        encode_kernel(&cold.kernel).to_compact()
+    );
+    assert_eq!(warm.report, cold.report);
+    assert_eq!(warm.timings, cold.timings);
+
+    // The disk hit was promoted to memory: the next lookup is a memory
+    // hit.
+    let hot = compile_source(&request(SRC, holistic()), Some(&cache)).expect("compiles");
+    assert_eq!(hot.cache, CacheDisposition::MemoryHit);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_disk_entries_miss_and_are_replaced() {
+    let dir = scratch("corrupt");
+
+    let cache = CompileCache::with_disk(8, &dir);
+    let cold = compile_source(&request(SRC, holistic()), Some(&cache)).expect("compiles");
+    let entry = dir.join(format!("{}.json", cold.fingerprint.to_hex()));
+    fs::write(&entry, b"{ definitely not a cached kernel").expect("clobber entry");
+
+    // Fresh instance so the memory tier cannot answer.
+    let cache = CompileCache::with_disk(8, &dir);
+    let recompiled = compile_source(&request(SRC, holistic()), Some(&cache)).expect("compiles");
+    assert_eq!(recompiled.cache, CacheDisposition::Compiled);
+    assert!(cache.stats().disk_errors >= 1);
+
+    // The recompile rewrote a good entry.
+    let cache = CompileCache::with_disk(8, &dir);
+    let warm = compile_source(&request(SRC, holistic()), Some(&cache)).expect("compiles");
+    assert_eq!(warm.cache, CacheDisposition::DiskHit);
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn repeat_corpus_run_hits_at_least_ninety_percent() {
+    let cache = CompileCache::in_memory(256);
+    let corpus = slp_suite::corpus(7, 12);
+    assert!(corpus.len() >= 10);
+
+    for (name, source) in &corpus {
+        let mut req = request(source, holistic());
+        req.name = name.clone();
+        compile_source(&req, Some(&cache)).expect("corpus kernel compiles");
+    }
+    let after_cold = cache.stats();
+    assert_eq!(after_cold.memory_hits + after_cold.disk_hits, 0);
+
+    for (name, source) in &corpus {
+        let mut req = request(source, holistic());
+        req.name = name.clone();
+        let outcome = compile_source(&req, Some(&cache)).expect("corpus kernel compiles");
+        assert!(outcome.cache_hit(), "{name} missed on the second pass");
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hit_rate() >= 0.5,
+        "two passes should hit half overall, got {:.2}",
+        stats.hit_rate()
+    );
+    // Second pass alone: 100% (≥ the 90% the driver promises).
+    assert_eq!(stats.memory_hits as usize, corpus.len());
+}

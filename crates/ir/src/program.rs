@@ -260,6 +260,16 @@ impl Program {
         id
     }
 
+    /// Raises the fresh-id watermark so [`Program::fresh_stmt_id`] never
+    /// returns an id below `next`.
+    ///
+    /// Builders that insert statements with externally chosen ids (the
+    /// `slp-driver` cache codec reconstructing a persisted kernel) call
+    /// this with `max used id + 1` so ids allocated later stay unique.
+    pub fn ensure_stmt_ids(&mut self, next: u32) {
+        self.next_stmt = self.next_stmt.max(next);
+    }
+
     /// Builds a statement with a fresh id.
     pub fn make_stmt(&mut self, dest: Dest, expr: Expr) -> Statement {
         let id = self.fresh_stmt_id();

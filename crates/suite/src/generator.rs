@@ -143,6 +143,42 @@ pub fn random_program(seed: u64, config: &GeneratorConfig) -> Program {
     p
 }
 
+/// Generates a named corpus of `count` kernel *sources* for
+/// batch-compiler stress tests.
+///
+/// Kernels are deterministic in `seed` and vary in shape (body size,
+/// trip count, stride mix, outer sweeps) so a batch over the corpus
+/// exercises cheap and expensive compiles side by side. Each entry is
+/// `(kernel name, slp-lang source)` — sources rather than programs, so
+/// callers exercise their full read→parse→validate→compile front-end.
+///
+/// # Examples
+///
+/// ```
+/// let corpus = slp_suite::corpus(7, 4);
+/// assert_eq!(corpus.len(), 4);
+/// for (name, src) in &corpus {
+///     let p = slp_lang::compile(src).expect("corpus sources parse");
+///     assert_eq!(p.name(), name);
+/// }
+/// ```
+pub fn corpus(seed: u64, count: usize) -> Vec<(String, String)> {
+    (0..count)
+        .map(|k| {
+            let config = GeneratorConfig {
+                arrays: 2 + k % 3,
+                scalars: 3 + k % 5,
+                body_stmts: 6 + (k % 4) * 4,
+                trip_count: 8 << (k % 3),
+                max_stride: 1 + (k % 4) as i64,
+                outer_sweeps: if k % 5 == 4 { 3 } else { 0 },
+            };
+            let p = random_program(seed.wrapping_add(k as u64), &config);
+            (p.name().to_string(), p.to_source())
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

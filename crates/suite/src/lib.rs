@@ -26,5 +26,5 @@
 mod generator;
 mod kernels;
 
-pub use generator::{random_program, GeneratorConfig};
+pub use generator::{corpus, random_program, GeneratorConfig};
 pub use kernels::{all, catalog, kernel, nas, source, spec_of, BenchmarkSpec, SuiteKind};

@@ -104,6 +104,33 @@ impl LintCode {
         }
     }
 
+    /// Every lint code in the catalogue, in `Vnnn` order.
+    pub const ALL: [LintCode; 15] = [
+        LintCode::ScheduleNotPermutation,
+        LintCode::DependenceOrderViolated,
+        LintCode::IntraPackDependence,
+        LintCode::PackCycle,
+        LintCode::LaneTypeMismatch,
+        LintCode::PackTooWide,
+        LintCode::OverlappingLaneDests,
+        LintCode::MisalignedPack,
+        LintCode::UnknownLoopVar,
+        LintCode::NonInjectiveLayoutMap,
+        LintCode::ReplicationOutOfBounds,
+        LintCode::ReplicatedArrayWritten,
+        LintCode::UnpopulatedReplicaRead,
+        LintCode::DifferentialMismatch,
+        LintCode::ExecutionFailed,
+    ];
+
+    /// The inverse of [`LintCode::code`]: parses a stable `Vnnn` code
+    /// back into the lint it names. Used when machine-readable reports
+    /// (the `slp-driver` cache, `slpc check --json` consumers) are read
+    /// back in.
+    pub fn from_code(code: &str) -> Option<LintCode> {
+        LintCode::ALL.into_iter().find(|c| c.code() == code)
+    }
+
     /// The severity a finding of this code carries.
     ///
     /// Only [`LintCode::MisalignedPack`] is a warning: unaligned packs
@@ -298,6 +325,15 @@ mod tests {
         assert_eq!(LintCode::MisalignedPack.code(), "V204");
         assert_eq!(LintCode::NonInjectiveLayoutMap.code(), "V301");
         assert_eq!(LintCode::DifferentialMismatch.code(), "V401");
+    }
+
+    #[test]
+    fn from_code_inverts_code() {
+        for code in LintCode::ALL {
+            assert_eq!(LintCode::from_code(code.code()), Some(code));
+        }
+        assert_eq!(LintCode::from_code("V999"), None);
+        assert_eq!(LintCode::from_code(""), None);
     }
 
     #[test]

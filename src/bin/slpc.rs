@@ -22,14 +22,44 @@
 //!   --machine intel|amd                   cost model (default: intel)
 //!   --static                              skip the differential execution
 //!   --unroll N                            unroll factor (default: auto)
-//! ```
+//!   --json                                machine-readable report
+//!
+//! slpc batch <dir|manifest|kernel.slp>... [options]
+//!
+//! Compiles a corpus across a worker pool with content-addressed
+//! caching (memory + `.slp-cache/` disk tier), per-kernel panic
+//! isolation and time budgets, and graceful degradation to scalar. A
+//! directory contributes its `*.slp` files (sorted); a non-`.slp` file
+//! is a manifest listing one kernel path per line (`#` comments).
+//!
+//! options:
+//!   --strategy scalar|native|slp|global   optimizer (default: global)
+//!   --layout                              enable the data layout stage
+//!   --machine intel|amd                   cost model (default: intel)
+//!   --unroll N                            unroll factor (default: auto)
+//!   --verify none|static|full             verification level (default: static)
+//!   --threads N                           worker threads (default: cores)
+//!   --budget-ms N                         per-kernel compile budget
+//!   --no-degrade                          fail entries instead of scalar fallback
+//!   --cache-dir DIR                       disk cache location (default: .slp-cache)
+//!   --no-cache                            disable caching entirely
+//!   --json                                machine-readable report
+//!   --strict                              exit 1 on degradation or verify findings
 //!
 //! Exit codes: 0 success, 1 compile/run/verification error, 2 usage
 //! error.
+//! ```
 
 use std::process::ExitCode;
+use std::time::Instant;
 
-use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::core::{MachineConfig, SlpConfig, Strategy};
+use slp::driver::json::Json;
+use slp::driver::{
+    compile_batch, compile_source, parse_machine, parse_strategy, BatchConfig, CompileCache,
+    CompileRequest, DriverError, DriverReport, VerifyLevel, DEFAULT_DISK_DIR,
+    DEFAULT_MEMORY_CAPACITY,
+};
 use slp::vm::{execute, lower_kernel};
 
 struct Options {
@@ -48,9 +78,27 @@ fn usage() -> ExitCode {
          [--layout] [--machine intel|amd] [--emit source|schedule|code|stats] \
          [--run] [--unroll N]\n       \
          slpc check <kernel.slp>... [--machine intel|amd] [--static] \
-         [--unroll N]"
+         [--unroll N] [--json]\n       \
+         slpc batch <dir|manifest|kernel.slp>... [--strategy ...] [--layout] \
+         [--machine intel|amd] [--unroll N] [--verify none|static|full] \
+         [--threads N] [--budget-ms N] [--no-degrade] [--cache-dir DIR] \
+         [--no-cache] [--json] [--strict]"
     );
     ExitCode::from(2)
+}
+
+fn build_config(
+    machine: &MachineConfig,
+    strategy: Strategy,
+    layout: bool,
+    unroll: usize,
+) -> SlpConfig {
+    let mut cfg = SlpConfig::for_machine(machine.clone(), strategy);
+    cfg.unroll = unroll;
+    if layout {
+        cfg = cfg.with_layout();
+    }
+    cfg
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -67,20 +115,16 @@ fn parse_args() -> Result<Options, ExitCode> {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--strategy" => {
-                opts.strategy = match args.next().as_deref() {
-                    Some("scalar") => Strategy::Scalar,
-                    Some("native") => Strategy::Native,
-                    Some("slp") => Strategy::Baseline,
-                    Some("global") => Strategy::Holistic,
-                    _ => return Err(usage()),
+                opts.strategy = match args.next().as_deref().and_then(parse_strategy) {
+                    Some(s) => s,
+                    None => return Err(usage()),
                 }
             }
             "--layout" => opts.layout = true,
             "--machine" => {
-                opts.machine = match args.next().as_deref() {
-                    Some("intel") => MachineConfig::intel_dunnington(),
-                    Some("amd") => MachineConfig::amd_phenom_ii(),
-                    _ => return Err(usage()),
+                opts.machine = match args.next().as_deref().and_then(parse_machine) {
+                    Some(m) => m,
+                    None => return Err(usage()),
                 }
             }
             "--emit" => match args.next() {
@@ -104,12 +148,46 @@ fn parse_args() -> Result<Options, ExitCode> {
     Ok(opts)
 }
 
+/// Reads `path` and compiles it through the shared driver entry point.
+fn compile_file(
+    path: &str,
+    config: SlpConfig,
+    verify: VerifyLevel,
+) -> Result<slp::driver::CompileOutcome, ExitCode> {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("slpc: cannot read {path}: {e}");
+            return Err(ExitCode::from(1));
+        }
+    };
+    let req = CompileRequest {
+        name: path.to_string(),
+        source,
+        config,
+        verify,
+    };
+    compile_source(&req, None).map_err(|e| {
+        match e {
+            DriverError::Parse(rendered) => eprintln!("{rendered}"),
+            DriverError::Invalid(errors) => {
+                for err in errors {
+                    eprintln!("slpc: {path}: {err}");
+                }
+            }
+            other => eprintln!("slpc: {path}: {other}"),
+        }
+        ExitCode::from(1)
+    })
+}
+
 /// Options of the `check` subcommand.
 struct CheckOptions {
     paths: Vec<String>,
     machine: MachineConfig,
     differential: bool,
     unroll: usize,
+    json: bool,
 }
 
 fn parse_check_args(mut args: impl Iterator<Item = String>) -> Result<CheckOptions, ExitCode> {
@@ -118,14 +196,14 @@ fn parse_check_args(mut args: impl Iterator<Item = String>) -> Result<CheckOptio
         machine: MachineConfig::intel_dunnington(),
         differential: true,
         unroll: 0,
+        json: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--machine" => {
-                opts.machine = match args.next().as_deref() {
-                    Some("intel") => MachineConfig::intel_dunnington(),
-                    Some("amd") => MachineConfig::amd_phenom_ii(),
-                    _ => return Err(usage()),
+                opts.machine = match args.next().as_deref().and_then(parse_machine) {
+                    Some(m) => m,
+                    None => return Err(usage()),
                 }
             }
             "--static" => opts.differential = false,
@@ -133,6 +211,7 @@ fn parse_check_args(mut args: impl Iterator<Item = String>) -> Result<CheckOptio
                 Some(n) => opts.unroll = n,
                 None => return Err(usage()),
             },
+            "--json" => opts.json = true,
             path if !path.starts_with('-') => opts.paths.push(path.to_string()),
             _ => return Err(usage()),
         }
@@ -145,62 +224,70 @@ fn parse_check_args(mut args: impl Iterator<Item = String>) -> Result<CheckOptio
 
 /// The configurations `slpc check` verifies each kernel under.
 fn check_configs(opts: &CheckOptions) -> Vec<(String, SlpConfig)> {
-    let mut configs = Vec::new();
-    for (label, strategy, layout) in [
+    [
         ("Native", Strategy::Native, false),
         ("SLP", Strategy::Baseline, false),
         ("Global", Strategy::Holistic, false),
         ("Global+Layout", Strategy::Holistic, true),
-    ] {
-        let mut cfg = SlpConfig::for_machine(opts.machine.clone(), strategy);
-        cfg.unroll = opts.unroll;
-        if layout {
-            cfg = cfg.with_layout();
-        }
-        configs.push((label.to_string(), cfg));
-    }
-    configs
+    ]
+    .into_iter()
+    .map(|(label, strategy, layout)| {
+        (
+            label.to_string(),
+            build_config(&opts.machine, strategy, layout, opts.unroll),
+        )
+    })
+    .collect()
 }
 
 fn run_check(opts: &CheckOptions) -> ExitCode {
+    let verify = if opts.differential {
+        VerifyLevel::Differential
+    } else {
+        VerifyLevel::Static
+    };
     let mut errors = 0usize;
     let mut warnings = 0usize;
-    let mut kernels = 0usize;
+    let mut kernel_rows = Vec::new();
     for path in &opts.paths {
-        let source = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("slpc: cannot read {path}: {e}");
-                return ExitCode::from(1);
-            }
-        };
-        let program = match slp::lang::compile(&source) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{}", e.render(&source));
-                return ExitCode::from(1);
-            }
-        };
-        if let Err(es) = program.validate() {
-            for e in es {
-                eprintln!("slpc: {path}: {e}");
-            }
-            return ExitCode::from(1);
-        }
-        kernels += 1;
+        let mut config_rows = Vec::new();
         for (label, cfg) in check_configs(opts) {
-            let kernel = compile(&program, &cfg);
-            let report = if opts.differential {
-                slp::verify::verify_with_execution(&program, &kernel)
-            } else {
-                slp::verify::verify_kernel(&kernel)
+            let outcome = match compile_file(path, cfg, verify) {
+                Ok(o) => o,
+                Err(code) => return code,
             };
+            let report = outcome.report.as_ref().expect("check always verifies");
             errors += report.error_count();
             warnings += report.warning_count();
-            if report.is_clean() {
+            if opts.json {
+                config_rows.push(Json::obj(vec![
+                    ("config", Json::str(&label)),
+                    (
+                        "superwords",
+                        Json::num(outcome.kernel.stats.superwords as u64),
+                    ),
+                    (
+                        "replications",
+                        Json::num(outcome.kernel.stats.replications as u64),
+                    ),
+                    ("errors", Json::num(report.error_count() as u64)),
+                    ("warnings", Json::num(report.warning_count() as u64)),
+                    (
+                        "diagnostics",
+                        Json::Arr(
+                            report
+                                .diagnostics
+                                .iter()
+                                .map(|d| Json::str(d.to_string()))
+                                .collect(),
+                        ),
+                    ),
+                    ("fingerprint", Json::str(outcome.fingerprint.to_hex())),
+                ]));
+            } else if report.is_clean() {
                 println!(
                     "{path} [{label}]: ok ({} superword statement(s), {} replication(s))",
-                    kernel.stats.superwords, kernel.stats.replications
+                    outcome.kernel.stats.superwords, outcome.kernel.stats.replications
                 );
             } else {
                 println!("{path} [{label}]:");
@@ -209,14 +296,223 @@ fn run_check(opts: &CheckOptions) -> ExitCode {
                 }
             }
         }
+        if opts.json {
+            kernel_rows.push(Json::obj(vec![
+                ("path", Json::str(path)),
+                ("configs", Json::Arr(config_rows)),
+            ]));
+        }
     }
-    println!(
-        "checked {kernels} kernel(s) x {} configuration(s) on {}: \
-         {errors} error(s), {warnings} warning(s)",
-        check_configs(opts).len(),
-        opts.machine.name
-    );
+    if opts.json {
+        let doc = Json::obj(vec![
+            ("machine", Json::str(&opts.machine.name)),
+            ("differential", Json::Bool(opts.differential)),
+            ("kernels", Json::Arr(kernel_rows)),
+            ("errors", Json::num(errors as u64)),
+            ("warnings", Json::num(warnings as u64)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!(
+            "checked {} kernel(s) x {} configuration(s) on {}: \
+             {errors} error(s), {warnings} warning(s)",
+            opts.paths.len(),
+            check_configs(opts).len(),
+            opts.machine.name
+        );
+    }
     if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Options of the `batch` subcommand.
+struct BatchOptions {
+    inputs: Vec<String>,
+    strategy: Strategy,
+    layout: bool,
+    machine: MachineConfig,
+    unroll: usize,
+    verify: VerifyLevel,
+    threads: usize,
+    budget_ms: Option<u64>,
+    degrade: bool,
+    cache_dir: Option<String>,
+    no_cache: bool,
+    json: bool,
+    strict: bool,
+}
+
+fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<BatchOptions, ExitCode> {
+    let mut opts = BatchOptions {
+        inputs: Vec::new(),
+        strategy: Strategy::Holistic,
+        layout: false,
+        machine: MachineConfig::intel_dunnington(),
+        unroll: 0,
+        verify: VerifyLevel::Static,
+        threads: 0,
+        budget_ms: None,
+        degrade: true,
+        cache_dir: None,
+        no_cache: false,
+        json: false,
+        strict: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--strategy" => {
+                opts.strategy = match args.next().as_deref().and_then(parse_strategy) {
+                    Some(s) => s,
+                    None => return Err(usage()),
+                }
+            }
+            "--layout" => opts.layout = true,
+            "--machine" => {
+                opts.machine = match args.next().as_deref().and_then(parse_machine) {
+                    Some(m) => m,
+                    None => return Err(usage()),
+                }
+            }
+            "--unroll" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.unroll = n,
+                None => return Err(usage()),
+            },
+            "--verify" => {
+                opts.verify = match args.next().as_deref().and_then(VerifyLevel::from_name) {
+                    Some(v) => v,
+                    None => return Err(usage()),
+                }
+            }
+            "--threads" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.threads = n,
+                None => return Err(usage()),
+            },
+            "--budget-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.budget_ms = Some(n),
+                None => return Err(usage()),
+            },
+            "--no-degrade" => opts.degrade = false,
+            "--cache-dir" => match args.next() {
+                Some(dir) => opts.cache_dir = Some(dir),
+                None => return Err(usage()),
+            },
+            "--no-cache" => opts.no_cache = true,
+            "--json" => opts.json = true,
+            "--strict" => opts.strict = true,
+            path if !path.starts_with('-') => opts.inputs.push(path.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+    if opts.inputs.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+/// Expands directories (sorted `*.slp` members), kernel files and
+/// manifests into `(name, path)` pairs.
+fn collect_kernel_paths(inputs: &[String]) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut paths = Vec::new();
+    for input in inputs {
+        let path = std::path::Path::new(input);
+        if path.is_dir() {
+            let mut members: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot read directory {input}: {e}"))?
+                .filter_map(|entry| entry.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|ext| ext == "slp"))
+                .collect();
+            members.sort();
+            if members.is_empty() {
+                return Err(format!("directory {input} contains no .slp files"));
+            }
+            paths.extend(members);
+        } else if path.extension().is_some_and(|ext| ext == "slp") {
+            paths.push(path.to_path_buf());
+        } else {
+            // A manifest: one kernel path per line, relative to the
+            // manifest's directory.
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read manifest {input}: {e}"))?;
+            let base = path.parent().unwrap_or(std::path::Path::new("."));
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                paths.push(base.join(line));
+            }
+        }
+    }
+    if paths.is_empty() {
+        return Err("no kernels to compile".to_string());
+    }
+    Ok(paths)
+}
+
+fn kernel_name(path: &std::path::Path) -> String {
+    path.file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.display().to_string())
+}
+
+fn run_batch(opts: &BatchOptions) -> ExitCode {
+    let paths = match collect_kernel_paths(&opts.inputs) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("slpc: {msg}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut requests = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("slpc: cannot read {}: {e}", path.display());
+                return ExitCode::from(1);
+            }
+        };
+        requests.push(CompileRequest {
+            name: kernel_name(path),
+            source,
+            config: build_config(&opts.machine, opts.strategy, opts.layout, opts.unroll),
+            verify: opts.verify,
+        });
+    }
+
+    let cache = if opts.no_cache {
+        None
+    } else {
+        let dir = opts
+            .cache_dir
+            .clone()
+            .unwrap_or_else(|| DEFAULT_DISK_DIR.to_string());
+        Some(CompileCache::with_disk(DEFAULT_MEMORY_CAPACITY, dir))
+    };
+    let batch_config = BatchConfig {
+        threads: opts.threads,
+        budget_ms: opts.budget_ms,
+        degrade: opts.degrade,
+    };
+
+    let start = Instant::now();
+    let outcomes = compile_batch(&requests, cache.as_ref(), &batch_config);
+    let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let report =
+        DriverReport::from_outcomes(&outcomes, wall_nanos, cache.as_ref().map(|c| c.stats()));
+
+    if opts.json {
+        println!("{}", report.to_json().to_pretty());
+    } else {
+        print!("{}", report.summary_table());
+    }
+
+    let failed = report.failed_count() > 0;
+    let strict_dirty = opts.strict && !report.all_clean();
+    if failed || strict_dirty {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
@@ -225,44 +521,33 @@ fn run_check(opts: &CheckOptions) -> ExitCode {
 
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
-    if argv.peek().map(String::as_str) == Some("check") {
-        argv.next();
-        return match parse_check_args(argv) {
-            Ok(opts) => run_check(&opts),
-            Err(code) => code,
-        };
+    match argv.peek().map(String::as_str) {
+        Some("check") => {
+            argv.next();
+            return match parse_check_args(argv) {
+                Ok(opts) => run_check(&opts),
+                Err(code) => code,
+            };
+        }
+        Some("batch") => {
+            argv.next();
+            return match parse_batch_args(argv) {
+                Ok(opts) => run_batch(&opts),
+                Err(code) => code,
+            };
+        }
+        _ => {}
     }
     let opts = match parse_args() {
         Ok(o) => o,
         Err(code) => return code,
     };
-    let source = match std::fs::read_to_string(&opts.path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("slpc: cannot read {}: {e}", opts.path);
-            return ExitCode::from(1);
-        }
+    let config = build_config(&opts.machine, opts.strategy, opts.layout, opts.unroll);
+    let outcome = match compile_file(&opts.path, config, VerifyLevel::None) {
+        Ok(o) => o,
+        Err(code) => return code,
     };
-    let program = match slp::lang::compile(&source) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{}", e.render(&source));
-            return ExitCode::from(1);
-        }
-    };
-    if let Err(errors) = program.validate() {
-        for e in errors {
-            eprintln!("slpc: {e}");
-        }
-        return ExitCode::from(1);
-    }
-
-    let mut cfg = SlpConfig::for_machine(opts.machine.clone(), opts.strategy);
-    cfg.unroll = opts.unroll;
-    if opts.layout {
-        cfg = cfg.with_layout();
-    }
-    let kernel = compile(&program, &cfg);
+    let kernel = &outcome.kernel;
 
     match opts.emit.as_str() {
         "source" => print!("{}", kernel.program.to_source()),
@@ -275,7 +560,7 @@ fn main() -> ExitCode {
             }
         }
         "code" => {
-            for (bid, code) in lower_kernel(&kernel, &opts.machine, true) {
+            for (bid, code) in lower_kernel(kernel, &opts.machine, true) {
                 println!("block {bid} (vectorized = {}):", code.vectorized);
                 if !code.preheader.is_empty() {
                     println!("  preheader:");
@@ -301,7 +586,7 @@ fn main() -> ExitCode {
     }
 
     if opts.run {
-        match execute(&kernel, &opts.machine) {
+        match execute(kernel, &opts.machine) {
             Ok(out) => {
                 let m = &out.stats.metrics;
                 println!("-- run on {} --", opts.machine.name);

@@ -1,0 +1,102 @@
+//! `slpd` — the SLP compile server.
+//!
+//! ```text
+//! slpd serve [--cache-dir DIR] [--no-cache] [--memory N]
+//!
+//! options:
+//!   --cache-dir DIR   disk cache location (default: .slp-cache)
+//!   --no-cache        in-memory caching only, no disk tier
+//!   --memory N        in-memory LRU capacity (default: 256)
+//! ```
+//!
+//! Speaks line-delimited JSON over stdin/stdout: one request per input
+//! line, one response per output line, flushed immediately. All
+//! requests share one content-addressed compile cache (in-memory LRU
+//! plus a disk tier under `.slp-cache/` by default), so repeated
+//! sources are answered without recompiling — across requests and, via
+//! the disk tier, across server restarts. See `slp::driver::serve` for
+//! the request and response schema.
+//!
+//! The loop ends on EOF or a `{"cmd":"shutdown"}` request; a summary
+//! line goes to stderr. Exit codes: 0 success, 1 I/O error, 2 usage
+//! error.
+
+use std::process::ExitCode;
+
+use slp::driver::{serve, CompileCache, DEFAULT_DISK_DIR, DEFAULT_MEMORY_CAPACITY};
+
+struct Options {
+    cache_dir: Option<String>,
+    no_cache: bool,
+    memory: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: slpd serve [--cache-dir DIR] [--no-cache] [--memory N]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ExitCode> {
+    let mut args = std::env::args().skip(1).peekable();
+    // The verb is optional — `slpd` alone serves too.
+    if args.peek().map(String::as_str) == Some("serve") {
+        args.next();
+    }
+    let mut opts = Options {
+        cache_dir: None,
+        no_cache: false,
+        memory: DEFAULT_MEMORY_CAPACITY,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" => match args.next() {
+                Some(dir) => opts.cache_dir = Some(dir),
+                None => return Err(usage()),
+            },
+            "--no-cache" => opts.no_cache = true,
+            "--memory" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => opts.memory = n,
+                _ => return Err(usage()),
+            },
+            _ => return Err(usage()),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let cache = if opts.no_cache {
+        CompileCache::in_memory(opts.memory)
+    } else {
+        let dir = opts
+            .cache_dir
+            .unwrap_or_else(|| DEFAULT_DISK_DIR.to_string());
+        CompileCache::with_disk(opts.memory, dir)
+    };
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match serve(stdin.lock(), stdout.lock(), &cache) {
+        Ok(summary) => {
+            let stats = cache.stats();
+            eprintln!(
+                "slpd: {} request(s), {} compiled, {} cache hit(s), {} error(s); \
+                 cache hit rate {:.1}%",
+                summary.requests,
+                summary.compiled,
+                summary.cache_hits,
+                summary.errors,
+                stats.hit_rate() * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("slpd: I/O error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -20,6 +20,7 @@
 //! * [`vm`] — vector code generation and the simulated machines
 //! * [`suite`] — the Table 3 benchmark kernels and a program generator
 //! * [`verify`] — legality lints and differential translation validation
+//! * [`driver`] — compile caching, parallel batches, telemetry, serving
 //!
 //! # Examples
 //!
@@ -50,6 +51,7 @@
 
 pub use slp_analysis as analysis;
 pub use slp_core as core;
+pub use slp_driver as driver;
 pub use slp_ir as ir;
 pub use slp_lang as lang;
 pub use slp_suite as suite;
