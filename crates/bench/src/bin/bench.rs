@@ -1,0 +1,258 @@
+//! Engine-level benchmarks of the virtual machine itself.
+//!
+//! ```text
+//! bench vm-throughput [--quick] [--out PATH] [--reps N]
+//! ```
+//!
+//! `vm-throughput` executes the sixteen-kernel suite under four schemes
+//! (scalar / SLP / Global / Global+Layout) on both simulated machines
+//! with *both* execution engines — the fast bytecode engine behind
+//! `slp::prelude::execute` and the tree-walking reference interpreter — and
+//! reports the suite execution throughput of each (kernel runs per
+//! second and simulated instructions per second of real wall time).
+//!
+//! Before anything is timed, every configuration passes the
+//! **differential gate**: the two engines must agree bit for bit on the
+//! final memory image (arrays and scalars), on every run-statistics
+//! counter, and on the per-block cycle attribution
+//! ([`slp::verify::check_engine_agreement`]). A gate failure prints the
+//! diagnostics, still writes the report (with `gate: "failed"`), and
+//! exits nonzero — a throughput number for a wrong engine is worthless.
+//!
+//! Results land in `BENCH_vm.json` (override with `--out`). Compilation
+//! of the configurations fans out across the driver's worker pool;
+//! timing loops are strictly serial so the two engines see identical
+//! conditions.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use slp::driver::json::Json;
+use slp::prelude::*;
+use slp::vm::execute_reference;
+use slp_bench::Scheme;
+
+/// One compiled configuration: a suite kernel under one scheme on one
+/// machine, with its bytecode lowering prebuilt (translation is paid
+/// once and amortized across runs, which is the engine's intended use).
+struct Case {
+    kernel: &'static str,
+    scheme: Scheme,
+    machine: MachineConfig,
+    compiled: CompiledKernel,
+    bytecode: BytecodeKernel,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench vm-throughput [--quick] [--out PATH] [--reps N]\n       \
+         --quick   1 repetition per configuration (CI smoke)\n       \
+         --out     report path (default BENCH_vm.json)\n       \
+         --reps    timed repetitions per configuration (default 5)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("vm-throughput") {
+        return usage();
+    }
+    let mut quick = false;
+    let mut out = "BENCH_vm.json".to_string();
+    let mut reps = 5usize;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--reps" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => reps = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if quick {
+        reps = 1;
+    }
+
+    let machines = [
+        MachineConfig::intel_dunnington(),
+        MachineConfig::amd_phenom_ii(),
+    ];
+    let schemes = [
+        Scheme::Scalar,
+        Scheme::Slp,
+        Scheme::Global,
+        Scheme::GlobalLayout,
+    ];
+    let suite = slp::suite::all(1);
+
+    // Compile every (kernel, scheme, machine) configuration and lower it
+    // to bytecode, fanned out across the worker pool.
+    let mut inputs = Vec::new();
+    for machine in &machines {
+        for scheme in schemes {
+            for (spec, program) in &suite {
+                inputs.push((spec.name, scheme, machine, program));
+            }
+        }
+    }
+    let cases: Vec<Case> = parallel_map(&inputs, 0, |_, &(kernel, scheme, machine, program)| {
+        let compiled = compile(program, &scheme.config(machine));
+        let bytecode = BytecodeKernel::compile(&compiled, machine, true)
+            .unwrap_or_else(|e| panic!("{kernel} under {scheme:?} failed to lower: {e}"));
+        Case {
+            kernel,
+            scheme,
+            machine: machine.clone(),
+            compiled,
+            bytecode,
+        }
+    });
+    eprintln!(
+        "vm-throughput: {} configurations ({} kernels x {} schemes x {} machines), {reps} rep(s)",
+        cases.len(),
+        suite.len(),
+        schemes.len(),
+        machines.len()
+    );
+
+    // The differential gate. Run before any timing; also parallel — the
+    // verdicts are independent.
+    let gate_failures: Vec<String> = parallel_map(&cases, 0, |_, case| {
+        let diags = slp::verify::check_engine_agreement(&case.compiled);
+        if diags.is_empty() {
+            None
+        } else {
+            Some(format!(
+                "{} / {} / {}:\n{}",
+                case.kernel,
+                case.scheme.label(),
+                case.machine.name,
+                diags
+                    .iter()
+                    .map(|d| format!("  {d}"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            ))
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let gate_ok = gate_failures.is_empty();
+    if gate_ok {
+        eprintln!(
+            "differential gate: all {} configurations bit-identical",
+            cases.len()
+        );
+    } else {
+        eprintln!(
+            "differential gate FAILED on {} configuration(s):",
+            gate_failures.len()
+        );
+        for f in &gate_failures {
+            eprintln!("{f}");
+        }
+    }
+
+    // Serial timing: the whole suite, `reps` times, per engine. The
+    // simulated-instruction total is identical for both engines (the
+    // gate proved it), so both throughputs share one denominator.
+    let total_insts: u64 = cases
+        .iter()
+        .map(|c| {
+            c.bytecode
+                .run()
+                .expect("gated run")
+                .stats
+                .metrics
+                .dynamic_instructions
+        })
+        .sum();
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for case in &cases {
+            let outcome = case.bytecode.run().expect("gated run");
+            std::hint::black_box(&outcome);
+        }
+    }
+    let fast_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for case in &cases {
+            let outcome = execute_reference(&case.compiled, &case.machine).expect("gated run");
+            std::hint::black_box(&outcome);
+        }
+    }
+    let reference_secs = start.elapsed().as_secs_f64();
+
+    let runs = (cases.len() * reps) as f64;
+    let insts = total_insts as f64 * reps as f64;
+    let speedup = reference_secs / fast_secs;
+    eprintln!(
+        "bytecode engine:  {:>10.1} kernel runs/s, {:>12.3e} simulated insts/s ({fast_secs:.3}s wall)",
+        runs / fast_secs,
+        insts / fast_secs
+    );
+    eprintln!(
+        "reference engine: {:>10.1} kernel runs/s, {:>12.3e} simulated insts/s ({reference_secs:.3}s wall)",
+        runs / reference_secs,
+        insts / reference_secs
+    );
+    eprintln!("speedup: {speedup:.2}x");
+
+    let engine = |secs: f64| {
+        Json::obj([
+            ("wall_seconds", Json::float(secs)),
+            ("kernel_runs_per_second", Json::float(runs / secs)),
+            ("simulated_insts_per_second", Json::float(insts / secs)),
+        ])
+    };
+    let report = Json::obj([
+        ("benchmark", Json::str("vm-throughput")),
+        ("quick", Json::Bool(quick)),
+        ("kernels", Json::num(suite.len() as u64)),
+        (
+            "schemes",
+            Json::Arr(schemes.iter().map(|s| Json::str(s.label())).collect()),
+        ),
+        (
+            "machines",
+            Json::Arr(machines.iter().map(|m| Json::str(&*m.name)).collect()),
+        ),
+        ("configurations", Json::num(cases.len() as u64)),
+        ("repetitions", Json::num(reps as u64)),
+        ("total_kernel_runs", Json::num(runs as u64)),
+        ("total_simulated_instructions", Json::num(insts as u64)),
+        ("bytecode_engine", engine(fast_secs)),
+        ("reference_engine", engine(reference_secs)),
+        ("speedup", Json::float(speedup)),
+        (
+            "gate",
+            Json::str(if gate_ok { "bit-identical" } else { "failed" }),
+        ),
+        (
+            "gate_failures",
+            Json::Arr(gate_failures.iter().map(Json::str).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, report.to_pretty() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {out}");
+
+    if gate_ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

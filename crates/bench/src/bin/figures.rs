@@ -8,11 +8,11 @@
 //! scale:    problem-size multiplier (default 4; tests use 1)
 //! ```
 
+use slp::prelude::MachineConfig;
 use slp_bench::figures::{
     compile_overhead, fig18_series, fig21, measure_suite, render_fig16, render_fig17, render_fig18,
     render_fig19, render_fig20, render_fig21, render_machine_table, render_table3,
 };
-use slp_core::MachineConfig;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

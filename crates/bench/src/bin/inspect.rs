@@ -4,20 +4,20 @@
 //! inspect <kernel> [schedules|code|layout|weights]
 //! ```
 
-use slp_analysis::{
+use slp::analysis::{
     find_candidates, ConflictMatrix, PackGraph, StatementGroupingGraph, Unit, WeightParams,
 };
+use slp::ir::{BlockDeps, TypeEnv};
+use slp::prelude::*;
+use slp::vm::lower_kernel;
 use slp_bench::{measure, Scheme};
-use slp_core::MachineConfig;
-use slp_ir::{BlockDeps, TypeEnv};
-use slp_vm::lower_kernel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let name = args.first().cloned().unwrap_or_else(|| "wrf".into());
     let what = args.get(1).map(String::as_str).unwrap_or("schedules");
     let machine = MachineConfig::intel_dunnington();
-    let program = slp_suite::kernel(&name, 1);
+    let program = slp::suite::kernel(&name, 1);
 
     match what {
         "schedules" | "code" => {
@@ -67,7 +67,7 @@ fn main() {
             // The paper's Figure 5 view: the statement grouping graph of
             // the first round, edges annotated with their reuse weights.
             let mut p = program.clone();
-            slp_ir::unroll_program(&mut p, 2);
+            slp::ir::unroll_program(&mut p, 2);
             let infos = p.blocks();
             let info = infos
                 .iter()

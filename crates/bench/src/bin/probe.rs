@@ -1,6 +1,6 @@
 //! Developer probe: prints per-kernel reductions for every scheme.
+use slp::prelude::*;
 use slp_bench::{assert_equivalent, measure_all, of, Scheme};
-use slp_core::MachineConfig;
 
 fn main() {
     let machine = match std::env::args().nth(1).as_deref() {
@@ -11,7 +11,7 @@ fn main() {
         "{:<12} {:>8} {:>8} {:>8} {:>8}  repl",
         "kernel", "Native", "SLP", "Global", "G+L"
     );
-    for (spec, p) in slp_suite::all(1) {
+    for (spec, p) in slp::suite::all(1) {
         let ms = measure_all(&p, &machine);
         assert_equivalent(&p, &ms);
         let base = of(&ms, Scheme::Scalar);

@@ -1,12 +1,11 @@
 //! Developer probe: sweep WeightParams and report figure-shape quality.
-use slp_analysis::WeightParams;
+use slp::analysis::WeightParams;
+use slp::prelude::*;
 use slp_bench::{measure, Scheme};
-use slp_core::{compile, MachineConfig, SlpConfig, Strategy};
-use slp_vm::execute;
 
 fn main() {
     let machine = MachineConfig::intel_dunnington();
-    let kernels = slp_suite::all(1);
+    let kernels = slp::suite::all(1);
     // Fixed baselines.
     let mut scalar = Vec::new();
     let mut slp = Vec::new();

@@ -71,16 +71,22 @@ impl BenchmarkResult {
 /// Measures every benchmark under every scheme on `machine`, asserting
 /// semantic equivalence of all schemes first.
 ///
+/// The benchmarks are independent, so they are fanned out across the
+/// driver's worker pool ([`slp_driver::parallel_map`]); results come
+/// back in catalog order regardless of scheduling, and each kernel's
+/// measurements stay serial so its numbers are undisturbed by siblings.
+///
 /// This is the data source shared by Figures 16, 17, 19 and 20.
 pub fn measure_suite(machine: &MachineConfig, scale: usize) -> Vec<BenchmarkResult> {
-    slp_suite::all(scale)
-        .into_iter()
-        .map(|(spec, program)| {
-            let measurements = measure_all(&program, machine);
-            assert_equivalent(&program, &measurements);
-            BenchmarkResult { spec, measurements }
-        })
-        .collect()
+    let kernels = slp_suite::all(scale);
+    slp_driver::parallel_map(&kernels, 0, |_, (spec, program)| {
+        let measurements = measure_all(program, machine);
+        assert_equivalent(program, &measurements);
+        BenchmarkResult {
+            spec: spec.clone(),
+            measurements,
+        }
+    })
 }
 
 /// Sorts results the way Figure 16 orders its x-axis: by the Global

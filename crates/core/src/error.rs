@@ -1,0 +1,253 @@
+//! Workspace-wide error types: the stable error surface of the `slp`
+//! public API.
+//!
+//! Historically every layer grew its own failure shape — the language
+//! front-end a positioned [`slp_lang::ParseError`], the VM a stringly
+//! `ExecError`, the verifier a rendered report, the pipeline a panic.
+//! [`SlpError`] unifies them behind one enum with `From` conversions so
+//! front-ends can use `?` across layer boundaries, while [`ExecError`]
+//! and [`VerifyError`] stay usable on their own where only one layer is
+//! involved.
+
+use std::error::Error;
+use std::fmt;
+
+/// The classification of a runtime failure in the VM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecErrorKind {
+    /// An array or replication access fell outside the declared bounds.
+    OutOfBounds,
+    /// An instruction read a vector register that no earlier instruction
+    /// defined.
+    UndefinedRegister,
+    /// The instruction stream is structurally invalid (missing block
+    /// code, lane-width mismatches, out-of-range permutation indices).
+    MalformedCode,
+}
+
+impl ExecErrorKind {
+    /// The stable lower-case name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExecErrorKind::OutOfBounds => "out-of-bounds",
+            ExecErrorKind::UndefinedRegister => "undefined-register",
+            ExecErrorKind::MalformedCode => "malformed-code",
+        }
+    }
+}
+
+impl fmt::Display for ExecErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed runtime failure of the VM: a [`kind`](ExecError::kind) for
+/// programmatic dispatch plus a human-readable context string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    kind: ExecErrorKind,
+    context: String,
+}
+
+impl ExecError {
+    /// Builds an error of the given kind.
+    pub fn new(kind: ExecErrorKind, context: impl Into<String>) -> Self {
+        ExecError {
+            kind,
+            context: context.into(),
+        }
+    }
+
+    /// An out-of-bounds memory access.
+    pub fn out_of_bounds(context: impl Into<String>) -> Self {
+        ExecError::new(ExecErrorKind::OutOfBounds, context)
+    }
+
+    /// A read of a never-defined vector register.
+    pub fn undefined_register(context: impl Into<String>) -> Self {
+        ExecError::new(ExecErrorKind::UndefinedRegister, context)
+    }
+
+    /// A structurally invalid instruction stream.
+    pub fn malformed(context: impl Into<String>) -> Self {
+        ExecError::new(ExecErrorKind::MalformedCode, context)
+    }
+
+    /// The failure classification.
+    pub fn kind(&self) -> ExecErrorKind {
+        self.kind
+    }
+
+    /// The human-readable context.
+    pub fn context(&self) -> &str {
+        &self.context
+    }
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Kept identical to the historical rendering so messages (and
+        // substring assertions on them) are stable across the engine
+        // rewrite.
+        write!(f, "execution error: {}", self.context)
+    }
+}
+
+impl Error for ExecError {}
+
+/// A structured verification failure, produced by a
+/// [`Verifier`](crate::Verifier) rejecting a compiled kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    summary: String,
+    findings: Vec<String>,
+}
+
+impl VerifyError {
+    /// Builds an error from the rendered summary (typically a full
+    /// diagnostic report).
+    pub fn new(summary: impl Into<String>) -> Self {
+        VerifyError {
+            summary: summary.into(),
+            findings: Vec::new(),
+        }
+    }
+
+    /// Attaches the individual findings behind the summary.
+    pub fn with_findings(mut self, findings: Vec<String>) -> Self {
+        self.findings = findings;
+        self
+    }
+
+    /// The rendered summary.
+    pub fn summary(&self) -> &str {
+        &self.summary
+    }
+
+    /// The individual findings (may be empty when the producer only
+    /// rendered a summary).
+    pub fn findings(&self) -> &[String] {
+        &self.findings
+    }
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary)
+    }
+}
+
+impl Error for VerifyError {}
+
+impl From<String> for VerifyError {
+    fn from(summary: String) -> Self {
+        VerifyError::new(summary)
+    }
+}
+
+impl From<&str> for VerifyError {
+    fn from(summary: &str) -> Self {
+        VerifyError::new(summary)
+    }
+}
+
+/// The workspace-wide error enum: every failure a front-end can see from
+/// the parse → validate → compile → verify → execute path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlpError {
+    /// The source text did not parse.
+    Parse(slp_lang::ParseError),
+    /// The program parsed but failed semantic validation; one rendered
+    /// message per violation.
+    Invalid(Vec<String>),
+    /// A verifier rejected the compiled kernel.
+    Verify(VerifyError),
+    /// The VM failed at run time.
+    Exec(ExecError),
+}
+
+impl fmt::Display for SlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlpError::Parse(e) => write!(f, "parse error: {e}"),
+            SlpError::Invalid(errors) => {
+                write!(f, "invalid program: {}", errors.join("; "))
+            }
+            SlpError::Verify(e) => write!(f, "verification failed: {e}"),
+            SlpError::Exec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for SlpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SlpError::Parse(e) => Some(e),
+            SlpError::Invalid(_) => None,
+            SlpError::Verify(e) => Some(e),
+            SlpError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<slp_lang::ParseError> for SlpError {
+    fn from(e: slp_lang::ParseError) -> Self {
+        SlpError::Parse(e)
+    }
+}
+
+impl From<VerifyError> for SlpError {
+    fn from(e: VerifyError) -> Self {
+        SlpError::Verify(e)
+    }
+}
+
+impl From<ExecError> for SlpError {
+    fn from(e: ExecError) -> Self {
+        SlpError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_error_display_is_stable() {
+        let e = ExecError::out_of_bounds("A[9] out of bounds (dims [4])");
+        assert_eq!(
+            e.to_string(),
+            "execution error: A[9] out of bounds (dims [4])"
+        );
+        assert_eq!(e.kind(), ExecErrorKind::OutOfBounds);
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn kinds_have_stable_names() {
+        assert_eq!(ExecErrorKind::OutOfBounds.name(), "out-of-bounds");
+        assert_eq!(
+            ExecErrorKind::UndefinedRegister.name(),
+            "undefined-register"
+        );
+        assert_eq!(ExecErrorKind::MalformedCode.name(), "malformed-code");
+    }
+
+    #[test]
+    fn slp_error_converts_from_each_layer() {
+        let v: SlpError = VerifyError::new("V201 bad pack").into();
+        assert!(v.to_string().contains("verification failed"));
+        let x: SlpError = ExecError::undefined_register("read of undefined register x3").into();
+        assert!(x.to_string().contains("undefined register"));
+        let p: SlpError = slp_lang::compile("kernel {").unwrap_err().into();
+        assert!(p.to_string().starts_with("parse error:"));
+    }
+
+    #[test]
+    fn verify_error_keeps_findings() {
+        let e = VerifyError::new("2 errors").with_findings(vec!["a".into(), "b".into()]);
+        assert_eq!(e.findings().len(), 2);
+        assert_eq!(e.summary(), "2 errors");
+    }
+}

@@ -12,6 +12,7 @@ use slp_analysis::WeightParams;
 
 use crate::baseline::{baseline_block, baseline_groups};
 use crate::cost::{estimate_schedule_cost, CostContext};
+use crate::error::VerifyError;
 use crate::group::group_block_with;
 use crate::layout::array::{optimize_array_layout, ArrayLayoutConfig, Replication};
 use crate::layout::collect_pack_uses;
@@ -46,18 +47,120 @@ impl Strategy {
             Strategy::Holistic => "Global",
         }
     }
+
+    /// The CLI name of the strategy (`scalar`, `native`, `slp`,
+    /// `global`), as parsed by [`FromStr`](std::str::FromStr) and
+    /// rendered by [`Display`](std::fmt::Display). Distinct from
+    /// [`Strategy::label`], which follows the figure legends.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Strategy::Scalar => "scalar",
+            Strategy::Native => "native",
+            Strategy::Baseline => "slp",
+            Strategy::Holistic => "global",
+        }
+    }
+
+    /// All strategies, in figure order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Scalar,
+        Strategy::Native,
+        Strategy::Baseline,
+        Strategy::Holistic,
+    ];
 }
 
-/// Signature of a post-compile verification hook: the original program
-/// plus the finished kernel, returning a rendered report on failure.
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.cli_name())
+    }
+}
+
+impl std::str::FromStr for Strategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(Strategy::Scalar),
+            "native" => Ok(Strategy::Native),
+            "slp" => Ok(Strategy::Baseline),
+            "global" => Ok(Strategy::Holistic),
+            other => Err(format!(
+                "unknown strategy '{other}' (expected scalar, native, slp or global)"
+            )),
+        }
+    }
+}
+
+/// A post-compile verification pass: given the original program and the
+/// finished kernel, either accept it or return a structured
+/// [`VerifyError`].
 ///
-/// [`compile`] calls the hook once on its final output (after the
-/// Global+Layout dual arbitration picked a winner) and panics with the
-/// returned message if it fails. The `slp-verify` crate provides two
-/// implementations (`pipeline_hook` for the static checks,
-/// `pipeline_hook_full` adding differential translation validation);
-/// this type lives here so `slp-core` does not depend on the checker.
-pub type VerifyHook = fn(&Program, &CompiledKernel) -> Result<(), String>;
+/// [`compile`] calls the installed verifier once on its final output
+/// (after the Global+Layout dual arbitration picked a winner) and panics
+/// with the rendered error if it rejects. The `slp-verify` crate provides
+/// two implementations (`pipeline_hook` for the static checks,
+/// `pipeline_hook_full` adding differential translation validation); the
+/// trait lives here so `slp-core` does not depend on the checker.
+///
+/// The trait is object-safe, and any
+/// `Fn(&Program, &CompiledKernel) -> Result<(), VerifyError>` closure or
+/// fn item implements it via the blanket impl, so plain functions keep
+/// working unchanged:
+///
+/// ```ignore
+/// let cfg = SlpConfig::for_machine(machine, Strategy::Holistic)
+///     .with_verifier(slp_verify::pipeline_hook);
+/// ```
+pub trait Verifier: Send + Sync {
+    /// Checks the finished kernel against the original program.
+    fn verify(&self, program: &Program, kernel: &CompiledKernel) -> Result<(), VerifyError>;
+
+    /// A short display name for diagnostics.
+    fn name(&self) -> &str {
+        "verifier"
+    }
+}
+
+impl<F> Verifier for F
+where
+    F: Fn(&Program, &CompiledKernel) -> Result<(), VerifyError> + Send + Sync,
+{
+    fn verify(&self, program: &Program, kernel: &CompiledKernel) -> Result<(), VerifyError> {
+        self(program, kernel)
+    }
+}
+
+/// A shared, cloneable handle to an installed [`Verifier`].
+///
+/// [`SlpConfig`] stores the verifier behind this newtype so the config
+/// stays `Clone` (and `Debug`) while the verifier itself only needs to be
+/// a trait object.
+#[derive(Clone)]
+pub struct VerifierHandle(std::sync::Arc<dyn Verifier>);
+
+impl VerifierHandle {
+    /// Wraps a verifier in a shared handle.
+    pub fn new(verifier: impl Verifier + 'static) -> Self {
+        VerifierHandle(std::sync::Arc::new(verifier))
+    }
+
+    /// Runs the wrapped verifier.
+    pub fn verify(&self, program: &Program, kernel: &CompiledKernel) -> Result<(), VerifyError> {
+        self.0.verify(program, kernel)
+    }
+
+    /// The wrapped verifier's display name.
+    pub fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+impl std::fmt::Debug for VerifierHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "VerifierHandle({})", self.0.name())
+    }
+}
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -82,9 +185,9 @@ pub struct SlpConfig {
     /// next-iteration content equals another pack loaded this iteration
     /// is carried in a register instead of reloaded. Off by default.
     pub cross_iteration_reuse: bool,
-    /// Post-compile verification hook; `None` (the default) skips
-    /// verification. See [`VerifyHook`].
-    pub verify: Option<VerifyHook>,
+    /// Post-compile verification pass; `None` (the default) skips
+    /// verification. See [`Verifier`].
+    pub verify: Option<VerifierHandle>,
 }
 
 impl SlpConfig {
@@ -114,9 +217,11 @@ impl SlpConfig {
         self
     }
 
-    /// Installs a post-compile verification hook. See [`VerifyHook`].
-    pub fn with_verifier(mut self, hook: VerifyHook) -> Self {
-        self.verify = Some(hook);
+    /// Installs a post-compile verification pass. Accepts any
+    /// [`Verifier`] — including plain functions and closures of shape
+    /// `Fn(&Program, &CompiledKernel) -> Result<(), VerifyError>`.
+    pub fn with_verifier(mut self, verifier: impl Verifier + 'static) -> Self {
+        self.verify = Some(VerifierHandle::new(verifier));
         self
     }
 }
@@ -205,8 +310,8 @@ pub fn compile_timed(program: &Program, config: &SlpConfig) -> (CompiledKernel, 
     } else {
         compile_inner(program, config, config.layout, &mut timings)
     };
-    if let Some(hook) = config.verify {
-        let verdict = timings.time(Phase::Verify, || hook(program, &kernel));
+    if let Some(hook) = &config.verify {
+        let verdict = timings.time(Phase::Verify, || hook.verify(program, &kernel));
         if let Err(report) = verdict {
             panic!(
                 "verification rejected '{}' under the {} strategy:\n{report}",
@@ -550,5 +655,70 @@ mod arbitration_tests {
         assert_eq!(Strategy::Native.label(), "Native");
         assert_eq!(Strategy::Baseline.label(), "SLP");
         assert_eq!(Strategy::Holistic.label(), "Global");
+    }
+
+    #[test]
+    fn strategy_cli_names_roundtrip() {
+        for s in Strategy::ALL {
+            assert_eq!(s.cli_name().parse::<Strategy>(), Ok(s));
+            assert_eq!(s.to_string(), s.cli_name());
+        }
+        assert!("bogus".parse::<Strategy>().is_err());
+    }
+}
+
+#[cfg(test)]
+mod verifier_tests {
+    use super::*;
+    use crate::error::VerifyError;
+
+    fn program() -> Program {
+        slp_lang::compile("kernel k { array A: f64[8]; for i in 0..8 { A[i] = A[i] + 1.0; } }")
+            .expect("compiles")
+    }
+
+    fn accepting(_: &Program, _: &CompiledKernel) -> Result<(), VerifyError> {
+        Ok(())
+    }
+
+    fn rejecting(_: &Program, _: &CompiledKernel) -> Result<(), VerifyError> {
+        Err(VerifyError::new("synthetic rejection"))
+    }
+
+    #[test]
+    fn fn_items_implement_verifier_via_the_blanket_impl() {
+        let cfg = SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic)
+            .with_verifier(accepting);
+        assert!(cfg.verify.is_some());
+        let k = compile(&program(), &cfg);
+        assert!(k.stats.stmts > 0);
+        // The handle (and thus the config) stays cloneable.
+        let cloned = cfg.clone();
+        assert!(cloned.verify.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "synthetic rejection")]
+    fn rejecting_verifier_panics_with_the_report() {
+        let cfg = SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Holistic)
+            .with_verifier(rejecting);
+        compile(&program(), &cfg);
+    }
+
+    #[test]
+    fn trait_objects_install_too() {
+        struct Always;
+        impl Verifier for Always {
+            fn verify(&self, _: &Program, _: &CompiledKernel) -> Result<(), VerifyError> {
+                Ok(())
+            }
+            fn name(&self) -> &str {
+                "always"
+            }
+        }
+        let cfg = SlpConfig::for_machine(MachineConfig::intel_dunnington(), Strategy::Baseline)
+            .with_verifier(Always);
+        assert_eq!(cfg.verify.as_ref().expect("installed").name(), "always");
+        compile(&program(), &cfg);
     }
 }

@@ -235,23 +235,27 @@ fn run_one(
     }
 }
 
-/// Compiles `requests` across a scoped worker pool.
+/// Applies `f` to every item of `items` across a scoped worker pool and
+/// returns the results *in input order*.
 ///
 /// Workers pull indices from a shared atomic counter, so load balances
-/// dynamically, but results are written back by index: the returned
-/// vector is always in input order with one entry per request,
-/// regardless of thread count or scheduling. The batch never aborts —
-/// every entry carries its own success, degradation or failure.
-pub fn compile_batch(
-    requests: &[CompileRequest],
-    cache: Option<&CompileCache>,
-    config: &BatchConfig,
-) -> Vec<KernelOutcome> {
-    let n = requests.len();
+/// dynamically, but results are written back by index: neither the
+/// thread count nor scheduling jitter can reorder the output. `threads`
+/// of `0` means one worker per available core; the pool never exceeds
+/// the item count. This is the engine under [`compile_batch`], exported
+/// so other front-ends (the benchmark harness's independent kernel runs,
+/// figure regeneration) can share the same deterministic fan-out.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let threads = match config.threads {
+    let threads = match threads {
         0 => thread::available_parallelism().map_or(1, |p| p.get()),
         t => t,
     }
@@ -263,13 +267,14 @@ pub fn compile_batch(
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
+            let f = &f;
             scope.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
                 }
-                let outcome = run_one(&requests[i], cache, config);
-                if tx.send((i, outcome)).is_err() {
+                let result = f(i, &items[i]);
+                if tx.send((i, result)).is_err() {
                     break;
                 }
             });
@@ -277,12 +282,28 @@ pub fn compile_batch(
     });
     drop(tx);
 
-    let mut slots: Vec<Option<KernelOutcome>> = (0..n).map(|_| None).collect();
-    for (i, outcome) in rx {
-        slots[i] = Some(outcome);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, result) in rx {
+        slots[i] = Some(result);
     }
     slots
         .into_iter()
-        .map(|slot| slot.expect("every index produced exactly one outcome"))
+        .map(|slot| slot.expect("every index produced exactly one result"))
         .collect()
+}
+
+/// Compiles `requests` across a scoped worker pool.
+///
+/// Runs on [`parallel_map`]: output is always in input order with one
+/// entry per request, regardless of thread count or scheduling. The
+/// batch never aborts — every entry carries its own success, degradation
+/// or failure.
+pub fn compile_batch(
+    requests: &[CompileRequest],
+    cache: Option<&CompileCache>,
+    config: &BatchConfig,
+) -> Vec<KernelOutcome> {
+    parallel_map(requests, config.threads, |_, req| {
+        run_one(req, cache, config)
+    })
 }

@@ -57,7 +57,7 @@ pub mod json;
 mod report;
 mod serve;
 
-pub use batch::{compile_batch, compile_guarded, BatchConfig, KernelOutcome};
+pub use batch::{compile_batch, compile_guarded, parallel_map, BatchConfig, KernelOutcome};
 pub use cache::{
     CacheStats, CacheTier, CachedCompile, CompileCache, DEFAULT_DISK_DIR, DEFAULT_MEMORY_CAPACITY,
 };
@@ -293,15 +293,10 @@ pub(crate) fn elapsed_nanos(start: Instant) -> u64 {
 }
 
 /// Parses the CLI strategy names shared by `slpc`, `slpd` and the serve
-/// protocol (`scalar`, `native`, `slp`, `global`).
+/// protocol (`scalar`, `native`, `slp`, `global`) — a thin wrapper over
+/// [`Strategy`]'s `FromStr`, kept for callers that want an `Option`.
 pub fn parse_strategy(name: &str) -> Option<Strategy> {
-    match name {
-        "scalar" => Some(Strategy::Scalar),
-        "native" => Some(Strategy::Native),
-        "slp" => Some(Strategy::Baseline),
-        "global" => Some(Strategy::Holistic),
-        _ => None,
-    }
+    name.parse().ok()
 }
 
 /// Parses the CLI machine names shared by the front-ends (`intel`,

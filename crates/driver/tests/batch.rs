@@ -2,7 +2,7 @@
 //! graceful degradation to scalar, hard failures for bad input, and
 //! determinism of output order and bytes across thread counts.
 
-use slp_core::{CompiledKernel, MachineConfig, SlpConfig, Strategy};
+use slp_core::{CompiledKernel, MachineConfig, SlpConfig, Strategy, VerifyError};
 use slp_driver::{
     compile_batch, encode_kernel, BatchConfig, CompileCache, CompileRequest, DriverError,
     VerifyLevel,
@@ -28,12 +28,12 @@ fn holistic() -> SlpConfig {
 /// A verify hook that rejects every kernel — the pipeline panics on a
 /// rejecting hook, which is exactly the in-pipeline panic the guard
 /// must contain.
-fn rejecting_hook(_: &Program, _: &CompiledKernel) -> Result<(), String> {
-    Err("injected failure for batch tests".to_string())
+fn rejecting_hook(_: &Program, _: &CompiledKernel) -> Result<(), VerifyError> {
+    Err(VerifyError::from("injected failure for batch tests"))
 }
 
 /// A verify hook that hangs far past any test budget.
-fn hanging_hook(_: &Program, _: &CompiledKernel) -> Result<(), String> {
+fn hanging_hook(_: &Program, _: &CompiledKernel) -> Result<(), VerifyError> {
     std::thread::sleep(std::time::Duration::from_secs(300));
     Ok(())
 }

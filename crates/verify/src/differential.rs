@@ -10,7 +10,7 @@
 
 use slp_core::{CompiledKernel, SlpConfig, Strategy};
 use slp_ir::Program;
-use slp_vm::{execute, MachineState};
+use slp_vm::{execute, execute_reference, MachineState};
 
 use crate::diag::{Diagnostic, LintCode, Span};
 
@@ -96,6 +96,89 @@ pub fn diff_states(
                 ),
             ));
         }
+    }
+    out
+}
+
+/// Cross-checks the two execution engines on `kernel`: the fast bytecode
+/// engine (the one behind [`execute`]) against the reference
+/// interpreter, on identically seeded memory.
+///
+/// Where [`check_differential`] validates the *compilation* (vectorized
+/// vs scalar semantics), this validates the *executor*: the bytecode
+/// lowering must preserve every observable of the reference engine — the
+/// full memory image (arrays *and* scalars, bit for bit), the run
+/// statistics (cycles, dynamic instructions, memory/pack/permute
+/// counters, iterations), the vectorized-block count and the per-block
+/// cycle attribution. Any divergence is a bug in the fast engine, never
+/// in the program under test.
+pub fn check_engine_agreement(kernel: &CompiledKernel) -> Vec<Diagnostic> {
+    let machine = &kernel.config.machine;
+    let name = kernel.program.name();
+    let fast = match execute(kernel, machine) {
+        Ok(out) => out,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                LintCode::ExecutionFailed,
+                Span::program(),
+                format!("bytecode engine failed to run '{name}': {e}"),
+            )]
+        }
+    };
+    let reference = match execute_reference(kernel, machine) {
+        Ok(out) => out,
+        Err(e) => {
+            return vec![Diagnostic::new(
+                LintCode::ExecutionFailed,
+                Span::program(),
+                format!("reference engine failed to run '{name}': {e}"),
+            )]
+        }
+    };
+
+    let mut out = Vec::new();
+    if !fast.state.bitwise_eq(&reference.state) {
+        out.extend(diff_states(&kernel.program, &reference.state, &fast.state));
+        // diff_states only covers arrays; flag scalar-frame divergence
+        // (or an array diff too subtle for it, e.g. NaN payloads)
+        // explicitly so agreement failures are never silent.
+        if out.is_empty() {
+            out.push(Diagnostic::new(
+                LintCode::DifferentialMismatch,
+                Span::program(),
+                format!(
+                    "engines disagree on the final machine state of '{name}' \
+                     outside the array contents (scalar frame)"
+                ),
+            ));
+        }
+    }
+    if fast.stats != reference.stats {
+        out.push(Diagnostic::new(
+            LintCode::DifferentialMismatch,
+            Span::program(),
+            format!(
+                "engines disagree on run statistics for '{name}': bytecode \
+                 {:?} vs reference {:?}",
+                fast.stats, reference.stats
+            ),
+        ));
+    }
+    if fast.vectorized_blocks != reference.vectorized_blocks
+        || fast.block_cycles != reference.block_cycles
+    {
+        out.push(Diagnostic::new(
+            LintCode::DifferentialMismatch,
+            Span::program(),
+            format!(
+                "engines disagree on block accounting for '{name}': bytecode \
+                 ({} vectorized, {:?}) vs reference ({} vectorized, {:?})",
+                fast.vectorized_blocks,
+                fast.block_cycles,
+                reference.vectorized_blocks,
+                reference.block_cycles
+            ),
+        ));
     }
     out
 }

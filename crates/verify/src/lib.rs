@@ -50,13 +50,15 @@ mod packs;
 
 pub use deps::check_dependences;
 pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
-pub use differential::{assert_states_equivalent, check_differential, diff_states};
+pub use differential::{
+    assert_states_equivalent, check_differential, check_engine_agreement, diff_states,
+};
 pub use layout::check_layout;
 pub use packs::check_packs;
 
-use slp_core::CompiledKernel;
 #[cfg(doc)]
 use slp_core::SlpConfig;
+use slp_core::{CompiledKernel, VerifyError};
 use slp_ir::Program;
 
 /// Runs all static checkers (dependences, packs, layout) over a compiled
@@ -78,23 +80,25 @@ pub fn verify_with_execution(original: &Program, kernel: &CompiledKernel) -> Rep
 }
 
 /// Adapter for [`SlpConfig::verify`]: runs the static checkers and
-/// reports an error (the rendered diagnostics) if any has error
-/// severity. Warnings do not fail the compile.
-pub fn pipeline_hook(_original: &Program, kernel: &CompiledKernel) -> Result<(), String> {
+/// reports a structured [`VerifyError`] (carrying the rendered
+/// diagnostics) if any has error severity. Warnings do not fail the
+/// compile.
+pub fn pipeline_hook(_original: &Program, kernel: &CompiledKernel) -> Result<(), VerifyError> {
     report_to_result(verify_kernel(kernel))
 }
 
 /// Adapter for [`SlpConfig::verify`] that also runs the differential
 /// translation validation. Each compile then executes the program twice;
 /// meant for tests and `slpc check`, not for hot compile paths.
-pub fn pipeline_hook_full(original: &Program, kernel: &CompiledKernel) -> Result<(), String> {
+pub fn pipeline_hook_full(original: &Program, kernel: &CompiledKernel) -> Result<(), VerifyError> {
     report_to_result(verify_with_execution(original, kernel))
 }
 
-fn report_to_result(report: Report) -> Result<(), String> {
+fn report_to_result(report: Report) -> Result<(), VerifyError> {
     if report.passes() {
         Ok(())
     } else {
-        Err(report.to_string())
+        let findings = report.diagnostics.iter().map(|d| d.to_string()).collect();
+        Err(VerifyError::new(report.to_string()).with_findings(findings))
     }
 }

@@ -8,37 +8,17 @@
 //! nothing, exactly like a register-allocated temporary.
 
 use std::collections::HashMap;
-use std::error::Error;
-use std::fmt;
 
-use slp_core::{CompiledKernel, MachineConfig, Replication};
+use slp_core::{CompiledKernel, CostParams, MachineConfig, Replication};
 use slp_ir::{ArrayRef, BinOp, Dest, ExprShape, Item, LoopVarId, Operand, Program, StmtId, UnOp};
 
 use crate::code::{InstMetrics, SplatSrc, VInst};
 use crate::codegen::{lower_kernel, BlockCode};
 use crate::memory::MachineState;
 
-/// A runtime failure (out-of-bounds access or malformed code).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ExecError {
-    message: String,
-}
-
-impl ExecError {
-    fn new(message: impl Into<String>) -> Self {
-        ExecError {
-            message: message.into(),
-        }
-    }
-}
-
-impl fmt::Display for ExecError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "execution error: {}", self.message)
-    }
-}
-
-impl Error for ExecError {}
+// The VM's runtime error is the workspace-wide typed one; re-exported
+// here so `slp_vm::exec::ExecError` keeps resolving.
+pub use slp_core::{ExecError, ExecErrorKind};
 
 /// Counters of one run.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -72,19 +52,55 @@ pub struct Outcome {
 
 /// Executes `kernel` on `machine` with the §4.3 cost gate enabled.
 ///
+/// Runs on the pre-resolved bytecode engine
+/// ([`BytecodeKernel`](crate::bytecode::BytecodeKernel)); semantics are
+/// bit-identical to [`execute_reference`], which the differential gate
+/// proves on every suite kernel.
+///
 /// # Errors
 ///
-/// Returns [`ExecError`] on out-of-bounds accesses.
+/// Returns [`ExecError`] on out-of-bounds accesses or malformed code.
 pub fn execute(kernel: &CompiledKernel, machine: &MachineConfig) -> Result<Outcome, ExecError> {
     execute_gated(kernel, machine, true)
 }
 
-/// Executes `kernel` with an explicit cost-gate setting.
+/// Executes `kernel` with an explicit cost-gate setting, on the bytecode
+/// engine.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on out-of-bounds accesses or malformed code.
+pub fn execute_gated(
+    kernel: &CompiledKernel,
+    machine: &MachineConfig,
+    cost_gate: bool,
+) -> Result<Outcome, ExecError> {
+    crate::bytecode::BytecodeKernel::compile(kernel, machine, cost_gate)?.run()
+}
+
+/// Executes `kernel` on the original tree-walking interpreter (the
+/// reference engine), cost gate enabled.
+///
+/// Kept as the oracle the bytecode engine is differentially validated
+/// against; new code should call [`execute`].
 ///
 /// # Errors
 ///
 /// Returns [`ExecError`] on out-of-bounds accesses.
-pub fn execute_gated(
+pub fn execute_reference(
+    kernel: &CompiledKernel,
+    machine: &MachineConfig,
+) -> Result<Outcome, ExecError> {
+    execute_gated_reference(kernel, machine, true)
+}
+
+/// Executes `kernel` on the reference engine with an explicit cost-gate
+/// setting. See [`execute_reference`].
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on out-of-bounds accesses.
+pub fn execute_gated_reference(
     kernel: &CompiledKernel,
     machine: &MachineConfig,
     cost_gate: bool,
@@ -139,59 +155,82 @@ struct Executor<'a> {
     block_cycles: HashMap<slp_ir::BlockId, f64>,
 }
 
+/// Performs one replication's population pass (§5.2) on `state`, charging
+/// copy costs into `stats`. Shared verbatim by the reference and bytecode
+/// engines so replication semantics (including error strings and the
+/// single bulk metric) cannot diverge.
+pub(crate) fn populate_replication(
+    program: &Program,
+    cost: &CostParams,
+    state: &mut MachineState,
+    stats: &mut RunStats,
+    r: &Replication,
+) -> Result<(), ExecError> {
+    let mut env: Vec<(LoopVarId, i64)> = Vec::new();
+    populate_dims(program, state, r, 0, &mut env)?;
+    let copies = r.copy_count() as f64;
+    stats.metrics.add(&InstMetrics {
+        cycles: copies * (cost.scalar_load + cost.scalar_store),
+        dynamic_instructions: 2 * copies as u64,
+        memory_ops: 2 * copies as u64,
+        memory_cycles: copies * (cost.scalar_load + cost.scalar_store),
+        ..InstMetrics::default()
+    });
+    Ok(())
+}
+
+fn populate_dims(
+    program: &Program,
+    state: &mut MachineState,
+    r: &Replication,
+    dim: usize,
+    env: &mut Vec<(LoopVarId, i64)>,
+) -> Result<(), ExecError> {
+    if dim == r.loops.len() {
+        for (p, lane) in r.lanes.iter().enumerate() {
+            let src_idx = lane.eval(env);
+            let src_info = program.array(r.source);
+            if !src_info.in_bounds(&src_idx) {
+                return Err(ExecError::out_of_bounds(format!(
+                    "replication read {}{:?} out of bounds",
+                    src_info.name, src_idx
+                )));
+            }
+            let off = src_info.linearize(&src_idx) as usize;
+            let value = state
+                .load_array(r.source, off)
+                .ok_or_else(|| ExecError::out_of_bounds("replication source out of bounds"))?;
+            let dst_off = r.dest_exprs[p].eval(env);
+            if dst_off < 0 || !state.store_array(r.dest, dst_off as usize, value) {
+                return Err(ExecError::out_of_bounds(format!(
+                    "replication write {dst_off} out of bounds"
+                )));
+            }
+        }
+        return Ok(());
+    }
+    let h = r.loops[dim];
+    let mut v = h.lower;
+    while v < h.upper {
+        env.push((h.var, v));
+        populate_dims(program, state, r, dim + 1, env)?;
+        env.pop();
+        v += h.step;
+    }
+    Ok(())
+}
+
 impl<'a> Executor<'a> {
     /// Performs one replication's population pass (§5.2), charging copy
     /// costs.
     fn populate(&mut self, r: &Replication) -> Result<(), ExecError> {
-        let c = &self.machine.cost;
-        let depth = self.env.len();
-        self.populate_dims(r, 0)?;
-        self.env.truncate(depth);
-        let copies = r.copy_count() as f64;
-        self.stats.metrics.add(&InstMetrics {
-            cycles: copies * (c.scalar_load + c.scalar_store),
-            dynamic_instructions: 2 * copies as u64,
-            memory_ops: 2 * copies as u64,
-            memory_cycles: copies * (c.scalar_load + c.scalar_store),
-            ..InstMetrics::default()
-        });
-        Ok(())
-    }
-
-    fn populate_dims(&mut self, r: &Replication, dim: usize) -> Result<(), ExecError> {
-        if dim == r.loops.len() {
-            for (p, lane) in r.lanes.iter().enumerate() {
-                let src_idx = lane.eval(&self.env);
-                let src_info = self.program.array(r.source);
-                if !src_info.in_bounds(&src_idx) {
-                    return Err(ExecError::new(format!(
-                        "replication read {}{:?} out of bounds",
-                        src_info.name, src_idx
-                    )));
-                }
-                let off = src_info.linearize(&src_idx) as usize;
-                let value = self
-                    .state
-                    .load_array(r.source, off)
-                    .ok_or_else(|| ExecError::new("replication source out of bounds"))?;
-                let dst_off = r.dest_exprs[p].eval(&self.env);
-                if dst_off < 0 || !self.state.store_array(r.dest, dst_off as usize, value) {
-                    return Err(ExecError::new(format!(
-                        "replication write {dst_off} out of bounds"
-                    )));
-                }
-            }
-            return Ok(());
-        }
-        let h = r.loops[dim];
-        let mut v = h.lower;
-        while v < h.upper {
-            self.env.push((h.var, v));
-            self.populate_dims(r, dim + 1)?;
-            self.env.pop();
-            v += h.step;
-        }
-        Ok(())
+        populate_replication(
+            self.program,
+            &self.machine.cost,
+            &mut self.state,
+            &mut self.stats,
+            r,
+        )
     }
 
     fn run_items(
@@ -209,7 +248,10 @@ impl<'a> Executor<'a> {
                         end += 1;
                     }
                     let &(bid, code) = codes.get(&first.id()).ok_or_else(|| {
-                        ExecError::new(format!("no code for block starting at {}", first.id()))
+                        ExecError::malformed(format!(
+                            "no code for block starting at {}",
+                            first.id()
+                        ))
                     })?;
                     let before = self.stats.metrics.cycles;
                     self.run_block(code)?;
@@ -297,7 +339,7 @@ impl<'a> Executor<'a> {
         self.regs
             .get(r.0 as usize)
             .filter(|v| !v.is_empty())
-            .ok_or_else(|| ExecError::new(format!("read of undefined register {r}")))
+            .ok_or_else(|| ExecError::undefined_register(format!("read of undefined register {r}")))
     }
 
     fn step(&mut self, inst: &VInst) -> Result<(), ExecError> {
@@ -406,7 +448,7 @@ impl<'a> Executor<'a> {
         let idx = r.access.eval(&self.env);
         let info = self.program.array(r.array);
         if !info.in_bounds(&idx) {
-            return Err(ExecError::new(format!(
+            return Err(ExecError::out_of_bounds(format!(
                 "{}{:?} out of bounds (dims {:?})",
                 info.name, idx, info.dims
             )));
@@ -422,7 +464,7 @@ impl<'a> Executor<'a> {
                 let off = self.array_offset(r)?;
                 self.state
                     .load_array(r.array, off)
-                    .ok_or_else(|| ExecError::new("array load out of bounds"))
+                    .ok_or_else(|| ExecError::out_of_bounds("array load out of bounds"))
             }
         }
     }
@@ -433,13 +475,14 @@ impl<'a> Executor<'a> {
         if self.state.store_array(r.array, off, value) {
             Ok(())
         } else {
-            Err(ExecError::new("array store out of bounds"))
+            Err(ExecError::out_of_bounds("array store out of bounds"))
         }
     }
 }
 
-/// Applies an operator shape to positional operand values.
-fn apply_shape(shape: ExprShape, vals: &[f64]) -> f64 {
+/// Applies an operator shape to positional operand values. Shared by the
+/// reference and bytecode engines.
+pub(crate) fn apply_shape(shape: ExprShape, vals: &[f64]) -> f64 {
     match shape {
         ExprShape::Copy => vals[0],
         ExprShape::Unary(op) => match op {

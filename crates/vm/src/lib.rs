@@ -14,6 +14,11 @@
 //! * [`exec`]: an interpreter that actually *runs* the code on seeded
 //!   memory, so any vectorized build can be checked bit-for-bit against
 //!   the scalar build — an oracle the original paper did not have,
+//! * [`bytecode`]: the fast-path engine behind [`execute`] — a dense,
+//!   pre-resolved lowering of the same code (flat register/memory
+//!   arenas, fused superinstructions) that produces bit-identical
+//!   outcomes to the [`exec`] reference interpreter at a fraction of the
+//!   interpretation cost,
 //! * [`multicore`]: the analytic model behind the Figure 21 multicore
 //!   scaling experiments.
 //!
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bytecode;
 pub mod carry;
 pub mod code;
 pub mod codegen;
@@ -51,10 +57,14 @@ pub mod memory;
 pub mod multicore;
 pub mod regalloc;
 
+pub use bytecode::BytecodeKernel;
 pub use carry::apply_cross_iteration_reuse;
 pub use code::{AccessClass, InstMetrics, LaneSink, ScalarPackClass, SplatSrc, VInst, VReg};
 pub use codegen::{lower_block, lower_kernel, lower_kernel_with, BlockCode};
-pub use exec::{execute, execute_gated, run_scalar, ExecError, Outcome, RunStats};
+pub use exec::{
+    execute, execute_gated, execute_gated_reference, execute_reference, run_scalar, ExecError,
+    ExecErrorKind, Outcome, RunStats,
+};
 pub use hoist::hoist_invariant_packs;
 pub use memory::{seed_scalar, seed_value, MachineState};
 pub use multicore::{reduction_percent, MulticoreModel};

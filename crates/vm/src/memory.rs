@@ -118,6 +118,34 @@ impl MachineState {
         })
     }
 
+    /// Decomposes the state into its raw `(arrays, scalars)` storage.
+    /// Used by the bytecode engine to flatten the seeded image into its
+    /// execution arena without copying through the accessor interface.
+    pub fn into_parts(self) -> (Vec<Vec<f64>>, Vec<f64>) {
+        (self.arrays, self.scalars)
+    }
+
+    /// Rebuilds a state from raw `(arrays, scalars)` storage — the
+    /// inverse of [`MachineState::into_parts`].
+    pub fn from_parts(arrays: Vec<Vec<f64>>, scalars: Vec<f64>) -> Self {
+        MachineState { arrays, scalars }
+    }
+
+    /// Bitwise equality of the *entire* state — every array and every
+    /// scalar compared by `f64::to_bits`. Stricter than the derived
+    /// `PartialEq` (NaN-exact) and than [`MachineState::arrays_bitwise_eq`]
+    /// (which ignores scalars); used by the engine differential gate.
+    pub fn bitwise_eq(&self, other: &MachineState) -> bool {
+        self.arrays.len() == other.arrays.len()
+            && self.scalars.len() == other.scalars.len()
+            && self.arrays_bitwise_eq(other, self.arrays.len())
+            && self
+                .scalars
+                .iter()
+                .zip(&other.scalars)
+                .all(|(u, v)| u.to_bits() == v.to_bits())
+    }
+
     /// A 64-bit digest of the full array contents, for cheap regression
     /// assertions.
     pub fn digest(&self) -> u64 {

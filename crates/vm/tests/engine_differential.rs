@@ -1,0 +1,169 @@
+//! Old-vs-new engine differential: the bytecode engine must reproduce
+//! the reference interpreter bit for bit on *every* observable — final
+//! memory image (arrays and scalars), run statistics, vectorized-block
+//! count and per-block cycle attribution — across the whole benchmark
+//! suite, deterministic random-program sweeps, and property-generated
+//! workloads.
+//!
+//! The reference interpreter stays in the tree as the oracle precisely
+//! so this file can exist; a divergence here is always a bug in the
+//! bytecode lowering, never in the program under test.
+
+use proptest::prelude::*;
+use slp_core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp_ir::Program;
+use slp_suite::GeneratorConfig;
+use slp_vm::{execute_gated, execute_gated_reference};
+
+fn strategies() -> [Strategy; 4] {
+    [
+        Strategy::Scalar,
+        Strategy::Native,
+        Strategy::Baseline,
+        Strategy::Holistic,
+    ]
+}
+
+fn configs(machine: &MachineConfig) -> Vec<SlpConfig> {
+    let mut out = Vec::new();
+    for strategy in strategies() {
+        out.push(SlpConfig::for_machine(machine.clone(), strategy));
+    }
+    // Layout and cross-iteration reuse exercise replication population
+    // and carried loads, the two stateful corners of the engine.
+    out.push(SlpConfig::for_machine(machine.clone(), Strategy::Holistic).with_layout());
+    let mut reuse = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+    reuse.cross_iteration_reuse = true;
+    out.push(reuse);
+    out
+}
+
+/// Compiles `program` under `config` and fails the test unless both
+/// engines produce identical outcomes (or the identical error).
+fn assert_engines_agree(program: &Program, config: &SlpConfig, label: &str) {
+    let kernel = compile(program, config);
+    let machine = &config.machine;
+    let fast = execute_gated(&kernel, machine, true);
+    let slow = execute_gated_reference(&kernel, machine, true);
+    match (fast, slow) {
+        (Ok(fast), Ok(slow)) => {
+            assert!(
+                fast.state.bitwise_eq(&slow.state),
+                "{label}: memory image diverged"
+            );
+            assert_eq!(fast.stats, slow.stats, "{label}: run statistics diverged");
+            assert_eq!(
+                fast.vectorized_blocks, slow.vectorized_blocks,
+                "{label}: vectorized-block count diverged"
+            );
+            assert_eq!(
+                fast.block_cycles, slow.block_cycles,
+                "{label}: per-block cycles diverged"
+            );
+        }
+        (Err(fast), Err(slow)) => {
+            assert_eq!(fast, slow, "{label}: engines fail with different errors");
+        }
+        (fast, slow) => panic!(
+            "{label}: one engine failed and the other did not \
+             (bytecode: {fast:?}, reference: {slow:?})"
+        ),
+    }
+}
+
+#[test]
+fn engines_agree_on_the_whole_suite() {
+    for machine in [
+        MachineConfig::intel_dunnington(),
+        MachineConfig::amd_phenom_ii(),
+    ] {
+        for (spec, program) in slp_suite::all(1) {
+            for config in configs(&machine) {
+                let label = format!(
+                    "{} / {} / {} (layout {})",
+                    spec.name,
+                    config.strategy.label(),
+                    machine.name,
+                    config.layout
+                );
+                assert_engines_agree(&program, &config, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_deterministic_random_sweeps() {
+    let machine = MachineConfig::intel_dunnington();
+    // Outer sweeps exercise preheader scheduling (invariant-pack
+    // hoisting) and the layout replication gate; single loops exercise
+    // the flat fast path.
+    let shapes = [
+        GeneratorConfig::default(),
+        GeneratorConfig {
+            outer_sweeps: 4,
+            ..GeneratorConfig::default()
+        },
+        GeneratorConfig {
+            body_stmts: 16,
+            trip_count: 9,
+            max_stride: 3,
+            ..GeneratorConfig::default()
+        },
+    ];
+    for (s, shape) in shapes.iter().enumerate() {
+        for seed in 0..40u64 {
+            let program = slp_suite::random_program(seed, shape);
+            for config in configs(&machine) {
+                let label = format!(
+                    "shape {s} seed {seed} / {} (layout {})",
+                    config.strategy.label(),
+                    config.layout
+                );
+                assert_engines_agree(&program, &config, &label);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property-generated workloads: arbitrary generator knobs and
+    /// seeds, all strategies, both machines. Trip counts and body sizes
+    /// are kept moderate so the reference interpreter (the slow side of
+    /// the comparison) stays fast enough for CI.
+    #[test]
+    fn engines_agree_on_property_generated_workloads(
+        seed in 0u64..10_000,
+        arrays in 2usize..5,
+        scalars in 2usize..8,
+        body_stmts in 4usize..14,
+        trip_count in 4i64..24,
+        max_stride in 1i64..4,
+        outer_sweeps in 0i64..4,
+        strategy_idx in 0usize..4,
+        amd in any::<bool>(),
+        layout in any::<bool>(),
+    ) {
+        let shape = GeneratorConfig {
+            arrays,
+            scalars,
+            body_stmts,
+            trip_count,
+            max_stride,
+            outer_sweeps,
+        };
+        let program = slp_suite::random_program(seed, &shape);
+        let machine = if amd {
+            MachineConfig::amd_phenom_ii()
+        } else {
+            MachineConfig::intel_dunnington()
+        };
+        let mut config = SlpConfig::for_machine(machine, strategies()[strategy_idx]);
+        if layout {
+            config = config.with_layout();
+        }
+        assert_engines_agree(&program, &config, "property workload");
+    }
+}

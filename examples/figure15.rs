@@ -11,12 +11,9 @@
 //! cargo run --example figure15
 //! ```
 
-use slp::core::{
-    baseline_block, compile, group_block, schedule_block, MachineConfig, ScheduleConfig, SlpConfig,
-    Strategy,
-};
+use slp::core::{baseline_block, group_block, schedule_block, ScheduleConfig};
 use slp::ir::BlockDeps;
-use slp::vm::execute;
+use slp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Figure 15 (a): the original input code, one unrolled iteration.

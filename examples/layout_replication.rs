@@ -6,8 +6,7 @@
 //! cargo run --example layout_replication
 //! ```
 
-use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
-use slp::vm::execute;
+use slp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Figure 13 pattern: a superword <A[4i], A[4i+3]> re-read by an

@@ -5,8 +5,7 @@
 //! cargo run --example machine_comparison
 //! ```
 
-use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
-use slp::vm::execute;
+use slp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let program = slp::suite::kernel("milc", 1);

@@ -5,9 +5,9 @@
 //! cargo run --release --example multicore_scaling [kernel]
 //! ```
 
-use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::prelude::*;
 use slp::suite::spec_of;
-use slp::vm::{execute, reduction_percent, MulticoreModel};
+use slp::vm::{reduction_percent, MulticoreModel};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "mg".into());

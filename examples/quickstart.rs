@@ -4,8 +4,7 @@
 //! cargo run --example quickstart
 //! ```
 
-use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
-use slp::vm::execute;
+use slp::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A kernel in the slp-lang mini-language: a fused multiply-add

@@ -53,14 +53,10 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use slp::core::{MachineConfig, SlpConfig, Strategy};
 use slp::driver::json::Json;
-use slp::driver::{
-    compile_batch, compile_source, parse_machine, parse_strategy, BatchConfig, CompileCache,
-    CompileRequest, DriverError, DriverReport, VerifyLevel, DEFAULT_DISK_DIR,
-    DEFAULT_MEMORY_CAPACITY,
-};
-use slp::vm::{execute, lower_kernel};
+use slp::driver::{DriverReport, DEFAULT_DISK_DIR, DEFAULT_MEMORY_CAPACITY};
+use slp::prelude::*;
+use slp::vm::lower_kernel;
 
 struct Options {
     path: String,

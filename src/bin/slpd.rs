@@ -23,7 +23,8 @@
 
 use std::process::ExitCode;
 
-use slp::driver::{serve, CompileCache, DEFAULT_DISK_DIR, DEFAULT_MEMORY_CAPACITY};
+use slp::driver::{serve, DEFAULT_DISK_DIR, DEFAULT_MEMORY_CAPACITY};
+use slp::prelude::CompileCache;
 
 struct Options {
     cache_dir: Option<String>,

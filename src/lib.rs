@@ -57,3 +57,46 @@ pub use slp_lang as lang;
 pub use slp_suite as suite;
 pub use slp_verify as verify;
 pub use slp_vm as vm;
+
+/// The stable, front-end-facing API surface in one import.
+///
+/// Everything a tool built on this framework needs — parsing, pipeline
+/// configuration, compilation, execution, verification and the typed
+/// error — without reaching into individual workspace crates:
+///
+/// ```
+/// use slp::prelude::*;
+///
+/// let request = CompileRequest {
+///     name: "axpy".into(),
+///     source: "kernel axpy { array X: f64[64]; array Y: f64[64]; scalar a: f64;
+///              for i in 0..64 { Y[i] = Y[i] + a * X[i]; } }".into(),
+///     config: SlpConfig::for_machine(MachineConfig::intel_dunnington(), "global".parse()?),
+///     verify: VerifyLevel::Static,
+/// };
+/// let compiled = compile_source(&request, None).map_err(|e| e.to_string())?;
+/// let outcome = execute(&compiled.kernel, &compiled.kernel.config.machine)?;
+/// assert!(outcome.stats.metrics.cycles > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// The surface is intentionally small and additive: new items may
+/// appear here, but the meaning and signatures of the existing ones are
+/// stable across the workspace's internal refactors (the bytecode
+/// execution engine replaced the tree-walking interpreter underneath
+/// [`execute`] without any change visible through this module).
+pub mod prelude {
+    pub use slp_core::{
+        compile, compile_timed, CompileStats, CompiledKernel, ExecError, ExecErrorKind,
+        MachineConfig, SlpConfig, SlpError, Strategy, Verifier, VerifierHandle, VerifyError,
+    };
+    pub use slp_driver::{
+        compile_batch, compile_source, parallel_map, parse_machine, parse_strategy, BatchConfig,
+        CompileCache, CompileOutcome, CompileRequest, DriverError, VerifyLevel,
+    };
+    pub use slp_ir::Program;
+    pub use slp_lang::{compile as parse_kernel, ParseError};
+    pub use slp_vm::{
+        execute, execute_gated, run_scalar, BytecodeKernel, MachineState, Outcome, RunStats,
+    };
+}
