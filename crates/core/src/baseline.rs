@@ -47,7 +47,7 @@ pub fn baseline_groups<E: TypeEnv>(
     mut lane_cap: impl FnMut(StmtId) -> usize,
 ) -> Vec<Unit> {
     let pairs = build_pack_set(block, deps, env);
-    combine_pairs(&pairs, block, &mut lane_cap)
+    combine_pairs(&pairs, block, deps, &mut lane_cap)
 }
 
 /// Whether statement `s` has a memory reference adjacent (one element
@@ -198,9 +198,15 @@ fn first_use(stmts: &[Statement], v: slp_ir::VarId, after: usize, k: usize) -> O
 
 /// Phase 3: combine chained pairs `(a,b)` and `(b,c)` into `[a,b,c]`,
 /// bounded by the lane capacity.
+///
+/// Pair membership only guarantees *pairwise* independence within each
+/// pair; a combined group must be independent across every lane (§4.1
+/// constraint 1), so extension re-checks the new member against the whole
+/// chain, and the taken-filter below re-checks the surviving members.
 fn combine_pairs(
     pairs: &[PackPair],
     block: &BasicBlock,
+    deps: &BlockDeps,
     lane_cap: &mut impl FnMut(StmtId) -> usize,
 ) -> Vec<Unit> {
     let mut chains: Vec<Vec<StmtId>> = Vec::new();
@@ -211,17 +217,20 @@ fn combine_pairs(
         }
         used[i] = true;
         let mut chain = vec![p.left, p.right];
-        // Extend to the right while a pair continues the chain.
+        // Extend to the right while a pair continues the chain and the
+        // new member stays independent of every existing lane.
         loop {
             let cap = lane_cap(chain[0]);
             if chain.len() >= cap {
                 break;
             }
             let tail = *chain.last().expect("chain non-empty");
-            let next = pairs
-                .iter()
-                .enumerate()
-                .find(|(j, q)| !used[*j] && q.left == tail && !chain.contains(&q.right));
+            let next = pairs.iter().enumerate().find(|(j, q)| {
+                !used[*j]
+                    && q.left == tail
+                    && !chain.contains(&q.right)
+                    && chain.iter().all(|&m| deps.independent(m, q.right))
+            });
             match next {
                 Some((j, q)) => {
                     used[j] = true;
@@ -238,7 +247,15 @@ fn combine_pairs(
     for chain in chains {
         // A statement can only belong to one group; later chains skip
         // already-taken members (drop the whole chain if < 2 remain).
-        let members: Vec<StmtId> = chain.into_iter().filter(|s| !taken.contains(s)).collect();
+        // Dropping a middle member can leave neighbours that were never
+        // checked against each other, so keep only a mutually independent
+        // prefix of the survivors.
+        let mut members: Vec<StmtId> = Vec::new();
+        for s in chain {
+            if !taken.contains(&s) && members.iter().all(|&m| deps.independent(m, s)) {
+                members.push(s);
+            }
+        }
         if members.len() >= 2 {
             taken.extend(&members);
             let mut unit = Unit::singleton(members[0]);

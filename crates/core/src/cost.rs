@@ -122,6 +122,7 @@ fn materialize_cost(ops: &[Operand], regs: &mut Vec<Vec<OperandKey>>, cx: &CostC
     if ops.iter().all(|o| matches!(o, Operand::Const(_))) {
         let first = match &ops[0] {
             Operand::Const(c) => *c,
+            // Invariant: the enclosing `all(..is Const)` guard covers ops[0].
             _ => unreachable!(),
         };
         let uniform = ops
@@ -212,6 +213,8 @@ fn pack_cost(ops: &[Operand], cx: &CostContext<'_>, is_load: bool) -> f64 {
             }
             w * cx.cost.insert + mem * cx.cost.scalar_load
         }
+        // Invariant: materialize_cost early-returns on all-const packs, and
+        // packs are operand-kind homogeneous, so no Const reaches here.
         Operand::Const(_) => unreachable!("const packs handled by caller"),
     }
 }
@@ -231,6 +234,8 @@ fn dest_cost(
             let mut total = 0.0;
             for s in stmts {
                 let Dest::Scalar(v) = s.dest() else {
+                    // Invariant: superwords pack isomorphic statements, so
+                    // every lane's dest matches stmts[0]'s (Scalar here).
                     unreachable!("isomorphic dests")
                 };
                 if cx.exposed[v.index()] {

@@ -23,6 +23,9 @@ pub enum ExecErrorKind {
     /// The instruction stream is structurally invalid (missing block
     /// code, lane-width mismatches, out-of-range permutation indices).
     MalformedCode,
+    /// Executing the program would exceed a VM resource budget (total
+    /// array storage); the program is legal but too large to simulate.
+    ResourceLimit,
 }
 
 impl ExecErrorKind {
@@ -32,6 +35,7 @@ impl ExecErrorKind {
             ExecErrorKind::OutOfBounds => "out-of-bounds",
             ExecErrorKind::UndefinedRegister => "undefined-register",
             ExecErrorKind::MalformedCode => "malformed-code",
+            ExecErrorKind::ResourceLimit => "resource-limit",
         }
     }
 }
@@ -72,6 +76,11 @@ impl ExecError {
     /// A structurally invalid instruction stream.
     pub fn malformed(context: impl Into<String>) -> Self {
         ExecError::new(ExecErrorKind::MalformedCode, context)
+    }
+
+    /// A program too large for the VM's resource budgets.
+    pub fn resource_limit(context: impl Into<String>) -> Self {
+        ExecError::new(ExecErrorKind::ResourceLimit, context)
     }
 
     /// The failure classification.

@@ -68,8 +68,11 @@ pub struct Replication {
 impl Replication {
     /// Number of element copies the population pass performs.
     pub fn copy_count(&self) -> i64 {
-        let trips: i64 = self.loops.iter().map(LoopHeader::trip_count).product();
-        trips * self.lanes.len() as i64
+        let trips: i64 = self
+            .loops
+            .iter()
+            .fold(1i64, |acc, h| acc.saturating_mul(h.trip_count()));
+        trips.saturating_mul(self.lanes.len() as i64)
     }
 }
 
@@ -216,7 +219,7 @@ fn plan_replication(
     // indexing loops.
     let mut span = 1i64;
     for h in &used {
-        span = span.saturating_mul((h.upper - h.lower).max(1));
+        span = span.saturating_mul(h.upper.saturating_sub(h.lower).max(1));
     }
     let new_len = l.saturating_mul(span);
     let src_len = program.array(source).len().max(1);
@@ -225,7 +228,10 @@ fn plan_replication(
     }
 
     // One-time population cost vs recurring savings.
-    let copies: i64 = used.iter().map(LoopHeader::trip_count).product::<i64>() * l;
+    let copies: i64 = used
+        .iter()
+        .fold(1i64, |acc, h| acc.saturating_mul(h.trip_count()))
+        .saturating_mul(l);
     let copy_cost = copies as f64 * (c.scalar_load + c.scalar_store);
     let saving = occurrences as f64 * (old - new);
     if saving <= copy_cost {
@@ -236,8 +242,12 @@ fn plan_replication(
     let mut base = AffineExpr::constant_expr(0);
     let mut stride = l;
     for h in used.iter().rev() {
-        base = base.add(&AffineExpr::var(h.var).offset(-h.lower).scaled(stride));
-        stride = stride.saturating_mul((h.upper - h.lower).max(1));
+        base = base.add(
+            &AffineExpr::var(h.var)
+                .offset(0i64.saturating_sub(h.lower))
+                .scaled(stride),
+        );
+        stride = stride.saturating_mul(h.upper.saturating_sub(h.lower).max(1));
     }
     let dest_exprs: Vec<AffineExpr> = (0..l).map(|p| base.offset(p)).collect();
     let loops = used;

@@ -41,7 +41,9 @@ impl PackUse {
     /// How many times this pack is touched at run time (product of the
     /// enclosing trip counts).
     pub fn dynamic_trips(&self) -> i64 {
-        self.loops.iter().map(LoopHeader::trip_count).product()
+        self.loops
+            .iter()
+            .fold(1i64, |acc, h| acc.saturating_mul(h.trip_count()))
     }
 }
 

@@ -76,10 +76,14 @@ fn run_is_vectorizable<E: TypeEnv>(
     env: &E,
 ) -> bool {
     let first = &stmts[idx[0]];
-    for w in idx.windows(2) {
-        let (a, b) = (&stmts[w[0]], &stmts[w[1]]);
-        if !a.isomorphic(b, env) || !deps.independent(a.id(), b.id()) {
-            return false;
+    // Independence must hold between *every* pair of lanes, not just
+    // neighbours: a ⊥ b and b ⊥ c do not imply a ⊥ c.
+    for (i, &a) in idx.iter().enumerate() {
+        for &b in &idx[i + 1..] {
+            let (a, b) = (&stmts[a], &stmts[b]);
+            if !a.isomorphic(b, env) || !deps.independent(a.id(), b.id()) {
+                return false;
+            }
         }
     }
     // Destination: all array and contiguous, or all scalar (scalars are

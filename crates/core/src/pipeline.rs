@@ -341,7 +341,12 @@ fn estimated_total_cost(kernel: &CompiledKernel) -> f64 {
             Some(sched) => estimate_schedule_cost(&info.block, sched, &cx),
             None => crate::cost::estimate_scalar_cost(&info.block, &cx),
         };
-        let trips: i64 = info.loops.iter().map(|h| h.trip_count()).product();
+        // Saturating: a pathological nest can overflow the product long
+        // before the VM would ever run it.
+        let trips: i64 = info
+            .loops
+            .iter()
+            .fold(1i64, |acc, h| acc.saturating_mul(h.trip_count()));
         total += per_exec * trips.max(1) as f64;
     }
     let c = &kernel.config.machine.cost;
@@ -445,11 +450,19 @@ fn compile_inner(
                         let c = estimate_schedule_cost(&info.block, &s, &cx);
                         (c, s)
                     })
+                    // Invariant: cost estimates are finite sums/products of
+                    // finite machine parameters, and `proposals` always holds
+                    // at least the program-order schedule.
                     .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
                     .map(|(_, s)| s)
                     .expect("at least one proposal")
             }
         };
+        // Translation-validation backstop: every scheduler must produce a
+        // §4.1-valid schedule. This *has* fired on fuzzed inputs — grouping
+        // once combined pairwise-independent chains whose non-adjacent lanes
+        // were dependent (independence is not transitive) — so it stays an
+        // `expect`: an invalid schedule is a miscompile and must not ship.
         validate_schedule(&info.block, &deps, &sched, &program, lane_cap)
             .expect("optimizer produced an invalid schedule");
         stats.superwords += sched.superword_count();

@@ -196,6 +196,8 @@ fn try_program_order(
         let Some(chosen) = chosen else {
             return Err((0..n)
                 .find(|&u| !scheduled[u] && !units[u].is_singleton())
+                // Invariant: singletons alone form the acyclic statement
+                // DAG, so any cycle involves a superword group to split.
                 .expect("pure statement DAGs cannot deadlock"));
         };
         let unit = &units[chosen];
@@ -261,6 +263,8 @@ fn try_schedule(
             // Deadlock: report the first unscheduled group for splitting.
             return Err((0..n)
                 .find(|&u| !scheduled[u] && !units[u].is_singleton())
+                // Invariant: singletons alone form the acyclic statement
+                // DAG, so any cycle involves a superword group to split.
                 .expect("pure statement DAGs cannot deadlock"));
         }
 

@@ -189,3 +189,59 @@ fn repeat_corpus_run_hits_at_least_ninety_percent() {
     // Second pass alone: 100% (≥ the 90% the driver promises).
     assert_eq!(stats.memory_hits as usize, corpus.len());
 }
+
+#[test]
+fn degraded_scalar_fallback_never_poisons_the_requested_key() {
+    // The verify hook is excluded from the fingerprint (it cannot change
+    // the produced kernel, only panic on a bad one), so a hooked and an
+    // unhooked Holistic request share a cache key. If the batch driver
+    // ever cached the Strategy::Scalar fallback of a panicked compile
+    // under the *requested* key, a later clean compile of the same source
+    // would silently be served a scalar kernel. Pin down that it does
+    // not: the fallback lands under its own (scalar) fingerprint only.
+    use slp_core::VerifyError;
+    use slp_driver::{compile_batch, BatchConfig};
+
+    fn rejecting(_: &slp_ir::Program, _: &slp_core::CompiledKernel) -> Result<(), VerifyError> {
+        // `compile` panics with the report when a hook rejects; under the
+        // batch guard that surfaces as DriverError::Panic and triggers
+        // the scalar degradation path.
+        Err(VerifyError::new("injected rejection"))
+    }
+
+    let cache = CompileCache::in_memory(64);
+    let hooked = request(SRC, holistic().with_verifier(rejecting));
+    let requested_fp = hooked.fingerprint();
+    assert_eq!(
+        requested_fp,
+        request(SRC, holistic()).fingerprint(),
+        "precondition: the hook must not be part of the key"
+    );
+
+    let outcomes = compile_batch(
+        std::slice::from_ref(&hooked),
+        Some(&cache),
+        &BatchConfig {
+            threads: 1,
+            ..BatchConfig::default()
+        },
+    );
+    assert_eq!(outcomes.len(), 1);
+    let outcome = &outcomes[0];
+    assert!(
+        outcome.degraded.is_some(),
+        "the hooked compile must degrade"
+    );
+    let fallback = outcome.result.as_ref().expect("scalar fallback compiles");
+    assert_eq!(fallback.kernel.config.strategy, Strategy::Scalar);
+    assert_ne!(
+        fallback.fingerprint, requested_fp,
+        "the fallback must be keyed as a scalar compile"
+    );
+
+    // The requested configuration's key must still be vacant...
+    let clean = compile_source(&request(SRC, holistic()), Some(&cache)).expect("clean compile");
+    assert_eq!(clean.cache, CacheDisposition::Compiled, "poisoned key");
+    // ...and serve the requested strategy, not the degraded fallback.
+    assert_eq!(clean.kernel.config.strategy, Strategy::Holistic);
+}

@@ -1,0 +1,49 @@
+//! Triage tool for corpus failures: compiles one `.slp` file under each
+//! strategy and dumps the unrolled program, every block schedule, and
+//! the differential-oracle diagnostics (or the panic message).
+//!
+//! ```text
+//! cargo run --release -p slp-fuzz --example debug_case -- crates/fuzz/corpus/foo.slp
+//! ```
+
+use slp_core::{SlpConfig, Strategy};
+use slp_vm::MachineConfig;
+
+fn main() {
+    let path = std::env::args().nth(1).expect("usage: debug_case FILE");
+    let src = std::fs::read_to_string(&path).expect("read");
+    let program = slp_lang::compile(&src).expect("compile");
+    program.validate().expect("validate");
+    let machine = MachineConfig::intel_dunnington();
+    for (strategy, label) in [
+        (Strategy::Native, "native"),
+        (Strategy::Baseline, "slp"),
+        (Strategy::Holistic, "global"),
+    ] {
+        println!("==== {label} ====");
+        let cfg = SlpConfig::for_machine(machine.clone(), strategy);
+        let kernel = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            slp_core::compile(&program, &cfg)
+        })) {
+            Ok(k) => k,
+            Err(e) => {
+                println!(
+                    "PANIC: {:?}",
+                    e.downcast_ref::<String>().cloned().unwrap_or_default()
+                );
+                continue;
+            }
+        };
+        println!("-- unrolled program --\n{}", kernel.program.to_source());
+        for (bid, sched) in &kernel.schedules {
+            println!("-- block {bid:?} schedule --\n{sched}");
+        }
+        let diags = slp_verify::check_differential(&program, &kernel);
+        for d in &diags {
+            println!("DIVERGENCE: {d}");
+        }
+        if diags.is_empty() {
+            println!("state: OK");
+        }
+    }
+}

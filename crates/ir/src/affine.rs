@@ -96,15 +96,21 @@ impl AffineExpr {
     }
 
     /// Returns `self + other`.
+    ///
+    /// Coefficient arithmetic saturates at the i64 extremes: a saturated
+    /// subscript is certainly out of bounds for any declarable array, so
+    /// downstream bounds checks still reject it — without the debug-build
+    /// overflow panic a hostile input could otherwise trigger.
     pub fn add(&self, other: &AffineExpr) -> AffineExpr {
         let mut coeffs = self.coeffs.clone();
         for (&v, &c) in &other.coeffs {
-            *coeffs.entry(v).or_insert(0) += c;
+            let e = coeffs.entry(v).or_insert(0);
+            *e = e.saturating_add(c);
         }
         coeffs.retain(|_, c| *c != 0);
         AffineExpr {
             coeffs,
-            constant: self.constant + other.constant,
+            constant: self.constant.saturating_add(other.constant),
         }
     }
 
@@ -119,8 +125,12 @@ impl AffineExpr {
             return AffineExpr::constant_expr(0);
         }
         AffineExpr {
-            coeffs: self.coeffs.iter().map(|(&v, &c)| (v, c * k)).collect(),
-            constant: self.constant * k,
+            coeffs: self
+                .coeffs
+                .iter()
+                .map(|(&v, &c)| (v, c.saturating_mul(k)))
+                .collect(),
+            constant: self.constant.saturating_mul(k),
         }
     }
 
@@ -128,7 +138,7 @@ impl AffineExpr {
     pub fn offset(&self, k: i64) -> AffineExpr {
         AffineExpr {
             coeffs: self.coeffs.clone(),
-            constant: self.constant + k,
+            constant: self.constant.saturating_add(k),
         }
     }
 
@@ -152,13 +162,18 @@ impl AffineExpr {
     /// Variables absent from `env` are treated as 0, which matches
     /// evaluation outside their loop.
     pub fn eval(&self, env: &[(LoopVarId, i64)]) -> i64 {
-        let mut acc = self.constant;
+        // Accumulate in i128: a validated in-bounds subscript can still
+        // have transiently huge partial sums (e.g. a near-MAX constant
+        // cancelled by a negative term), and the final value must be
+        // exact for the bounds check. Saturate the clamp back to i64 —
+        // a clamped value is out of bounds for any real array.
+        let mut acc = self.constant as i128;
         for (&v, &c) in &self.coeffs {
             if let Some(&(_, val)) = env.iter().find(|&&(ev, _)| ev == v) {
-                acc += c * val;
+                acc = acc.saturating_add(c as i128 * val as i128);
             }
         }
-        acc
+        acc.clamp(i64::MIN as i128, i64::MAX as i128) as i64
     }
 
     /// Whether two expressions have identical variable parts (all
@@ -422,5 +437,28 @@ mod tests {
     #[should_panic(expected = "at least 1 dimension")]
     fn empty_access_vector_panics() {
         let _ = AccessVector::new(vec![]);
+    }
+
+    #[test]
+    fn eval_survives_transient_overflow() {
+        // (MAX-6) + j - i at j=7, i=MAX-13: the partial sum (MAX-6)+7
+        // overflows i64 but the exact value is 14.
+        let e = AffineExpr::from_terms([(i(), -1), (j(), 1)], i64::MAX - 6);
+        assert_eq!(e.eval(&[(j(), 7), (i(), i64::MAX - 13)]), 14);
+        // A genuinely huge value clamps to the i64 extremes instead of
+        // panicking; clamped values are out of bounds of any real array.
+        let big = AffineExpr::from_terms([(i(), i64::MAX)], i64::MAX);
+        assert_eq!(big.eval(&[(i(), i64::MAX)]), i64::MAX);
+        assert_eq!(big.scaled(-1).eval(&[(i(), i64::MAX)]), i64::MIN);
+    }
+
+    #[test]
+    fn symbolic_ops_saturate() {
+        let e = AffineExpr::from_terms([(i(), i64::MAX)], i64::MAX);
+        let doubled = e.scaled(2);
+        assert_eq!(doubled.coeff(i()), i64::MAX);
+        assert_eq!(doubled.constant(), i64::MAX);
+        assert_eq!(e.add(&e).constant(), i64::MAX);
+        assert_eq!(e.offset(5).constant(), i64::MAX);
     }
 }

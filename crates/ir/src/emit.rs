@@ -146,7 +146,14 @@ fn emit_const(c: f64, out: &mut String) {
         // sign stays attached to the literal.
         let _ = write!(out, "{:.1}", c);
     } else {
+        let start = out.len();
         let _ = write!(out, "{c}");
+        // f64's Display never uses exponent notation, so a huge integral
+        // value (say 1e23) prints as a bare digit string that would
+        // re-lex as an overflowing integer literal; keep it a float.
+        if c.is_finite() && !out[start..].contains(['.', 'e', 'E']) {
+            out.push_str(".0");
+        }
     }
 }
 
@@ -236,6 +243,21 @@ mod tests {
         let mut s = String::new();
         emit_const(-0.25, &mut s);
         assert_eq!(s, "-0.25");
+    }
+
+    #[test]
+    fn huge_integral_constants_stay_floats() {
+        // 1e23 is integral but far outside i64; it must not emit as a
+        // bare (overflowing) integer literal.
+        for c in [1e23, -1e23, 9.223372036854776e18, 1e300] {
+            let mut s = String::new();
+            emit_const(c, &mut s);
+            assert!(
+                s.contains(['.', 'e', 'E']),
+                "{c} emitted as integer literal: {s}"
+            );
+            assert_eq!(s.parse::<f64>().unwrap(), c, "value must round-trip");
+        }
     }
 
     #[test]

@@ -39,8 +39,12 @@ pub struct ArrayInfo {
 
 impl ArrayInfo {
     /// Total number of elements (product of dimension extents).
+    ///
+    /// Saturates at `i64::MAX` so absurdly large declared extents report
+    /// a huge-but-defined size instead of overflowing in debug builds;
+    /// such arrays are rejected later by the execution memory budget.
     pub fn len(&self) -> i64 {
-        self.dims.iter().product()
+        self.dims.iter().fold(1i64, |acc, &d| acc.saturating_mul(d))
     }
 
     /// Whether the array has zero elements.
@@ -84,11 +88,18 @@ pub struct LoopHeader {
 
 impl LoopHeader {
     /// Number of iterations the loop executes.
+    ///
+    /// Saturates on pathological bounds (`upper - lower` near `i64::MAX`)
+    /// rather than overflowing; such loops are far beyond any execution
+    /// budget anyway.
     pub fn trip_count(&self) -> i64 {
         if self.upper <= self.lower || self.step <= 0 {
             0
         } else {
-            (self.upper - self.lower + self.step - 1) / self.step
+            self.upper
+                .saturating_sub(self.lower)
+                .saturating_add(self.step - 1)
+                / self.step
         }
     }
 }
@@ -642,6 +653,35 @@ mod tests {
             step: 1,
         };
         assert_eq!(empty.trip_count(), 0);
+    }
+
+    #[test]
+    fn trip_count_saturates_on_pathological_bounds() {
+        let h = LoopHeader {
+            var: LoopVarId::new(0),
+            lower: i64::MIN,
+            upper: i64::MAX,
+            step: 1,
+        };
+        assert_eq!(h.trip_count(), i64::MAX);
+        let neg = LoopHeader {
+            var: LoopVarId::new(0),
+            lower: i64::MAX,
+            upper: i64::MIN,
+            step: 3,
+        };
+        assert_eq!(neg.trip_count(), 0);
+    }
+
+    #[test]
+    fn array_len_saturates() {
+        let a = ArrayInfo {
+            name: "A".into(),
+            ty: ScalarType::F64,
+            dims: vec![i64::MAX, 4],
+            is_input: false,
+        };
+        assert_eq!(a.len(), i64::MAX);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use crate::affine::AffineExpr;
-use crate::expr::{Dest, Operand};
+use crate::expr::{Dest, Expr, Operand};
 use crate::ids::VarId;
 use crate::program::{Item, Loop, Program};
 use crate::stmt::Statement;
@@ -53,18 +53,44 @@ pub fn unroll_program(program: &mut Program, factor: usize) -> usize {
         return 0;
     }
     let mut items = std::mem::take(program.items_mut());
+    // Whole-program scalar read counts (pre-transformation): a privatized
+    // scalar that is also read outside its loop is live-out and needs a
+    // copy-back from the last replica.
+    let mut total_reads = HashMap::new();
+    count_scalar_reads(&items, &mut total_reads);
     let mut count = 0;
-    unroll_items(&mut items, factor, program, &mut count);
+    unroll_items(&mut items, factor, program, &total_reads, &mut count);
     *program.items_mut() = items;
     count
 }
 
-fn unroll_items(items: &mut Vec<Item>, factor: usize, program: &mut Program, count: &mut usize) {
+fn count_scalar_reads(items: &[Item], counts: &mut HashMap<VarId, usize>) {
+    for item in items {
+        match item {
+            Item::Stmt(s) => {
+                for u in s.uses() {
+                    if let Operand::Scalar(v) = u {
+                        *counts.entry(*v).or_insert(0) += 1;
+                    }
+                }
+            }
+            Item::Loop(l) => count_scalar_reads(&l.body, counts),
+        }
+    }
+}
+
+fn unroll_items(
+    items: &mut Vec<Item>,
+    factor: usize,
+    program: &mut Program,
+    total_reads: &HashMap<VarId, usize>,
+    count: &mut usize,
+) {
     let mut idx = 0;
     while idx < items.len() {
         if let Item::Loop(l) = &mut items[idx] {
             if is_innermost(l) {
-                if let Some(replacement) = unroll_loop(l, factor, program) {
+                if let Some(replacement) = unroll_loop(l, factor, program, total_reads) {
                     let n = replacement.len();
                     items.splice(idx..=idx, replacement);
                     *count += 1;
@@ -72,7 +98,7 @@ fn unroll_items(items: &mut Vec<Item>, factor: usize, program: &mut Program, cou
                     continue;
                 }
             } else {
-                unroll_items(&mut l.body, factor, program, count);
+                unroll_items(&mut l.body, factor, program, total_reads, count);
             }
         }
         idx += 1;
@@ -106,9 +132,15 @@ fn privatizable_scalars(body: &[Statement]) -> Vec<VarId> {
 }
 
 /// Unrolls one innermost loop. Returns the replacement item sequence (the
-/// unrolled main loop, plus a remainder loop when the trip count is not
-/// divisible by `factor`), or `None` when the loop is left untouched.
-fn unroll_loop(l: &Loop, factor: usize, program: &mut Program) -> Option<Vec<Item>> {
+/// unrolled main loop, copy-backs for live-out privatized scalars, plus a
+/// remainder loop when the trip count is not divisible by `factor`), or
+/// `None` when the loop is left untouched.
+fn unroll_loop(
+    l: &Loop,
+    factor: usize,
+    program: &mut Program,
+    total_reads: &HashMap<VarId, usize>,
+) -> Option<Vec<Item>> {
     let h = l.header;
     if h.step != 1 {
         return None;
@@ -131,6 +163,7 @@ fn unroll_loop(l: &Loop, factor: usize, program: &mut Program) -> Option<Vec<Ite
     let main_upper = h.lower + main_trips * factor as i64;
 
     let mut new_body = Vec::with_capacity(body.len() * factor);
+    let mut last_renames: HashMap<VarId, VarId> = HashMap::new();
     for k in 0..factor {
         // Rename privatizable scalars in replicas 1..factor.
         let renames: HashMap<VarId, VarId> = if k == 0 {
@@ -145,6 +178,9 @@ fn unroll_loop(l: &Loop, factor: usize, program: &mut Program) -> Option<Vec<Ite
                 })
                 .collect()
         };
+        if k == factor - 1 {
+            last_renames = renames.clone();
+        }
         let shift = AffineExpr::var(h.var).offset(k as i64);
         for s in &body {
             let id = program.fresh_stmt_id();
@@ -168,8 +204,37 @@ fn unroll_loop(l: &Loop, factor: usize, program: &mut Program) -> Option<Vec<Ite
         body: new_body,
     };
 
+    // Privatization renames the scalar's final definition into the last
+    // replica's copy, so a scalar that is read after the loop (live-out)
+    // must be copied back to its original name. The copy-backs precede the
+    // remainder loop: the remainder re-defines the scalar itself, matching
+    // the original last-iteration-wins semantics.
+    let mut body_reads: HashMap<VarId, usize> = HashMap::new();
+    for s in &body {
+        for u in s.uses() {
+            if let Operand::Scalar(v) = u {
+                *body_reads.entry(*v).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out = vec![Item::Loop(main)];
+    for &v in &private {
+        let outside =
+            total_reads.get(&v).copied().unwrap_or(0) > body_reads.get(&v).copied().unwrap_or(0);
+        if outside {
+            if let Some(&last) = last_renames.get(&v) {
+                let id = program.fresh_stmt_id();
+                out.push(Item::Stmt(Statement::new(
+                    id,
+                    Dest::Scalar(v),
+                    Expr::Copy(Operand::Scalar(last)),
+                )));
+            }
+        }
+    }
+
     if main_upper == h.upper {
-        return Some(vec![Item::Loop(main)]);
+        return Some(out);
     }
     // Remainder loop with fresh statement ids.
     let mut rem_body = Vec::with_capacity(body.len());
@@ -190,7 +255,8 @@ fn unroll_loop(l: &Loop, factor: usize, program: &mut Program) -> Option<Vec<Ite
         },
         body: rem_body,
     };
-    Some(vec![Item::Loop(main), Item::Loop(rem)])
+    out.push(Item::Loop(rem));
+    Some(out)
 }
 
 fn rewrite_dest(
@@ -346,6 +412,54 @@ mod tests {
         ids.sort();
         ids.dedup();
         assert_eq!(ids.len(), n);
+    }
+
+    #[test]
+    fn live_out_privatized_scalar_copied_back() {
+        // for i in 0..8 { t = A[i]; A[i] = t * 2; }  B[0] = t;
+        // After unrolling, t's final definition lives in replica 3
+        // (`t.u3`), so a copy-back must restore t before the read.
+        let mut p = Program::new("liveout");
+        let a = p.add_array("A", ScalarType::F64, vec![8], true);
+        let b = p.add_array("B", ScalarType::F64, vec![1], true);
+        let t = p.add_scalar("t", ScalarType::F64);
+        let i = p.add_loop_var("i");
+        let r = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        let s1 = p.make_stmt(t.into(), Expr::Copy(r.clone().into()));
+        let s2 = p.make_stmt(r.into(), Expr::Binary(BinOp::Mul, t.into(), 2.0.into()));
+        p.push_item(Item::Loop(Loop {
+            header: LoopHeader {
+                var: i,
+                lower: 0,
+                upper: 8,
+                step: 1,
+            },
+            body: vec![Item::Stmt(s1), Item::Stmt(s2)],
+        }));
+        let rb = ArrayRef::new(b, AccessVector::new(vec![AffineExpr::constant_expr(0)]));
+        let s3 = p.make_stmt(rb.into(), Expr::Copy(t.into()));
+        p.push_item(Item::Stmt(s3));
+        unroll_program(&mut p, 4);
+        let items = p.items();
+        assert!(matches!(items[0], Item::Loop(_)));
+        let copy = match &items[1] {
+            Item::Stmt(s) => s,
+            _ => panic!("expected copy-back between loop and trailing read"),
+        };
+        assert_eq!(copy.dest(), &Dest::Scalar(t));
+        match copy.expr() {
+            Expr::Copy(Operand::Scalar(v)) => assert_eq!(p.scalar(*v).name, "t.u3"),
+            e => panic!("expected scalar copy, got {e:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_local_scalar_gets_no_copy_back() {
+        // t is only read inside the loop body; no copy-back statement
+        // should perturb the unrolled output.
+        let mut p = make_loop_program(8);
+        unroll_program(&mut p, 4);
+        assert_eq!(p.items().len(), 1, "{:?}", p.items());
     }
 
     #[test]

@@ -72,23 +72,29 @@ impl fmt::Display for ValidationError {
 impl Error for ValidationError {}
 
 /// The provable `[min, max]` of an affine expression over loop ranges.
+///
+/// Computed in i128 so pathological coefficients/bounds cannot overflow
+/// (or, worse, saturate into a falsely-in-range interval); the result is
+/// clamped back to i64, which preserves the out-of-bounds verdict since
+/// a clamped endpoint lies outside any declarable array extent.
 fn interval(e: &AffineExpr, loops: &[LoopHeader]) -> Option<(i64, i64)> {
-    let mut lo = e.constant();
-    let mut hi = e.constant();
+    let mut lo = e.constant() as i128;
+    let mut hi = lo;
     for (v, c) in e.terms() {
         let h = loops.iter().find(|h| h.var == v)?;
-        let first = h.lower;
-        let trips = h.trip_count();
+        let trips = h.trip_count() as i128;
         if trips == 0 {
             // The loop never runs; any value is fine — keep the first.
             return None;
         }
-        let last = h.lower + (trips - 1) * h.step;
-        let (a, b) = (c * first, c * last);
-        lo += a.min(b);
-        hi += a.max(b);
+        let first = h.lower as i128;
+        let last = first + (trips - 1) * h.step as i128;
+        let (a, b) = ((c as i128) * first, (c as i128) * last);
+        lo = lo.saturating_add(a.min(b));
+        hi = hi.saturating_add(a.max(b));
     }
-    Some((lo, hi))
+    let clamp = |x: i128| x.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+    Some((clamp(lo), clamp(hi)))
 }
 
 impl Program {
@@ -254,6 +260,65 @@ mod tests {
             body: vec![Item::Stmt(s)],
         }));
         assert_eq!(p.validate(), Ok(()));
+    }
+
+    #[test]
+    fn huge_coefficients_are_rejected_without_overflow() {
+        // coeff near i64::MAX over several iterations: certainly out of
+        // bounds, and must be reported instead of panicking in debug.
+        let errs = looped(8, i64::MAX / 2, 0, 16).validate().unwrap_err();
+        assert!(matches!(errs[0], ValidationError::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn near_max_constants_validate_exactly() {
+        // A[j - i + (MAX-6)] with j in 0..8 and i in MAX-16..MAX-12 has
+        // the exact range [7, 17]: in bounds of 18 elements, even though
+        // the partial sum (MAX-6) + j overflows i64 at j = 7. The i128
+        // interval arithmetic must accept this program exactly, and still
+        // reject it for a one-smaller extent.
+        fn build(extent: i64) -> Program {
+            let mut p = Program::new("t");
+            let a = p.add_array("A", ScalarType::F64, vec![extent], true);
+            let j = p.add_loop_var("j");
+            let i = p.add_loop_var("i");
+            let e = AffineExpr::var(j)
+                .add(&AffineExpr::var(i).scaled(-1))
+                .offset(i64::MAX - 6);
+            let s = p.make_stmt(
+                ArrayRef::new(a, AccessVector::new(vec![e])).into(),
+                Expr::Copy(1.0.into()),
+            );
+            let inner = Loop {
+                header: LoopHeader {
+                    var: i,
+                    lower: i64::MAX - 16,
+                    upper: i64::MAX - 12,
+                    step: 1,
+                },
+                body: vec![Item::Stmt(s)],
+            };
+            p.push_item(Item::Loop(Loop {
+                header: LoopHeader {
+                    var: j,
+                    lower: 0,
+                    upper: 8,
+                    step: 1,
+                },
+                body: vec![Item::Loop(inner)],
+            }));
+            p
+        }
+        assert_eq!(build(18).validate(), Ok(()));
+        let errs = build(17).validate().unwrap_err();
+        assert!(matches!(
+            errs[0],
+            ValidationError::OutOfBounds {
+                range: (7, 17),
+                extent: 17,
+                ..
+            }
+        ));
     }
 
     #[test]

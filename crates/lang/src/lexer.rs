@@ -303,4 +303,30 @@ mod tests {
     fn dotted_idents() {
         assert_eq!(toks("t.u1"), vec![Token::Ident("t.u1".into()), Token::Eof]);
     }
+
+    #[test]
+    fn overflowing_integer_literal_is_a_typed_error() {
+        let e = lex("99999999999999999999999").unwrap_err();
+        assert!(e.message().contains("bad integer literal"), "{e}");
+    }
+
+    #[test]
+    fn non_ascii_bytes_are_typed_errors() {
+        for src in ["λ = 1.0;", "a = \u{1F600};", "ke\u{0301}rnel k {}"] {
+            let e = lex(src).unwrap_err();
+            assert!(e.message().contains("unexpected character"), "{src}: {e}");
+        }
+        // Non-ASCII inside a string literal is fine.
+        assert!(lex("\"kérnel λ\"").is_ok());
+    }
+
+    #[test]
+    fn pathological_punctuation_terminates() {
+        // A trailing '.' (no second '.') is an error, not a hang.
+        assert!(lex("a = 1.").is_err());
+        assert!(lex(".").is_err());
+        // Deeply repeated trivia/comments terminate.
+        let long = "// c\n".repeat(10_000);
+        assert!(lex(&long).is_ok());
+    }
 }

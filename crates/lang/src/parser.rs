@@ -56,14 +56,23 @@ pub fn parse(src: &str) -> Result<KernelAst> {
         tokens,
         pos: 0,
         consts: HashMap::new(),
+        depth: 0,
     }
     .kernel()
 }
+
+/// Deepest `for` nesting the parser accepts. The recursive-descent
+/// parser (and every recursive pass downstream) consumes stack
+/// proportional to the nesting depth; unbounded nesting on adversarial
+/// input would overflow the stack, which aborts instead of raising a
+/// typed error.
+pub const MAX_LOOP_DEPTH: usize = 64;
 
 struct Parser {
     tokens: Vec<Spanned>,
     pos: usize,
     consts: HashMap<String, i64>,
+    depth: usize,
 }
 
 impl Parser {
@@ -105,7 +114,7 @@ impl Parser {
         match &self.peek().token {
             Token::Ident(_) => match self.bump().token {
                 Token::Ident(s) => Ok(s),
-                _ => unreachable!(),
+                other => self.err(format!("expected identifier, found '{other}'")),
             },
             other => self.err(format!("expected identifier, found '{other}'")),
         }
@@ -117,7 +126,7 @@ impl Parser {
             Token::Ident(_) => self.ident()?,
             Token::Str(_) => match self.bump().token {
                 Token::Str(s) => s,
-                _ => unreachable!(),
+                other => return self.err(format!("expected kernel name, found '{other}'")),
             },
             other => return self.err(format!("expected kernel name, found '{other}'")),
         };
@@ -199,6 +208,12 @@ impl Parser {
 
     fn item(&mut self) -> Result<AstItem> {
         if self.eat(&Token::For) {
+            if self.depth >= MAX_LOOP_DEPTH {
+                return self.err(format!(
+                    "loop nesting exceeds the depth limit of {MAX_LOOP_DEPTH}"
+                ));
+            }
+            self.depth += 1;
             let var = self.ident()?;
             self.expect(&Token::In)?;
             let lower = self.intexpr()?;
@@ -216,6 +231,7 @@ impl Parser {
             self.expect(&Token::LBrace)?;
             let body = self.items_until(&Token::RBrace)?;
             self.expect(&Token::RBrace)?;
+            self.depth -= 1;
             Ok(AstItem::For {
                 var,
                 lower,
@@ -357,22 +373,27 @@ impl Parser {
             Token::Int(c) => {
                 if self.eat(&Token::Star) {
                     let name = self.ident()?;
-                    self.add_term(out, sign * c, name);
+                    let coeff = self.checked_mul(sign, c)?;
+                    self.add_term(out, coeff, name)?;
                 } else {
-                    out.constant += sign * c;
+                    let term = self.checked_mul(sign, c)?;
+                    out.constant = self.checked_add(out.constant, term)?;
                 }
             }
             Token::Ident(name) => {
                 if self.eat(&Token::Star) {
                     match self.bump().token {
-                        Token::Int(c) => self.add_term(out, sign * c, name),
+                        Token::Int(c) => {
+                            let coeff = self.checked_mul(sign, c)?;
+                            self.add_term(out, coeff, name)?;
+                        }
                         other => {
                             return self
                                 .err(format!("expected integer coefficient, found '{other}'"))
                         }
                     }
                 } else {
-                    self.add_term(out, sign, name);
+                    self.add_term(out, sign, name)?;
                 }
             }
             other => return self.err(format!("expected subscript term, found '{other}'")),
@@ -380,14 +401,26 @@ impl Parser {
         Ok(())
     }
 
-    fn add_term(&self, out: &mut AstAffine, coeff: i64, name: String) {
+    fn checked_mul(&self, a: i64, b: i64) -> Result<i64> {
+        a.checked_mul(b)
+            .map_or_else(|| self.err("integer expression overflows i64"), Ok)
+    }
+
+    fn checked_add(&self, a: i64, b: i64) -> Result<i64> {
+        a.checked_add(b)
+            .map_or_else(|| self.err("integer expression overflows i64"), Ok)
+    }
+
+    fn add_term(&mut self, out: &mut AstAffine, coeff: i64, name: String) -> Result<()> {
         if let Some(&v) = self.consts.get(&name) {
-            out.constant += coeff * v;
-        } else if let Some(t) = out.terms.iter_mut().find(|(_, n)| *n == name) {
-            t.0 += coeff;
+            let folded = self.checked_mul(coeff, v)?;
+            out.constant = self.checked_add(out.constant, folded)?;
+        } else if let Some(pos) = out.terms.iter().position(|(_, n)| *n == name) {
+            out.terms[pos].0 = self.checked_add(out.terms[pos].0, coeff)?;
         } else {
             out.terms.push((coeff, name));
         }
+        Ok(())
     }
 
     /// Parses and folds an integer constant expression (ints and `const`
@@ -550,6 +583,51 @@ mod tests {
                 ..
             } if *v == -2.5
         ));
+    }
+
+    #[test]
+    fn const_arithmetic_overflow_is_a_typed_error() {
+        // Folding 2*N overflows i64: must be a ParseError, not a panic.
+        let e =
+            parse("kernel k { const N = 9223372036854775807; array A: f64[2*N]; }").unwrap_err();
+        assert!(e.message().contains("overflows"), "{e}");
+        // Accumulating constants overflows.
+        let e2 = parse("kernel k { array A: f64[9223372036854775807 + 9223372036854775807]; }")
+            .unwrap_err();
+        assert!(e2.message().contains("overflows"), "{e2}");
+        // Merged coefficients overflow: i*MAX + i*MAX.
+        let e3 = parse(
+            "kernel k { array A: f64[8]; scalar x: f64;
+             for i in 0..4 { x = A[9223372036854775807*i + 9223372036854775807*i]; } }",
+        )
+        .unwrap_err();
+        assert!(e3.message().contains("overflows"), "{e3}");
+    }
+
+    #[test]
+    fn loop_nesting_depth_is_capped() {
+        let mut src = String::from("kernel k { scalar x: f64; ");
+        for d in 0..(MAX_LOOP_DEPTH + 1) {
+            src.push_str(&format!("for v{d} in 0..1 {{ "));
+        }
+        src.push_str("x = 1.0; ");
+        for _ in 0..(MAX_LOOP_DEPTH + 1) {
+            src.push('}');
+        }
+        src.push('}');
+        let e = parse(&src).unwrap_err();
+        assert!(e.message().contains("depth limit"), "{e}");
+        // One level under the cap still parses.
+        let mut ok = String::from("kernel k { scalar x: f64; ");
+        for d in 0..MAX_LOOP_DEPTH {
+            ok.push_str(&format!("for v{d} in 0..1 {{ "));
+        }
+        ok.push_str("x = 1.0; ");
+        for _ in 0..MAX_LOOP_DEPTH {
+            ok.push('}');
+        }
+        ok.push('}');
+        assert!(parse(&ok).is_ok());
     }
 
     #[test]

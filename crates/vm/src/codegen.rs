@@ -301,8 +301,23 @@ impl<'a> Codegen<'a> {
             self.invalidate(op);
         }
         self.emit_dest(&stmts, dst, block, rest);
-        let keys: Vec<OperandKey> = dest_ops.iter().map(OperandKey::of).collect();
-        self.register_pack(keys, dst);
+        // `dst` holds the pre-coercion lane values; the store coerces into
+        // memory (integer truncation/wrapping happens exactly once, at the
+        // store). Recording `dst` as the home of the destination pack is
+        // only sound when coercion is the identity — float element types —
+        // otherwise a later reuse would observe un-truncated values.
+        let reusable = dest_ops.iter().all(|op| {
+            let ty = match op {
+                Operand::Array(r) => self.program.array(r.array).ty,
+                Operand::Scalar(v) => self.program.scalar(*v).ty,
+                Operand::Const(_) => return false,
+            };
+            ty.is_float()
+        });
+        if reusable {
+            let keys: Vec<OperandKey> = dest_ops.iter().map(OperandKey::of).collect();
+            self.register_pack(keys, dst);
+        }
     }
 
     /// Emits the destination write-back of a superword statement.

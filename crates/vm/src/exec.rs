@@ -75,6 +75,7 @@ pub fn execute_gated(
     machine: &MachineConfig,
     cost_gate: bool,
 ) -> Result<Outcome, ExecError> {
+    crate::memory::check_memory_budget(&kernel.program)?;
     crate::bytecode::BytecodeKernel::compile(kernel, machine, cost_gate)?.run()
 }
 
@@ -105,6 +106,7 @@ pub fn execute_gated_reference(
     machine: &MachineConfig,
     cost_gate: bool,
 ) -> Result<Outcome, ExecError> {
+    crate::memory::check_memory_budget(&kernel.program)?;
     let codes = lower_kernel(kernel, machine, cost_gate);
     let vectorized_blocks = codes.iter().filter(|(_, c)| c.vectorized).count();
     // Map each block's first statement id to its code, for dispatch while

@@ -66,7 +66,7 @@ pub use exec::{
     ExecErrorKind, Outcome, RunStats,
 };
 pub use hoist::hoist_invariant_packs;
-pub use memory::{seed_scalar, seed_value, MachineState};
+pub use memory::{check_memory_budget, seed_scalar, seed_value, MachineState, MEMORY_BUDGET_ELEMS};
 pub use multicore::{reduction_percent, MulticoreModel};
 pub use regalloc::{allocate, insert_spill_code, Allocation};
 

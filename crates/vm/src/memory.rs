@@ -6,7 +6,38 @@
 //! deterministic pseudo-random pattern so that a scalar run and any
 //! vectorized run of the same kernel can be compared bit for bit.
 
+use slp_core::ExecError;
 use slp_ir::{ArrayId, Program, VarId};
+
+/// The VM's memory budget: total array elements a program may allocate.
+///
+/// 2^26 elements (512 MiB of f64 storage) is far beyond every suite and
+/// bench kernel while keeping adversarial inputs — `array A: f64[1 <<
+/// 60]` is a *legal* program — from aborting the process with an OOM
+/// instead of a typed error.
+pub const MEMORY_BUDGET_ELEMS: i64 = 1 << 26;
+
+/// Checks `program` against [`MEMORY_BUDGET_ELEMS`].
+///
+/// Called by every execution entry point before memory is allocated.
+///
+/// # Errors
+///
+/// Returns a [`ResourceLimit`](slp_core::ExecErrorKind::ResourceLimit)
+/// error when the program's total declared array storage exceeds the
+/// budget.
+pub fn check_memory_budget(program: &Program) -> Result<(), ExecError> {
+    let total = program
+        .arrays()
+        .iter()
+        .fold(0i64, |acc, a| acc.saturating_add(a.len().max(0)));
+    if total > MEMORY_BUDGET_ELEMS {
+        return Err(ExecError::resource_limit(format!(
+            "program allocates {total} array elements, over the VM budget of {MEMORY_BUDGET_ELEMS}"
+        )));
+    }
+    Ok(())
+}
 
 /// The memory image of one program run.
 #[derive(Debug, Clone, PartialEq)]
@@ -170,6 +201,19 @@ mod tests {
         p.add_array("B", ScalarType::F64, vec![4], true);
         p.add_scalar("x", ScalarType::F64);
         p
+    }
+
+    #[test]
+    fn memory_budget_rejects_huge_programs() {
+        let mut p = Program::new("t");
+        p.add_array("A", ScalarType::F64, vec![1 << 40], true);
+        let e = check_memory_budget(&p).unwrap_err();
+        assert_eq!(e.kind(), slp_core::ExecErrorKind::ResourceLimit);
+        // Overflowing extents saturate rather than wrapping past the cap.
+        let mut q = Program::new("t");
+        q.add_array("B", ScalarType::F64, vec![i64::MAX, i64::MAX], true);
+        assert!(check_memory_budget(&q).is_err());
+        assert!(check_memory_budget(&program()).is_ok());
     }
 
     #[test]

@@ -71,6 +71,22 @@ proptest! {
         }
     }
 
+    /// The fast-path bytecode engine agrees bit-for-bit with the
+    /// reference interpreter on every strategy's compiled kernel.
+    #[test]
+    fn engines_agree_on_random_programs(seed in any::<u64>(), cfg in generator_config()) {
+        let program = random_program(seed, &cfg);
+        let machine = MachineConfig::intel_dunnington();
+        for strategy in [Scheme::Scalar, Scheme::Native, Scheme::Baseline, Scheme::Holistic] {
+            let kernel = compile(&program, &SlpConfig::for_machine(machine.clone(), strategy));
+            let diags = slp::verify::check_engine_agreement(&kernel);
+            prop_assert!(
+                diags.is_empty(),
+                "{strategy:?} engines disagree on seed {seed}: {diags:?}"
+            );
+        }
+    }
+
     /// No strategy makes the program slower than scalar once the §4.3
     /// cost gate has run.
     #[test]
