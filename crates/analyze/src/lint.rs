@@ -1,0 +1,619 @@
+//! Whole-program safety lints (the analyses behind the V5xx codes).
+//!
+//! Four findings, computed purely over `slp-ir` (the `slp-verify` crate
+//! maps them onto its diagnostic framework as V500–V503):
+//!
+//! * **use-before-def** — a scalar is read strictly before its first
+//!   write, so the first pass observes the runtime input seed;
+//! * **dead store** — a scalar or array-element write that is provably
+//!   overwritten before any read on *every* continuation (including the
+//!   loop back-edge); final values are kernel outputs, so a store that
+//!   survives to the end of the program is never dead;
+//! * **out-of-bounds** — a subscript whose exact strided-interval range
+//!   leaves the array extent for some iteration. Over affine subscripts
+//!   and box iteration domains the abstract endpoints are attained, so
+//!   this is an error, not a maybe — `execute_reference` would trap;
+//! * **misalignment risk** — consecutive isomorphic stores form a
+//!   contiguous pack candidate whose base alignment cannot be proven,
+//!   so vectorizing it costs an unaligned (or scalar-decomposed) store.
+//!
+//! The lints are deliberately biased to silence: each rule only fires on
+//! program shapes where the verdict is exact, so a lint-clean report on
+//! the curated kernels stays meaningful.
+
+use std::collections::HashSet;
+
+use slp_ir::{
+    pack_is_aligned_in, pack_is_contiguous, refs_overlap_in, ArrayRef, BlockInfo, Dest, Item,
+    LoopVarId, Operand, Program, Statement, StmtId,
+};
+
+use crate::defuse::DefUse;
+use crate::ranges::{eval_affine, loop_env};
+
+/// The kind of a lint finding (maps to V500–V503 in `slp-verify`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FindingKind {
+    /// A scalar read before its first write (V500).
+    UseBeforeDef,
+    /// A store overwritten before any read (V501).
+    DeadStore,
+    /// A subscript provably outside its array for some iteration (V502).
+    OutOfBounds,
+    /// A contiguous pack candidate with unprovable alignment (V503).
+    MisalignmentRisk,
+}
+
+/// One lint finding, anchored to a statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// What was found.
+    pub kind: FindingKind,
+    /// The statement the finding anchors to.
+    pub stmt: StmtId,
+    /// Human-readable explanation with source-level names.
+    pub message: String,
+}
+
+/// Runs every lint over `program`; findings come back in program order
+/// (by anchor statement), then by kind.
+///
+/// # Examples
+///
+/// ```
+/// use slp_ir::{Expr, Program, ScalarType};
+/// use slp_analyze::{lint_program, FindingKind};
+///
+/// let mut p = Program::new("t");
+/// let x = p.add_scalar("x", ScalarType::F64);
+/// let y = p.add_scalar("y", ScalarType::F64);
+/// p.push_stmt(y.into(), Expr::Copy(x.into())); // reads x ...
+/// p.push_stmt(x.into(), Expr::Copy(1.0.into())); // ... before this write
+/// let findings = lint_program(&p);
+/// assert_eq!(findings[0].kind, FindingKind::UseBeforeDef);
+/// ```
+pub fn lint_program(program: &Program) -> Vec<Finding> {
+    let du = DefUse::analyze(program);
+    let mut findings = Vec::new();
+    lint_use_before_def(program, &du, &mut findings);
+    lint_dead_stores(program, &du, &mut findings);
+    lint_out_of_bounds(program, &mut findings);
+    lint_misalignment(program, &mut findings);
+    findings.sort_by_key(|f| (du.order_of(f.stmt), f.kind, f.message.clone()));
+    findings
+}
+
+// ---- V500: use before def ----------------------------------------------
+
+fn lint_use_before_def(program: &Program, du: &DefUse, out: &mut Vec<Finding>) {
+    for v in program.scalar_ids() {
+        let offenders = du.uses_before_first_def(v);
+        let Some(&first_use) = offenders.first() else {
+            continue;
+        };
+        let first_def = du.scalar_defs(v)[0];
+        out.push(Finding {
+            kind: FindingKind::UseBeforeDef,
+            stmt: first_use,
+            message: format!(
+                "scalar '{}' is read ({first_use}) before its first write ({first_def}); \
+                 the read observes the runtime input seed",
+                program.scalar(v).name
+            ),
+        });
+    }
+}
+
+// ---- V501: dead stores --------------------------------------------------
+
+/// What the next occurrence of a scalar on some path says about a value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Occ {
+    /// The value is read: live.
+    Use,
+    /// The value is overwritten first: dead on this path.
+    Def(StmtId),
+    /// No further occurrence on this path.
+    None,
+}
+
+fn first_scalar_occ<'a, I: IntoIterator<Item = &'a Statement>>(stmts: I, v: slp_ir::VarId) -> Occ {
+    for s in stmts {
+        if s.uses()
+            .iter()
+            .any(|u| matches!(u, Operand::Scalar(x) if *x == v))
+        {
+            return Occ::Use;
+        }
+        if matches!(s.dest(), Dest::Scalar(x) if *x == v) {
+            return Occ::Def(s.id());
+        }
+    }
+    Occ::None
+}
+
+/// Loop-structure classification of a block, for the back-edge legs of
+/// the dead-store analysis. `Simple` means the flattened statement order
+/// after the block is exactly the execution order after the block's last
+/// iteration: top-level straight-line code, or the sole block of a
+/// top-level loop whose body has no nested loops.
+enum BlockShape {
+    Straight,
+    /// Sole block of a top-level loop with the given trip count.
+    SimpleLoop(i64),
+    /// Anything nested: the continuation structure is not linear — skip.
+    Complex,
+}
+
+fn classify(program: &Program, info: &BlockInfo) -> BlockShape {
+    match info.loops.len() {
+        0 => BlockShape::Straight,
+        1 => {
+            let header = info.loops[0];
+            let simple = program.items().iter().any(|item| match item {
+                Item::Loop(l) => {
+                    l.header == header && l.body.iter().all(|b| matches!(b, Item::Stmt(_)))
+                }
+                Item::Stmt(_) => false,
+            });
+            if simple {
+                BlockShape::SimpleLoop(header.trip_count())
+            } else {
+                BlockShape::Complex
+            }
+        }
+        _ => BlockShape::Complex,
+    }
+}
+
+fn lint_dead_stores(program: &Program, du: &DefUse, out: &mut Vec<Finding>) {
+    let mut flat: Vec<Statement> = Vec::new();
+    program.for_each_stmt(|s| flat.push(s.clone()));
+    for info in program.blocks() {
+        let stmts = info.block.stmts();
+        scalar_dead_stores(program, du, &info, stmts, &flat, out);
+        array_dead_stores(program, &info, stmts, out);
+    }
+}
+
+fn scalar_dead_stores(
+    program: &Program,
+    du: &DefUse,
+    info: &BlockInfo,
+    stmts: &[Statement],
+    flat: &[Statement],
+    out: &mut Vec<Finding>,
+) {
+    let shape = classify(program, info);
+    if matches!(shape, BlockShape::Complex) {
+        return;
+    }
+    let block_end = stmts
+        .iter()
+        .filter_map(|s| du.order_of(s.id()))
+        .max()
+        .map_or(0, |m| m + 1);
+    for (idx, s) in stmts.iter().enumerate() {
+        let Dest::Scalar(v) = s.dest() else {
+            continue;
+        };
+        let v = *v;
+        let verdict = match first_scalar_occ(&stmts[idx + 1..], v) {
+            Occ::Use => None,
+            Occ::Def(killer) => Some(killer),
+            Occ::None => {
+                // The back-edge leg: on every non-final iteration the
+                // block restarts; a use before the redefining statement
+                // (including inside `s` itself) keeps the value live.
+                if let BlockShape::SimpleLoop(trips) = shape {
+                    if trips > 1 {
+                        if let Occ::Use = first_scalar_occ(&stmts[..=idx], v) {
+                            continue;
+                        }
+                    }
+                }
+                // The fall-through leg: the rest of the program.
+                match first_scalar_occ(&flat[block_end..], v) {
+                    Occ::Use => None,
+                    Occ::Def(killer) => Some(killer),
+                    // Final values are kernel outputs: live.
+                    Occ::None => None,
+                }
+            }
+        };
+        if let Some(killer) = verdict {
+            out.push(Finding {
+                kind: FindingKind::DeadStore,
+                stmt: s.id(),
+                message: format!(
+                    "value of '{}' written by {} is overwritten by {killer} before any read",
+                    program.scalar(v).name,
+                    s.id()
+                ),
+            });
+        }
+    }
+}
+
+fn array_dead_stores(
+    program: &Program,
+    info: &BlockInfo,
+    stmts: &[Statement],
+    out: &mut Vec<Finding>,
+) {
+    // Same-iteration kills only: a later store to the *identical*
+    // affine location with no possibly-overlapping read in between
+    // makes the earlier store dead regardless of the loop structure.
+    for (idx, s) in stmts.iter().enumerate() {
+        let Dest::Array(r1) = s.dest() else {
+            continue;
+        };
+        for later in &stmts[idx + 1..] {
+            let reads_it = later
+                .uses()
+                .iter()
+                .any(|u| matches!(u, Operand::Array(ru) if refs_overlap_in(ru, r1, &info.loops)));
+            if reads_it {
+                break;
+            }
+            if let Dest::Array(r2) = later.dest() {
+                if r2.must_alias(r1) {
+                    out.push(Finding {
+                        kind: FindingKind::DeadStore,
+                        stmt: s.id(),
+                        message: format!(
+                            "store to '{}' by {} is overwritten by {} in the same iteration \
+                             before any read",
+                            program.show_operand(&s.def()),
+                            s.id(),
+                            later.id()
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---- V502: provably out-of-bounds subscripts ----------------------------
+
+fn refs_of(s: &Statement) -> Vec<&ArrayRef> {
+    let mut refs: Vec<&ArrayRef> = s.uses().iter().filter_map(|o| o.as_array()).collect();
+    if let Dest::Array(r) = s.dest() {
+        refs.push(r);
+    }
+    refs
+}
+
+fn lint_out_of_bounds(program: &Program, out: &mut Vec<Finding>) {
+    for info in program.blocks() {
+        let Some(env) = loop_env(&info.loops) else {
+            continue; // dead loop: the accesses never execute
+        };
+        let in_scope: HashSet<LoopVarId> = info.loops.iter().map(|h| h.var).collect();
+        for s in info.block.iter() {
+            for r in refs_of(s) {
+                let arr = program.array(r.array);
+                for (dim, e) in r.access.dims().iter().enumerate() {
+                    if dim >= arr.dims.len() {
+                        break; // rank mismatch: structural, not a range fact
+                    }
+                    if e.vars().any(|v| !in_scope.contains(&v)) {
+                        continue; // scope violation is validate's report
+                    }
+                    let Some(si) = eval_affine(e, &env) else {
+                        continue;
+                    };
+                    if si.is_top() {
+                        continue; // arithmetic overflowed: no exact verdict
+                    }
+                    let extent = arr.dims[dim] as i128;
+                    if si.lo() < 0 || si.hi() >= extent {
+                        out.push(Finding {
+                            kind: FindingKind::OutOfBounds,
+                            stmt: s.id(),
+                            message: format!(
+                                "{} indexes '{}' dimension {dim} over {} but the extent is {}",
+                                s.id(),
+                                arr.name,
+                                si,
+                                arr.dims[dim]
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---- V503: misalignment risk for pack candidates ------------------------
+
+fn lint_misalignment(program: &Program, out: &mut Vec<Finding>) {
+    for info in program.blocks() {
+        let stmts = info.block.stmts();
+        let mut k = 0;
+        while k < stmts.len() {
+            let Dest::Array(_) = stmts[k].dest() else {
+                k += 1;
+                continue;
+            };
+            // Grow the longest run of consecutive isomorphic stores whose
+            // destinations stay contiguous ascending.
+            let mut refs: Vec<&ArrayRef> = vec![match stmts[k].dest() {
+                Dest::Array(r) => r,
+                Dest::Scalar(_) => unreachable!(),
+            }];
+            let mut end = k + 1;
+            while end < stmts.len() {
+                let Dest::Array(r) = stmts[end].dest() else {
+                    break;
+                };
+                if !stmts[k].isomorphic(&stmts[end], program) {
+                    break;
+                }
+                let mut candidate = refs.clone();
+                candidate.push(r);
+                if !pack_is_contiguous(&candidate) {
+                    break;
+                }
+                refs = candidate;
+                end += 1;
+            }
+            if refs.len() >= 2 && !pack_is_aligned_in(&refs, program, &info.loops) {
+                out.push(Finding {
+                    kind: FindingKind::MisalignmentRisk,
+                    stmt: stmts[k].id(),
+                    message: format!(
+                        "{}..{} store a contiguous {}-wide pack candidate on '{}' whose base \
+                         alignment cannot be proven; vectorizing it needs an unaligned store",
+                        stmts[k].id(),
+                        stmts[end - 1].id(),
+                        refs.len(),
+                        program.array(refs[0].array).name
+                    ),
+                });
+            }
+            k = end.max(k + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_ir::{AccessVector, AffineExpr, BinOp, Expr, Loop, LoopHeader, ScalarType};
+
+    fn kinds(findings: &[Finding]) -> Vec<FindingKind> {
+        findings.iter().map(|f| f.kind).collect()
+    }
+
+    fn simple_loop(p: &mut Program, var: LoopVarId, upper: i64, body: Vec<Statement>) {
+        p.push_item(Item::Loop(Loop {
+            header: LoopHeader {
+                var,
+                lower: 0,
+                upper,
+                step: 1,
+            },
+            body: body.into_iter().map(Item::Stmt).collect(),
+        }));
+    }
+
+    #[test]
+    fn use_before_def_fires_and_names_both_sites() {
+        let mut p = Program::new("t");
+        let x = p.add_scalar("x", ScalarType::F64);
+        let y = p.add_scalar("y", ScalarType::F64);
+        p.push_stmt(y.into(), Expr::Copy(x.into()));
+        p.push_stmt(x.into(), Expr::Copy(1.0.into()));
+        let f = lint_program(&p);
+        assert_eq!(kinds(&f), vec![FindingKind::UseBeforeDef]);
+        assert!(f[0].message.contains("'x'"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn parameters_and_accumulators_are_not_use_before_def() {
+        // alpha is never written (a parameter); s's first write reads s
+        // itself (read-modify-write of the seed, the accumulator idiom).
+        let mut p = Program::new("t");
+        let alpha = p.add_scalar("alpha", ScalarType::F64);
+        let s = p.add_scalar("s", ScalarType::F64);
+        let y = p.add_scalar("y", ScalarType::F64);
+        p.push_stmt(s.into(), Expr::Binary(BinOp::Add, s.into(), alpha.into()));
+        p.push_stmt(y.into(), Expr::Copy(s.into()));
+        assert!(lint_program(&p).is_empty());
+    }
+
+    #[test]
+    fn scalar_dead_store_in_straight_line_code() {
+        let mut p = Program::new("t");
+        let x = p.add_scalar("x", ScalarType::F64);
+        let y = p.add_scalar("y", ScalarType::F64);
+        let dead = p.push_stmt(x.into(), Expr::Copy(1.0.into()));
+        p.push_stmt(x.into(), Expr::Copy(2.0.into()));
+        p.push_stmt(y.into(), Expr::Copy(x.into()));
+        let f = lint_program(&p);
+        assert_eq!(kinds(&f), vec![FindingKind::DeadStore]);
+        assert_eq!(f[0].stmt, dead);
+    }
+
+    #[test]
+    fn final_stores_are_outputs_not_dead() {
+        let mut p = Program::new("t");
+        let x = p.add_scalar("x", ScalarType::F64);
+        p.push_stmt(x.into(), Expr::Copy(1.0.into()));
+        assert!(lint_program(&p).is_empty(), "final value is an output");
+    }
+
+    #[test]
+    fn loop_carried_use_keeps_a_store_live() {
+        // for i { t = s; s = A[i] }: s's write is read by the *next*
+        // iteration through the back edge — live despite no later use in
+        // the same iteration's remainder.
+        let mut p = Program::new("t");
+        let s = p.add_scalar("s", ScalarType::F64);
+        let t = p.add_scalar("t", ScalarType::F64);
+        let u = p.add_scalar("u", ScalarType::F64);
+        let a = p.add_array("A", ScalarType::F64, vec![8], true);
+        let i = p.add_loop_var("i");
+        let r = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        p.push_stmt(s.into(), Expr::Copy(0.0.into()));
+        let b0 = p.make_stmt(t.into(), Expr::Copy(s.into()));
+        let b1 = p.make_stmt(s.into(), Expr::Copy(r.into()));
+        simple_loop(&mut p, i, 8, vec![b0, b1]);
+        p.push_stmt(u.into(), Expr::Binary(BinOp::Add, s.into(), t.into()));
+        assert!(lint_program(&p).is_empty());
+    }
+
+    #[test]
+    fn dead_store_through_the_back_edge_is_caught() {
+        // for i { s = A[i]; s = B[i] }; y = s: the first write is killed
+        // within the iteration, every iteration.
+        let mut p = Program::new("t");
+        let s = p.add_scalar("s", ScalarType::F64);
+        let y = p.add_scalar("y", ScalarType::F64);
+        let a = p.add_array("A", ScalarType::F64, vec![8], true);
+        let b = p.add_array("B", ScalarType::F64, vec![8], true);
+        let i = p.add_loop_var("i");
+        let ra = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        let rb = ArrayRef::new(b, AccessVector::new(vec![AffineExpr::var(i)]));
+        let b0 = p.make_stmt(s.into(), Expr::Copy(ra.into()));
+        let dead = b0.id();
+        let b1 = p.make_stmt(s.into(), Expr::Copy(rb.into()));
+        simple_loop(&mut p, i, 8, vec![b0, b1]);
+        p.push_stmt(y.into(), Expr::Copy(s.into()));
+        let f = lint_program(&p);
+        assert_eq!(kinds(&f), vec![FindingKind::DeadStore]);
+        assert_eq!(f[0].stmt, dead);
+    }
+
+    #[test]
+    fn array_dead_store_same_iteration() {
+        // for i { A[i] = 1.0; A[i] = 2.0 }: first store dead; with an
+        // intervening read it stays live.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![8], false);
+        let i = p.add_loop_var("i");
+        let r = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        let b0 = p.make_stmt(r.clone().into(), Expr::Copy(1.0.into()));
+        let dead = b0.id();
+        let b1 = p.make_stmt(r.clone().into(), Expr::Copy(2.0.into()));
+        simple_loop(&mut p, i, 8, vec![b0, b1]);
+        let f = lint_program(&p);
+        assert_eq!(kinds(&f), vec![FindingKind::DeadStore]);
+        assert_eq!(f[0].stmt, dead);
+
+        let mut q = Program::new("t");
+        let a = q.add_array("A", ScalarType::F64, vec![8], false);
+        let t2 = q.add_scalar("t", ScalarType::F64);
+        let i = q.add_loop_var("i");
+        let r = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        let b0 = q.make_stmt(r.clone().into(), Expr::Copy(1.0.into()));
+        let b1 = q.make_stmt(t2.into(), Expr::Copy(r.clone().into()));
+        let b2 = q.make_stmt(r.clone().into(), Expr::Copy(2.0.into()));
+        simple_loop(&mut q, i, 8, vec![b0, b1, b2]);
+        assert!(
+            lint_program(&q)
+                .iter()
+                .all(|f| f.kind != FindingKind::DeadStore),
+            "intervening read keeps the store live"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_is_reported_with_the_range() {
+        // A[2i+1] for i in 0..8 touches index 15 of a 15-element array.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![15], false);
+        let i = p.add_loop_var("i");
+        let r = ArrayRef::new(
+            a,
+            AccessVector::new(vec![AffineExpr::var(i).scaled(2).offset(1)]),
+        );
+        let s = p.make_stmt(r.into(), Expr::Copy(1.0.into()));
+        simple_loop(&mut p, i, 8, vec![s]);
+        let f = lint_program(&p);
+        assert_eq!(kinds(&f), vec![FindingKind::OutOfBounds]);
+        assert!(f[0].message.contains("extent is 15"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn strided_bounds_use_the_actual_last_iteration() {
+        // for i in 0..10 step 4 (via header) visits 0,4,8: A[2i] max 16
+        // fits extent 17 exactly.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![17], false);
+        let i = p.add_loop_var("i");
+        let r = ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i).scaled(2)]));
+        let s = p.make_stmt(r.into(), Expr::Copy(1.0.into()));
+        p.push_item(Item::Loop(Loop {
+            header: LoopHeader {
+                var: i,
+                lower: 0,
+                upper: 10,
+                step: 4,
+            },
+            body: vec![Item::Stmt(s)],
+        }));
+        assert!(lint_program(&p).is_empty());
+    }
+
+    #[test]
+    fn misalignment_risk_on_odd_based_contiguous_stores() {
+        // A[2i+1], A[2i+2]: a contiguous f64 pair starting at an odd
+        // element — contiguous but never 16-byte aligned.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![32], false);
+        let b = p.add_array("B", ScalarType::F64, vec![32], true);
+        let i = p.add_loop_var("i");
+        let at = |c: i64, k: i64| {
+            ArrayRef::new(
+                a,
+                AccessVector::new(vec![AffineExpr::var(i).scaled(c).offset(k)]),
+            )
+        };
+        let bt = |k: i64| {
+            ArrayRef::new(
+                b,
+                AccessVector::new(vec![AffineExpr::var(i).scaled(2).offset(k)]),
+            )
+        };
+        let s0 = p.make_stmt(at(2, 1).into(), Expr::Copy(bt(0).into()));
+        let s1 = p.make_stmt(at(2, 2).into(), Expr::Copy(bt(1).into()));
+        let anchor = s0.id();
+        simple_loop(&mut p, i, 8, vec![s0, s1]);
+        let f = lint_program(&p);
+        assert_eq!(kinds(&f), vec![FindingKind::MisalignmentRisk]);
+        assert_eq!(f[0].stmt, anchor);
+
+        // The even-based pair is provably aligned: no finding.
+        let mut q = Program::new("t");
+        let a = q.add_array("A", ScalarType::F64, vec![32], false);
+        let b = q.add_array("B", ScalarType::F64, vec![32], true);
+        let i = q.add_loop_var("i");
+        let s0 = q.make_stmt(
+            ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i).scaled(2)])).into(),
+            Expr::Copy(
+                ArrayRef::new(b, AccessVector::new(vec![AffineExpr::var(i).scaled(2)])).into(),
+            ),
+        );
+        let s1 = q.make_stmt(
+            ArrayRef::new(
+                a,
+                AccessVector::new(vec![AffineExpr::var(i).scaled(2).offset(1)]),
+            )
+            .into(),
+            Expr::Copy(
+                ArrayRef::new(
+                    b,
+                    AccessVector::new(vec![AffineExpr::var(i).scaled(2).offset(1)]),
+                )
+                .into(),
+            ),
+        );
+        simple_loop(&mut q, i, 8, vec![s0, s1]);
+        assert!(lint_program(&q).is_empty());
+    }
+}

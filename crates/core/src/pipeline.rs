@@ -9,6 +9,7 @@
 use slp_ir::{unroll_program, BlockDeps, BlockId, Dest, Program, StmtId, TypeEnv};
 
 use slp_analysis::WeightParams;
+use slp_analyze::RangeOracle;
 
 use crate::baseline::{baseline_block, baseline_groups};
 use crate::cost::{estimate_schedule_cost, CostContext};
@@ -185,6 +186,13 @@ pub struct SlpConfig {
     /// next-iteration content equals another pack loaded this iteration
     /// is carried in a register instead of reloaded. Off by default.
     pub cross_iteration_reuse: bool,
+    /// Opt-in range-refined dependence testing: dependence queries go
+    /// through `slp-analyze`'s strided-interval oracle, which disproves
+    /// aliasing the constant/GCD/interval baseline keeps (loop-stride
+    /// parity, value-band separation, joint multi-dimension reasoning).
+    /// Every disproof removes a false dependence edge and is counted in
+    /// [`CompileStats::deps_refuted`]. Off by default.
+    pub refine_deps: bool,
     /// Post-compile verification pass; `None` (the default) skips
     /// verification. See [`Verifier`].
     pub verify: Option<VerifierHandle>,
@@ -207,8 +215,16 @@ impl SlpConfig {
             array_layout,
             weights: WeightParams::default(),
             cross_iteration_reuse: false,
+            refine_deps: false,
             verify: None,
         }
+    }
+
+    /// Enables range-refined dependence testing (see
+    /// [`SlpConfig::refine_deps`]).
+    pub fn with_refined_deps(mut self) -> Self {
+        self.refine_deps = true;
+        self
     }
 
     /// Enables the data layout stage (the paper's Global+Layout scheme).
@@ -241,6 +257,10 @@ pub struct CompileStats {
     pub scalar_packs_laid_out: usize,
     /// Array replications committed.
     pub replications: usize,
+    /// Candidate dependences disproved by the range-refined oracle
+    /// beyond what the GCD baseline settles (0 unless
+    /// [`SlpConfig::refine_deps`] is on).
+    pub deps_refuted: usize,
 }
 
 /// The result of compiling one kernel.
@@ -385,7 +405,14 @@ fn compile_inner(
     };
     for info in &infos {
         let deps = timings.time(Phase::Alignment, || {
-            BlockDeps::analyze_in(&info.block, &info.loops)
+            if config.refine_deps {
+                let oracle = RangeOracle::new();
+                let deps = BlockDeps::analyze_with(&info.block, &info.loops, &oracle);
+                stats.deps_refuted += oracle.refuted_beyond_gcd() as usize;
+                deps
+            } else {
+                BlockDeps::analyze_in(&info.block, &info.loops)
+            }
         });
         let lane_cap = |s: StmtId| {
             let stmt = info.block.stmt(s).expect("stmt in block");

@@ -32,7 +32,7 @@ use crate::json::Json;
 
 /// The encoding version stamped into every payload; bumped on any
 /// incompatible change so old cache files read as misses, not garbage.
-pub const FORMAT_VERSION: u64 = 1;
+pub const FORMAT_VERSION: u64 = 2;
 
 /// A decode failure: the payload was syntactically valid JSON but not a
 /// valid kernel encoding (truncated, corrupted, or a different format
@@ -593,6 +593,7 @@ fn encode_config(c: &SlpConfig) -> Json {
             ]),
         ),
         ("cross_iteration_reuse", Json::Bool(c.cross_iteration_reuse)),
+        ("refine_deps", Json::Bool(c.refine_deps)),
     ])
 }
 
@@ -617,6 +618,7 @@ fn decode_config(v: &Json) -> Result<SlpConfig> {
             store_factor: req_f64(w, "store_factor")?,
         },
         cross_iteration_reuse: req_bool(v, "cross_iteration_reuse")?,
+        refine_deps: req_bool(v, "refine_deps")?,
         // Function pointers have no serialized form; see module docs.
         verify: None,
     })
@@ -702,6 +704,7 @@ pub fn encode_kernel(k: &CompiledKernel) -> Json {
                     Json::num(k.stats.scalar_packs_laid_out as u64),
                 ),
                 ("replications", Json::num(k.stats.replications as u64)),
+                ("deps_refuted", Json::num(k.stats.deps_refuted as u64)),
             ]),
         ),
         ("config", encode_config(&k.config)),
@@ -757,6 +760,7 @@ pub fn decode_kernel(v: &Json) -> Result<CompiledKernel> {
         vectorized_stmts: req_u64(st, "vectorized_stmts")? as usize,
         scalar_packs_laid_out: req_u64(st, "scalar_packs_laid_out")? as usize,
         replications: req_u64(st, "replications")? as usize,
+        deps_refuted: req_u64(st, "deps_refuted")? as usize,
     };
     let config = decode_config(req(v, "config")?)?;
     Ok(CompiledKernel {

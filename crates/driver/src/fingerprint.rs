@@ -162,6 +162,7 @@ pub fn fingerprint_with_tag(source: &str, config: &SlpConfig, tag: &str) -> Fing
     h.field("unroll", config.unroll);
     h.field("layout", config.layout);
     h.field("cross_iteration_reuse", config.cross_iteration_reuse);
+    h.field("refine_deps", config.refine_deps);
     h.field(
         "schedule.live_set_capacity",
         config.schedule.live_set_capacity,
@@ -238,6 +239,10 @@ mod tests {
         // Unroll factor.
         let mut c = base_config();
         c.unroll = 4;
+        assert_ne!(fingerprint(src, &c), base);
+
+        // Range-refined dependence flag.
+        let c = base_config().with_refined_deps();
         assert_ne!(fingerprint(src, &c), base);
 
         // Verification tag.

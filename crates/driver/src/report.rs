@@ -55,6 +55,9 @@ pub struct KernelRow {
     pub superwords: usize,
     /// Statements covered by superwords.
     pub vectorized_stmts: usize,
+    /// False dependences disproved by the range-refined oracle (0 unless
+    /// the request enabled `refine_deps`).
+    pub deps_refuted: usize,
     /// Error-severity verify findings; `None` when verification was not
     /// requested or the entry failed.
     pub verify_errors: Option<usize>,
@@ -118,6 +121,7 @@ impl DriverReport {
                         stmts: compiled.kernel.stats.stmts,
                         superwords: compiled.kernel.stats.superwords,
                         vectorized_stmts: compiled.kernel.stats.vectorized_stmts,
+                        deps_refuted: compiled.kernel.stats.deps_refuted,
                         verify_errors,
                         verify_warnings,
                         diagnostics,
@@ -134,6 +138,7 @@ impl DriverReport {
                     stmts: 0,
                     superwords: 0,
                     vectorized_stmts: 0,
+                    deps_refuted: 0,
                     verify_errors: None,
                     verify_warnings: None,
                     diagnostics: Vec::new(),
@@ -176,6 +181,11 @@ impl DriverReport {
         self.rows.iter().filter_map(|r| r.verify_errors).sum()
     }
 
+    /// Range-refined dependence disproofs summed over all rows.
+    pub fn deps_refuted_count(&self) -> usize {
+        self.rows.iter().map(|r| r.deps_refuted).sum()
+    }
+
     /// Whether every row is `ok` and no verify checker found an error —
     /// the CI smoke job's pass condition.
     pub fn all_clean(&self) -> bool {
@@ -197,6 +207,7 @@ impl DriverReport {
                 ("stmts", Json::num(row.stmts as u64)),
                 ("superwords", Json::num(row.superwords as u64)),
                 ("vectorized_stmts", Json::num(row.vectorized_stmts as u64)),
+                ("deps_refuted", Json::num(row.deps_refuted as u64)),
             ];
             fields.push((
                 "verify_errors",
@@ -224,6 +235,7 @@ impl DriverReport {
             ("degraded", Json::num(self.degraded_count() as u64)),
             ("failed", Json::num(self.failed_count() as u64)),
             ("verify_errors", Json::num(self.verify_error_count() as u64)),
+            ("deps_refuted", Json::num(self.deps_refuted_count() as u64)),
             ("wall_nanos", Json::num(self.wall_nanos)),
             ("phase_nanos", timings_json(&self.phase_totals)),
         ];
@@ -273,6 +285,13 @@ impl DriverReport {
             self.failed_count(),
             millis(self.wall_nanos),
         ));
+        let refuted = self.deps_refuted_count();
+        if refuted > 0 {
+            out.push_str(&format!(
+                "refined dependence tests removed {refuted} false dependence{}\n",
+                if refuted == 1 { "" } else { "s" }
+            ));
+        }
         if let Some(stats) = &self.cache {
             out.push_str(&format!(
                 "cache: {} memory + {} disk hits / {} lookups ({:.1}% hit rate)\n",

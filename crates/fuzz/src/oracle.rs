@@ -14,6 +14,10 @@
 //! 3. **Engine agreement**: the bytecode engine and the reference
 //!    tree-walking interpreter must agree on state, statistics and block
 //!    accounting ([`slp_verify::check_engine_agreement`]).
+//! 4. **No lint false positives**: `V502` claims a subscript *provably*
+//!    escapes its array, so a program whose scalar reference run
+//!    completes without an out-of-bounds trap must never trip it
+//!    ([`slp_analyze::lint_program`]).
 //!
 //! Programs whose dynamic statement count or memory footprint exceeds
 //! the fuzzing budgets are compile-tested only, so a hostile bound like
@@ -38,6 +42,8 @@ pub enum Stage {
     Execute,
     /// Re-emission of the program as source.
     Emit,
+    /// The `slp-analyze` whole-program lints.
+    Lint,
 }
 
 impl Stage {
@@ -49,6 +55,7 @@ impl Stage {
             Stage::Compile => "compile",
             Stage::Execute => "execute",
             Stage::Emit => "emit",
+            Stage::Lint => "lint",
         }
     }
 }
@@ -64,6 +71,9 @@ pub enum AnomalyKind {
     EngineDivergence,
     /// A valid program failed to re-parse from its own emitted source.
     RoundTrip,
+    /// An error-severity lint fired on a program whose reference run is
+    /// clean (a `V502` on a program with no out-of-bounds access).
+    LintFalsePositive,
 }
 
 impl AnomalyKind {
@@ -74,6 +84,7 @@ impl AnomalyKind {
             AnomalyKind::StateDivergence => "state-divergence",
             AnomalyKind::EngineDivergence => "engine-divergence",
             AnomalyKind::RoundTrip => "round-trip",
+            AnomalyKind::LintFalsePositive => "lint-false-positive",
         }
     }
 }
@@ -142,21 +153,33 @@ pub fn within_budget(program: &Program, budget: &Budget) -> bool {
 
 /// The strategy matrix every valid program is pushed through.
 ///
-/// `(strategy, layout, cross_iteration_reuse, label)` — covering the four
-/// §7 schemes plus the cross-iteration-reuse variant of the holistic
-/// optimizer.
-pub const STRATEGIES: &[(Strategy, bool, bool, &str)] = &[
-    (Strategy::Native, false, false, "native"),
-    (Strategy::Baseline, false, false, "slp"),
-    (Strategy::Holistic, false, false, "global"),
-    (Strategy::Holistic, true, false, "global+layout"),
-    (Strategy::Holistic, true, true, "global+reuse"),
+/// `(strategy, layout, cross_iteration_reuse, refine_deps, label)` —
+/// covering the four §7 schemes, the cross-iteration-reuse variant of
+/// the holistic optimizer, and the range-refined dependence-testing
+/// variant (so an unsoundly disproved dependence shows up as a state
+/// divergence against the scalar run).
+pub const STRATEGIES: &[(Strategy, bool, bool, bool, &str)] = &[
+    (Strategy::Native, false, false, false, "native"),
+    (Strategy::Baseline, false, false, false, "slp"),
+    (Strategy::Holistic, false, false, false, "global"),
+    (Strategy::Holistic, true, false, false, "global+layout"),
+    (Strategy::Holistic, true, true, false, "global+reuse"),
+    (Strategy::Holistic, false, false, true, "global+refine"),
 ];
 
-fn config_for(machine: &MachineConfig, strategy: Strategy, layout: bool, reuse: bool) -> SlpConfig {
+fn config_for(
+    machine: &MachineConfig,
+    strategy: Strategy,
+    layout: bool,
+    reuse: bool,
+    refine: bool,
+) -> SlpConfig {
     let mut cfg = SlpConfig::for_machine(machine.clone(), strategy);
     if layout {
         cfg = cfg.with_layout();
+    }
+    if refine {
+        cfg = cfg.with_refined_deps();
     }
     cfg.cross_iteration_reuse = reuse;
     cfg
@@ -246,10 +269,55 @@ pub fn check_program(
 
     let run_vm = within_budget(program, budget);
 
-    // Stages 4-5: each strategy compiles; in-budget programs also run
+    // Stage 4: the no-false-positive lint oracle. V502 asserts an
+    // out-of-bounds access is provable; when the scalar reference run
+    // of the same program completes without an OOB trap, the "proof"
+    // was wrong. (Warnings V500/V501/V503 are heuristic and exempt.)
+    if run_vm {
+        let oob = match guarded(|| {
+            slp_analyze::lint_program(program)
+                .into_iter()
+                .find(|f| f.kind == slp_analyze::FindingKind::OutOfBounds)
+        }) {
+            Err(panic) => {
+                return Some(Anomaly {
+                    kind: AnomalyKind::Panic,
+                    stage: Stage::Lint,
+                    strategy: None,
+                    detail: panic,
+                })
+            }
+            Ok(f) => f,
+        };
+        if let Some(finding) = oob {
+            match guarded(|| slp_vm::run_scalar(program, machine)) {
+                Err(panic) => {
+                    return Some(Anomaly {
+                        kind: AnomalyKind::Panic,
+                        stage: Stage::Execute,
+                        strategy: None,
+                        detail: panic,
+                    })
+                }
+                Ok(Ok(_)) => {
+                    return Some(Anomaly {
+                        kind: AnomalyKind::LintFalsePositive,
+                        stage: Stage::Lint,
+                        strategy: None,
+                        detail: finding.message,
+                    })
+                }
+                // The reference run trapped: the access really is out of
+                // bounds and the lint was right to flag it.
+                Ok(Err(_)) => {}
+            }
+        }
+    }
+
+    // Stages 5-6: each strategy compiles; in-budget programs also run
     // the two differential oracles.
-    for &(strategy, layout, reuse, label) in STRATEGIES {
-        let cfg = config_for(machine, strategy, layout, reuse);
+    for &(strategy, layout, reuse, refine, label) in STRATEGIES {
+        let cfg = config_for(machine, strategy, layout, reuse, refine);
         let kernel = match guarded(|| slp_core::compile(program, &cfg)) {
             Err(panic) => {
                 return Some(Anomaly {
@@ -338,6 +406,21 @@ mod tests {
             array A: f64[8];
             scalar s: f64;
             for i in 0..1099511627776 { s = s + A[0]; }
+        }";
+        assert!(check_source(src, &machine(), &Budget::default()).is_none());
+    }
+
+    #[test]
+    fn strided_kernel_does_not_trip_the_lint_oracle() {
+        // A step-2 loop stresses exactly the strided reasoning behind
+        // V502; a clean run must never be flagged.
+        let src = "kernel k {
+            const N = 16;
+            array A: f64[2*N]; array B: f64[N];
+            for i in 0..N step 2 {
+                A[2*i] = B[i] + 1.0;
+                A[2*i+1] = A[i+3] + 1.0;
+            }
         }";
         assert!(check_source(src, &machine(), &Budget::default()).is_none());
     }

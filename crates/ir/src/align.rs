@@ -8,17 +8,8 @@
 
 use crate::affine::AffineExpr;
 use crate::expr::ArrayRef;
+use crate::numeric::gcd;
 use crate::program::{LoopHeader, Program};
-
-fn gcd(a: i64, b: i64) -> i64 {
-    let (mut a, mut b) = (a.abs(), b.abs());
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
-    }
-    a
-}
 
 /// Whether the byte offset `elem_size * expr` is guaranteed to be a
 /// multiple of `align_bytes` for every value of the loop variables.
@@ -170,13 +161,6 @@ mod tests {
             ArrayId::new(0),
             AccessVector::new(vec![AffineExpr::var(i()).scaled(coeff).offset(cst)]),
         )
-    }
-
-    #[test]
-    fn gcd_basics() {
-        assert_eq!(gcd(12, 18), 6);
-        assert_eq!(gcd(0, 7), 7);
-        assert_eq!(gcd(-8, 12), 4);
     }
 
     #[test]

@@ -20,7 +20,32 @@ use crate::affine::AffineExpr;
 use crate::block::BasicBlock;
 use crate::expr::{ArrayRef, Operand};
 use crate::ids::StmtId;
+use crate::numeric;
 use crate::program::LoopHeader;
+
+/// An external aliasing oracle consulted by [`BlockDeps::analyze_with`].
+///
+/// The built-in test ([`operands_overlap_in`]) resolves scalar pairs
+/// exactly and array pairs with the constant/GCD/interval disproofs. A
+/// refinement (such as the strided-interval oracle in `slp-analyze`) can
+/// disprove more pairs; implementations must stay **conservative**:
+/// return `true` whenever the two operands might denote the same storage
+/// in one iteration of the enclosing loops.
+pub trait DepOracle {
+    /// May `a` and `b` denote the same storage location in the same
+    /// iteration, given the enclosing loop bounds?
+    fn operands_overlap(&self, a: &Operand, b: &Operand, loops: &[LoopHeader]) -> bool;
+}
+
+/// The built-in oracle: exactly [`operands_overlap_in`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AffineOverlap;
+
+impl DepOracle for AffineOverlap {
+    fn operands_overlap(&self, a: &Operand, b: &Operand, loops: &[LoopHeader]) -> bool {
+        operands_overlap_in(a, b, loops)
+    }
+}
 
 /// The classic dependence kinds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -138,6 +163,16 @@ impl BlockDeps {
     /// [`refs_overlap_in`]: accesses whose difference provably never
     /// vanishes inside the iteration space carry no dependence.
     pub fn analyze_in(block: &BasicBlock, loops: &[LoopHeader]) -> Self {
+        Self::analyze_with(block, loops, &AffineOverlap)
+    }
+
+    /// [`BlockDeps::analyze_in`] with an explicit aliasing oracle.
+    ///
+    /// Every operand-pair query goes through `oracle`, so a refinement
+    /// (for example range-based disproofs from `slp-analyze`) drops the
+    /// corresponding dependence edges from the graph. The oracle must be
+    /// conservative; see [`DepOracle`].
+    pub fn analyze_with(block: &BasicBlock, loops: &[LoopHeader], oracle: &dyn DepOracle) -> Self {
         let ids: Vec<StmtId> = block.iter().map(|s| s.id()).collect();
         let n = ids.len();
         let mut direct = Vec::new();
@@ -151,7 +186,7 @@ impl BlockDeps {
                 if sq
                     .uses()
                     .iter()
-                    .any(|u| operands_overlap_in(&sp.def(), u, loops))
+                    .any(|u| oracle.operands_overlap(&sp.def(), u, loops))
                 {
                     direct.push(Dependence {
                         src: sp.id(),
@@ -164,7 +199,7 @@ impl BlockDeps {
                 if sp
                     .uses()
                     .iter()
-                    .any(|u| operands_overlap_in(&sq.def(), u, loops))
+                    .any(|u| oracle.operands_overlap(&sq.def(), u, loops))
                 {
                     direct.push(Dependence {
                         src: sp.id(),
@@ -174,7 +209,7 @@ impl BlockDeps {
                     dep = true;
                 }
                 // WAW: both write the same location.
-                if operands_overlap_in(&sp.def(), &sq.def(), loops) {
+                if oracle.operands_overlap(&sp.def(), &sq.def(), loops) {
                     direct.push(Dependence {
                         src: sp.id(),
                         dst: sq.id(),
@@ -302,47 +337,36 @@ pub fn refs_overlap_in(x: &ArrayRef, y: &ArrayRef, loops: &[LoopHeader]) -> bool
     true
 }
 
-/// Whether `delta` is provably non-zero over the loop iteration space.
-fn delta_never_zero(delta: &AffineExpr, loops: &[LoopHeader]) -> bool {
+/// The GCD disproof: `delta` is never zero when it is a non-zero
+/// constant, or when the gcd of its coefficients does not divide its
+/// constant term. Loop bounds are not consulted, so this is the part of
+/// the test a range analysis can go *beyond* (see `slp-analyze`).
+pub fn gcd_test_refutes_zero(delta: &AffineExpr) -> bool {
     if delta.is_constant() {
         return delta.constant() != 0;
     }
-    // GCD disproof.
     let mut g: i64 = 0;
     for (_, c) in delta.terms() {
-        g = gcd(g, c);
+        g = numeric::gcd(g, c);
     }
-    if g != 0 && delta.constant() % g != 0 {
-        return true;
-    }
-    // Interval disproof (needs bounds for every variable of delta).
-    let mut lo = delta.constant();
-    let mut hi = delta.constant();
-    for (v, c) in delta.terms() {
-        let Some(h) = loops.iter().find(|h| h.var == v) else {
-            return false; // unknown range: conservative
-        };
-        let trips = h.trip_count();
-        if trips <= 0 {
-            return false;
-        }
-        let first = h.lower;
-        let last = h.lower + (trips - 1) * h.step;
-        let (a, b) = (c * first, c * last);
-        lo += a.min(b);
-        hi += a.max(b);
-    }
-    lo > 0 || hi < 0
+    g != 0 && delta.constant() % g != 0
 }
 
-fn gcd(a: i64, b: i64) -> i64 {
-    let (mut a, mut b) = (a.abs(), b.abs());
-    while b != 0 {
-        let t = a % b;
-        a = b;
-        b = t;
+/// Whether `delta` is provably non-zero over the loop iteration space:
+/// the GCD disproof, then an interval disproof over the loop ranges
+/// (which needs bounds for every variable of `delta`; an unknown range
+/// or zero-trip loop stays conservative).
+fn delta_never_zero(delta: &AffineExpr, loops: &[LoopHeader]) -> bool {
+    if gcd_test_refutes_zero(delta) {
+        return true;
     }
-    a
+    if delta.is_constant() {
+        return false; // constant zero
+    }
+    match numeric::interval_in(delta, loops) {
+        Some((lo, hi)) => lo > 0 || hi < 0,
+        None => false,
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,7 @@ mod deps;
 mod emit;
 mod expr;
 mod ids;
+pub mod numeric;
 mod program;
 mod stmt;
 mod types;
@@ -59,7 +60,8 @@ pub use align::{
 };
 pub use block::BasicBlock;
 pub use deps::{
-    operands_overlap, operands_overlap_in, refs_overlap_in, BlockDeps, DepKind, Dependence,
+    gcd_test_refutes_zero, operands_overlap, operands_overlap_in, refs_overlap_in, AffineOverlap,
+    BlockDeps, DepKind, DepOracle, Dependence,
 };
 pub use expr::{ArrayRef, BinOp, Dest, Expr, ExprShape, Operand, OperandKind, TypeEnv, UnOp};
 pub use ids::{ArrayId, LoopVarId, StmtId, VarId};

@@ -71,30 +71,11 @@ impl fmt::Display for ValidationError {
 
 impl Error for ValidationError {}
 
-/// The provable `[min, max]` of an affine expression over loop ranges.
-///
-/// Computed in i128 so pathological coefficients/bounds cannot overflow
-/// (or, worse, saturate into a falsely-in-range interval); the result is
-/// clamped back to i64, which preserves the out-of-bounds verdict since
-/// a clamped endpoint lies outside any declarable array extent.
+/// The provable `[min, max]` of an affine expression over loop ranges:
+/// the shared exact-i128 interval of [`crate::numeric`] (`None` for
+/// unknown variables and zero-trip loops, whose accesses never execute).
 fn interval(e: &AffineExpr, loops: &[LoopHeader]) -> Option<(i64, i64)> {
-    let mut lo = e.constant() as i128;
-    let mut hi = lo;
-    for (v, c) in e.terms() {
-        let h = loops.iter().find(|h| h.var == v)?;
-        let trips = h.trip_count() as i128;
-        if trips == 0 {
-            // The loop never runs; any value is fine — keep the first.
-            return None;
-        }
-        let first = h.lower as i128;
-        let last = first + (trips - 1) * h.step as i128;
-        let (a, b) = ((c as i128) * first, (c as i128) * last);
-        lo = lo.saturating_add(a.min(b));
-        hi = hi.saturating_add(a.max(b));
-    }
-    let clamp = |x: i128| x.clamp(i64::MIN as i128, i64::MAX as i128) as i64;
-    Some((clamp(lo), clamp(hi)))
+    crate::numeric::interval_in(e, loops)
 }
 
 impl Program {

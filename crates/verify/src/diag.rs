@@ -39,6 +39,8 @@ impl fmt::Display for Severity {
 /// * `V3xx` — data-layout soundness ([`crate::check_layout`])
 /// * `V4xx` — differential translation validation
 ///   ([`crate::check_differential`])
+/// * `V5xx` — whole-program dataflow lints from `slp-analyze`
+///   ([`crate::lint_program`])
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LintCode {
     /// The schedule is not a permutation of the block's statements
@@ -80,6 +82,19 @@ pub enum LintCode {
     DifferentialMismatch,
     /// One of the two executions of the differential check failed.
     ExecutionFailed,
+    /// A scalar is read before its first write: the read observes
+    /// whatever the runtime seeded, which is rarely what the kernel
+    /// author meant.
+    UseBeforeDef,
+    /// A store whose value no later read can observe.
+    DeadStore,
+    /// An array subscript provably evaluates outside the declared extent
+    /// on some iteration.
+    OutOfBoundsSubscript,
+    /// Consecutive isomorphic stores form a contiguous pack candidate
+    /// whose base alignment cannot be proven, so vectorizing it costs
+    /// unaligned memory operations.
+    MisalignmentRisk,
 }
 
 impl LintCode {
@@ -101,11 +116,15 @@ impl LintCode {
             LintCode::UnpopulatedReplicaRead => "V304",
             LintCode::DifferentialMismatch => "V401",
             LintCode::ExecutionFailed => "V402",
+            LintCode::UseBeforeDef => "V500",
+            LintCode::DeadStore => "V501",
+            LintCode::OutOfBoundsSubscript => "V502",
+            LintCode::MisalignmentRisk => "V503",
         }
     }
 
     /// Every lint code in the catalogue, in `Vnnn` order.
-    pub const ALL: [LintCode; 15] = [
+    pub const ALL: [LintCode; 19] = [
         LintCode::ScheduleNotPermutation,
         LintCode::DependenceOrderViolated,
         LintCode::IntraPackDependence,
@@ -121,6 +140,10 @@ impl LintCode {
         LintCode::UnpopulatedReplicaRead,
         LintCode::DifferentialMismatch,
         LintCode::ExecutionFailed,
+        LintCode::UseBeforeDef,
+        LintCode::DeadStore,
+        LintCode::OutOfBoundsSubscript,
+        LintCode::MisalignmentRisk,
     ];
 
     /// The inverse of [`LintCode::code`]: parses a stable `Vnnn` code
@@ -133,12 +156,19 @@ impl LintCode {
 
     /// The severity a finding of this code carries.
     ///
-    /// Only [`LintCode::MisalignedPack`] is a warning: unaligned packs
-    /// execute correctly (the VM charges the unaligned-access cost), all
-    /// other findings mean the kernel is wrong.
+    /// Among the V1xx–V4xx kernel checks only [`LintCode::MisalignedPack`]
+    /// is a warning: unaligned packs execute correctly (the VM charges
+    /// the unaligned-access cost), all other findings mean the kernel is
+    /// wrong. The V5xx source lints are warnings except
+    /// [`LintCode::OutOfBoundsSubscript`]: strided-interval endpoints
+    /// over the iteration box are attained, so a flagged subscript
+    /// really does escape the array on some iteration.
     pub fn severity(self) -> Severity {
         match self {
-            LintCode::MisalignedPack => Severity::Warning,
+            LintCode::MisalignedPack
+            | LintCode::UseBeforeDef
+            | LintCode::DeadStore
+            | LintCode::MisalignmentRisk => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -353,10 +383,18 @@ mod tests {
             LintCode::UnpopulatedReplicaRead,
             LintCode::DifferentialMismatch,
             LintCode::ExecutionFailed,
+            LintCode::OutOfBoundsSubscript,
         ] {
             assert_eq!(code.severity(), Severity::Error, "{code}");
         }
-        assert_eq!(LintCode::MisalignedPack.severity(), Severity::Warning);
+        for code in [
+            LintCode::MisalignedPack,
+            LintCode::UseBeforeDef,
+            LintCode::DeadStore,
+            LintCode::MisalignmentRisk,
+        ] {
+            assert_eq!(code.severity(), Severity::Warning, "{code}");
+        }
     }
 
     #[test]

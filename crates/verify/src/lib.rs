@@ -16,7 +16,10 @@
 //!   in-bounds, immutable, and fully populated (`V3xx`),
 //! * [`check_differential`] — executes the scalar baseline and the
 //!   compiled kernel on identical seeded memory and diffs the final
-//!   arrays bit for bit (`V4xx`).
+//!   arrays bit for bit (`V4xx`),
+//! * [`lint_program`] — whole-program dataflow lints over the *source*
+//!   program, bridged from `slp-analyze`: use-before-def, dead stores,
+//!   provably out-of-bounds subscripts, misalignment risks (`V5xx`).
 //!
 //! [`verify_kernel`] bundles the static checks; [`verify_with_execution`]
 //! adds the differential run. [`pipeline_hook`] and
@@ -46,6 +49,7 @@ mod deps;
 mod diag;
 mod differential;
 mod layout;
+mod lints;
 mod packs;
 
 pub use deps::check_dependences;
@@ -54,6 +58,7 @@ pub use differential::{
     assert_states_equivalent, check_differential, check_engine_agreement, diff_states,
 };
 pub use layout::check_layout;
+pub use lints::lint_program;
 pub use packs::check_packs;
 
 #[cfg(doc)]

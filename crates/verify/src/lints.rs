@@ -1,0 +1,108 @@
+//! Whole-program dataflow lints (`V5xx`), bridged from `slp-analyze`.
+//!
+//! [`lint_program`] runs `slp_analyze::lint_program` over the *source*
+//! program — before unrolling, so loop strides and trip counts are still
+//! visible — and converts each finding into a [`Diagnostic`] through the
+//! same catalogue the kernel checkers use. The mapping:
+//!
+//! * use-before-def → [`LintCode::UseBeforeDef`] (V500, warning),
+//! * dead store → [`LintCode::DeadStore`] (V501, warning),
+//! * provably out-of-bounds subscript →
+//!   [`LintCode::OutOfBoundsSubscript`] (V502, **error**: strided-interval
+//!   endpoints over the iteration box are attained, so the overrun is a
+//!   fact, not a possibility),
+//! * misalignment risk for a pack candidate →
+//!   [`LintCode::MisalignmentRisk`] (V503, warning).
+
+use std::collections::HashMap;
+
+use slp_analyze::FindingKind;
+use slp_ir::{BlockId, Program, StmtId};
+
+use crate::diag::{Diagnostic, LintCode, Report, Span};
+
+/// Runs the `slp-analyze` dataflow lints over a source program and
+/// reports them as `V5xx` diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// let program = slp_lang::compile(
+///     "kernel oob { array A: f64[8]; for i in 0..8 { A[i+1] = A[i] * 2.0; } }",
+/// )?;
+/// let report = slp_verify::lint_program(&program);
+/// assert!(report.has(slp_verify::LintCode::OutOfBoundsSubscript));
+/// assert!(!report.passes());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn lint_program(program: &Program) -> Report {
+    // Attribute each finding to its basic block so spans render the same
+    // way as the kernel checkers' do.
+    let mut home: HashMap<StmtId, BlockId> = HashMap::new();
+    for info in program.blocks() {
+        for s in info.block.iter() {
+            home.insert(s.id(), info.id);
+        }
+    }
+    let mut report = Report::new();
+    for finding in slp_analyze::lint_program(program) {
+        let code = match finding.kind {
+            FindingKind::UseBeforeDef => LintCode::UseBeforeDef,
+            FindingKind::DeadStore => LintCode::DeadStore,
+            FindingKind::OutOfBounds => LintCode::OutOfBoundsSubscript,
+            FindingKind::MisalignmentRisk => LintCode::MisalignmentRisk,
+        };
+        let span = match home.get(&finding.stmt) {
+            Some(&b) => Span::stmts(b, vec![finding.stmt]),
+            None => Span {
+                block: None,
+                stmts: vec![finding.stmt],
+            },
+        };
+        report.push(Diagnostic::new(code, span, finding.message));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn lint(src: &str) -> Report {
+        lint_program(&slp_lang::compile(src).expect("compiles"))
+    }
+
+    #[test]
+    fn clean_kernel_has_no_findings() {
+        let r = lint(
+            "kernel axpy { array X: f64[64]; array Y: f64[64]; scalar a: f64;
+             for i in 0..64 { Y[i] = Y[i] + a * X[i]; } }",
+        );
+        assert!(r.is_clean(), "{r}");
+    }
+
+    #[test]
+    fn out_of_bounds_is_an_error() {
+        let r = lint("kernel oob { array A: f64[8]; for i in 0..8 { A[i+1] = A[i] * 2.0; } }");
+        assert!(r.has(LintCode::OutOfBoundsSubscript), "{r}");
+        assert_eq!(r.error_count(), 1);
+        let d = &r.diagnostics[0];
+        assert_eq!(d.severity, Severity::Error);
+        assert!(d.span.block.is_some(), "finding is attributed to a block");
+    }
+
+    #[test]
+    fn use_before_def_and_dead_store_are_warnings() {
+        let r = lint(
+            "kernel w { array A: f64[8]; scalar s: f64; scalar t: f64;
+             for i in 0..8 { A[i] = s; }
+             s = 1.0;
+             t = 2.0;
+             t = 3.0; }",
+        );
+        assert!(r.has(LintCode::UseBeforeDef), "{r}");
+        assert!(r.has(LintCode::DeadStore), "{r}");
+        assert!(r.passes(), "V500/V501 do not fail the build: {r}");
+    }
+}

@@ -10,6 +10,19 @@
 //!   --emit source|schedule|code|stats     what to print (default: stats)
 //!   --run                                 execute and print counters
 //!   --unroll N                            unroll factor (default: auto)
+//!   --refine                              range-refined dependence testing
+//!
+//! slpc analyze <kernel.slp>... [options]
+//!
+//! Runs the slp-analyze whole-program dataflow lints (V500 use before
+//! def, V501 dead store, V502 provably out-of-bounds subscript, V503
+//! misalignment risk) over each kernel's source program and prints the
+//! inferred scalar value ranges. Purely static: nothing is vectorized
+//! or executed.
+//!
+//! options:
+//!   --machine intel|amd                   echoed in the report header
+//!   --json                                machine-readable report
 //!
 //! slpc check <kernel.slp>... [options]
 //!
@@ -22,6 +35,7 @@
 //!   --machine intel|amd                   cost model (default: intel)
 //!   --static                              skip the differential execution
 //!   --unroll N                            unroll factor (default: auto)
+//!   --refine                              range-refined dependence testing
 //!   --json                                machine-readable report
 //!
 //! slpc batch <dir|manifest|kernel.slp>... [options]
@@ -37,6 +51,7 @@
 //!   --layout                              enable the data layout stage
 //!   --machine intel|amd                   cost model (default: intel)
 //!   --unroll N                            unroll factor (default: auto)
+//!   --refine                              range-refined dependence testing
 //!   --verify none|static|full             verification level (default: static)
 //!   --threads N                           worker threads (default: cores)
 //!   --budget-ms N                         per-kernel compile budget
@@ -53,9 +68,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use slp::analyze::{render_scalar_ranges, ScalarRanges};
 use slp::driver::json::Json;
 use slp::driver::{DriverReport, DEFAULT_DISK_DIR, DEFAULT_MEMORY_CAPACITY};
 use slp::prelude::*;
+use slp::verify::Report;
 use slp::vm::lower_kernel;
 
 struct Options {
@@ -66,17 +83,20 @@ struct Options {
     emit: String,
     run: bool,
     unroll: usize,
+    refine: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: slpc <kernel.slp> [--strategy scalar|native|slp|global] \
          [--layout] [--machine intel|amd] [--emit source|schedule|code|stats] \
-         [--run] [--unroll N]\n       \
+         [--run] [--unroll N] [--refine]\n       \
+         slpc analyze <kernel.slp>... [--machine intel|amd] [--json]\n       \
          slpc check <kernel.slp>... [--machine intel|amd] [--static] \
-         [--unroll N] [--json]\n       \
+         [--unroll N] [--refine] [--json]\n       \
          slpc batch <dir|manifest|kernel.slp>... [--strategy ...] [--layout] \
-         [--machine intel|amd] [--unroll N] [--verify none|static|full] \
+         [--machine intel|amd] [--unroll N] [--refine] \
+         [--verify none|static|full] \
          [--threads N] [--budget-ms N] [--no-degrade] [--cache-dir DIR] \
          [--no-cache] [--json] [--strict]"
     );
@@ -88,11 +108,15 @@ fn build_config(
     strategy: Strategy,
     layout: bool,
     unroll: usize,
+    refine: bool,
 ) -> SlpConfig {
     let mut cfg = SlpConfig::for_machine(machine.clone(), strategy);
     cfg.unroll = unroll;
     if layout {
         cfg = cfg.with_layout();
+    }
+    if refine {
+        cfg = cfg.with_refined_deps();
     }
     cfg
 }
@@ -107,6 +131,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         emit: "stats".to_string(),
         run: false,
         unroll: 0,
+        refine: false,
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -134,6 +159,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 Some(n) => opts.unroll = n,
                 None => return Err(usage()),
             },
+            "--refine" => opts.refine = true,
             path if !path.starts_with('-') && opts.path.is_empty() => opts.path = path.to_string(),
             _ => return Err(usage()),
         }
@@ -183,6 +209,7 @@ struct CheckOptions {
     machine: MachineConfig,
     differential: bool,
     unroll: usize,
+    refine: bool,
     json: bool,
 }
 
@@ -192,6 +219,7 @@ fn parse_check_args(mut args: impl Iterator<Item = String>) -> Result<CheckOptio
         machine: MachineConfig::intel_dunnington(),
         differential: true,
         unroll: 0,
+        refine: false,
         json: false,
     };
     while let Some(arg) = args.next() {
@@ -207,6 +235,7 @@ fn parse_check_args(mut args: impl Iterator<Item = String>) -> Result<CheckOptio
                 Some(n) => opts.unroll = n,
                 None => return Err(usage()),
             },
+            "--refine" => opts.refine = true,
             "--json" => opts.json = true,
             path if !path.starts_with('-') => opts.paths.push(path.to_string()),
             _ => return Err(usage()),
@@ -230,10 +259,30 @@ fn check_configs(opts: &CheckOptions) -> Vec<(String, SlpConfig)> {
     .map(|(label, strategy, layout)| {
         (
             label.to_string(),
-            build_config(&opts.machine, strategy, layout, opts.unroll),
+            build_config(&opts.machine, strategy, layout, opts.unroll, opts.refine),
         )
     })
     .collect()
+}
+
+/// Structured JSON for a report's diagnostics — the one serialization
+/// path shared by `slpc check --json` and `slpc analyze --json`.
+fn diagnostics_json(report: &Report) -> Json {
+    Json::Arr(
+        report
+            .diagnostics
+            .iter()
+            .map(|d| {
+                Json::obj(vec![
+                    ("code", Json::str(d.code.code())),
+                    ("severity", Json::str(d.severity.to_string())),
+                    ("message", Json::str(&d.message)),
+                    ("span", Json::str(d.span.to_string())),
+                    ("rendered", Json::str(d.to_string())),
+                ])
+            })
+            .collect(),
+    )
 }
 
 fn run_check(opts: &CheckOptions) -> ExitCode {
@@ -268,16 +317,7 @@ fn run_check(opts: &CheckOptions) -> ExitCode {
                     ),
                     ("errors", Json::num(report.error_count() as u64)),
                     ("warnings", Json::num(report.warning_count() as u64)),
-                    (
-                        "diagnostics",
-                        Json::Arr(
-                            report
-                                .diagnostics
-                                .iter()
-                                .map(|d| Json::str(d.to_string()))
-                                .collect(),
-                        ),
-                    ),
+                    ("diagnostics", diagnostics_json(report)),
                     ("fingerprint", Json::str(outcome.fingerprint.to_hex())),
                 ]));
             } else if report.is_clean() {
@@ -324,6 +364,119 @@ fn run_check(opts: &CheckOptions) -> ExitCode {
     }
 }
 
+/// Options of the `analyze` subcommand.
+struct AnalyzeOptions {
+    paths: Vec<String>,
+    machine: MachineConfig,
+    json: bool,
+}
+
+fn parse_analyze_args(mut args: impl Iterator<Item = String>) -> Result<AnalyzeOptions, ExitCode> {
+    let mut opts = AnalyzeOptions {
+        paths: Vec::new(),
+        machine: MachineConfig::intel_dunnington(),
+        json: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--machine" => {
+                opts.machine = match args.next().as_deref().and_then(parse_machine) {
+                    Some(m) => m,
+                    None => return Err(usage()),
+                }
+            }
+            "--json" => opts.json = true,
+            path if !path.starts_with('-') => opts.paths.push(path.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+/// `slpc analyze`: parse each kernel and run the whole-program dataflow
+/// lints (V5xx) plus the scalar range analysis over its *source*
+/// program. Static only — nothing is vectorized or executed. Exits 1
+/// when any error-severity finding (V502) is present.
+fn run_analyze(opts: &AnalyzeOptions) -> ExitCode {
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    let mut kernel_rows = Vec::new();
+    for path in &opts.paths {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("slpc: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        let program = match parse_kernel(&source) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{}", e.render(&source));
+                return ExitCode::from(1);
+            }
+        };
+        let report = slp::verify::lint_program(&program);
+        errors += report.error_count();
+        warnings += report.warning_count();
+        let ranges = render_scalar_ranges(&program, &ScalarRanges::analyze(&program));
+        if opts.json {
+            kernel_rows.push(Json::obj(vec![
+                ("path", Json::str(path)),
+                ("errors", Json::num(report.error_count() as u64)),
+                ("warnings", Json::num(report.warning_count() as u64)),
+                ("diagnostics", diagnostics_json(&report)),
+                (
+                    "scalar_ranges",
+                    Json::Obj(
+                        ranges
+                            .iter()
+                            .map(|(name, range)| (name.clone(), Json::str(range)))
+                            .collect(),
+                    ),
+                ),
+            ]));
+        } else {
+            if report.is_clean() {
+                println!("{path}: ok");
+            } else {
+                println!("{path}:");
+                for d in &report.diagnostics {
+                    println!("  {d}");
+                }
+            }
+            if !ranges.is_empty() {
+                println!("  scalar ranges:");
+                for (name, range) in &ranges {
+                    println!("    {name} in {range}");
+                }
+            }
+        }
+    }
+    if opts.json {
+        let doc = Json::obj(vec![
+            ("machine", Json::str(&opts.machine.name)),
+            ("kernels", Json::Arr(kernel_rows)),
+            ("errors", Json::num(errors as u64)),
+            ("warnings", Json::num(warnings as u64)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!(
+            "analyzed {} kernel(s): {errors} error(s), {warnings} warning(s)",
+            opts.paths.len()
+        );
+    }
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Options of the `batch` subcommand.
 struct BatchOptions {
     inputs: Vec<String>,
@@ -331,6 +484,7 @@ struct BatchOptions {
     layout: bool,
     machine: MachineConfig,
     unroll: usize,
+    refine: bool,
     verify: VerifyLevel,
     threads: usize,
     budget_ms: Option<u64>,
@@ -348,6 +502,7 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<BatchOptio
         layout: false,
         machine: MachineConfig::intel_dunnington(),
         unroll: 0,
+        refine: false,
         verify: VerifyLevel::Static,
         threads: 0,
         budget_ms: None,
@@ -376,6 +531,7 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<BatchOptio
                 Some(n) => opts.unroll = n,
                 None => return Err(usage()),
             },
+            "--refine" => opts.refine = true,
             "--verify" => {
                 opts.verify = match args.next().as_deref().and_then(VerifyLevel::from_name) {
                     Some(v) => v,
@@ -474,7 +630,13 @@ fn run_batch(opts: &BatchOptions) -> ExitCode {
         requests.push(CompileRequest {
             name: kernel_name(path),
             source,
-            config: build_config(&opts.machine, opts.strategy, opts.layout, opts.unroll),
+            config: build_config(
+                &opts.machine,
+                opts.strategy,
+                opts.layout,
+                opts.unroll,
+                opts.refine,
+            ),
             verify: opts.verify,
         });
     }
@@ -518,6 +680,13 @@ fn run_batch(opts: &BatchOptions) -> ExitCode {
 fn main() -> ExitCode {
     let mut argv = std::env::args().skip(1).peekable();
     match argv.peek().map(String::as_str) {
+        Some("analyze") => {
+            argv.next();
+            return match parse_analyze_args(argv) {
+                Ok(opts) => run_analyze(&opts),
+                Err(code) => code,
+            };
+        }
         Some("check") => {
             argv.next();
             return match parse_check_args(argv) {
@@ -538,7 +707,13 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
-    let config = build_config(&opts.machine, opts.strategy, opts.layout, opts.unroll);
+    let config = build_config(
+        &opts.machine,
+        opts.strategy,
+        opts.layout,
+        opts.unroll,
+        opts.refine,
+    );
     let outcome = match compile_file(&opts.path, config, VerifyLevel::None) {
         Ok(o) => o,
         Err(code) => return code,
@@ -575,6 +750,7 @@ fn main() -> ExitCode {
             println!("blocks                {}", s.blocks);
             println!("superword statements  {}", s.superwords);
             println!("vectorized statements {}", s.vectorized_stmts);
+            println!("dependences refuted   {}", s.deps_refuted);
             println!("scalar packs laid out {}", s.scalar_packs_laid_out);
             println!("array replications    {}", s.replications);
         }

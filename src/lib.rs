@@ -16,6 +16,8 @@
 //! * [`ir`] — typed IR, affine subscripts, dependence analysis, unrolling
 //! * [`lang`] — the kernel mini-language frontend
 //! * [`analysis`] — candidate groups, conflict graphs, reuse weights
+//! * [`analyze`] — abstract interpretation: strided intervals, def-use,
+//!   the range-refined dependence oracle, whole-program lints
 //! * [`core`] — grouping, scheduling, baselines, cost model, layout
 //! * [`vm`] — vector code generation and the simulated machines
 //! * [`suite`] — the Table 3 benchmark kernels and a program generator
@@ -50,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub use slp_analysis as analysis;
+pub use slp_analyze as analyze;
 pub use slp_core as core;
 pub use slp_driver as driver;
 pub use slp_ir as ir;
