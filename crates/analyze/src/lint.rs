@@ -1,7 +1,7 @@
 //! Whole-program safety lints (the analyses behind the V5xx codes).
 //!
-//! Four findings, computed purely over `slp-ir` (the `slp-verify` crate
-//! maps them onto its diagnostic framework as V500–V503):
+//! Five findings, computed purely over `slp-ir` (the `slp-verify` crate
+//! maps them onto its diagnostic framework as V500–V504):
 //!
 //! * **use-before-def** — a scalar is read strictly before its first
 //!   write, so the first pass observes the runtime input seed;
@@ -15,7 +15,10 @@
 //!   this is an error, not a maybe — `execute_reference` would trap;
 //! * **misalignment risk** — consecutive isomorphic stores form a
 //!   contiguous pack candidate whose base alignment cannot be proven,
-//!   so vectorizing it costs an unaligned (or scalar-decomposed) store.
+//!   so vectorizing it costs an unaligned (or scalar-decomposed) store;
+//! * **loop never executes** — constant bounds prove a zero trip count,
+//!   so the loop body is dead code (and silently escapes every other
+//!   lint, the vectorizer, and the VM).
 //!
 //! The lints are deliberately biased to silence: each rule only fires on
 //! program shapes where the verdict is exact, so a lint-clean report on
@@ -42,6 +45,8 @@ pub enum FindingKind {
     OutOfBounds,
     /// A contiguous pack candidate with unprovable alignment (V503).
     MisalignmentRisk,
+    /// A loop whose bounds prove it never executes (V504).
+    LoopNeverExecutes,
 }
 
 /// One lint finding, anchored to a statement.
@@ -79,6 +84,7 @@ pub fn lint_program(program: &Program) -> Vec<Finding> {
     lint_dead_stores(program, &du, &mut findings);
     lint_out_of_bounds(program, &mut findings);
     lint_misalignment(program, &mut findings);
+    lint_dead_loops(program, &mut findings);
     findings.sort_by_key(|f| (du.order_of(f.stmt), f.kind, f.message.clone()));
     findings
 }
@@ -380,6 +386,55 @@ fn lint_misalignment(program: &Program, out: &mut Vec<Finding>) {
     }
 }
 
+// ---- V504: loops that never execute --------------------------------------
+
+/// Flags every loop whose constant bounds prove a zero trip count
+/// (`upper <= lower`, or a non-positive step). The body is dead code: it
+/// contributes nothing at runtime, silently escapes every other lint and
+/// the vectorizer, and almost always indicates a miswritten bound. The
+/// finding anchors to the first statement inside the dead loop.
+fn lint_dead_loops(program: &Program, out: &mut Vec<Finding>) {
+    fn first_stmt(items: &[Item]) -> Option<&Statement> {
+        for item in items {
+            match item {
+                Item::Stmt(s) => return Some(s),
+                Item::Loop(l) => {
+                    if let Some(s) = first_stmt(&l.body) {
+                        return Some(s);
+                    }
+                }
+            }
+        }
+        None
+    }
+    fn walk(program: &Program, items: &[Item], out: &mut Vec<Finding>) {
+        for item in items {
+            let Item::Loop(l) = item else { continue };
+            let h = l.header;
+            if h.trip_count() <= 0 {
+                if let Some(s) = first_stmt(&l.body) {
+                    out.push(Finding {
+                        kind: FindingKind::LoopNeverExecutes,
+                        stmt: s.id(),
+                        message: format!(
+                            "loop over '{}' ({}..{} step {}) never executes; its body is \
+                             dead code",
+                            program.loop_var_name(h.var),
+                            h.lower,
+                            h.upper,
+                            h.step
+                        ),
+                    });
+                }
+                // The body is dead: nested dead loops would be noise.
+                continue;
+            }
+            walk(program, &l.body, out);
+        }
+    }
+    walk(program, program.items(), out);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -399,6 +454,42 @@ mod tests {
             },
             body: body.into_iter().map(Item::Stmt).collect(),
         }));
+    }
+
+    #[test]
+    fn dead_loop_is_flagged_once() {
+        // for i in 8..8 { A[i] = 1.0 } — never executes. The body's
+        // use-before-def/out-of-bounds lints must also stay silent: dead
+        // code has no runtime behavior to warn about.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![8], true);
+        let i = p.add_loop_var("i");
+        let r = slp_ir::ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        let s = p.make_stmt(r.into(), Expr::Copy(1.0.into()));
+        p.push_item(Item::Loop(Loop {
+            header: LoopHeader {
+                var: i,
+                lower: 8,
+                upper: 8,
+                step: 1,
+            },
+            body: vec![Item::Stmt(s)],
+        }));
+        let f = lint_program(&p);
+        assert_eq!(kinds(&f), vec![FindingKind::LoopNeverExecutes]);
+        assert!(f[0].message.contains("'i'"), "{}", f[0].message);
+        assert!(f[0].message.contains("8..8"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn live_loop_is_not_flagged_as_dead() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![8], true);
+        let i = p.add_loop_var("i");
+        let r = slp_ir::ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)]));
+        let s = p.make_stmt(r.into(), Expr::Copy(1.0.into()));
+        simple_loop(&mut p, i, 8, vec![s]);
+        assert!(lint_program(&p).is_empty());
     }
 
     #[test]

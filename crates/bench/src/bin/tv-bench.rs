@@ -1,0 +1,193 @@
+//! Proof-time benchmark of the symbolic translation validator.
+//!
+//! ```text
+//! tv-bench prove-time [--quick] [--out PATH] [--reps N]
+//! ```
+//!
+//! `prove-time` runs the `slp-tv` validator over the sixteen-kernel
+//! suite under the four vectorizing schemes (Native / SLP / Global /
+//! Global+Layout) on the Intel machine and records, per configuration,
+//! the proof verdict, wall time, and the validator's work counters
+//! (hash-consed terms allocated, symbolic steps executed, cells and
+//! scalars compared). Compilation fans out across the driver's worker
+//! pool; the timed proof loop is strictly serial.
+//!
+//! Every suite configuration is expected to come back `proved` — any
+//! other verdict is printed, still written to the report, and makes the
+//! run exit nonzero, so this doubles as a whole-suite proof gate.
+//!
+//! Results land in `BENCH_tv.json` (override with `--out`).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use slp::driver::json::Json;
+use slp::prelude::*;
+use slp::tv::{validate, Budgets, Verdict};
+use slp_bench::Scheme;
+
+struct Case {
+    kernel: &'static str,
+    scheme: Scheme,
+    program: Program,
+    compiled: CompiledKernel,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: tv-bench prove-time [--quick] [--out PATH] [--reps N]\n       \
+         --quick   1 repetition per configuration (CI smoke)\n       \
+         --out     report path (default BENCH_tv.json)\n       \
+         --reps    timed repetitions per configuration (default 3)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("prove-time") {
+        return usage();
+    }
+    let mut quick = false;
+    let mut out = "BENCH_tv.json".to_string();
+    let mut reps = 3usize;
+    let mut it = args[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--reps" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => reps = n,
+                _ => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if quick {
+        reps = 1;
+    }
+
+    let machine = MachineConfig::intel_dunnington();
+    let schemes = [
+        Scheme::Native,
+        Scheme::Slp,
+        Scheme::Global,
+        Scheme::GlobalLayout,
+    ];
+    let suite = slp::suite::all(1);
+
+    let mut inputs = Vec::new();
+    for scheme in schemes {
+        for (spec, program) in &suite {
+            inputs.push((spec.name, scheme, program));
+        }
+    }
+    let cases: Vec<Case> = parallel_map(&inputs, 0, |_, &(kernel, scheme, program)| Case {
+        kernel,
+        scheme,
+        program: program.clone(),
+        compiled: compile(program, &scheme.config(&machine)),
+    });
+    eprintln!(
+        "prove-time: {} configurations ({} kernels x {} schemes), {reps} rep(s)",
+        cases.len(),
+        suite.len(),
+        schemes.len()
+    );
+
+    // The serial timed loop. The verdict (and its stats) is identical
+    // across repetitions — the validator is deterministic — so the last
+    // repetition's verdict is the one reported and the wall time is the
+    // minimum over repetitions (the least-noise estimator).
+    let budgets = Budgets::default();
+    let mut rows = Vec::with_capacity(cases.len());
+    let mut not_proved = Vec::new();
+    let mut total_secs = 0.0f64;
+    for case in &cases {
+        let mut best = f64::INFINITY;
+        let mut verdict = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let v = validate(&case.program, &case.compiled, &machine, &budgets);
+            best = best.min(start.elapsed().as_secs_f64());
+            verdict = Some(v);
+        }
+        let verdict = verdict.expect("at least one repetition");
+        total_secs += best;
+        let label = format!("{} / {}", case.kernel, case.scheme.label());
+        let mut fields = vec![
+            ("kernel", Json::str(case.kernel)),
+            ("scheme", Json::str(case.scheme.label())),
+            ("verdict", Json::str(verdict.name())),
+            ("proof_seconds", Json::float(best)),
+        ];
+        match &verdict {
+            Verdict::Proved(stats) => {
+                fields.push(("terms", Json::num(stats.terms as u64)));
+                fields.push(("steps", Json::num(stats.steps)));
+                fields.push(("cells_compared", Json::num(stats.cells_compared as u64)));
+                fields.push(("scalars_compared", Json::num(stats.scalars_compared as u64)));
+            }
+            Verdict::Budget { reason } | Verdict::Unsupported { reason } => {
+                fields.push(("reason", Json::str(reason)));
+                not_proved.push(format!("{label}: {} ({reason})", verdict.name()));
+            }
+            Verdict::Refuted(cex) => {
+                fields.push(("counterexample", Json::str(cex.location.to_string())));
+                not_proved.push(format!("{label}: refuted at {}", cex.location));
+            }
+        }
+        rows.push(Json::obj(fields));
+    }
+
+    let all_proved = not_proved.is_empty();
+    if all_proved {
+        eprintln!(
+            "all {} configurations proved in {total_secs:.3}s total ({:.2}ms mean)",
+            cases.len(),
+            total_secs * 1e3 / cases.len() as f64
+        );
+    } else {
+        eprintln!("{} configuration(s) NOT proved:", not_proved.len());
+        for line in &not_proved {
+            eprintln!("  {line}");
+        }
+    }
+
+    let report = Json::obj([
+        ("benchmark", Json::str("prove-time")),
+        ("quick", Json::Bool(quick)),
+        ("kernels", Json::num(suite.len() as u64)),
+        (
+            "schemes",
+            Json::Arr(schemes.iter().map(|s| Json::str(s.label())).collect()),
+        ),
+        ("machine", Json::str(&*machine.name)),
+        ("configurations", Json::num(cases.len() as u64)),
+        ("repetitions", Json::num(reps as u64)),
+        ("total_proof_seconds", Json::float(total_secs)),
+        (
+            "gate",
+            Json::str(if all_proved { "all-proved" } else { "failed" }),
+        ),
+        (
+            "gate_failures",
+            Json::Arr(not_proved.iter().map(Json::str).collect()),
+        ),
+        ("rows", Json::Arr(rows)),
+    ]);
+    if let Err(e) = std::fs::write(&out, report.to_pretty() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {out}");
+
+    if all_proved {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -86,6 +86,7 @@ pub fn compile_guarded(
             return Ok(CompileOutcome {
                 kernel: entry.kernel,
                 report: entry.report,
+                prove: entry.prove,
                 timings: entry.timings,
                 fingerprint: fp,
                 cache: match tier {
@@ -132,6 +133,7 @@ pub fn compile_guarded(
             &CachedCompile {
                 kernel: outcome.kernel.clone(),
                 report: outcome.report.clone(),
+                prove: outcome.prove,
                 timings: outcome.timings,
             },
         );

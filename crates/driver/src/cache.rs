@@ -42,6 +42,9 @@ pub struct CachedCompile {
     pub kernel: CompiledKernel,
     /// The verify report of the original compile, if verification ran.
     pub report: Option<Report>,
+    /// The symbolic proof verdict, if the compile ran at
+    /// [`crate::VerifyLevel::Prove`].
+    pub prove: Option<crate::ProveVerdict>,
     /// Per-phase timings of the original (cold) compile.
     pub timings: PhaseTimings,
 }
@@ -285,6 +288,13 @@ fn encode_entry(fp: Fingerprint, entry: &CachedCompile) -> Json {
                 None => Json::Null,
             },
         ),
+        (
+            "prove",
+            match entry.prove {
+                Some(v) => Json::str(v.name()),
+                None => Json::Null,
+            },
+        ),
         ("timings", codec::encode_timings(&entry.timings)),
     ])
 }
@@ -313,11 +323,19 @@ fn decode_entry(text: &str, expect_fp: Fingerprint) -> Result<CachedCompile, Str
         None | Some(Json::Null) => None,
         Some(r) => Some(codec::decode_report(r).map_err(|e| e.to_string())?),
     };
+    let prove = match v.get("prove") {
+        None | Some(Json::Null) => None,
+        Some(p) => {
+            let name = p.string().ok_or("prove verdict not a string")?;
+            Some(crate::ProveVerdict::from_name(name).ok_or("unknown prove verdict")?)
+        }
+    };
     let timings = codec::decode_timings(v.get("timings").ok_or("missing timings")?)
         .map_err(|e| e.to_string())?;
     Ok(CachedCompile {
         kernel,
         report,
+        prove,
         timings,
     })
 }
@@ -337,6 +355,7 @@ mod tests {
             CachedCompile {
                 kernel,
                 report: None,
+                prove: None,
                 timings,
             },
         )
@@ -362,6 +381,15 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn prove_verdict_survives_the_entry_codec() {
+        let (fp, mut e) = entry_for(&source(7));
+        e.prove = Some(crate::ProveVerdict::Proved);
+        let text = encode_entry(fp, &e).to_compact();
+        let back = decode_entry(&text, fp).expect("decodes");
+        assert_eq!(back.prove, Some(crate::ProveVerdict::Proved));
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::json::Json;
 
 /// The encoding version stamped into every payload; bumped on any
 /// incompatible change so old cache files read as misses, not garbage.
-pub const FORMAT_VERSION: u64 = 2;
+pub const FORMAT_VERSION: u64 = 3;
 
 /// A decode failure: the payload was syntactically valid JSON but not a
 /// valid kernel encoding (truncated, corrupted, or a different format

@@ -88,6 +88,12 @@ pub enum VerifyLevel {
     /// (`slp_verify::verify_with_execution`). Executes the kernel twice;
     /// meant for checks and tests, not hot serving paths.
     Differential,
+    /// Static checkers plus symbolic translation validation
+    /// (`slp_verify::prove_kernel`): prove scalar ≡ vectorized over all
+    /// inputs, degrading to the differential check when the proof
+    /// attempt exhausts its budget. The outcome carries a
+    /// [`ProveVerdict`] beside the report.
+    Prove,
 }
 
 impl VerifyLevel {
@@ -98,6 +104,7 @@ impl VerifyLevel {
             VerifyLevel::None => "none",
             VerifyLevel::Static => "static",
             VerifyLevel::Differential => "full",
+            VerifyLevel::Prove => "prove",
         }
     }
 
@@ -107,6 +114,7 @@ impl VerifyLevel {
             "none" => Some(VerifyLevel::None),
             "static" => Some(VerifyLevel::Static),
             "full" => Some(VerifyLevel::Differential),
+            "prove" => Some(VerifyLevel::Prove),
             _ => None,
         }
     }
@@ -130,6 +138,58 @@ impl CompileRequest {
     /// The request's content-addressed cache key.
     pub fn fingerprint(&self) -> Fingerprint {
         fingerprint_with_tag(&self.source, &self.config, self.verify.name())
+    }
+}
+
+/// The driver's digest of a [`VerifyLevel::Prove`] proof attempt.
+///
+/// A three-way verdict, not `slp_tv::Verdict`'s four: the driver folds
+/// the validator's `Unsupported` degradation into [`ProveVerdict::Budget`]
+/// because both mean the same thing to a batch consumer — the kernel was
+/// *not* proved for all inputs, but the differential check it degraded to
+/// found nothing either (any differential finding shows up in the verify
+/// report's error count as usual).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProveVerdict {
+    /// The symbolic validator proved scalar ≡ vectorized over all inputs.
+    Proved,
+    /// The proof attempt ran out of budget (or hit an unsupported
+    /// construct) and degraded to the differential check.
+    Budget,
+    /// The validator refuted equivalence with an execution-confirmed
+    /// concrete counterexample; the V600 diagnostic carries it.
+    Refuted,
+}
+
+impl ProveVerdict {
+    /// The stable name used in reports and cache entries
+    /// (`"proved"`, `"budget"`, `"refuted"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            ProveVerdict::Proved => "proved",
+            ProveVerdict::Budget => "budget",
+            ProveVerdict::Refuted => "refuted",
+        }
+    }
+
+    /// Parses [`ProveVerdict::name`] output.
+    pub fn from_name(name: &str) -> Option<ProveVerdict> {
+        match name {
+            "proved" => Some(ProveVerdict::Proved),
+            "budget" => Some(ProveVerdict::Budget),
+            "refuted" => Some(ProveVerdict::Refuted),
+            _ => None,
+        }
+    }
+
+    fn from_tv(verdict: &slp_tv::Verdict) -> ProveVerdict {
+        match verdict {
+            slp_tv::Verdict::Proved(_) => ProveVerdict::Proved,
+            slp_tv::Verdict::Budget { .. } | slp_tv::Verdict::Unsupported { .. } => {
+                ProveVerdict::Budget
+            }
+            slp_tv::Verdict::Refuted(_) => ProveVerdict::Refuted,
+        }
     }
 }
 
@@ -165,6 +225,9 @@ pub struct CompileOutcome {
     /// [`VerifyLevel::None`]). On a cache hit this is the *original*
     /// compile's report — verification is as cacheable as compilation.
     pub report: Option<Report>,
+    /// The symbolic proof verdict ([`Some`] iff the request's level was
+    /// [`VerifyLevel::Prove`]). Cached alongside the report.
+    pub prove: Option<ProveVerdict>,
     /// Per-phase timings of the compile that produced the kernel (the
     /// cold compile's timings on a cache hit).
     pub timings: PhaseTimings,
@@ -240,6 +303,7 @@ pub fn compile_source(
             return Ok(CompileOutcome {
                 kernel: entry.kernel,
                 report: entry.report,
+                prove: entry.prove,
                 timings: entry.timings,
                 fingerprint: fp,
                 cache: match tier {
@@ -258,6 +322,7 @@ pub fn compile_source(
         .map_err(|es| DriverError::Invalid(es.iter().map(|e| e.to_string()).collect()))?;
 
     let (kernel, mut timings) = compile_timed(&program, &req.config);
+    let mut prove = None;
     let report = match req.verify {
         VerifyLevel::None => None,
         VerifyLevel::Static => {
@@ -265,6 +330,13 @@ pub fn compile_source(
         }
         VerifyLevel::Differential => Some(timings.time(Phase::Verify, || {
             slp_verify::verify_with_execution(&program, &kernel)
+        })),
+        VerifyLevel::Prove => Some(timings.time(Phase::Verify, || {
+            let mut report = slp_verify::verify_kernel(&kernel);
+            let (symbolic, verdict) = slp_verify::prove_kernel(&program, &kernel);
+            report.extend(symbolic.diagnostics);
+            prove = Some(ProveVerdict::from_tv(&verdict));
+            report
         })),
     };
 
@@ -274,6 +346,7 @@ pub fn compile_source(
             &CachedCompile {
                 kernel: kernel.clone(),
                 report: report.clone(),
+                prove,
                 timings,
             },
         );
@@ -281,6 +354,7 @@ pub fn compile_source(
     Ok(CompileOutcome {
         kernel,
         report,
+        prove,
         timings,
         fingerprint: fp,
         cache: CacheDisposition::Compiled,

@@ -11,7 +11,7 @@
 use slp_core::{Phase, PhaseTimings};
 
 use crate::json::Json;
-use crate::{CacheStats, KernelOutcome};
+use crate::{CacheStats, KernelOutcome, ProveVerdict};
 
 /// How one batch entry ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +58,9 @@ pub struct KernelRow {
     /// False dependences disproved by the range-refined oracle (0 unless
     /// the request enabled `refine_deps`).
     pub deps_refuted: usize,
+    /// The symbolic proof verdict; `None` unless the batch ran at
+    /// [`crate::VerifyLevel::Prove`].
+    pub prove: Option<ProveVerdict>,
     /// Error-severity verify findings; `None` when verification was not
     /// requested or the entry failed.
     pub verify_errors: Option<usize>,
@@ -122,6 +125,7 @@ impl DriverReport {
                         superwords: compiled.kernel.stats.superwords,
                         vectorized_stmts: compiled.kernel.stats.vectorized_stmts,
                         deps_refuted: compiled.kernel.stats.deps_refuted,
+                        prove: compiled.prove,
                         verify_errors,
                         verify_warnings,
                         diagnostics,
@@ -139,6 +143,7 @@ impl DriverReport {
                     superwords: 0,
                     vectorized_stmts: 0,
                     deps_refuted: 0,
+                    prove: None,
                     verify_errors: None,
                     verify_warnings: None,
                     diagnostics: Vec::new(),
@@ -186,6 +191,14 @@ impl DriverReport {
         self.rows.iter().map(|r| r.deps_refuted).sum()
     }
 
+    /// Rows whose proof attempt ended with the given verdict.
+    pub fn prove_count(&self, verdict: ProveVerdict) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.prove == Some(verdict))
+            .count()
+    }
+
     /// Whether every row is `ok` and no verify checker found an error —
     /// the CI smoke job's pass condition.
     pub fn all_clean(&self) -> bool {
@@ -208,6 +221,10 @@ impl DriverReport {
                 ("superwords", Json::num(row.superwords as u64)),
                 ("vectorized_stmts", Json::num(row.vectorized_stmts as u64)),
                 ("deps_refuted", Json::num(row.deps_refuted as u64)),
+                (
+                    "prove",
+                    row.prove.map_or(Json::Null, |v| Json::str(v.name())),
+                ),
             ];
             fields.push((
                 "verify_errors",
@@ -236,6 +253,23 @@ impl DriverReport {
             ("failed", Json::num(self.failed_count() as u64)),
             ("verify_errors", Json::num(self.verify_error_count() as u64)),
             ("deps_refuted", Json::num(self.deps_refuted_count() as u64)),
+            (
+                "prove",
+                Json::obj([
+                    (
+                        "proved",
+                        Json::num(self.prove_count(ProveVerdict::Proved) as u64),
+                    ),
+                    (
+                        "budget",
+                        Json::num(self.prove_count(ProveVerdict::Budget) as u64),
+                    ),
+                    (
+                        "refuted",
+                        Json::num(self.prove_count(ProveVerdict::Refuted) as u64),
+                    ),
+                ]),
+            ),
             ("wall_nanos", Json::num(self.wall_nanos)),
             ("phase_nanos", timings_json(&self.phase_totals)),
         ];
@@ -261,10 +295,13 @@ impl DriverReport {
             "kernel", "status", "cache", "sw", "vec/stmts", "verify", "time"
         ));
         for row in &self.rows {
-            let verify = match row.verify_errors {
-                None => "-".to_string(),
-                Some(0) => "pass".to_string(),
-                Some(n) => format!("{n} err"),
+            // A proof verdict is strictly more informative than pass/fail,
+            // so it takes over the verify column when present.
+            let verify = match (row.prove, row.verify_errors) {
+                (Some(v), _) => v.name().to_string(),
+                (None, None) => "-".to_string(),
+                (None, Some(0)) => "pass".to_string(),
+                (None, Some(n)) => format!("{n} err"),
             };
             out.push_str(&format!(
                 "{:<name_width$}  {:<8}  {:<8}  {:>5}  {:>9}  {:>6}  {:>9}\n",
@@ -285,6 +322,14 @@ impl DriverReport {
             self.failed_count(),
             millis(self.wall_nanos),
         ));
+        if self.rows.iter().any(|r| r.prove.is_some()) {
+            out.push_str(&format!(
+                "proofs: {} proved, {} degraded to differential, {} refuted\n",
+                self.prove_count(ProveVerdict::Proved),
+                self.prove_count(ProveVerdict::Budget),
+                self.prove_count(ProveVerdict::Refuted),
+            ));
+        }
         let refuted = self.deps_refuted_count();
         if refuted > 0 {
             out.push_str(&format!(

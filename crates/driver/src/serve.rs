@@ -14,7 +14,7 @@
 //!   fields: `name`, `strategy` (`scalar|native|slp|global`, default
 //!   `global`), `machine` (`intel|amd`, default `intel`), `unroll`
 //!   (default `0` = auto), `layout` (default `false`), `verify`
-//!   (`none|static|full`, default `static`), `budget_ms`.
+//!   (`none|static|full|prove`, default `static`), `budget_ms`.
 //! * `{"cmd":"stats"}` — cache counters and request totals.
 //! * `{"cmd":"shutdown"}` — acknowledge and end the loop (EOF works
 //!   too).
@@ -101,6 +101,10 @@ fn outcome_response(name: &str, outcome: &CompileOutcome) -> Json {
             fields.push(("diagnostics", Json::Arr(Vec::new())));
         }
     }
+    fields.push((
+        "prove",
+        outcome.prove.map_or(Json::Null, |v| Json::str(v.name())),
+    ));
     fields.push(("phase_nanos", timings_json(&outcome.timings)));
     fields.push(("wall_nanos", Json::num(outcome.wall_nanos)));
     Json::obj(fields)

@@ -18,6 +18,13 @@
 //!    escapes its array, so a program whose scalar reference run
 //!    completes without an out-of-bounds trap must never trip it
 //!    ([`slp_analyze::lint_program`]).
+//! 5. **Validator agreement**: the symbolic translation validator
+//!    ([`slp_tv::validate`]) must never *refute* a kernel whose
+//!    differential check was clean — a refutation carries an
+//!    execution-confirmed counterexample, so either the compiler
+//!    miscompiles on a non-default input the point-wise check missed, or
+//!    the validator itself is wrong. Both are bugs worth a reproducer.
+//!    `Proved`/`Budget`/`Unsupported` verdicts make no extra claim.
 //!
 //! Programs whose dynamic statement count or memory footprint exceeds
 //! the fuzzing budgets are compile-tested only, so a hostile bound like
@@ -44,6 +51,8 @@ pub enum Stage {
     Emit,
     /// The `slp-analyze` whole-program lints.
     Lint,
+    /// The `slp-tv` symbolic translation validator.
+    Prove,
 }
 
 impl Stage {
@@ -56,6 +65,7 @@ impl Stage {
             Stage::Execute => "execute",
             Stage::Emit => "emit",
             Stage::Lint => "lint",
+            Stage::Prove => "prove",
         }
     }
 }
@@ -74,6 +84,9 @@ pub enum AnomalyKind {
     /// An error-severity lint fired on a program whose reference run is
     /// clean (a `V502` on a program with no out-of-bounds access).
     LintFalsePositive,
+    /// The symbolic validator refuted a kernel whose differential check
+    /// was clean, or its counterexample failed to replay.
+    ValidatorDisagreement,
 }
 
 impl AnomalyKind {
@@ -85,6 +98,7 @@ impl AnomalyKind {
             AnomalyKind::EngineDivergence => "engine-divergence",
             AnomalyKind::RoundTrip => "round-trip",
             AnomalyKind::LintFalsePositive => "lint-false-positive",
+            AnomalyKind::ValidatorDisagreement => "validator-disagreement",
         }
     }
 }
@@ -368,6 +382,40 @@ pub fn check_program(
                     detail: diags[0].to_string(),
                 })
             }
+            Ok(_) => {}
+        }
+        // The validator-agreement oracle. The differential check above
+        // was clean, so a refutation here means the validator found (and
+        // execution-confirmed) a divergence on an input the point-wise
+        // check never tried. A counterexample that then fails to replay
+        // is a validator-determinism bug instead; both disagree with the
+        // differential verdict.
+        match guarded(|| slp_tv::validate(program, &kernel, machine, &slp_tv::Budgets::default())) {
+            Err(panic) => {
+                return Some(Anomaly {
+                    kind: AnomalyKind::Panic,
+                    stage: Stage::Prove,
+                    strategy: Some(label),
+                    detail: panic,
+                })
+            }
+            Ok(slp_tv::Verdict::Refuted(cex)) => {
+                let replays =
+                    guarded(|| slp_tv::replay_counterexample(program, &kernel, machine, &cex))
+                        .unwrap_or(false);
+                return Some(Anomaly {
+                    kind: AnomalyKind::ValidatorDisagreement,
+                    stage: Stage::Prove,
+                    strategy: Some(label),
+                    detail: format!(
+                        "refuted at {} (scalar {:?}, vectorized {:?}, replay confirmed: {replays}) \
+                         but the differential check was clean",
+                        cex.location, cex.scalar_value, cex.vector_value
+                    ),
+                });
+            }
+            // Proved agrees with the clean differential; Budget and
+            // Unsupported make no claim.
             Ok(_) => {}
         }
     }

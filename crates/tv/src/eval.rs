@@ -1,0 +1,567 @@
+//! The symbolic evaluator: abstract execution of a kernel over the term
+//! arena.
+//!
+//! Loop bounds in this IR are compile-time constants, so the evaluator
+//! walks every loop nest *concretely* — induction variables take real
+//! `i64` values and every affine subscript evaluates to an exact linear
+//! offset — while the *data* stays symbolic: each array cell and scalar
+//! holds a [`TermId`](crate::term::TermId) describing how its final value
+//! is computed from the inputs. The result of evaluating a program is a
+//! [`SymbolicState`]: the complete map from observable locations to value
+//! terms.
+//!
+//! Two modes share one engine:
+//!
+//! * **scalar mode** ([`eval_scalar_program`]) executes statements in
+//!   program order — the reference semantics,
+//! * **schedule mode** ([`eval_compiled_kernel`]) executes a
+//!   [`CompiledKernel`]'s block schedules, replaying layout replications
+//!   first and honouring superword semantics: all lane operands of a
+//!   scheduled item are read *before* any of its destinations are
+//!   written, then destinations commit in lane order.
+//!
+//! Before walking anything, a pre-pass reuses `slp-analyze`'s strided
+//! intervals to bound the dynamic statement count (so hopeless blow-ups
+//! degrade to [`EvalError::Budget`] without a single symbolic step) and to
+//! reject accesses that provably fall outside their array on every
+//! execution.
+
+use std::collections::{BTreeSet, HashMap};
+
+use slp_analyze::{eval_affine, loop_env};
+use slp_core::{BlockSchedule, CompiledKernel, Replication, ScheduledItem};
+use slp_ir::{
+    ArrayId, ArrayRef, Dest, Item, Loop, LoopVarId, Operand, Program, Statement, StmtId, TypeEnv,
+};
+
+use crate::term::{Arena, TermId};
+
+/// Resource limits for one validation run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budgets {
+    /// Maximum distinct terms in the arena (shared by both sides).
+    pub max_terms: usize,
+    /// Maximum dynamic statement executions per side (superword lanes and
+    /// replication copies each count as one).
+    pub max_steps: u64,
+}
+
+impl Default for Budgets {
+    fn default() -> Self {
+        Budgets {
+            max_terms: 1 << 20,
+            max_steps: 1 << 20,
+        }
+    }
+}
+
+/// Why symbolic evaluation stopped short of a final state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A resource budget was exhausted; the validator degrades to the
+    /// differential check.
+    Budget(String),
+    /// The program does something the symbolic semantics cannot model
+    /// soundly (out-of-bounds access, non-terminating loop shape, or a
+    /// malformed schedule).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::Budget(m) => write!(f, "budget exhausted: {m}"),
+            EvalError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+/// The final symbolic memory image of one side.
+#[derive(Debug)]
+pub struct SymbolicState {
+    /// Current term of every array cell touched (reads memoize the input
+    /// leaf; writes overwrite).
+    pub cells: HashMap<(ArrayId, i64), TermId>,
+    /// The cells actually *written*, in deterministic order.
+    pub dirty: BTreeSet<(ArrayId, i64)>,
+    /// Current term of every scalar, indexed by [`VarId::index`].
+    pub scalars: Vec<TermId>,
+    /// Dynamic statements executed.
+    pub steps: u64,
+}
+
+impl SymbolicState {
+    /// The current term of cell `(a, off)`, interning the input leaf if
+    /// the cell was never touched.
+    pub fn cell_term(&self, arena: &mut Arena, a: ArrayId, off: i64) -> Result<TermId, EvalError> {
+        match self.cells.get(&(a, off)) {
+            Some(&t) => Ok(t),
+            None => arena
+                .cell(a, off)
+                .map_err(|e| EvalError::Budget(e.to_string())),
+        }
+    }
+}
+
+/// Symbolically evaluates `program` with plain statement-order semantics.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when a budget is exhausted or the program leaves
+/// the supported fragment (see [`EvalError::Unsupported`]).
+pub fn eval_scalar_program(
+    program: &Program,
+    arena: &mut Arena,
+    budgets: &Budgets,
+) -> Result<SymbolicState, EvalError> {
+    prepass(program, 0, budgets)?;
+    let mut ev = Eval::new(program, None, arena, budgets)?;
+    ev.run_items(program.items())?;
+    Ok(ev.st)
+}
+
+/// Symbolically evaluates a compiled kernel: replications populate first,
+/// then the transformed program runs under its block schedules.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] when a budget is exhausted or the kernel leaves
+/// the supported fragment.
+pub fn eval_compiled_kernel(
+    kernel: &CompiledKernel,
+    arena: &mut Arena,
+    budgets: &Budgets,
+) -> Result<SymbolicState, EvalError> {
+    let replication_copies: u64 = kernel
+        .replications
+        .iter()
+        .map(|r| r.copy_count() as u64)
+        .sum();
+    prepass(&kernel.program, replication_copies, budgets)?;
+
+    // Key each block's schedule by the block's first statement id, the
+    // same dispatch the VM interpreter uses while walking the item tree.
+    let mut schedules: HashMap<StmtId, &BlockSchedule> = HashMap::new();
+    for info in kernel.program.blocks() {
+        if let Some(sched) = kernel.schedule_of(info.id) {
+            schedules.insert(info.block.stmts()[0].id(), sched);
+        }
+    }
+
+    let mut ev = Eval::new(&kernel.program, Some(schedules), arena, budgets)?;
+    for r in &kernel.replications {
+        ev.populate(r)?;
+    }
+    ev.run_items(kernel.program.items())?;
+    Ok(ev.st)
+}
+
+/// Static feasibility screen, run before any symbolic work: bounds the
+/// total dynamic statement count using exact trip counts, and uses
+/// `slp-analyze`'s strided-interval ranges to reject subscripts that are
+/// provably out of bounds on *every* execution.
+fn prepass(program: &Program, extra_steps: u64, budgets: &Budgets) -> Result<(), EvalError> {
+    let mut dynamic: u128 = extra_steps as u128;
+    for info in program.blocks() {
+        let Some(env) = loop_env(&info.loops) else {
+            // Some enclosing loop never executes: the block is dead.
+            continue;
+        };
+        let mut trips: u128 = 1;
+        for h in &info.loops {
+            trips = trips.saturating_mul(h.trip_count().max(0) as u128);
+        }
+        dynamic = dynamic.saturating_add(trips.saturating_mul(info.block.len() as u128));
+        for stmt in info.block.stmts() {
+            let check = |r: &ArrayRef| -> Result<(), EvalError> {
+                let dims = &program.array(r.array).dims;
+                for (d, expr) in r.access.dims().iter().enumerate() {
+                    if let Some(si) = eval_affine(expr, &env) {
+                        if si.hi() < 0 || si.lo() >= dims[d] as i128 {
+                            return Err(EvalError::Unsupported(format!(
+                                "{}[dim {d}] is out of bounds on every execution",
+                                program.array(r.array).name
+                            )));
+                        }
+                    }
+                }
+                Ok(())
+            };
+            for op in stmt.expr().operands() {
+                if let Operand::Array(r) = op {
+                    check(r)?;
+                }
+            }
+            if let Dest::Array(r) = stmt.dest() {
+                check(r)?;
+            }
+        }
+    }
+    if dynamic > budgets.max_steps as u128 {
+        return Err(EvalError::Budget(format!(
+            "{dynamic} dynamic statements exceed the {}-step budget",
+            budgets.max_steps
+        )));
+    }
+    Ok(())
+}
+
+struct Eval<'a> {
+    program: &'a Program,
+    /// Schedule per block, keyed by the block's first statement id; `None`
+    /// means plain statement-order (scalar) semantics everywhere.
+    schedules: Option<HashMap<StmtId, &'a BlockSchedule>>,
+    arena: &'a mut Arena,
+    st: SymbolicState,
+    env: Vec<(LoopVarId, i64)>,
+    max_steps: u64,
+}
+
+impl<'a> Eval<'a> {
+    fn new(
+        program: &'a Program,
+        schedules: Option<HashMap<StmtId, &'a BlockSchedule>>,
+        arena: &'a mut Arena,
+        budgets: &Budgets,
+    ) -> Result<Self, EvalError> {
+        let scalars = program
+            .scalar_ids()
+            .map(|v| {
+                arena
+                    .scalar(v)
+                    .map_err(|e| EvalError::Budget(e.to_string()))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Eval {
+            program,
+            schedules,
+            arena,
+            st: SymbolicState {
+                cells: HashMap::new(),
+                dirty: BTreeSet::new(),
+                scalars,
+                steps: 0,
+            },
+            env: Vec::new(),
+            max_steps: budgets.max_steps,
+        })
+    }
+
+    fn step(&mut self) -> Result<(), EvalError> {
+        self.st.steps += 1;
+        if self.st.steps > self.max_steps {
+            return Err(EvalError::Budget(format!(
+                "exceeded {} dynamic statements",
+                self.max_steps
+            )));
+        }
+        Ok(())
+    }
+
+    fn budget<T>(r: Result<T, crate::term::TermBudgetExceeded>) -> Result<T, EvalError> {
+        r.map_err(|e| EvalError::Budget(e.to_string()))
+    }
+
+    /// Resolves an array reference to its exact linear offset under the
+    /// current loop environment.
+    fn offset(&self, r: &ArrayRef) -> Result<i64, EvalError> {
+        let idx = r.access.eval(&self.env);
+        let info = self.program.array(r.array);
+        if !info.in_bounds(&idx) {
+            return Err(EvalError::Unsupported(format!(
+                "{}{idx:?} out of bounds (dims {:?})",
+                info.name, info.dims
+            )));
+        }
+        Ok(info.linearize(&idx))
+    }
+
+    fn read_cell(&mut self, a: ArrayId, off: i64) -> Result<TermId, EvalError> {
+        if let Some(&t) = self.st.cells.get(&(a, off)) {
+            return Ok(t);
+        }
+        let t = Self::budget(self.arena.cell(a, off))?;
+        self.st.cells.insert((a, off), t);
+        Ok(t)
+    }
+
+    fn read_operand(&mut self, op: &Operand) -> Result<TermId, EvalError> {
+        match op {
+            Operand::Const(c) => Self::budget(self.arena.constant(*c)),
+            Operand::Scalar(v) => Ok(self.st.scalars[v.index()]),
+            Operand::Array(r) => {
+                let off = self.offset(r)?;
+                self.read_cell(r.array, off)
+            }
+        }
+    }
+
+    /// Commits `t` to `dest`, applying the same storage coercion the VM
+    /// applies: scalar destinations coerce via the scalar's type, array
+    /// destinations via the array's element type.
+    fn write_dest(&mut self, dest: &Dest, t: TermId) -> Result<(), EvalError> {
+        match dest {
+            Dest::Scalar(v) => {
+                let ty = TypeEnv::scalar_type(self.program, *v);
+                let t = Self::budget(self.arena.coerce(ty, t))?;
+                self.st.scalars[v.index()] = t;
+            }
+            Dest::Array(r) => {
+                let off = self.offset(r)?;
+                let ty = self.program.array(r.array).ty;
+                let t = Self::budget(self.arena.coerce(ty, t))?;
+                self.st.cells.insert((r.array, off), t);
+                self.st.dirty.insert((r.array, off));
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_stmt(&mut self, stmt: &Statement) -> Result<(), EvalError> {
+        self.step()?;
+        let args = stmt
+            .expr()
+            .operands()
+            .iter()
+            .map(|op| self.read_operand(op))
+            .collect::<Result<Vec<_>, _>>()?;
+        let t = Self::budget(self.arena.op(stmt.expr().shape(), args))?;
+        self.write_dest(stmt.dest(), t)
+    }
+
+    /// Executes one superword: every lane's operands are read before any
+    /// lane's destination is written, then destinations commit in lane
+    /// order — the semantics the vector lowering implements with packed
+    /// loads before packed stores.
+    fn exec_superword(&mut self, lanes: &[&Statement]) -> Result<(), EvalError> {
+        let mut results = Vec::with_capacity(lanes.len());
+        for stmt in lanes {
+            self.step()?;
+            let args = stmt
+                .expr()
+                .operands()
+                .iter()
+                .map(|op| self.read_operand(op))
+                .collect::<Result<Vec<_>, _>>()?;
+            results.push(Self::budget(self.arena.op(stmt.expr().shape(), args))?);
+        }
+        for (stmt, t) in lanes.iter().zip(results) {
+            self.write_dest(stmt.dest(), t)?;
+        }
+        Ok(())
+    }
+
+    /// Executes one maximal statement run (= one static basic block),
+    /// under its schedule when one is registered.
+    fn run_block(&mut self, stmts: &[&'a Statement]) -> Result<(), EvalError> {
+        let sched = self
+            .schedules
+            .as_ref()
+            .and_then(|m| m.get(&stmts[0].id()).copied());
+        let Some(sched) = sched else {
+            for s in stmts {
+                self.exec_stmt(s)?;
+            }
+            return Ok(());
+        };
+        let by_id: HashMap<StmtId, &Statement> = stmts.iter().map(|s| (s.id(), *s)).collect();
+        let lookup = |id: StmtId| -> Result<&'a Statement, EvalError> {
+            by_id.get(&id).copied().ok_or_else(|| {
+                EvalError::Unsupported(format!("schedule references {id} outside its block"))
+            })
+        };
+        for item in sched.items() {
+            match item {
+                ScheduledItem::Single(id) => {
+                    let s = lookup(*id)?;
+                    self.exec_stmt(s)?;
+                }
+                ScheduledItem::Superword(sw) => {
+                    let lanes = sw
+                        .lanes()
+                        .iter()
+                        .map(|&id| lookup(id))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    self.exec_superword(&lanes)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_loop(&mut self, l: &'a Loop) -> Result<(), EvalError> {
+        let h = l.header;
+        if h.step <= 0 {
+            if h.lower < h.upper {
+                return Err(EvalError::Unsupported(format!(
+                    "loop over {} has non-positive step {}",
+                    h.var, h.step
+                )));
+            }
+            return Ok(());
+        }
+        let mut v = h.lower;
+        while v < h.upper {
+            self.env.push((h.var, v));
+            self.run_items(&l.body)?;
+            self.env.pop();
+            v += h.step;
+        }
+        Ok(())
+    }
+
+    fn run_items(&mut self, items: &'a [Item]) -> Result<(), EvalError> {
+        let mut idx = 0;
+        while idx < items.len() {
+            match &items[idx] {
+                Item::Stmt(_) => {
+                    // One static basic block = this maximal statement run.
+                    let mut stmts: Vec<&Statement> = Vec::new();
+                    while idx < items.len() {
+                        match &items[idx] {
+                            Item::Stmt(s) => stmts.push(s),
+                            Item::Loop(_) => break,
+                        }
+                        idx += 1;
+                    }
+                    self.run_block(&stmts)?;
+                }
+                Item::Loop(l) => {
+                    self.run_loop(l)?;
+                    idx += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays one layout replication (§5.2): concrete enumeration of the
+    /// replication loops, copying cell *terms* from source to destination.
+    /// Population is a raw memory copy, so no coercion is applied.
+    fn populate(&mut self, r: &Replication) -> Result<(), EvalError> {
+        let mut env: Vec<(LoopVarId, i64)> = Vec::new();
+        self.populate_dims(r, 0, &mut env)
+    }
+
+    fn populate_dims(
+        &mut self,
+        r: &Replication,
+        dim: usize,
+        env: &mut Vec<(LoopVarId, i64)>,
+    ) -> Result<(), EvalError> {
+        if dim == r.loops.len() {
+            for (p, lane) in r.lanes.iter().enumerate() {
+                self.step()?;
+                let src_idx = lane.eval(env);
+                let src_info = self.program.array(r.source);
+                if !src_info.in_bounds(&src_idx) {
+                    return Err(EvalError::Unsupported(format!(
+                        "replication read {}{src_idx:?} out of bounds",
+                        src_info.name
+                    )));
+                }
+                let off = src_info.linearize(&src_idx);
+                let t = self.read_cell(r.source, off)?;
+                let dst_off = r.dest_exprs[p].eval(env);
+                let dst_len = self.program.array(r.dest).len();
+                if dst_off < 0 || dst_off >= dst_len {
+                    return Err(EvalError::Unsupported(format!(
+                        "replication write {dst_off} out of bounds"
+                    )));
+                }
+                self.st.cells.insert((r.dest, dst_off), t);
+                self.st.dirty.insert((r.dest, dst_off));
+            }
+            return Ok(());
+        }
+        let h = r.loops[dim];
+        if h.step <= 0 {
+            if h.lower < h.upper {
+                return Err(EvalError::Unsupported(format!(
+                    "replication loop over {} has non-positive step {}",
+                    h.var, h.step
+                )));
+            }
+            return Ok(());
+        }
+        let mut v = h.lower;
+        while v < h.upper {
+            env.push((h.var, v));
+            self.populate_dims(r, dim + 1, env)?;
+            env.pop();
+            v += h.step;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_core::{compile, MachineConfig, SlpConfig, Strategy};
+
+    fn program(src: &str) -> Program {
+        slp_lang::compile(src).unwrap()
+    }
+
+    #[test]
+    fn scalar_and_vectorized_states_agree_on_saxpy() {
+        let p = program(
+            "kernel saxpy { array X: f64[64]; array Y: f64[64]; scalar a: f64;
+             for i in 0..64 { Y[i] = Y[i] + a * X[i]; } }",
+        );
+        let m = MachineConfig::intel_dunnington();
+        let k = compile(&p, &SlpConfig::for_machine(m, Strategy::Holistic));
+        let mut arena = Arena::new(1 << 20);
+        let b = Budgets::default();
+        let s = eval_scalar_program(&p, &mut arena, &b).unwrap();
+        let v = eval_compiled_kernel(&k, &mut arena, &b).unwrap();
+        for &(a, off) in s.dirty.union(&v.dirty) {
+            let ts = s.cells.get(&(a, off)).copied();
+            let tv = v.cells.get(&(a, off)).copied();
+            assert_eq!(ts, tv, "cell ({a}, {off}) diverged");
+        }
+    }
+
+    #[test]
+    fn step_budget_degrades() {
+        let p = program(
+            "kernel big { array A: f64[16]; scalar t: f64;
+             for i in 0..16 { t = A[i]; A[i] = t * 2.0; } }",
+        );
+        let mut arena = Arena::new(1 << 20);
+        let b = Budgets {
+            max_terms: 1 << 20,
+            max_steps: 4,
+        };
+        match eval_scalar_program(&p, &mut arena, &b) {
+            Err(EvalError::Budget(_)) => {}
+            other => panic!("expected budget degrade, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oob_is_unsupported() {
+        let p = program(
+            "kernel bad { array A: f64[4]; scalar x: f64;
+             for i in 0..8 { x = A[i]; A[i] = x; } }",
+        );
+        let mut arena = Arena::new(1 << 20);
+        match eval_scalar_program(&p, &mut arena, &Budgets::default()) {
+            Err(EvalError::Unsupported(_)) => {}
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dead_loop_body_never_runs() {
+        let p = program(
+            "kernel dead { array A: f64[4]; scalar x: f64;
+             for i in 4..4 { x = A[i]; A[i] = x + 1.0; } }",
+        );
+        let mut arena = Arena::new(1 << 20);
+        let s = eval_scalar_program(&p, &mut arena, &Budgets::default()).unwrap();
+        assert!(s.dirty.is_empty());
+        assert_eq!(s.steps, 0);
+    }
+}

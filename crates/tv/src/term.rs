@@ -1,0 +1,305 @@
+//! The hash-consed term arena: uninterpreted value graphs.
+//!
+//! Every value a kernel computes is represented as a term over
+//! *uninterpreted* operators — `Add(a, b)` is a formal application, not a
+//! number, and is equal only to `Add(a, b)` itself (never to `Add(b, a)`:
+//! no reassociation, no commutativity). This is exactly the theory under
+//! which SLP transformations are sound: unrolling, statement grouping,
+//! scheduling and layout replication move and duplicate computations but
+//! never rewrite them algebraically, so a correct transformation preserves
+//! the value graph of every observable location *syntactically*.
+//!
+//! Terms are interned in an arena: structurally equal terms share one
+//! [`TermId`], making graph equality a single integer comparison and
+//! keeping memory proportional to the number of *distinct* values.
+
+use std::collections::HashMap;
+
+use slp_ir::{ArrayId, ExprShape, ScalarType, VarId};
+use slp_vm::apply_shape;
+
+/// An interned term. Equality of ids is structural equality of terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the value graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// The initial (input) contents of one array cell, identified by the
+    /// array and its row-major linear offset.
+    Cell(ArrayId, i64),
+    /// The initial (input) value of a scalar variable.
+    Scalar(VarId),
+    /// A floating-point constant, stored as bits so `NaN`s and signed
+    /// zeros hash and compare exactly.
+    Const(u64),
+    /// An uninterpreted operator application over positional operands.
+    Op(ExprShape, Vec<TermId>),
+    /// Integer storage coercion (truncate-and-wrap) applied on store.
+    /// Float coercions are the identity and never allocate a node.
+    Coerce(ScalarType, TermId),
+}
+
+/// The error a term construction returns when the arena budget is hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TermBudgetExceeded {
+    /// The budget that was exceeded.
+    pub max_terms: usize,
+}
+
+impl std::fmt::Display for TermBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "term arena exceeded {} distinct terms", self.max_terms)
+    }
+}
+
+/// The hash-consing arena.
+#[derive(Debug)]
+pub struct Arena {
+    terms: Vec<Term>,
+    interned: HashMap<Term, TermId>,
+    max_terms: usize,
+}
+
+impl Arena {
+    /// An empty arena capped at `max_terms` distinct terms.
+    pub fn new(max_terms: usize) -> Self {
+        Arena {
+            terms: Vec::new(),
+            interned: HashMap::new(),
+            max_terms,
+        }
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the arena holds no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The term behind `id`.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    fn intern(&mut self, t: Term) -> Result<TermId, TermBudgetExceeded> {
+        if let Some(&id) = self.interned.get(&t) {
+            return Ok(id);
+        }
+        if self.terms.len() >= self.max_terms {
+            return Err(TermBudgetExceeded {
+                max_terms: self.max_terms,
+            });
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t.clone());
+        self.interned.insert(t, id);
+        Ok(id)
+    }
+
+    /// The input term of array cell `(a, offset)`.
+    pub fn cell(&mut self, a: ArrayId, offset: i64) -> Result<TermId, TermBudgetExceeded> {
+        self.intern(Term::Cell(a, offset))
+    }
+
+    /// The input term of scalar `v`.
+    pub fn scalar(&mut self, v: VarId) -> Result<TermId, TermBudgetExceeded> {
+        self.intern(Term::Scalar(v))
+    }
+
+    /// The constant term of `c` (interned by bit pattern).
+    pub fn constant(&mut self, c: f64) -> Result<TermId, TermBudgetExceeded> {
+        self.intern(Term::Const(c.to_bits()))
+    }
+
+    /// Applies `shape` to operand terms.
+    ///
+    /// `Copy` is the identity (both engines implement it as `vals[0]`),
+    /// and an application whose operands are all constants folds through
+    /// [`apply_shape`] — the *same* function both VM engines evaluate
+    /// with, so folding can never diverge from execution. Everything else
+    /// stays an uninterpreted application.
+    pub fn op(
+        &mut self,
+        shape: ExprShape,
+        args: Vec<TermId>,
+    ) -> Result<TermId, TermBudgetExceeded> {
+        if shape == ExprShape::Copy {
+            return Ok(args[0]);
+        }
+        let consts: Option<Vec<f64>> = args
+            .iter()
+            .map(|&a| match self.term(a) {
+                Term::Const(bits) => Some(f64::from_bits(*bits)),
+                _ => None,
+            })
+            .collect();
+        if let Some(vals) = consts {
+            return self.constant(apply_shape(shape, &vals));
+        }
+        self.intern(Term::Op(shape, args))
+    }
+
+    /// The storage coercion of `t` to element type `ty`.
+    ///
+    /// Floats pass through unchanged (the VM models `f32` storage at
+    /// `f64` precision), re-coercing to the same integer type is the
+    /// identity (truncate-and-wrap is idempotent), and coercing a
+    /// constant folds to the coerced constant.
+    pub fn coerce(&mut self, ty: ScalarType, t: TermId) -> Result<TermId, TermBudgetExceeded> {
+        if ty.is_float() {
+            return Ok(t);
+        }
+        match self.term(t) {
+            Term::Const(bits) => {
+                let c = ty.coerce(f64::from_bits(*bits));
+                self.constant(c)
+            }
+            Term::Coerce(t2, _) if *t2 == ty => Ok(t),
+            _ => self.intern(Term::Coerce(ty, t)),
+        }
+    }
+
+    /// Collects the distinct input leaves ([`Term::Cell`] and
+    /// [`Term::Scalar`]) reachable from `roots`, in first-visit order.
+    pub fn leaves(&self, roots: &[TermId]) -> Vec<Term> {
+        let mut seen = vec![false; self.terms.len()];
+        let mut stack: Vec<TermId> = roots.to_vec();
+        let mut out = Vec::new();
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            match self.term(id) {
+                t @ (Term::Cell(_, _) | Term::Scalar(_)) => out.push(t.clone()),
+                Term::Const(_) => {}
+                Term::Op(_, args) => stack.extend(args.iter().copied()),
+                Term::Coerce(_, inner) => stack.push(*inner),
+            }
+        }
+        out
+    }
+
+    /// Concretely evaluates `root` under an assignment of values to input
+    /// leaves, memoized over the arena. Leaves missing from `assign` read
+    /// as `0.0` (callers assign every leaf of the terms they evaluate).
+    pub fn eval(&self, root: TermId, assign: &HashMap<Term, f64>) -> f64 {
+        let mut memo: HashMap<TermId, f64> = HashMap::new();
+        self.eval_memo(root, assign, &mut memo)
+    }
+
+    fn eval_memo(
+        &self,
+        id: TermId,
+        assign: &HashMap<Term, f64>,
+        memo: &mut HashMap<TermId, f64>,
+    ) -> f64 {
+        if let Some(&v) = memo.get(&id) {
+            return v;
+        }
+        let v = match self.term(id).clone() {
+            t @ (Term::Cell(_, _) | Term::Scalar(_)) => assign.get(&t).copied().unwrap_or(0.0),
+            Term::Const(bits) => f64::from_bits(bits),
+            Term::Op(shape, args) => {
+                let vals: Vec<f64> = args
+                    .iter()
+                    .map(|&a| self.eval_memo(a, assign, memo))
+                    .collect();
+                apply_shape(shape, &vals)
+            }
+            Term::Coerce(ty, inner) => ty.coerce(self.eval_memo(inner, assign, memo)),
+        };
+        memo.insert(id, v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_ir::BinOp;
+
+    #[test]
+    fn hash_consing_shares_structurally_equal_terms() {
+        let mut ar = Arena::new(1 << 10);
+        let a = ar.cell(ArrayId::new(0), 3).unwrap();
+        let b = ar.cell(ArrayId::new(0), 3).unwrap();
+        assert_eq!(a, b);
+        let x = ar.op(ExprShape::Binary(BinOp::Add), vec![a, b]).unwrap();
+        let y = ar.op(ExprShape::Binary(BinOp::Add), vec![a, b]).unwrap();
+        assert_eq!(x, y);
+        assert_eq!(ar.len(), 2); // one leaf, one op
+    }
+
+    #[test]
+    fn no_commutativity_or_reassociation() {
+        let mut ar = Arena::new(1 << 10);
+        let a = ar.cell(ArrayId::new(0), 0).unwrap();
+        let b = ar.cell(ArrayId::new(0), 1).unwrap();
+        let ab = ar.op(ExprShape::Binary(BinOp::Add), vec![a, b]).unwrap();
+        let ba = ar.op(ExprShape::Binary(BinOp::Add), vec![b, a]).unwrap();
+        assert_ne!(ab, ba, "Add(a,b) must stay distinct from Add(b,a)");
+    }
+
+    #[test]
+    fn copy_is_identity_and_constants_fold() {
+        let mut ar = Arena::new(1 << 10);
+        let a = ar.cell(ArrayId::new(0), 0).unwrap();
+        assert_eq!(ar.op(ExprShape::Copy, vec![a]).unwrap(), a);
+        let two = ar.constant(2.0).unwrap();
+        let three = ar.constant(3.0).unwrap();
+        let six = ar
+            .op(ExprShape::Binary(BinOp::Mul), vec![two, three])
+            .unwrap();
+        assert_eq!(ar.term(six), &Term::Const(6.0f64.to_bits()));
+    }
+
+    #[test]
+    fn coercions_normalize() {
+        let mut ar = Arena::new(1 << 10);
+        let a = ar.cell(ArrayId::new(0), 0).unwrap();
+        assert_eq!(ar.coerce(ScalarType::F64, a).unwrap(), a);
+        assert_eq!(ar.coerce(ScalarType::F32, a).unwrap(), a);
+        let c = ar.coerce(ScalarType::I32, a).unwrap();
+        assert_ne!(c, a);
+        assert_eq!(ar.coerce(ScalarType::I32, c).unwrap(), c, "idempotent");
+        let v = ar.constant(3.9).unwrap();
+        let cv = ar.coerce(ScalarType::I32, v).unwrap();
+        assert_eq!(ar.term(cv), &Term::Const(3.0f64.to_bits()));
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut ar = Arena::new(2);
+        ar.cell(ArrayId::new(0), 0).unwrap();
+        ar.cell(ArrayId::new(0), 1).unwrap();
+        assert!(ar.cell(ArrayId::new(0), 2).is_err());
+        // Re-interning an existing term still succeeds at the cap.
+        assert!(ar.cell(ArrayId::new(0), 1).is_ok());
+    }
+
+    #[test]
+    fn leaves_and_concrete_eval() {
+        let mut ar = Arena::new(1 << 10);
+        let a = ar.cell(ArrayId::new(0), 0).unwrap();
+        let s = ar.scalar(VarId::new(1)).unwrap();
+        let sum = ar.op(ExprShape::Binary(BinOp::Add), vec![a, s]).unwrap();
+        let leaves = ar.leaves(&[sum]);
+        assert_eq!(leaves.len(), 2);
+        let mut assign = HashMap::new();
+        assign.insert(Term::Cell(ArrayId::new(0), 0), 2.5);
+        assign.insert(Term::Scalar(VarId::new(1)), 1.5);
+        assert_eq!(ar.eval(sum, &assign), 4.0);
+    }
+}

@@ -1,0 +1,569 @@
+//! The validator: compares the two symbolic final states and, on a
+//! mismatch, extracts a concrete distinguishing input and confirms it by
+//! running both VM engines.
+//!
+//! The soundness contract is asymmetric by design:
+//!
+//! * [`Verdict::Proved`] means every written cell of every original array
+//!   and every compared live-out scalar computes the *identical* term on
+//!   both sides — equivalence over **all** inputs, under uninterpreted
+//!   (bit-exact) operator semantics.
+//! * [`Verdict::Refuted`] is only ever returned with a concrete input
+//!   that was **replayed through both VM engines** and observed to
+//!   diverge — a symbolic mismatch alone is not enough, because the term
+//!   model is conservative (it refuses reassociation a transformation
+//!   might legitimately never perform, but it cannot rule out that two
+//!   different-looking terms agree on every input).
+//! * Anything in between degrades to [`Verdict::Budget`] or
+//!   [`Verdict::Unsupported`], and the caller falls back to the existing
+//!   differential check.
+
+use std::collections::HashMap;
+
+use slp_core::{compile, CompiledKernel, MachineConfig, SlpConfig, Strategy};
+use slp_ir::{ArrayId, Dest, Item, Operand, Program, Statement, TypeEnv, VarId};
+use slp_vm::{
+    execute_reference_with_state, execute_with_state, seed_scalar, seed_value, MachineState,
+};
+
+use crate::eval::{eval_compiled_kernel, eval_scalar_program, Budgets, EvalError};
+use crate::term::{Arena, Term, TermId};
+
+/// Statistics of a successful proof.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProofStats {
+    /// Distinct terms interned across both sides.
+    pub terms: usize,
+    /// Dynamic statements evaluated across both sides.
+    pub steps: u64,
+    /// Array cells whose final terms were compared.
+    pub cells_compared: usize,
+    /// Live-out scalars whose final terms were compared.
+    pub scalars_compared: usize,
+}
+
+/// A concrete input on which the two sides compute different results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// Array-cell inputs `(array, linear offset, value)`, already coerced
+    /// to the array's element type.
+    pub cells: Vec<(ArrayId, i64, f64)>,
+    /// Scalar inputs `(var, value)`, already coerced.
+    pub scalars: Vec<(VarId, f64)>,
+    /// Human-readable observable location that diverges, e.g. `A[12]`.
+    pub location: String,
+    /// The value the scalar program computes there.
+    pub scalar_value: f64,
+    /// The value the vectorized kernel computes there.
+    pub vector_value: f64,
+}
+
+/// The outcome of one validation run.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Equivalence proved over all inputs.
+    Proved(ProofStats),
+    /// A resource budget was exhausted before a verdict.
+    Budget {
+        /// What ran out.
+        reason: String,
+    },
+    /// The kernel leaves the fragment the symbolic semantics models, or a
+    /// symbolic mismatch could not be confirmed concretely.
+    Unsupported {
+        /// What could not be modelled or confirmed.
+        reason: String,
+    },
+    /// A VM-confirmed miscompile: both engines diverge on the input.
+    Refuted(Box<Counterexample>),
+}
+
+impl Verdict {
+    /// Short machine-readable name: `proved`, `budget`, `unsupported` or
+    /// `refuted`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Verdict::Proved(_) => "proved",
+            Verdict::Budget { .. } => "budget",
+            Verdict::Unsupported { .. } => "unsupported",
+            Verdict::Refuted(_) => "refuted",
+        }
+    }
+}
+
+/// One observable location in the comparator.
+#[derive(Debug, Clone, Copy)]
+enum Location {
+    Cell(ArrayId, i64),
+    Scalar(VarId),
+}
+
+/// Proves or refutes `kernel` ≡ `original`.
+///
+/// `original` must be the untransformed program `kernel` was compiled
+/// from; `machine` is only used for counterexample replay.
+pub fn validate(
+    original: &Program,
+    kernel: &CompiledKernel,
+    machine: &MachineConfig,
+    budgets: &Budgets,
+) -> Verdict {
+    let mut arena = Arena::new(budgets.max_terms);
+    let scalar_side = match eval_scalar_program(original, &mut arena, budgets) {
+        Ok(s) => s,
+        Err(e) => return degrade(e),
+    };
+    let kernel_side = match eval_compiled_kernel(kernel, &mut arena, budgets) {
+        Ok(s) => s,
+        Err(e) => return degrade(e),
+    };
+
+    // Observables: every cell either side wrote in an *original* array
+    // (replicated copies are internal), plus every compared scalar.
+    let n_arrays = original.arrays().len();
+    let compared = compared_scalars(original);
+    let mut divergences: Vec<(Location, TermId, TermId)> = Vec::new();
+    let mut cells_compared = 0usize;
+    for &(a, off) in scalar_side.dirty.union(&kernel_side.dirty) {
+        if a.index() >= n_arrays {
+            continue;
+        }
+        cells_compared += 1;
+        let ts = match scalar_side.cell_term(&mut arena, a, off) {
+            Ok(t) => t,
+            Err(e) => return degrade(e),
+        };
+        let tk = match kernel_side.cell_term(&mut arena, a, off) {
+            Ok(t) => t,
+            Err(e) => return degrade(e),
+        };
+        if ts != tk {
+            divergences.push((Location::Cell(a, off), ts, tk));
+        }
+    }
+    let mut scalars_compared = 0usize;
+    for v in original.scalar_ids() {
+        if !compared[v.index()] {
+            continue;
+        }
+        scalars_compared += 1;
+        let ts = scalar_side.scalars[v.index()];
+        let tk = kernel_side.scalars[v.index()];
+        if ts != tk {
+            divergences.push((Location::Scalar(v), ts, tk));
+        }
+    }
+
+    if divergences.is_empty() {
+        return Verdict::Proved(ProofStats {
+            terms: arena.len(),
+            steps: scalar_side.steps + kernel_side.steps,
+            cells_compared,
+            scalars_compared,
+        });
+    }
+
+    // A symbolic mismatch: hunt for a concrete input that separates the
+    // two terms, and only claim a refutation once both VM engines agree
+    // the kernels diverge on it.
+    for (loc, ts, tk) in &divergences {
+        if let Some(cex) = extract_counterexample(original, &arena, *loc, *ts, *tk) {
+            if replay_counterexample(original, kernel, machine, &cex) {
+                return Verdict::Refuted(Box::new(cex));
+            }
+        }
+    }
+    let loc = describe(original, divergences[0].0);
+    Verdict::Unsupported {
+        reason: format!(
+            "symbolic mismatch at {loc} ({} total) not confirmed by execution",
+            divergences.len()
+        ),
+    }
+}
+
+fn degrade(e: EvalError) -> Verdict {
+    match e {
+        EvalError::Budget(reason) => Verdict::Budget { reason },
+        EvalError::Unsupported(reason) => Verdict::Unsupported { reason },
+    }
+}
+
+fn describe(original: &Program, loc: Location) -> String {
+    match loc {
+        Location::Cell(a, off) => format!("{}[{off}]", original.array(a).name),
+        Location::Scalar(v) => format!("scalar {}", original.scalar(v).name),
+    }
+}
+
+/// SplitMix64 finalizer — the same shape the VM's deterministic seeding
+/// uses, re-derived locally so probe inputs stay reproducible.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(bits: u64) -> f64 {
+    (bits >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn leaf_key(leaf: &Term) -> u64 {
+    match leaf {
+        Term::Cell(a, off) => ((a.index() as u64) << 40) ^ (*off as u64),
+        Term::Scalar(v) => 0xDEAD_0000_0000_0000 ^ v.index() as u64,
+        _ => unreachable!("leaves are cells or scalars"),
+    }
+}
+
+/// Searches for a concrete input distinguishing `ts` from `tk`.
+///
+/// Probe 0 is the VM's deterministic seed image; subsequent probes
+/// perturb every input leaf with independent deterministic values. Two
+/// *semantically equal* terms (e.g. a commuted addition this validator
+/// refuses to identify) agree on every probe and yield `None`, which the
+/// caller degrades to [`Verdict::Unsupported`].
+fn extract_counterexample(
+    original: &Program,
+    arena: &Arena,
+    loc: Location,
+    ts: TermId,
+    tk: TermId,
+) -> Option<Counterexample> {
+    let leaves = arena.leaves(&[ts, tk]);
+    // The input space is the original program's arrays and scalars; a
+    // term depending on anything else (an unpopulated replicated cell,
+    // a transformation-introduced temporary) is not expressible as an
+    // input and the mismatch cannot be confirmed this way.
+    let n_arrays = original.arrays().len();
+    let n_scalars = original.scalars().len();
+    for leaf in &leaves {
+        match leaf {
+            Term::Cell(a, off)
+                if a.index() >= n_arrays || *off < 0 || *off >= original.array(*a).len() =>
+            {
+                return None;
+            }
+            Term::Scalar(v) if v.index() >= n_scalars => {
+                return None;
+            }
+            _ => {}
+        }
+    }
+
+    const PROBES: u64 = 17;
+    for probe in 0..PROBES {
+        let mut assign: HashMap<Term, f64> = HashMap::new();
+        for leaf in &leaves {
+            let value = match leaf {
+                Term::Cell(a, off) => {
+                    let ty = original.array(*a).ty;
+                    let raw = if probe == 0 {
+                        seed_value(*a, *off as usize)
+                    } else {
+                        0.25 + 4.0 * unit(mix64(leaf_key(leaf) ^ (probe << 56)))
+                    };
+                    ty.coerce(raw * 4.0)
+                }
+                Term::Scalar(v) => {
+                    let ty = original.scalar_type(*v);
+                    let raw = if probe == 0 {
+                        seed_scalar(*v)
+                    } else {
+                        0.25 + 4.0 * unit(mix64(leaf_key(leaf) ^ (probe << 56)))
+                    };
+                    ty.coerce(raw * 4.0)
+                }
+                _ => continue,
+            };
+            assign.insert(leaf.clone(), value);
+        }
+        let vs = arena.eval(ts, &assign);
+        let vk = arena.eval(tk, &assign);
+        if vs.to_bits() != vk.to_bits() {
+            let mut cells = Vec::new();
+            let mut scalars = Vec::new();
+            for (leaf, &value) in leaves.iter().zip(leaves.iter().map(|l| &assign[l])) {
+                match leaf {
+                    Term::Cell(a, off) => cells.push((*a, *off, value)),
+                    Term::Scalar(v) => scalars.push((*v, value)),
+                    _ => {}
+                }
+            }
+            cells.sort_by_key(|&(a, off, _)| (a, off));
+            scalars.sort_by_key(|&(v, _)| v);
+            return Some(Counterexample {
+                cells,
+                scalars,
+                location: describe(original, loc),
+                scalar_value: vs,
+                vector_value: vk,
+            });
+        }
+    }
+    None
+}
+
+/// Replays `cex` through both kernels on **both** VM engines and reports
+/// whether execution confirms the divergence.
+///
+/// Confirmation requires the scalar build of `original` and `kernel` to
+/// produce observably different final states (an original array differs
+/// bitwise, or a compared live-out scalar differs) on the bytecode engine
+/// *and* on the reference interpreter. Any execution error on either side
+/// counts as unconfirmed.
+pub fn replay_counterexample(
+    original: &Program,
+    kernel: &CompiledKernel,
+    machine: &MachineConfig,
+    cex: &Counterexample,
+) -> bool {
+    let scalar_cfg = SlpConfig::for_machine(machine.clone(), Strategy::Scalar);
+    let scalar_kernel = compile(original, &scalar_cfg);
+    let n_arrays = original.arrays().len();
+    let compared = compared_scalars(original);
+
+    let seed = |program: &Program| {
+        let mut st = MachineState::seeded(program);
+        for &(a, off, v) in &cex.cells {
+            st.store_array(a, off as usize, v);
+        }
+        for &(v, x) in &cex.scalars {
+            st.set_scalar(v, x);
+        }
+        st
+    };
+
+    let diverges = |run: &dyn Fn(&CompiledKernel, MachineState) -> Option<MachineState>| -> bool {
+        let Some(s) = run(&scalar_kernel, seed(&scalar_kernel.program)) else {
+            return false;
+        };
+        let Some(k) = run(kernel, seed(&kernel.program)) else {
+            return false;
+        };
+        if !s.arrays_bitwise_eq(&k, n_arrays) {
+            return true;
+        }
+        original
+            .scalar_ids()
+            .any(|v| compared[v.index()] && s.scalar(v).to_bits() != k.scalar(v).to_bits())
+    };
+
+    let fast = |k: &CompiledKernel, st: MachineState| {
+        execute_with_state(k, machine, st).ok().map(|o| o.state)
+    };
+    let reference = |k: &CompiledKernel, st: MachineState| {
+        execute_reference_with_state(k, machine, st)
+            .ok()
+            .map(|o| o.state)
+    };
+    diverges(&fast) && diverges(&reference)
+}
+
+/// Which original scalars the comparator may inspect as live-outs.
+///
+/// Unrolling privatizes a scalar that is defined-before-use in an
+/// innermost loop body, and only copies the value back to the original
+/// name when the scalar is read *outside* that body. A privatized,
+/// never-copied-back scalar is a dead temporary whose final value under
+/// the transformed program legitimately differs, so it is excluded.
+/// The criterion mirrors `slp_ir::unroll_program` exactly but is applied
+/// unconditionally — excluding a dead temp when no unrolling happened
+/// only makes the comparison (harmlessly) more conservative.
+pub fn compared_scalars(original: &Program) -> Vec<bool> {
+    let mut compared = vec![true; original.scalars().len()];
+    let mut total_reads: HashMap<VarId, usize> = HashMap::new();
+    count_reads(original.items(), &mut total_reads);
+    exclude_privatized(original.items(), &total_reads, &mut compared);
+    compared
+}
+
+fn count_reads(items: &[Item], counts: &mut HashMap<VarId, usize>) {
+    for item in items {
+        match item {
+            Item::Stmt(s) => {
+                for u in s.uses() {
+                    if let Operand::Scalar(v) = u {
+                        *counts.entry(*v).or_insert(0) += 1;
+                    }
+                }
+            }
+            Item::Loop(l) => count_reads(&l.body, counts),
+        }
+    }
+}
+
+fn exclude_privatized(items: &[Item], total_reads: &HashMap<VarId, usize>, compared: &mut [bool]) {
+    for item in items {
+        let Item::Loop(l) = item else { continue };
+        if !l.body.iter().all(|it| matches!(it, Item::Stmt(_))) {
+            exclude_privatized(&l.body, total_reads, compared);
+            continue;
+        }
+        let body: Vec<&Statement> = l
+            .body
+            .iter()
+            .map(|it| match it {
+                Item::Stmt(s) => s,
+                Item::Loop(_) => unreachable!("innermost"),
+            })
+            .collect();
+        let mut body_reads: HashMap<VarId, usize> = HashMap::new();
+        let mut seen_use: Vec<VarId> = Vec::new();
+        let mut defined_first: Vec<VarId> = Vec::new();
+        for s in &body {
+            for u in s.uses() {
+                if let Operand::Scalar(v) = u {
+                    *body_reads.entry(*v).or_insert(0) += 1;
+                    if !defined_first.contains(v) && !seen_use.contains(v) {
+                        seen_use.push(*v);
+                    }
+                }
+            }
+            if let Dest::Scalar(v) = s.dest() {
+                if !seen_use.contains(v) && !defined_first.contains(v) {
+                    defined_first.push(*v);
+                }
+            }
+        }
+        for &v in &defined_first {
+            let total = total_reads.get(&v).copied().unwrap_or(0);
+            let inside = body_reads.get(&v).copied().unwrap_or(0);
+            if total <= inside {
+                compared[v.index()] = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slp_core::{BlockSchedule, ScheduledItem};
+
+    fn machine() -> MachineConfig {
+        MachineConfig::intel_dunnington()
+    }
+
+    fn program(src: &str) -> Program {
+        slp_lang::compile(src).unwrap()
+    }
+
+    fn kernel(p: &Program, strategy: Strategy, layout: bool) -> CompiledKernel {
+        let mut cfg = SlpConfig::for_machine(machine(), strategy);
+        if layout {
+            cfg = cfg.with_layout();
+        }
+        compile(p, &cfg)
+    }
+
+    const SAXPY: &str = "kernel saxpy {
+        array X: f64[64]; array Y: f64[64]; scalar a: f64;
+        for i in 0..64 { Y[i] = Y[i] + a * X[i]; } }";
+
+    #[test]
+    fn correct_kernels_are_proved() {
+        let p = program(SAXPY);
+        for strategy in [Strategy::Native, Strategy::Baseline, Strategy::Holistic] {
+            let k = kernel(&p, strategy, false);
+            match validate(&p, &k, &machine(), &Budgets::default()) {
+                Verdict::Proved(stats) => {
+                    assert!(stats.cells_compared > 0);
+                    assert!(stats.terms > 0);
+                }
+                v => panic!("{strategy:?}: expected proof, got {v:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn layout_replication_is_proved() {
+        let p = program(
+            "kernel strided {
+                const N = 32;
+                array A: f64[4*N+4]; array OUT: f64[2*N];
+                scalar c, d: f64;
+                for t in 0..4 {
+                    for i in 0..N {
+                        c = A[4*i] * 2.0;
+                        d = A[4*i+3] * 2.0;
+                        OUT[2*i] = c + 1.0;
+                        OUT[2*i+1] = d + 1.0;
+                    }
+                }
+            }",
+        );
+        let mut cfg = SlpConfig::for_machine(machine(), Strategy::Holistic).with_layout();
+        cfg.unroll = 1;
+        let k = compile(&p, &cfg);
+        assert!(!k.replications.is_empty(), "expected a replication");
+        match validate(&p, &k, &machine(), &Budgets::default()) {
+            Verdict::Proved(_) => {}
+            v => panic!("expected proof through replication, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn reordered_dependent_items_are_refuted() {
+        // A[i] = A[i] * 2 ; A[i] = A[i] + 1  — the two superwords are
+        // dependent, so swapping the scheduled items changes the result
+        // for (almost) every input. The kernel must actually vectorize:
+        // the cost gate executes a non-vectorized block in program order,
+        // which would mask a schedule-only tamper from the VM replay.
+        let p = program(
+            "kernel dep { array A: f64[8];
+             for i in 0..8 { A[i] = A[i] * 2.0; A[i] = A[i] + 1.0; } }",
+        );
+        let mut k = kernel(&p, Strategy::Holistic, false);
+        let (bid, sched) = k.schedules[0].clone();
+        assert!(sched.is_vectorized(), "tamper needs an executed schedule");
+        let mut items: Vec<ScheduledItem> = sched.items().to_vec();
+        assert!(items.len() >= 2);
+        items.swap(0, 1);
+        k.schedules[0] = (bid, BlockSchedule::new(items));
+        match validate(&p, &k, &machine(), &Budgets::default()) {
+            Verdict::Refuted(cex) => {
+                assert!(cex.location.starts_with("A["), "{}", cex.location);
+                assert_ne!(cex.scalar_value.to_bits(), cex.vector_value.to_bits());
+                assert!(replay_counterexample(&p, &k, &machine(), &cex));
+            }
+            v => panic!("expected refutation, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn term_budget_degrades_to_budget_verdict() {
+        let p = program(SAXPY);
+        let k = kernel(&p, Strategy::Holistic, false);
+        let tiny = Budgets {
+            max_terms: 8,
+            max_steps: 1 << 20,
+        };
+        match validate(&p, &k, &machine(), &tiny) {
+            Verdict::Budget { .. } => {}
+            v => panic!("expected budget degrade, got {v:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_local_temp_is_not_compared() {
+        let p = program(
+            "kernel t { array A: f64[8]; scalar t: f64;
+             for i in 0..8 { t = A[i]; A[i] = t * 2.0; } }",
+        );
+        let compared = compared_scalars(&p);
+        assert!(!compared.iter().any(|&c| c), "t is a dead temporary");
+    }
+
+    #[test]
+    fn live_out_scalar_is_compared() {
+        let p = program(
+            "kernel t { array A: f64[8]; array B: f64[1]; scalar t: f64;
+             for i in 0..8 { t = A[i]; A[i] = t * 2.0; }
+             B[0] = t; }",
+        );
+        let compared = compared_scalars(&p);
+        assert!(compared.iter().any(|&c| c), "t is read after the loop");
+    }
+}

@@ -41,6 +41,8 @@ impl fmt::Display for Severity {
 ///   ([`crate::check_differential`])
 /// * `V5xx` — whole-program dataflow lints from `slp-analyze`
 ///   ([`crate::lint_program`])
+/// * `V6xx` — symbolic translation validation from `slp-tv`
+///   ([`crate::check_symbolic`])
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LintCode {
     /// The schedule is not a permutation of the block's statements
@@ -95,6 +97,19 @@ pub enum LintCode {
     /// whose base alignment cannot be proven, so vectorizing it costs
     /// unaligned memory operations.
     MisalignmentRisk,
+    /// A loop whose constant bounds prove a zero trip count: its body is
+    /// dead code.
+    LoopNeverExecutes,
+    /// The symbolic validator found (and execution confirmed) an input on
+    /// which the vectorized kernel and the scalar program diverge.
+    SymbolicMismatch,
+    /// The symbolic validator exhausted a resource budget and degraded to
+    /// the differential check.
+    SymbolicBudgetExceeded,
+    /// The kernel leaves the fragment the symbolic validator models (or a
+    /// symbolic mismatch could not be confirmed concretely), so the
+    /// validator degraded to the differential check.
+    SymbolicUnsupported,
 }
 
 impl LintCode {
@@ -120,11 +135,15 @@ impl LintCode {
             LintCode::DeadStore => "V501",
             LintCode::OutOfBoundsSubscript => "V502",
             LintCode::MisalignmentRisk => "V503",
+            LintCode::LoopNeverExecutes => "V504",
+            LintCode::SymbolicMismatch => "V600",
+            LintCode::SymbolicBudgetExceeded => "V601",
+            LintCode::SymbolicUnsupported => "V602",
         }
     }
 
     /// Every lint code in the catalogue, in `Vnnn` order.
-    pub const ALL: [LintCode; 19] = [
+    pub const ALL: [LintCode; 23] = [
         LintCode::ScheduleNotPermutation,
         LintCode::DependenceOrderViolated,
         LintCode::IntraPackDependence,
@@ -144,6 +163,10 @@ impl LintCode {
         LintCode::DeadStore,
         LintCode::OutOfBoundsSubscript,
         LintCode::MisalignmentRisk,
+        LintCode::LoopNeverExecutes,
+        LintCode::SymbolicMismatch,
+        LintCode::SymbolicBudgetExceeded,
+        LintCode::SymbolicUnsupported,
     ];
 
     /// The inverse of [`LintCode::code`]: parses a stable `Vnnn` code
@@ -162,13 +185,19 @@ impl LintCode {
     /// wrong. The V5xx source lints are warnings except
     /// [`LintCode::OutOfBoundsSubscript`]: strided-interval endpoints
     /// over the iteration box are attained, so a flagged subscript
-    /// really does escape the array on some iteration.
+    /// really does escape the array on some iteration. Among the V6xx
+    /// symbolic-validation codes only [`LintCode::SymbolicMismatch`] is an
+    /// error (a confirmed miscompile); the two degrade codes record that
+    /// the proof fell back to the differential check, which is legal.
     pub fn severity(self) -> Severity {
         match self {
             LintCode::MisalignedPack
             | LintCode::UseBeforeDef
             | LintCode::DeadStore
-            | LintCode::MisalignmentRisk => Severity::Warning,
+            | LintCode::MisalignmentRisk
+            | LintCode::LoopNeverExecutes
+            | LintCode::SymbolicBudgetExceeded
+            | LintCode::SymbolicUnsupported => Severity::Warning,
             _ => Severity::Error,
         }
     }
@@ -355,6 +384,10 @@ mod tests {
         assert_eq!(LintCode::MisalignedPack.code(), "V204");
         assert_eq!(LintCode::NonInjectiveLayoutMap.code(), "V301");
         assert_eq!(LintCode::DifferentialMismatch.code(), "V401");
+        assert_eq!(LintCode::LoopNeverExecutes.code(), "V504");
+        assert_eq!(LintCode::SymbolicMismatch.code(), "V600");
+        assert_eq!(LintCode::SymbolicBudgetExceeded.code(), "V601");
+        assert_eq!(LintCode::SymbolicUnsupported.code(), "V602");
     }
 
     #[test]
@@ -384,6 +417,7 @@ mod tests {
             LintCode::DifferentialMismatch,
             LintCode::ExecutionFailed,
             LintCode::OutOfBoundsSubscript,
+            LintCode::SymbolicMismatch,
         ] {
             assert_eq!(code.severity(), Severity::Error, "{code}");
         }
@@ -392,6 +426,9 @@ mod tests {
             LintCode::UseBeforeDef,
             LintCode::DeadStore,
             LintCode::MisalignmentRisk,
+            LintCode::LoopNeverExecutes,
+            LintCode::SymbolicBudgetExceeded,
+            LintCode::SymbolicUnsupported,
         ] {
             assert_eq!(code.severity(), Severity::Warning, "{code}");
         }

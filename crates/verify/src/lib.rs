@@ -19,7 +19,11 @@
 //!   arrays bit for bit (`V4xx`),
 //! * [`lint_program`] — whole-program dataflow lints over the *source*
 //!   program, bridged from `slp-analyze`: use-before-def, dead stores,
-//!   provably out-of-bounds subscripts, misalignment risks (`V5xx`).
+//!   provably out-of-bounds subscripts, misalignment risks, dead loops
+//!   (`V5xx`),
+//! * [`check_symbolic`] — symbolic translation validation bridged from
+//!   `slp-tv`: proves scalar ≡ vectorized over *all* inputs, degrading to
+//!   the differential check on budget exhaustion (`V6xx`).
 //!
 //! [`verify_kernel`] bundles the static checks; [`verify_with_execution`]
 //! adds the differential run. [`pipeline_hook`] and
@@ -51,6 +55,7 @@ mod differential;
 mod layout;
 mod lints;
 mod packs;
+mod symbolic;
 
 pub use deps::check_dependences;
 pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
@@ -60,6 +65,7 @@ pub use differential::{
 pub use layout::check_layout;
 pub use lints::lint_program;
 pub use packs::check_packs;
+pub use symbolic::{check_symbolic, prove_kernel};
 
 #[cfg(doc)]
 use slp_core::SlpConfig;

@@ -12,7 +12,9 @@
 //!   endpoints over the iteration box are attained, so the overrun is a
 //!   fact, not a possibility),
 //! * misalignment risk for a pack candidate →
-//!   [`LintCode::MisalignmentRisk`] (V503, warning).
+//!   [`LintCode::MisalignmentRisk`] (V503, warning),
+//! * a loop that provably never executes →
+//!   [`LintCode::LoopNeverExecutes`] (V504, warning).
 
 use std::collections::HashMap;
 
@@ -51,6 +53,7 @@ pub fn lint_program(program: &Program) -> Report {
             FindingKind::DeadStore => LintCode::DeadStore,
             FindingKind::OutOfBounds => LintCode::OutOfBoundsSubscript,
             FindingKind::MisalignmentRisk => LintCode::MisalignmentRisk,
+            FindingKind::LoopNeverExecutes => LintCode::LoopNeverExecutes,
         };
         let span = match home.get(&finding.stmt) {
             Some(&b) => Span::stmts(b, vec![finding.stmt]),
@@ -104,5 +107,15 @@ mod tests {
         assert!(r.has(LintCode::UseBeforeDef), "{r}");
         assert!(r.has(LintCode::DeadStore), "{r}");
         assert!(r.passes(), "V500/V501 do not fail the build: {r}");
+    }
+
+    #[test]
+    fn dead_loop_is_a_warning() {
+        let r = lint(
+            "kernel dead { array A: f64[8];
+             for i in 8..8 { A[i] = 1.0; } }",
+        );
+        assert!(r.has(LintCode::LoopNeverExecutes), "{r}");
+        assert!(r.passes(), "V504 does not fail the build: {r}");
     }
 }

@@ -406,8 +406,22 @@ impl BytecodeKernel {
     /// Returns [`ExecError`] on out-of-bounds accesses (same error
     /// strings as the reference engine).
     pub fn run(&self) -> Result<Outcome, ExecError> {
+        self.run_from(MachineState::seeded(&self.program))
+    }
+
+    /// Executes the bytecode from an explicit initial memory image
+    /// instead of the deterministic seeds. The state must have been
+    /// allocated for this kernel's program (same arrays, same lengths) —
+    /// start from [`MachineState::seeded`] and overwrite the cells of
+    /// interest. Replicated arrays are repopulated from their sources
+    /// before the kernel's loops run, exactly as in [`BytecodeKernel::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on out-of-bounds accesses.
+    pub fn run_from(&self, state: MachineState) -> Result<Outcome, ExecError> {
         let mut stats = RunStats::default();
-        let mut state = MachineState::seeded(&self.program);
+        let mut state = state;
         for r in &self.replications {
             populate_replication(&self.program, &self.cost, &mut state, &mut stats, r)?;
         }

@@ -79,6 +79,26 @@ pub fn execute_gated(
     crate::bytecode::BytecodeKernel::compile(kernel, machine, cost_gate)?.run()
 }
 
+/// Executes `kernel` on the bytecode engine from an explicit initial
+/// memory image instead of the deterministic seeds (cost gate enabled).
+///
+/// The state must have been allocated for `kernel.program` — start from
+/// [`MachineState::seeded`] and overwrite the cells of interest. Used by
+/// the symbolic translation validator to replay extracted counterexample
+/// inputs.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on out-of-bounds accesses or malformed code.
+pub fn execute_with_state(
+    kernel: &CompiledKernel,
+    machine: &MachineConfig,
+    state: MachineState,
+) -> Result<Outcome, ExecError> {
+    crate::memory::check_memory_budget(&kernel.program)?;
+    crate::bytecode::BytecodeKernel::compile(kernel, machine, true)?.run_from(state)
+}
+
 /// Executes `kernel` on the original tree-walking interpreter (the
 /// reference engine), cost gate enabled.
 ///
@@ -106,6 +126,31 @@ pub fn execute_gated_reference(
     machine: &MachineConfig,
     cost_gate: bool,
 ) -> Result<Outcome, ExecError> {
+    let state = MachineState::seeded(&kernel.program);
+    execute_reference_with_state_gated(kernel, machine, cost_gate, state)
+}
+
+/// Executes `kernel` on the reference engine from an explicit initial
+/// memory image (cost gate enabled) — the tree-walking counterpart of
+/// [`execute_with_state`].
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on out-of-bounds accesses.
+pub fn execute_reference_with_state(
+    kernel: &CompiledKernel,
+    machine: &MachineConfig,
+    state: MachineState,
+) -> Result<Outcome, ExecError> {
+    execute_reference_with_state_gated(kernel, machine, true, state)
+}
+
+fn execute_reference_with_state_gated(
+    kernel: &CompiledKernel,
+    machine: &MachineConfig,
+    cost_gate: bool,
+    state: MachineState,
+) -> Result<Outcome, ExecError> {
     crate::memory::check_memory_budget(&kernel.program)?;
     let codes = lower_kernel(kernel, machine, cost_gate);
     let vectorized_blocks = codes.iter().filter(|(_, c)| c.vectorized).count();
@@ -120,7 +165,7 @@ pub fn execute_gated_reference(
     let mut ex = Executor {
         program: &kernel.program,
         machine,
-        state: MachineState::seeded(&kernel.program),
+        state,
         stats: RunStats::default(),
         regs: Vec::new(),
         env: Vec::new(),
@@ -483,8 +528,10 @@ impl<'a> Executor<'a> {
 }
 
 /// Applies an operator shape to positional operand values. Shared by the
-/// reference and bytecode engines.
-pub(crate) fn apply_shape(shape: ExprShape, vals: &[f64]) -> f64 {
+/// reference and bytecode engines, and by the symbolic translation
+/// validator's concrete counterexample evaluation — a single definition
+/// so operator semantics cannot drift between prover and executor.
+pub fn apply_shape(shape: ExprShape, vals: &[f64]) -> f64 {
     match shape {
         ExprShape::Copy => vals[0],
         ExprShape::Unary(op) => match op {

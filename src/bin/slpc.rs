@@ -16,9 +16,11 @@
 //!
 //! Runs the slp-analyze whole-program dataflow lints (V500 use before
 //! def, V501 dead store, V502 provably out-of-bounds subscript, V503
-//! misalignment risk) over each kernel's source program and prints the
-//! inferred scalar value ranges. Purely static: nothing is vectorized
-//! or executed.
+//! misalignment risk, V504 dead loop) over each kernel's source program
+//! and prints the inferred scalar value ranges. Purely static: nothing
+//! is executed. With `--json`, each kernel row also carries
+//! `deps_refuted` — how many false dependences the range-refined oracle
+//! disproves for a refined Holistic compile of that kernel.
 //!
 //! options:
 //!   --machine intel|amd                   echoed in the report header
@@ -38,6 +40,22 @@
 //!   --refine                              range-refined dependence testing
 //!   --json                                machine-readable report
 //!
+//! slpc prove <kernel.slp>... [options]
+//!
+//! Compiles each kernel under every vectorizing configuration and runs
+//! the symbolic translation validator (slp-tv) over the output: proves
+//! scalar ≡ vectorized over *all* inputs by hash-consed value-graph
+//! comparison. Per configuration the verdict is `proved`, `budget` (the
+//! proof degraded to the differential check) or `refuted` (an
+//! execution-confirmed counterexample exists; details in the V600
+//! diagnostic).
+//!
+//! options:
+//!   --machine intel|amd                   cost model (default: intel)
+//!   --unroll N                            unroll factor (default: auto)
+//!   --refine                              range-refined dependence testing
+//!   --json                                machine-readable report
+//!
 //! slpc batch <dir|manifest|kernel.slp>... [options]
 //!
 //! Compiles a corpus across a worker pool with content-addressed
@@ -52,7 +70,8 @@
 //!   --machine intel|amd                   cost model (default: intel)
 //!   --unroll N                            unroll factor (default: auto)
 //!   --refine                              range-refined dependence testing
-//!   --verify none|static|full             verification level (default: static)
+//!   --verify none|static|full|prove       verification level (default: static)
+//!   --prove                               shorthand for --verify prove
 //!   --threads N                           worker threads (default: cores)
 //!   --budget-ms N                         per-kernel compile budget
 //!   --no-degrade                          fail entries instead of scalar fallback
@@ -94,9 +113,11 @@ fn usage() -> ExitCode {
          slpc analyze <kernel.slp>... [--machine intel|amd] [--json]\n       \
          slpc check <kernel.slp>... [--machine intel|amd] [--static] \
          [--unroll N] [--refine] [--json]\n       \
+         slpc prove <kernel.slp>... [--machine intel|amd] \
+         [--unroll N] [--refine] [--json]\n       \
          slpc batch <dir|manifest|kernel.slp>... [--strategy ...] [--layout] \
          [--machine intel|amd] [--unroll N] [--refine] \
-         [--verify none|static|full] \
+         [--verify none|static|full|prove] [--prove] \
          [--threads N] [--budget-ms N] [--no-degrade] [--cache-dir DIR] \
          [--no-cache] [--json] [--strict]"
     );
@@ -364,6 +385,121 @@ fn run_check(opts: &CheckOptions) -> ExitCode {
     }
 }
 
+/// Options of the `prove` subcommand — `check`'s, minus the
+/// differential toggle (the validator itself decides when to degrade).
+fn parse_prove_args(mut args: impl Iterator<Item = String>) -> Result<CheckOptions, ExitCode> {
+    let mut opts = CheckOptions {
+        paths: Vec::new(),
+        machine: MachineConfig::intel_dunnington(),
+        differential: false,
+        unroll: 0,
+        refine: false,
+        json: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--machine" => {
+                opts.machine = match args.next().as_deref().and_then(parse_machine) {
+                    Some(m) => m,
+                    None => return Err(usage()),
+                }
+            }
+            "--unroll" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.unroll = n,
+                None => return Err(usage()),
+            },
+            "--refine" => opts.refine = true,
+            "--json" => opts.json = true,
+            path if !path.starts_with('-') => opts.paths.push(path.to_string()),
+            _ => return Err(usage()),
+        }
+    }
+    if opts.paths.is_empty() {
+        return Err(usage());
+    }
+    Ok(opts)
+}
+
+/// `slpc prove`: compile each kernel under every vectorizing
+/// configuration and run the symbolic translation validator over the
+/// output. Exits 1 when any configuration is refuted or any verify
+/// checker reports an error.
+fn run_prove(opts: &CheckOptions) -> ExitCode {
+    let mut errors = 0usize;
+    let mut counts = [0usize; 3]; // proved, budget, refuted
+    let mut kernel_rows = Vec::new();
+    for path in &opts.paths {
+        let mut config_rows = Vec::new();
+        for (label, cfg) in check_configs(opts) {
+            let outcome = match compile_file(path, cfg, VerifyLevel::Prove) {
+                Ok(o) => o,
+                Err(code) => return code,
+            };
+            let report = outcome.report.as_ref().expect("prove always verifies");
+            let verdict = outcome.prove.expect("prove level always carries a verdict");
+            errors += report.error_count();
+            counts[match verdict {
+                ProveVerdict::Proved => 0,
+                ProveVerdict::Budget => 1,
+                ProveVerdict::Refuted => 2,
+            }] += 1;
+            if opts.json {
+                config_rows.push(Json::obj(vec![
+                    ("config", Json::str(&label)),
+                    ("verdict", Json::str(verdict.name())),
+                    (
+                        "superwords",
+                        Json::num(outcome.kernel.stats.superwords as u64),
+                    ),
+                    ("errors", Json::num(report.error_count() as u64)),
+                    ("warnings", Json::num(report.warning_count() as u64)),
+                    ("diagnostics", diagnostics_json(report)),
+                    ("fingerprint", Json::str(outcome.fingerprint.to_hex())),
+                ]));
+            } else {
+                println!(
+                    "{path} [{label}]: {} ({} superword statement(s))",
+                    verdict.name(),
+                    outcome.kernel.stats.superwords
+                );
+                for d in &report.diagnostics {
+                    println!("  {d}");
+                }
+            }
+        }
+        if opts.json {
+            kernel_rows.push(Json::obj(vec![
+                ("path", Json::str(path)),
+                ("configs", Json::Arr(config_rows)),
+            ]));
+        }
+    }
+    let [proved, budget, refuted] = counts;
+    if opts.json {
+        let doc = Json::obj(vec![
+            ("machine", Json::str(&opts.machine.name)),
+            ("kernels", Json::Arr(kernel_rows)),
+            ("proved", Json::num(proved as u64)),
+            ("budget", Json::num(budget as u64)),
+            ("refuted", Json::num(refuted as u64)),
+            ("errors", Json::num(errors as u64)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!(
+            "proved {proved}/{} kernel-configuration(s) on {}: \
+             {budget} degraded to differential, {refuted} refuted",
+            proved + budget + refuted,
+            opts.machine.name
+        );
+    }
+    if refuted > 0 || errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Options of the `analyze` subcommand.
 struct AnalyzeOptions {
     paths: Vec<String>,
@@ -424,10 +560,23 @@ fn run_analyze(opts: &AnalyzeOptions) -> ExitCode {
         warnings += report.warning_count();
         let ranges = render_scalar_ranges(&program, &ScalarRanges::analyze(&program));
         if opts.json {
+            // Surface the range oracle's telemetry: a refined Holistic
+            // compile reports how many false dependences the
+            // strided-interval analysis disproved for this kernel.
+            let refine_req = CompileRequest {
+                name: path.clone(),
+                source: source.clone(),
+                config: build_config(&opts.machine, Strategy::Holistic, false, 0, true),
+                verify: VerifyLevel::None,
+            };
+            let deps_refuted = compile_source(&refine_req, None)
+                .map(|o| o.kernel.stats.deps_refuted)
+                .unwrap_or(0);
             kernel_rows.push(Json::obj(vec![
                 ("path", Json::str(path)),
                 ("errors", Json::num(report.error_count() as u64)),
                 ("warnings", Json::num(report.warning_count() as u64)),
+                ("deps_refuted", Json::num(deps_refuted as u64)),
                 ("diagnostics", diagnostics_json(&report)),
                 (
                     "scalar_ranges",
@@ -546,6 +695,7 @@ fn parse_batch_args(mut args: impl Iterator<Item = String>) -> Result<BatchOptio
                 Some(n) => opts.budget_ms = Some(n),
                 None => return Err(usage()),
             },
+            "--prove" => opts.verify = VerifyLevel::Prove,
             "--no-degrade" => opts.degrade = false,
             "--cache-dir" => match args.next() {
                 Some(dir) => opts.cache_dir = Some(dir),
@@ -691,6 +841,13 @@ fn main() -> ExitCode {
             argv.next();
             return match parse_check_args(argv) {
                 Ok(opts) => run_check(&opts),
+                Err(code) => code,
+            };
+        }
+        Some("prove") => {
+            argv.next();
+            return match parse_prove_args(argv) {
+                Ok(opts) => run_prove(&opts),
                 Err(code) => code,
             };
         }

@@ -21,6 +21,8 @@
 //! * [`core`] — grouping, scheduling, baselines, cost model, layout
 //! * [`vm`] — vector code generation and the simulated machines
 //! * [`suite`] — the Table 3 benchmark kernels and a program generator
+//! * [`tv`] — symbolic translation validation: prove scalar ≡ vectorized
+//!   over all inputs via hash-consed value graphs
 //! * [`verify`] — legality lints and differential translation validation
 //! * [`driver`] — compile caching, parallel batches, telemetry, serving
 //!
@@ -58,6 +60,7 @@ pub use slp_driver as driver;
 pub use slp_ir as ir;
 pub use slp_lang as lang;
 pub use slp_suite as suite;
+pub use slp_tv as tv;
 pub use slp_verify as verify;
 pub use slp_vm as vm;
 
@@ -95,7 +98,7 @@ pub mod prelude {
     };
     pub use slp_driver::{
         compile_batch, compile_source, parallel_map, parse_machine, parse_strategy, BatchConfig,
-        CompileCache, CompileOutcome, CompileRequest, DriverError, VerifyLevel,
+        CompileCache, CompileOutcome, CompileRequest, DriverError, ProveVerdict, VerifyLevel,
     };
     pub use slp_ir::Program;
     pub use slp_lang::{compile as parse_kernel, ParseError};
