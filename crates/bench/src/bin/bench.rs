@@ -1,7 +1,8 @@
-//! Engine-level benchmarks of the virtual machine itself.
+//! Engine- and solver-level benchmarks.
 //!
 //! ```text
 //! bench vm-throughput [--quick] [--out PATH] [--reps N]
+//! bench opt-gap [--quick] [--out PATH] [--deadline-ms N] [--max-nodes N]
 //! ```
 //!
 //! `vm-throughput` executes the sixteen-kernel suite under four schemes
@@ -19,14 +20,32 @@
 //! diagnostics, still writes the report (with `gate: "failed"`), and
 //! exits nonzero — a throughput number for a wrong engine is worthless.
 //!
-//! Results land in `BENCH_vm.json` (override with `--out`). Compilation
-//! of the configurations fans out across the driver's worker pool;
+//! `opt-gap` measures how far the holistic heuristic lands from *proven
+//! optimal* statement packing: it compiles the sixteen-kernel suite on
+//! both simulated machines under `Strategy::Holistic` and
+//! `Strategy::Optimal` (the `slp-opt` branch-and-bound solver), reports
+//! per-kernel estimated-cycle costs, solver nodes, solve time and the
+//! proven optimality gap, and *confirms every claimed win* by executing
+//! both kernels on the VM. A *proven* win (the solve exhausted, so the
+//! cheaper packing is optimal under the cost model) that does not
+//! survive cycle-accurate execution fails the run; an *anytime* claim
+//! from a budget-hit solve that fails confirmation is reported but
+//! neither scores nor fails the run — it was never a proof. Both
+//! compiles also pass the scalar differential check. Results land in
+//! `BENCH_opt.json`; the run exits nonzero unless every proven win is
+//! VM-confirmed and at least three suite kernels end with the solver
+//! either strictly beating the heuristic (confirmed) or proving it
+//! optimal.
+//!
+//! `vm-throughput` results land in `BENCH_vm.json` (override either
+//! with `--out`). Compilation fans out across the driver's worker pool;
 //! timing loops are strictly serial so the two engines see identical
 //! conditions.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use slp::core::Phase;
 use slp::driver::json::Json;
 use slp::prelude::*;
 use slp::vm::execute_reference;
@@ -46,22 +65,254 @@ struct Case {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench vm-throughput [--quick] [--out PATH] [--reps N]\n       \
-         --quick   1 repetition per configuration (CI smoke)\n       \
-         --out     report path (default BENCH_vm.json)\n       \
-         --reps    timed repetitions per configuration (default 5)"
+         bench opt-gap [--quick] [--out PATH] [--deadline-ms N] [--max-nodes N]\n       \
+         --quick        vm-throughput: 1 repetition; opt-gap: small node cap (CI smoke)\n       \
+         --out          report path (default BENCH_vm.json / BENCH_opt.json)\n       \
+         --reps         timed repetitions per configuration (default 5)\n       \
+         --deadline-ms  per-block solver deadline, 0 = none (default 0)\n       \
+         --max-nodes    per-block solver node cap, 0 = unlimited (default 200000)"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("vm-throughput") {
-        return usage();
+    match args.first().map(String::as_str) {
+        Some("vm-throughput") => vm_throughput(&args[1..]),
+        Some("opt-gap") => opt_gap(&args[1..]),
+        _ => usage(),
     }
+}
+
+fn machines() -> [MachineConfig; 2] {
+    [
+        MachineConfig::intel_dunnington(),
+        MachineConfig::amd_phenom_ii(),
+    ]
+}
+
+/// Heuristic-vs-optimal packing gaps over the suite, VM-confirmed.
+fn opt_gap(args: &[String]) -> ExitCode {
+    let mut quick = false;
+    let mut out = "BENCH_opt.json".to_string();
+    // Node-capped by default (deadline 0) so reruns are deterministic;
+    // a wall deadline is opt-in for interactive use.
+    let mut deadline_ms = 0u64;
+    let mut max_nodes = 200_000u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => deadline_ms = n,
+                None => return usage(),
+            },
+            "--max-nodes" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => max_nodes = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if quick {
+        max_nodes = max_nodes.min(5_000);
+    }
+
+    const EPS: f64 = 1e-9;
+    let machines = machines();
+    let suite = slp::suite::all(1);
+    let mut inputs = Vec::new();
+    for machine in &machines {
+        for (spec, program) in &suite {
+            inputs.push((spec.name, machine, program));
+        }
+    }
+    eprintln!(
+        "opt-gap: {} configurations ({} kernels x {} machines), \
+         deadline {deadline_ms} ms, node cap {max_nodes}",
+        inputs.len(),
+        suite.len(),
+        machines.len()
+    );
+
+    struct Row {
+        kernel: &'static str,
+        machine: String,
+        est_heur: f64,
+        est_opt: f64,
+        cycles_heur: f64,
+        cycles_opt: f64,
+        nodes: u64,
+        gap_ppm: u64,
+        degraded: bool,
+        solve_nanos: u64,
+        diffs: Vec<String>,
+    }
+
+    let rows: Vec<Row> = parallel_map(&inputs, 0, |_, &(kernel, machine, program)| {
+        let heur_cfg = SlpConfig::for_machine(machine.clone(), Strategy::Holistic);
+        let (heur, _) = compile_timed(program, &heur_cfg);
+        let opt_cfg = SlpConfig::for_machine(machine.clone(), Strategy::Optimal)
+            .with_packer(OptimalPacker)
+            .with_opt_budget(deadline_ms, max_nodes);
+        let (opt, opt_timings) = compile_timed(program, &opt_cfg);
+
+        // Correctness gate: both kernels must match the scalar reference.
+        let mut diffs: Vec<String> = Vec::new();
+        for (label, k) in [("heuristic", &heur), ("optimal", &opt)] {
+            for d in slp::verify::check_differential(program, k) {
+                diffs.push(format!("{kernel}/{}/{label}: {d}", machine.name));
+            }
+        }
+
+        let cycles = |k: &CompiledKernel| {
+            execute(k, machine)
+                .expect("suite kernel executes")
+                .stats
+                .metrics
+                .cycles
+        };
+        Row {
+            kernel,
+            machine: machine.name.to_string(),
+            est_heur: estimate_kernel_cost(&heur),
+            est_opt: estimate_kernel_cost(&opt),
+            cycles_heur: cycles(&heur),
+            cycles_opt: cycles(&opt),
+            nodes: opt.stats.opt_nodes,
+            gap_ppm: opt.stats.opt_gap_ppm,
+            degraded: opt.stats.opt_degraded,
+            solve_nanos: opt_timings.nanos(Phase::Solve),
+            diffs,
+        }
+    });
+
+    let diff_failures: Vec<&String> = rows.iter().flat_map(|r| &r.diffs).collect();
+    let mut claimed = 0usize;
+    let mut confirmed = 0usize;
+    let mut unconfirmed: Vec<String> = Vec::new();
+    let mut unconfirmed_anytime: Vec<String> = Vec::new();
+    let mut proved_optimal = 0usize;
+    let mut budget_hit = 0usize;
+    // Acceptance counts kernels, not (kernel, machine) rows: a kernel
+    // scores when on some machine the solver either strictly improved on
+    // the heuristic (VM-confirmed) or proved it optimal.
+    let mut scored: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+    let mut json_rows = Vec::with_capacity(rows.len());
+    for r in &rows {
+        let win_claimed = r.est_opt < r.est_heur - EPS;
+        let win_confirmed = win_claimed && r.cycles_opt <= r.cycles_heur + EPS;
+        let proved = !r.degraded && r.gap_ppm == 0;
+        claimed += usize::from(win_claimed);
+        confirmed += usize::from(win_confirmed);
+        proved_optimal += usize::from(proved);
+        budget_hit += usize::from(r.degraded);
+        if win_claimed && !win_confirmed {
+            let msg = format!(
+                "{}/{}: estimated {:.2} < {:.2} but measured {:.0} > {:.0} cycles",
+                r.kernel, r.machine, r.est_opt, r.est_heur, r.cycles_opt, r.cycles_heur
+            );
+            if r.degraded {
+                unconfirmed_anytime.push(msg);
+            } else {
+                unconfirmed.push(msg);
+            }
+        }
+        if win_confirmed || proved {
+            scored.insert(r.kernel);
+        }
+        json_rows.push(Json::obj([
+            ("kernel", Json::str(r.kernel)),
+            ("machine", Json::str(&r.machine)),
+            ("estimated_cycles_heuristic", Json::float(r.est_heur)),
+            ("estimated_cycles_optimal", Json::float(r.est_opt)),
+            ("measured_cycles_heuristic", Json::float(r.cycles_heur)),
+            ("measured_cycles_optimal", Json::float(r.cycles_opt)),
+            ("solver_nodes", Json::num(r.nodes)),
+            ("solver_gap_ppm", Json::num(r.gap_ppm)),
+            ("solver_degraded", Json::Bool(r.degraded)),
+            ("solve_nanos", Json::num(r.solve_nanos)),
+            ("win_claimed", Json::Bool(win_claimed)),
+            ("win_confirmed", Json::Bool(win_confirmed)),
+            ("proved_optimal", Json::Bool(proved)),
+        ]));
+    }
+
+    eprintln!(
+        "opt-gap: {confirmed}/{claimed} claimed wins VM-confirmed, \
+         {proved_optimal}/{} rows proven optimal, {budget_hit} hit the budget",
+        rows.len()
+    );
+    for miss in &unconfirmed {
+        eprintln!("UNCONFIRMED PROVEN WIN: {miss}");
+    }
+    for miss in &unconfirmed_anytime {
+        eprintln!("unconfirmed anytime claim (budget-hit, not a proof): {miss}");
+    }
+    for d in &diff_failures {
+        eprintln!("DIFFERENTIAL FAILURE: {d}");
+    }
+    eprintln!(
+        "kernels where the solver beat the heuristic or proved it optimal: {} ({})",
+        scored.len(),
+        scored.iter().copied().collect::<Vec<_>>().join(", ")
+    );
+
+    let ok = unconfirmed.is_empty() && diff_failures.is_empty() && scored.len() >= 3;
+    let report = Json::obj([
+        ("benchmark", Json::str("opt-gap")),
+        ("quick", Json::Bool(quick)),
+        ("kernels", Json::num(suite.len() as u64)),
+        (
+            "machines",
+            Json::Arr(machines.iter().map(|m| Json::str(&*m.name)).collect()),
+        ),
+        ("deadline_ms", Json::num(deadline_ms)),
+        ("max_nodes", Json::num(max_nodes)),
+        ("wins_claimed", Json::num(claimed as u64)),
+        ("wins_confirmed", Json::num(confirmed as u64)),
+        ("proved_optimal_rows", Json::num(proved_optimal as u64)),
+        ("budget_hit_rows", Json::num(budget_hit as u64)),
+        (
+            "kernels_improved_or_proved",
+            Json::Arr(scored.iter().map(|k| Json::str(*k)).collect()),
+        ),
+        (
+            "unconfirmed_wins",
+            Json::Arr(unconfirmed.iter().map(Json::str).collect()),
+        ),
+        (
+            "unconfirmed_anytime_claims",
+            Json::Arr(unconfirmed_anytime.iter().map(Json::str).collect()),
+        ),
+        (
+            "differential_failures",
+            Json::Arr(diff_failures.iter().map(|s| Json::str(*s)).collect()),
+        ),
+        ("pass", Json::Bool(ok)),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    if let Err(e) = std::fs::write(&out, report.to_pretty() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {out}");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn vm_throughput(args: &[String]) -> ExitCode {
     let mut quick = false;
     let mut out = "BENCH_vm.json".to_string();
     let mut reps = 5usize;
-    let mut it = args[1..].iter();
+    let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
@@ -80,10 +331,7 @@ fn main() -> ExitCode {
         reps = 1;
     }
 
-    let machines = [
-        MachineConfig::intel_dunnington(),
-        MachineConfig::amd_phenom_ii(),
-    ];
+    let machines = machines();
     let schemes = [
         Scheme::Scalar,
         Scheme::Slp,

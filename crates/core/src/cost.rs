@@ -98,7 +98,12 @@ pub fn estimate_schedule_cost(
     total
 }
 
-fn scalar_stmt_cost(stmt: &Statement, cx: &CostContext<'_>) -> f64 {
+/// Estimated cycles of executing one statement as a scalar statement:
+/// exposed-operand loads, the (possibly exposed) destination store, and
+/// the shape-weighted ALU op. Public so the `slp-opt` branch-and-bound
+/// solver can build admissible per-statement lower bounds from the same
+/// tables the schedule estimator uses.
+pub fn scalar_stmt_cost(stmt: &Statement, cx: &CostContext<'_>) -> f64 {
     let loads = stmt
         .uses()
         .iter()

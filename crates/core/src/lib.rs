@@ -16,7 +16,7 @@ mod superword;
 mod telemetry;
 
 pub use baseline::{baseline_block, baseline_groups};
-pub use cost::{estimate_scalar_cost, estimate_schedule_cost, CostContext};
+pub use cost::{estimate_scalar_cost, estimate_schedule_cost, scalar_stmt_cost, CostContext};
 pub use error::{ExecError, ExecErrorKind, SlpError, VerifyError};
 pub use group::{group_block, group_block_with, Grouping, GroupingDecision};
 pub use layout::array::{eq4_map, optimize_array_layout, ArrayLayoutConfig, Replication};
@@ -25,7 +25,8 @@ pub use layout::{collect_pack_uses, PackUse};
 pub use machine::{op_cost_factor, CostParams, MachineConfig};
 pub use native::native_block;
 pub use pipeline::{
-    compile, compile_timed, CompileStats, CompiledKernel, SlpConfig, Strategy, Verifier,
+    compile, compile_timed, estimate_kernel_cost, CompileStats, CompiledKernel, HeuristicPacker,
+    OptParams, PackOutcome, PackRequest, Packer, PackerHandle, SlpConfig, Strategy, Verifier,
     VerifierHandle,
 };
 pub use schedule::{schedule_block, schedule_in_program_order, ScheduleConfig};

@@ -6,7 +6,9 @@
 //! program plus a per-block schedule, a scalar memory layout and the array
 //! replications, ready for the `slp-vm` code generator and interpreter.
 
-use slp_ir::{unroll_program, BlockDeps, BlockId, Dest, Program, StmtId, TypeEnv};
+use slp_ir::{
+    unroll_program, BasicBlock, BlockDeps, BlockId, Dest, LoopHeader, Program, StmtId, TypeEnv,
+};
 
 use slp_analysis::WeightParams;
 use slp_analyze::RangeOracle;
@@ -36,6 +38,13 @@ pub enum Strategy {
     /// This paper's holistic optimizer ("Global"); add layout for
     /// "Global+Layout" via [`SlpConfig::layout`].
     Holistic,
+    /// Exact statement packing: the holistic heuristic's result is the
+    /// warm-start incumbent of a 0-1 ILP branch-and-bound search (the
+    /// goSLP formulation) run by the installed [`Packer`] under the
+    /// anytime budgets in [`SlpConfig::opt`]. Degrades to the heuristic
+    /// when the budget expires, recorded in
+    /// [`CompileStats::opt_degraded`].
+    Optimal,
 }
 
 impl Strategy {
@@ -46,12 +55,14 @@ impl Strategy {
             Strategy::Native => "Native",
             Strategy::Baseline => "SLP",
             Strategy::Holistic => "Global",
+            Strategy::Optimal => "Optimal",
         }
     }
 
     /// The CLI name of the strategy (`scalar`, `native`, `slp`,
-    /// `global`), as parsed by [`FromStr`](std::str::FromStr) and
-    /// rendered by [`Display`](std::fmt::Display). Distinct from
+    /// `global`, `optimal`), as parsed by
+    /// [`FromStr`](std::str::FromStr) and rendered by
+    /// [`Display`](std::fmt::Display). Distinct from
     /// [`Strategy::label`], which follows the figure legends.
     pub fn cli_name(self) -> &'static str {
         match self {
@@ -59,15 +70,18 @@ impl Strategy {
             Strategy::Native => "native",
             Strategy::Baseline => "slp",
             Strategy::Holistic => "global",
+            Strategy::Optimal => "optimal",
         }
     }
 
-    /// All strategies, in figure order.
-    pub const ALL: [Strategy; 4] = [
+    /// All strategies, in figure order (the solver-backed `Optimal`
+    /// scheme last).
+    pub const ALL: [Strategy; 5] = [
         Strategy::Scalar,
         Strategy::Native,
         Strategy::Baseline,
         Strategy::Holistic,
+        Strategy::Optimal,
     ];
 }
 
@@ -86,8 +100,9 @@ impl std::str::FromStr for Strategy {
             "native" => Ok(Strategy::Native),
             "slp" => Ok(Strategy::Baseline),
             "global" => Ok(Strategy::Holistic),
+            "optimal" => Ok(Strategy::Optimal),
             other => Err(format!(
-                "unknown strategy '{other}' (expected scalar, native, slp or global)"
+                "unknown strategy '{other}' (expected scalar, native, slp, global or optimal)"
             )),
         }
     }
@@ -163,6 +178,148 @@ impl std::fmt::Debug for VerifierHandle {
     }
 }
 
+/// Anytime budgets for the [`Strategy::Optimal`] packing solver.
+///
+/// Both budgets are disabled-at-zero: `deadline_ms == 0` means no wall
+/// deadline, `max_nodes == 0` means no node cap. Tests that need
+/// deterministic behaviour across machines should budget by nodes only
+/// (a wall deadline makes the point of interruption timing-dependent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OptParams {
+    /// Wall-clock deadline in milliseconds for the whole-kernel solve;
+    /// `0` disables the deadline.
+    pub deadline_ms: u64,
+    /// Maximum branch-and-bound nodes expanded per block; `0` means
+    /// unlimited.
+    pub max_nodes: u64,
+}
+
+impl Default for OptParams {
+    fn default() -> Self {
+        OptParams {
+            deadline_ms: 500,
+            max_nodes: 1 << 20,
+        }
+    }
+}
+
+/// Everything a [`Packer`] needs to (re)pack one basic block: the block
+/// and its dependence graph, the surrounding program context the cost
+/// model reads, and the heuristic's schedule as a warm-start incumbent.
+#[derive(Debug)]
+pub struct PackRequest<'a> {
+    /// The block to pack.
+    pub block: &'a BasicBlock,
+    /// The block's dependence graph (range-refined when
+    /// [`SlpConfig::refine_deps`] is on).
+    pub deps: &'a BlockDeps,
+    /// The unrolled program the block belongs to.
+    pub program: &'a Program,
+    /// The block's enclosing loop nest.
+    pub loops: &'a [LoopHeader],
+    /// Upward-exposed (memory-resident) scalars of `program`.
+    pub exposed: &'a [bool],
+    /// The full pipeline configuration (machine, weights, budgets).
+    pub config: &'a SlpConfig,
+    /// Whether the cost model should assume the §5 layout stage runs
+    /// afterwards (the optimistic half of the dual arbitration).
+    pub optimism: bool,
+    /// The heuristic's schedule for this block — the warm-start
+    /// incumbent the solver must never return worse than.
+    pub incumbent: &'a BlockSchedule,
+    /// `incumbent`'s estimated cost under this request's cost context.
+    pub incumbent_cost: f64,
+}
+
+/// What a [`Packer`] proved about one block.
+#[derive(Debug, Clone)]
+pub struct PackOutcome {
+    /// The chosen schedule (never costlier than the incumbent).
+    pub schedule: BlockSchedule,
+    /// The chosen schedule's estimated cost.
+    pub cost: f64,
+    /// The proven lower bound on any valid packing's cost. Equal to
+    /// `cost` when the search ran to completion (gap 0); `0.0` when
+    /// nothing was proven.
+    pub lower_bound: f64,
+    /// Branch-and-bound nodes expanded.
+    pub nodes: u64,
+    /// Whether a budget expired before the search completed (the
+    /// result is still valid, just not proven optimal).
+    pub degraded: bool,
+}
+
+/// A statement-packing engine for one basic block, pluggable behind
+/// [`Strategy::Optimal`].
+///
+/// The pipeline hands every packer the holistic heuristic's schedule as
+/// a warm-start incumbent; a correct implementation returns either that
+/// incumbent or something it costed strictly cheaper, so `Optimal` can
+/// never regress the heuristic. The `slp-opt` crate provides the real
+/// branch-and-bound implementation; [`HeuristicPacker`] is the trivial
+/// default that returns the incumbent unchanged.
+pub trait Packer: Send + Sync {
+    /// Packs one block, improving on (or keeping) the incumbent.
+    fn pack(&self, req: &PackRequest<'_>) -> PackOutcome;
+
+    /// A short display name for diagnostics.
+    fn name(&self) -> &str {
+        "packer"
+    }
+}
+
+/// The default [`Packer`]: returns the heuristic incumbent unchanged,
+/// proving nothing (`lower_bound = 0`, `degraded = true`). This is what
+/// [`Strategy::Optimal`] runs when no solver is installed, making the
+/// strategy safe to request even without the `slp-opt` crate linked.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HeuristicPacker;
+
+impl Packer for HeuristicPacker {
+    fn pack(&self, req: &PackRequest<'_>) -> PackOutcome {
+        PackOutcome {
+            schedule: req.incumbent.clone(),
+            cost: req.incumbent_cost,
+            lower_bound: 0.0,
+            nodes: 0,
+            degraded: true,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "heuristic"
+    }
+}
+
+/// A shared, cloneable handle to an installed [`Packer`] — the same
+/// shape as [`VerifierHandle`], for the same reason: [`SlpConfig`]
+/// stays `Clone` and `Debug` while the packer is a trait object.
+#[derive(Clone)]
+pub struct PackerHandle(std::sync::Arc<dyn Packer>);
+
+impl PackerHandle {
+    /// Wraps a packer in a shared handle.
+    pub fn new(packer: impl Packer + 'static) -> Self {
+        PackerHandle(std::sync::Arc::new(packer))
+    }
+
+    /// Runs the wrapped packer.
+    pub fn pack(&self, req: &PackRequest<'_>) -> PackOutcome {
+        self.0.pack(req)
+    }
+
+    /// The wrapped packer's display name.
+    pub fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+impl std::fmt::Debug for PackerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PackerHandle({})", self.0.name())
+    }
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct SlpConfig {
@@ -196,6 +353,13 @@ pub struct SlpConfig {
     /// Post-compile verification pass; `None` (the default) skips
     /// verification. See [`Verifier`].
     pub verify: Option<VerifierHandle>,
+    /// Anytime budgets for the [`Strategy::Optimal`] solver. Ignored by
+    /// every other strategy.
+    pub opt: OptParams,
+    /// The packing engine [`Strategy::Optimal`] runs; `None` (the
+    /// default) falls back to [`HeuristicPacker`]. The `slp-driver`
+    /// front-ends install the `slp-opt` branch-and-bound solver here.
+    pub packer: Option<PackerHandle>,
 }
 
 impl SlpConfig {
@@ -217,6 +381,8 @@ impl SlpConfig {
             cross_iteration_reuse: false,
             refine_deps: false,
             verify: None,
+            opt: OptParams::default(),
+            packer: None,
         }
     }
 
@@ -240,6 +406,22 @@ impl SlpConfig {
         self.verify = Some(VerifierHandle::new(verifier));
         self
     }
+
+    /// Installs a packing engine for [`Strategy::Optimal`].
+    pub fn with_packer(mut self, packer: impl Packer + 'static) -> Self {
+        self.packer = Some(PackerHandle::new(packer));
+        self
+    }
+
+    /// Sets the [`Strategy::Optimal`] anytime budgets (`0` disables the
+    /// corresponding budget).
+    pub fn with_opt_budget(mut self, deadline_ms: u64, max_nodes: u64) -> Self {
+        self.opt = OptParams {
+            deadline_ms,
+            max_nodes,
+        };
+        self
+    }
 }
 
 /// Aggregate statistics of one compilation.
@@ -261,6 +443,17 @@ pub struct CompileStats {
     /// beyond what the GCD baseline settles (0 unless
     /// [`SlpConfig::refine_deps`] is on).
     pub deps_refuted: usize,
+    /// Branch-and-bound nodes the [`Strategy::Optimal`] solver expanded
+    /// across all blocks (0 for every other strategy).
+    pub opt_nodes: u64,
+    /// The proven optimality gap of the [`Strategy::Optimal`] result in
+    /// parts per million: `(cost − lower_bound) / cost · 10⁶` summed
+    /// over blocks. `0` means the packing was proven optimal;
+    /// `1_000_000` means nothing was proven (no solver installed).
+    pub opt_gap_ppm: u64,
+    /// Whether any [`Strategy::Optimal`] block solve hit its anytime
+    /// budget and degraded to the (still-valid) best-known packing.
+    pub opt_degraded: bool,
 }
 
 /// The result of compiling one kernel.
@@ -319,10 +512,11 @@ pub fn compile(program: &Program, config: &SlpConfig) -> CompiledKernel {
 /// panics are identical to [`compile`].
 pub fn compile_timed(program: &Program, config: &SlpConfig) -> (CompiledKernel, PhaseTimings) {
     let mut timings = PhaseTimings::new();
-    let kernel = if config.strategy == Strategy::Holistic && config.layout {
+    let dual = matches!(config.strategy, Strategy::Holistic | Strategy::Optimal);
+    let kernel = if dual && config.layout {
         let optimistic = compile_inner(program, config, true, &mut timings);
         let plain = compile_inner(program, config, false, &mut timings);
-        if estimated_total_cost(&optimistic) <= estimated_total_cost(&plain) {
+        if estimate_kernel_cost(&optimistic) <= estimate_kernel_cost(&plain) {
             optimistic
         } else {
             plain
@@ -345,7 +539,11 @@ pub fn compile_timed(program: &Program, config: &SlpConfig) -> (CompiledKernel, 
 
 /// Total estimated cycles of a compiled kernel: per-block schedule cost
 /// times dynamic trip count, plus the one-time replication copies.
-fn estimated_total_cost(kernel: &CompiledKernel) -> f64 {
+///
+/// This is the arbiter of the Global+Layout dual compile; it is public
+/// so benchmarks (`bench opt-gap`) can compare kernels compiled under
+/// different strategies through the same estimator the pipeline uses.
+pub fn estimate_kernel_cost(kernel: &CompiledKernel) -> f64 {
     let exposed = kernel.program.upward_exposed_scalars();
     let mut total = 0.0;
     for info in kernel.program.blocks() {
@@ -403,6 +601,11 @@ fn compile_inner(
         blocks: infos.len(),
         ..CompileStats::default()
     };
+    // Strategy::Optimal bookkeeping: the per-block incumbent costs and
+    // proven lower bounds, summed so the whole-kernel optimality gap can
+    // be reported in parts per million.
+    let mut opt_cost_sum = 0.0f64;
+    let mut opt_bound_sum = 0.0f64;
     for info in &infos {
         let deps = timings.time(Phase::Alignment, || {
             if config.refine_deps {
@@ -427,62 +630,52 @@ fn compile_inner(
                 baseline_block(&info.block, &deps, &program, lane_cap)
             }),
             Strategy::Holistic => {
-                // The §4.3 cost model arbitrates between grouping
-                // proposals: the holistic grouping under the configured
-                // and the paper's pure-reuse weight profiles, plus the
-                // adjacency-seeded grouping under both this framework's
-                // scheduler and the original program order. Keeping the
-                // cheapest implements the paper's "if we realize that our
-                // transformation could potentially degrade the
-                // performance, we choose not to apply it" at proposal
-                // granularity.
-                let cx = CostContext {
+                holistic_proposal(
+                    &info.block,
+                    &deps,
+                    &program,
+                    &info.loops,
+                    &exposed,
+                    config,
+                    optimism,
+                    timings,
+                )
+                .0
+            }
+            Strategy::Optimal => {
+                // Warm start: the full holistic arbitration provides the
+                // incumbent the branch-and-bound solver must beat (or
+                // keep), so `Optimal` can never regress `Holistic`.
+                let (incumbent, incumbent_cost) = holistic_proposal(
+                    &info.block,
+                    &deps,
+                    &program,
+                    &info.loops,
+                    &exposed,
+                    config,
+                    optimism,
+                    timings,
+                );
+                let req = PackRequest {
+                    block: &info.block,
+                    deps: &deps,
                     program: &program,
                     loops: &info.loops,
                     exposed: &exposed,
-                    cost: &config.machine.cost,
-                    vector_regs: config.machine.vector_regs,
-                    assume_layout: optimism,
+                    config,
+                    optimism,
+                    incumbent: &incumbent,
+                    incumbent_cost,
                 };
-                // The layout-aware (optimistic) compile also tries the
-                // paper's pure-reuse weights: they surface the
-                // gather-heavy, reuse-rich groupings that replication
-                // repairs. Without layout, the cost-adjusted weights
-                // dominate and the extra grouping pass is skipped.
-                let mut profiles = vec![config.weights];
-                if optimism {
-                    profiles.push(WeightParams::reuse_only());
-                }
-                let mut proposals: Vec<BlockSchedule> = Vec::new();
-                for w in profiles {
-                    let g = timings.time(Phase::Grouping, || {
-                        group_block_with(&info.block, &deps, &program, lane_cap, &w)
-                    });
-                    proposals.push(timings.time(Phase::Scheduling, || {
-                        schedule_block(&info.block, &deps, &g.units, &config.schedule)
-                    }));
-                }
-                let bg = timings.time(Phase::Grouping, || {
-                    baseline_groups(&info.block, &deps, &program, lane_cap)
+                let outcome = timings.time(Phase::Solve, || match &config.packer {
+                    Some(p) => p.pack(&req),
+                    None => HeuristicPacker.pack(&req),
                 });
-                proposals.push(timings.time(Phase::Scheduling, || {
-                    schedule_block(&info.block, &deps, &bg, &config.schedule)
-                }));
-                proposals.push(timings.time(Phase::Scheduling, || {
-                    schedule_in_program_order(&info.block, &deps, &bg, &config.schedule)
-                }));
-                proposals
-                    .into_iter()
-                    .map(|s| {
-                        let c = estimate_schedule_cost(&info.block, &s, &cx);
-                        (c, s)
-                    })
-                    // Invariant: cost estimates are finite sums/products of
-                    // finite machine parameters, and `proposals` always holds
-                    // at least the program-order schedule.
-                    .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
-                    .map(|(_, s)| s)
-                    .expect("at least one proposal")
+                stats.opt_nodes += outcome.nodes;
+                stats.opt_degraded |= outcome.degraded;
+                opt_cost_sum += outcome.cost.max(0.0);
+                opt_bound_sum += outcome.lower_bound.clamp(0.0, outcome.cost.max(0.0));
+                outcome.schedule
             }
         };
         // Translation-validation backstop: every scheduler must produce a
@@ -500,6 +693,13 @@ fn compile_inner(
             .map(|i| i.stmts().len())
             .sum::<usize>();
         schedules.push((info.clone(), sched));
+    }
+    if config.strategy == Strategy::Optimal {
+        stats.opt_gap_ppm = if opt_cost_sum > 0.0 {
+            (((opt_cost_sum - opt_bound_sum).max(0.0) / opt_cost_sum) * 1e6).round() as u64
+        } else {
+            0
+        };
     }
 
     // Stage 2: data layout optimization.
@@ -530,6 +730,79 @@ fn compile_inner(
         stats,
         config: config.clone(),
     }
+}
+
+/// The holistic optimizer's proposal arbitration for one block,
+/// returning the winning schedule and its estimated cost.
+///
+/// The §4.3 cost model arbitrates between grouping proposals: the
+/// holistic grouping under the configured and the paper's pure-reuse
+/// weight profiles, plus the adjacency-seeded grouping under both this
+/// framework's scheduler and the original program order. Keeping the
+/// cheapest implements the paper's "if we realize that our
+/// transformation could potentially degrade the performance, we choose
+/// not to apply it" at proposal granularity. The layout-aware
+/// (optimistic) compile also tries the paper's pure-reuse weights: they
+/// surface the gather-heavy, reuse-rich groupings that replication
+/// repairs. `Strategy::Optimal` reuses this as the solver's warm-start
+/// incumbent.
+#[allow(clippy::too_many_arguments)]
+fn holistic_proposal(
+    block: &BasicBlock,
+    deps: &BlockDeps,
+    program: &Program,
+    loops: &[LoopHeader],
+    exposed: &[bool],
+    config: &SlpConfig,
+    optimism: bool,
+    timings: &mut PhaseTimings,
+) -> (BlockSchedule, f64) {
+    let lane_cap = |s: StmtId| {
+        let stmt = block.stmt(s).expect("stmt in block");
+        config.machine.lanes_for(program.dest_type(stmt.dest()))
+    };
+    let cx = CostContext {
+        program,
+        loops,
+        exposed,
+        cost: &config.machine.cost,
+        vector_regs: config.machine.vector_regs,
+        assume_layout: optimism,
+    };
+    let mut profiles = vec![config.weights];
+    if optimism {
+        profiles.push(WeightParams::reuse_only());
+    }
+    let mut proposals: Vec<BlockSchedule> = Vec::new();
+    for w in profiles {
+        let g = timings.time(Phase::Grouping, || {
+            group_block_with(block, deps, program, lane_cap, &w)
+        });
+        proposals.push(timings.time(Phase::Scheduling, || {
+            schedule_block(block, deps, &g.units, &config.schedule)
+        }));
+    }
+    let bg = timings.time(Phase::Grouping, || {
+        baseline_groups(block, deps, program, lane_cap)
+    });
+    proposals.push(timings.time(Phase::Scheduling, || {
+        schedule_block(block, deps, &bg, &config.schedule)
+    }));
+    proposals.push(timings.time(Phase::Scheduling, || {
+        schedule_in_program_order(block, deps, &bg, &config.schedule)
+    }));
+    proposals
+        .into_iter()
+        .map(|s| {
+            let c = estimate_schedule_cost(block, &s, &cx);
+            (c, s)
+        })
+        // Invariant: cost estimates are finite sums/products of finite
+        // machine parameters, and `proposals` always holds at least the
+        // program-order schedule.
+        .min_by(|(a, _), (b, _)| a.partial_cmp(b).expect("finite costs"))
+        .map(|(c, s)| (s, c))
+        .expect("at least one proposal")
 }
 
 /// The most frequent destination element type, which the auto unroll
@@ -679,8 +952,8 @@ mod arbitration_tests {
                 &SlpConfig::for_machine(machine.clone(), Strategy::Holistic).with_layout(),
             );
             // Compare through the estimator used for arbitration.
-            let eg = super::estimated_total_cost(&g);
-            let egl = super::estimated_total_cost(&gl);
+            let eg = super::estimate_kernel_cost(&g);
+            let egl = super::estimate_kernel_cost(&gl);
             assert!(
                 egl <= eg * 1.001,
                 "{}: layout arbitration regressed ({egl} > {eg})",

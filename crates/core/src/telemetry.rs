@@ -34,6 +34,11 @@ pub enum Phase {
     Grouping,
     /// Statement scheduling — linearization and lane-order selection.
     Scheduling,
+    /// The branch-and-bound packing solver (`Strategy::Optimal` only).
+    /// The heuristic warm-start it consumes is still charged to
+    /// [`Phase::Grouping`]/[`Phase::Scheduling`]; this phase is the
+    /// solver's own search time.
+    Solve,
     /// The §5 data layout stage (scalar placement + array replication).
     Layout,
     /// The post-compile verification hook, when installed.
@@ -42,11 +47,12 @@ pub enum Phase {
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 6] = [
+    pub const ALL: [Phase; 7] = [
         Phase::Unroll,
         Phase::Alignment,
         Phase::Grouping,
         Phase::Scheduling,
+        Phase::Solve,
         Phase::Layout,
         Phase::Verify,
     ];
@@ -58,6 +64,7 @@ impl Phase {
             Phase::Alignment => "alignment",
             Phase::Grouping => "grouping",
             Phase::Scheduling => "scheduling",
+            Phase::Solve => "solve",
             Phase::Layout => "layout",
             Phase::Verify => "verify",
         }
@@ -69,8 +76,9 @@ impl Phase {
             Phase::Alignment => 1,
             Phase::Grouping => 2,
             Phase::Scheduling => 3,
-            Phase::Layout => 4,
-            Phase::Verify => 5,
+            Phase::Solve => 4,
+            Phase::Layout => 5,
+            Phase::Verify => 6,
         }
     }
 }
@@ -89,7 +97,7 @@ impl fmt::Display for Phase {
 /// corpus-wide totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseTimings {
-    nanos: [u64; 6],
+    nanos: [u64; 7],
 }
 
 impl PhaseTimings {
@@ -199,6 +207,7 @@ mod tests {
                 "alignment",
                 "grouping",
                 "scheduling",
+                "solve",
                 "layout",
                 "verify"
             ]

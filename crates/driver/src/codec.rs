@@ -12,10 +12,14 @@
 //!   bytes, so the batch determinism tests can compare outputs across
 //!   thread counts, and cache files are reproducible.
 //!
-//! The one lossy spot is [`SlpConfig::verify`]: a function pointer has
-//! no serialized form, so decoded configs carry `None`. The driver never
-//! relies on the hook of a cached kernel — it re-runs verification
-//! itself and caches the resulting report beside the kernel.
+//! The two lossy spots are [`SlpConfig::verify`] and
+//! [`SlpConfig::packer`]: trait objects have no serialized form, so
+//! decoded configs carry `None` for both. The driver never relies on
+//! either hook of a cached kernel — it re-runs verification itself and
+//! caches the resulting report beside the kernel, and a cached kernel's
+//! schedule already embodies whatever the packer decided (the solver's
+//! anytime budgets, which *are* semantic inputs, round-trip as plain
+//! numbers).
 
 use slp_core::{
     ArrayLayoutConfig, BlockSchedule, CompileStats, CompiledKernel, CostParams, MachineConfig,
@@ -32,7 +36,9 @@ use crate::json::Json;
 
 /// The encoding version stamped into every payload; bumped on any
 /// incompatible change so old cache files read as misses, not garbage.
-pub const FORMAT_VERSION: u64 = 3;
+/// v4 added `Strategy::Optimal`, the solver budget fields in the config
+/// and the `opt_*` solver statistics.
+pub const FORMAT_VERSION: u64 = 4;
 
 /// A decode failure: the payload was syntactically valid JSON but not a
 /// valid kernel encoding (truncated, corrupted, or a different format
@@ -552,6 +558,7 @@ fn strategy_tag(s: Strategy) -> &'static str {
         Strategy::Native => "native",
         Strategy::Baseline => "baseline",
         Strategy::Holistic => "holistic",
+        Strategy::Optimal => "optimal",
     }
 }
 
@@ -561,6 +568,7 @@ fn strategy_from(tag: &str) -> Result<Strategy> {
         "native" => Strategy::Native,
         "baseline" => Strategy::Baseline,
         "holistic" => Strategy::Holistic,
+        "optimal" => Strategy::Optimal,
         other => return err(format!("unknown strategy '{other}'")),
     })
 }
@@ -594,6 +602,8 @@ fn encode_config(c: &SlpConfig) -> Json {
         ),
         ("cross_iteration_reuse", Json::Bool(c.cross_iteration_reuse)),
         ("refine_deps", Json::Bool(c.refine_deps)),
+        ("opt_deadline_ms", Json::num(c.opt.deadline_ms)),
+        ("opt_max_nodes", Json::num(c.opt.max_nodes)),
     ])
 }
 
@@ -619,8 +629,13 @@ fn decode_config(v: &Json) -> Result<SlpConfig> {
         },
         cross_iteration_reuse: req_bool(v, "cross_iteration_reuse")?,
         refine_deps: req_bool(v, "refine_deps")?,
-        // Function pointers have no serialized form; see module docs.
+        // Trait objects have no serialized form; see module docs.
         verify: None,
+        opt: slp_core::OptParams {
+            deadline_ms: req_u64(v, "opt_deadline_ms")?,
+            max_nodes: req_u64(v, "opt_max_nodes")?,
+        },
+        packer: None,
     })
 }
 
@@ -705,6 +720,9 @@ pub fn encode_kernel(k: &CompiledKernel) -> Json {
                 ),
                 ("replications", Json::num(k.stats.replications as u64)),
                 ("deps_refuted", Json::num(k.stats.deps_refuted as u64)),
+                ("opt_nodes", Json::num(k.stats.opt_nodes)),
+                ("opt_gap_ppm", Json::num(k.stats.opt_gap_ppm)),
+                ("opt_degraded", Json::Bool(k.stats.opt_degraded)),
             ]),
         ),
         ("config", encode_config(&k.config)),
@@ -761,6 +779,9 @@ pub fn decode_kernel(v: &Json) -> Result<CompiledKernel> {
         scalar_packs_laid_out: req_u64(st, "scalar_packs_laid_out")? as usize,
         replications: req_u64(st, "replications")? as usize,
         deps_refuted: req_u64(st, "deps_refuted")? as usize,
+        opt_nodes: req_u64(st, "opt_nodes")?,
+        opt_gap_ppm: req_u64(st, "opt_gap_ppm")?,
+        opt_degraded: req_bool(st, "opt_degraded")?,
     };
     let config = decode_config(req(v, "config")?)?;
     Ok(CompiledKernel {
@@ -925,6 +946,49 @@ mod tests {
             }
         }
         assert!(decode_kernel(&v).is_err());
+    }
+
+    /// A disk entry written by the v3 codec (pre-`Strategy::Optimal`: no
+    /// `opt_*` keys, format stamp 3) must be rejected at the version
+    /// gate — a clean cache miss — rather than misdecoded into a kernel
+    /// with made-up solver fields.
+    #[test]
+    fn format_version_3_entries_are_rejected() {
+        let k = compiled(GATHER, false);
+        let mut v = encode_kernel(&k);
+        // Reconstruct the v3 shape: old format stamp, and none of the
+        // keys v4 introduced anywhere in the tree.
+        fn strip_v4_keys(v: &mut Json) {
+            match v {
+                Json::Obj(pairs) => {
+                    pairs.retain(|(key, _)| {
+                        !matches!(
+                            key.as_str(),
+                            "opt_deadline_ms"
+                                | "opt_max_nodes"
+                                | "opt_nodes"
+                                | "opt_gap_ppm"
+                                | "opt_degraded"
+                        )
+                    });
+                    for (key, val) in pairs.iter_mut() {
+                        if key == "format" {
+                            *val = Json::num(3);
+                        }
+                        strip_v4_keys(val);
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(strip_v4_keys),
+                _ => {}
+            }
+        }
+        strip_v4_keys(&mut v);
+        let err = decode_kernel(&v).expect_err("v3 entry must not decode");
+        assert!(
+            err.0.contains("format version 3"),
+            "rejection must name the version gate, got: {}",
+            err.0
+        );
     }
 
     #[test]

@@ -22,9 +22,12 @@
 //!   cross-iteration-reuse flag.
 //!
 //! The [`SlpConfig::verify`] hook is deliberately *excluded*: it cannot
-//! change the produced kernel, only panic on a bad one. The driver's own
-//! verification level is keyed separately (it changes the cached
-//! `Report`), via [`fingerprint_with_tag`].
+//! change the produced kernel, only panic on a bad one. The
+//! [`SlpConfig::packer`] handle is likewise excluded — the driver always
+//! installs the same solver for `Strategy::Optimal`, and the solver's
+//! *budgets* (which do change the packing) are keyed as plain fields.
+//! The driver's own verification level is keyed separately (it changes
+//! the cached `Report`), via [`fingerprint_with_tag`].
 
 use std::fmt;
 
@@ -139,6 +142,7 @@ fn strategy_tag(s: Strategy) -> &'static str {
         Strategy::Native => "native",
         Strategy::Baseline => "baseline",
         Strategy::Holistic => "holistic",
+        Strategy::Optimal => "optimal",
     }
 }
 
@@ -163,6 +167,10 @@ pub fn fingerprint_with_tag(source: &str, config: &SlpConfig, tag: &str) -> Fing
     h.field("layout", config.layout);
     h.field("cross_iteration_reuse", config.cross_iteration_reuse);
     h.field("refine_deps", config.refine_deps);
+    // The solver's anytime budgets are semantic inputs: a different
+    // budget can yield a different (still valid) packing.
+    h.field("opt.deadline_ms", config.opt.deadline_ms);
+    h.field("opt.max_nodes", config.opt.max_nodes);
     h.field(
         "schedule.live_set_capacity",
         config.schedule.live_set_capacity,
@@ -243,6 +251,12 @@ mod tests {
 
         // Range-refined dependence flag.
         let c = base_config().with_refined_deps();
+        assert_ne!(fingerprint(src, &c), base);
+
+        // Solver anytime budgets (each dimension separately).
+        let c = base_config().with_opt_budget(7, 1 << 20);
+        assert_ne!(fingerprint(src, &c), base);
+        let c = base_config().with_opt_budget(500, 7);
         assert_ne!(fingerprint(src, &c), base);
 
         // Verification tag.

@@ -321,7 +321,20 @@ pub fn compile_source(
         .validate()
         .map_err(|es| DriverError::Invalid(es.iter().map(|e| e.to_string()).collect()))?;
 
-    let (kernel, mut timings) = compile_timed(&program, &req.config);
+    // `Strategy::Optimal` needs a solver behind the `Packer` trait; the
+    // driver installs `slp-opt`'s branch-and-bound unless the caller
+    // already supplied one. The handle is excluded from the fingerprint
+    // (the budgets, which do change the packing, are keyed as fields),
+    // so installing it here cannot fork the cache key.
+    let config;
+    let config = if req.config.strategy == Strategy::Optimal && req.config.packer.is_none() {
+        config = req.config.clone().with_packer(slp_opt::OptimalPacker);
+        &config
+    } else {
+        &req.config
+    };
+
+    let (kernel, mut timings) = compile_timed(&program, config);
     let mut prove = None;
     let report = match req.verify {
         VerifyLevel::None => None,
@@ -367,7 +380,8 @@ pub(crate) fn elapsed_nanos(start: Instant) -> u64 {
 }
 
 /// Parses the CLI strategy names shared by `slpc`, `slpd` and the serve
-/// protocol (`scalar`, `native`, `slp`, `global`) — a thin wrapper over
+/// protocol (`scalar`, `native`, `slp`, `global`, `optimal`) — a thin
+/// wrapper over
 /// [`Strategy`]'s `FromStr`, kept for callers that want an `Option`.
 pub fn parse_strategy(name: &str) -> Option<Strategy> {
     name.parse().ok()

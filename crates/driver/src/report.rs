@@ -61,6 +61,15 @@ pub struct KernelRow {
     /// The symbolic proof verdict; `None` unless the batch ran at
     /// [`crate::VerifyLevel::Prove`].
     pub prove: Option<ProveVerdict>,
+    /// Branch-and-bound nodes the packing solver expanded (0 unless the
+    /// request ran [`slp_core::Strategy::Optimal`]).
+    pub opt_nodes: u64,
+    /// The solver's proven optimality gap in parts per million of the
+    /// shipped cost (0 = proven optimal), same caveat.
+    pub opt_gap_ppm: u64,
+    /// Whether a solver budget expired before the search exhausted,
+    /// same caveat.
+    pub opt_degraded: bool,
     /// Error-severity verify findings; `None` when verification was not
     /// requested or the entry failed.
     pub verify_errors: Option<usize>,
@@ -126,6 +135,9 @@ impl DriverReport {
                         vectorized_stmts: compiled.kernel.stats.vectorized_stmts,
                         deps_refuted: compiled.kernel.stats.deps_refuted,
                         prove: compiled.prove,
+                        opt_nodes: compiled.kernel.stats.opt_nodes,
+                        opt_gap_ppm: compiled.kernel.stats.opt_gap_ppm,
+                        opt_degraded: compiled.kernel.stats.opt_degraded,
                         verify_errors,
                         verify_warnings,
                         diagnostics,
@@ -144,6 +156,9 @@ impl DriverReport {
                     vectorized_stmts: 0,
                     deps_refuted: 0,
                     prove: None,
+                    opt_nodes: 0,
+                    opt_gap_ppm: 0,
+                    opt_degraded: false,
                     verify_errors: None,
                     verify_warnings: None,
                     diagnostics: Vec::new(),
@@ -225,6 +240,9 @@ impl DriverReport {
                     "prove",
                     row.prove.map_or(Json::Null, |v| Json::str(v.name())),
                 ),
+                ("opt_nodes", Json::num(row.opt_nodes)),
+                ("opt_gap_ppm", Json::num(row.opt_gap_ppm)),
+                ("opt_degraded", Json::Bool(row.opt_degraded)),
             ];
             fields.push((
                 "verify_errors",
@@ -328,6 +346,18 @@ impl DriverReport {
                 self.prove_count(ProveVerdict::Proved),
                 self.prove_count(ProveVerdict::Budget),
                 self.prove_count(ProveVerdict::Refuted),
+            ));
+        }
+        if self.rows.iter().any(|r| r.opt_nodes > 0 || r.opt_degraded) {
+            let proven = self
+                .rows
+                .iter()
+                .filter(|r| r.opt_nodes > 0 && r.opt_gap_ppm == 0 && !r.opt_degraded)
+                .count();
+            let degraded = self.rows.iter().filter(|r| r.opt_degraded).count();
+            let nodes: u64 = self.rows.iter().map(|r| r.opt_nodes).sum();
+            out.push_str(&format!(
+                "optimal: {proven} proven optimal, {degraded} hit the solver budget, {nodes} nodes\n",
             ));
         }
         let refuted = self.deps_refuted_count();

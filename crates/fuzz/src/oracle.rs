@@ -169,9 +169,11 @@ pub fn within_budget(program: &Program, budget: &Budget) -> bool {
 ///
 /// `(strategy, layout, cross_iteration_reuse, refine_deps, label)` —
 /// covering the four §7 schemes, the cross-iteration-reuse variant of
-/// the holistic optimizer, and the range-refined dependence-testing
+/// the holistic optimizer, the range-refined dependence-testing
 /// variant (so an unsoundly disproved dependence shows up as a state
-/// divergence against the scalar run).
+/// divergence against the scalar run), and the branch-and-bound exact
+/// packer (so a solver packing the heuristic would never produce is
+/// still held to scalar equivalence).
 pub const STRATEGIES: &[(Strategy, bool, bool, bool, &str)] = &[
     (Strategy::Native, false, false, false, "native"),
     (Strategy::Baseline, false, false, false, "slp"),
@@ -179,6 +181,7 @@ pub const STRATEGIES: &[(Strategy, bool, bool, bool, &str)] = &[
     (Strategy::Holistic, true, false, false, "global+layout"),
     (Strategy::Holistic, true, true, false, "global+reuse"),
     (Strategy::Holistic, false, false, true, "global+refine"),
+    (Strategy::Optimal, false, false, false, "global+opt"),
 ];
 
 fn config_for(
@@ -196,6 +199,15 @@ fn config_for(
         cfg = cfg.with_refined_deps();
     }
     cfg.cross_iteration_reuse = reuse;
+    if strategy == Strategy::Optimal {
+        // A small deterministic node cap instead of a wall deadline: fuzz
+        // verdicts must not depend on machine load, and a few hundred
+        // nodes already exercises merge/exclude branching, bound pruning
+        // and budget degradation.
+        cfg = cfg
+            .with_packer(slp_opt::OptimalPacker)
+            .with_opt_budget(0, 256);
+    }
     cfg
 }
 

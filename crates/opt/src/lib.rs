@@ -1,0 +1,46 @@
+//! # slp-opt — exact statement packing as a 0-1 integer program
+//!
+//! The heuristic pipeline (`Strategy::Holistic`) grows packs greedily:
+//! each §4.2.2 round merges the highest-weight candidate and never
+//! reconsiders. This crate answers the question the heuristic cannot:
+//! *what is the best packing, and how far from it did the heuristic
+//! land?*
+//!
+//! Statement packing is cast as a 0-1 integer linear program in the
+//! goSLP style ([`model`]): one binary variable per candidate pack
+//! formation (a legal merge of two grouping units, which also fixes the
+//! lane permutation through the deterministic scheduler), mutual
+//! statement exclusivity and §4.1 dependence-legality constraints from
+//! the existing `slp-analysis` [`slp_analysis::ConflictMatrix`], and an
+//! objective taken from the `slp-core::cost` tables — SIMD amortization,
+//! memory access classes, and shuffle/permutation penalties included.
+//!
+//! The program is solved from scratch, dependency-free, by best-first
+//! branch-and-bound ([`solve`]): LP-style *assignment relaxation* bounds
+//! (provably admissible — see [`model::Floors`]), include/exclude
+//! branching on the most promising merge, and an incumbent warm-started
+//! from the holistic heuristic so the anytime answer is never worse than
+//! what `Strategy::Holistic` ships. An expired deadline or node cap
+//! degrades gracefully: the best packing found so far is returned with
+//! `degraded = true` and the tightest *proven* lower bound, from which
+//! the pipeline reports an optimality gap in
+//! [`slp_core::CompileStats::opt_gap_ppm`].
+//!
+//! The solver plugs into `slp-core` behind the [`slp_core::Packer`]
+//! trait as [`OptimalPacker`]; the driver installs it automatically for
+//! [`slp_core::Strategy::Optimal`]. "Optimal" is exact over *statement
+//! packing* — which statements form each superword — modulo the
+//! deterministic scheduler's lane ordering and linearization, which the
+//! solver shares with every other strategy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod model;
+mod packer;
+pub mod solve;
+
+pub use model::{pair_key, tie_key, Floors, PackModel, PairKey};
+pub use packer::OptimalPacker;
+pub use solve::{solve_block, SolveBudget, SolveOutcome};

@@ -1,0 +1,208 @@
+//! The 0-1 ILP view of one packing state.
+//!
+//! Following goSLP's formulation, statement packing is an integer
+//! program: one binary variable per *candidate pack formation* (a legal
+//! merge of two current grouping units, which fixes both the pack
+//! memberships and — through the deterministic scheduler — the lane
+//! permutation it implies), subject to
+//!
+//! * **mutual statement exclusivity** — two candidates sharing a unit
+//!   cannot both be selected, and
+//! * **dependence legality** — two candidates forming a dependence
+//!   cycle cannot both be selected (§4.1 constraint 3),
+//!
+//! both of which [`ConflictMatrix`] encodes, with the objective taken
+//! from the `slp-core::cost` tables (SIMD op amortization, memory
+//! access classes, shuffle/permutation penalties). The model is
+//! *round-structured*: selecting a variable merges two units, and the
+//! next round's model is rebuilt over the coarser partition, exactly
+//! like the iterative §4.2.2 grouping — so a chain of selections can
+//! reach any width the datapath admits.
+//!
+//! [`PackModel::relaxation_bound`] is the LP-style bound the
+//! branch-and-bound search prunes with: the optimum of the *assignment
+//! relaxation*, in which the exclusivity/legality constraints are
+//! dropped and every statement is independently assigned its cheapest
+//! conceivable formation (scalar, or a full-width pack with the
+//! best-case destination class). Dropping constraints can only lower
+//! the optimum, so the bound is admissible; see the per-floor
+//! derivations on [`Floors`].
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use slp_analysis::{find_candidates, Candidate, ConflictMatrix, Unit};
+use slp_core::{op_cost_factor, scalar_stmt_cost, CostContext};
+use slp_ir::{BasicBlock, Dest, StmtId};
+
+/// A canonical, order-independent name for a pairwise merge: the two
+/// units' sorted statement-id lists, pair ordered lexicographically.
+/// Used as the branch-exclusion key — excluding a candidate forbids
+/// merging *exactly these two statement sets*, in any later round.
+pub type PairKey = (Vec<usize>, Vec<usize>);
+
+/// The canonical key of the merge candidate `c`.
+pub fn pair_key(c: &Candidate) -> PairKey {
+    let (a, b) = c.stmts.split_at(c.split);
+    let mut ka: Vec<usize> = a.iter().map(|s| s.index()).collect();
+    let mut kb: Vec<usize> = b.iter().map(|s| s.index()).collect();
+    ka.sort_unstable();
+    kb.sort_unstable();
+    if ka <= kb {
+        (ka, kb)
+    } else {
+        (kb, ka)
+    }
+}
+
+/// Deterministic tie-break key of a candidate: its sorted statement ids.
+pub fn tie_key(c: &Candidate) -> Vec<usize> {
+    let mut k: Vec<usize> = c.stmts.iter().map(|s| s.index()).collect();
+    k.sort_unstable();
+    k
+}
+
+/// Admissible per-statement cost floors, the terms of the assignment
+/// relaxation's optimum.
+///
+/// For each statement the floors bound, from below, what *any* valid
+/// schedule charges for it:
+///
+/// * `scalar` — exactly what a `ScheduledItem::Single` costs
+///   ([`scalar_stmt_cost`]), so it is tight for statements that stay
+///   scalar.
+/// * `vector` — the cheapest conceivable per-lane charge if the
+///   statement joins a pack of any legal width `w ≤ cap`: the SIMD op
+///   amortized over the widest pack (`op_factor·simd_op/cap` ≤ the true
+///   `op_factor·simd_op/w` share), plus a destination floor — an array
+///   destination costs at least an aligned `vector_store/cap` per lane,
+///   an upward-exposed scalar destination costs exactly
+///   `extract + scalar_store` per lane, an unexposed scalar destination
+///   at least 0. Source packs floor at 0 (register reuse can make them
+///   free), which keeps the bound admissible.
+#[derive(Debug, Clone)]
+pub struct Floors {
+    map: BTreeMap<StmtId, (f64, f64)>,
+}
+
+impl Floors {
+    /// Computes the floors of every statement in `block`.
+    pub fn compute(
+        block: &BasicBlock,
+        cx: &CostContext<'_>,
+        mut lane_cap: impl FnMut(StmtId) -> usize,
+    ) -> Floors {
+        let mut map = BTreeMap::new();
+        for stmt in block.iter() {
+            let scalar = scalar_stmt_cost(stmt, cx);
+            let cap = lane_cap(stmt.id()).max(2) as f64;
+            let dest_floor = match stmt.dest() {
+                Dest::Array(_) => cx.cost.vector_store / cap,
+                Dest::Scalar(v) => {
+                    if cx.exposed[v.index()] {
+                        cx.cost.extract + cx.cost.scalar_store
+                    } else {
+                        0.0
+                    }
+                }
+            };
+            let vector = op_cost_factor(stmt.expr().shape()) * cx.cost.simd_op / cap + dest_floor;
+            map.insert(stmt.id(), (scalar, vector));
+        }
+        Floors { map }
+    }
+
+    fn scalar(&self, s: StmtId) -> f64 {
+        self.map.get(&s).map(|&(sc, _)| sc).unwrap_or(0.0)
+    }
+
+    fn packed(&self, s: StmtId) -> f64 {
+        self.map.get(&s).map(|&(sc, vc)| sc.min(vc)).unwrap_or(0.0)
+    }
+}
+
+/// The ILP of one search state: the candidate variables still available
+/// given the state's partition and branch exclusions, their conflict
+/// constraints, and greedy branching scores.
+#[derive(Debug, Clone)]
+pub struct PackModel {
+    /// One 0-1 variable per remaining candidate merge.
+    pub vars: Vec<Candidate>,
+    /// Pairwise exclusivity + dependence-legality constraints
+    /// (`x_i + x_j ≤ 1` for every conflicting pair).
+    pub conflicts: ConflictMatrix,
+    /// Estimated objective improvement of selecting each variable
+    /// (scalar floors minus packed floors over its statements) — the
+    /// branching heuristic, not part of the bound.
+    pub scores: Vec<f64>,
+}
+
+impl PackModel {
+    /// Builds the model of the state `(units, excluded)`.
+    pub fn build(
+        units: &[Unit],
+        block: &BasicBlock,
+        deps: &slp_ir::BlockDeps,
+        program: &slp_ir::Program,
+        mut lane_cap: impl FnMut(StmtId) -> usize,
+        excluded: &BTreeSet<PairKey>,
+        floors: &Floors,
+    ) -> PackModel {
+        let vars: Vec<Candidate> = find_candidates(units, block, deps, program, &mut lane_cap)
+            .into_iter()
+            .filter(|c| !excluded.contains(&pair_key(c)))
+            .collect();
+        let conflicts = ConflictMatrix::compute(&vars, deps);
+        let scores = vars
+            .iter()
+            .map(|c| {
+                c.stmts
+                    .iter()
+                    .map(|&s| floors.scalar(s) - floors.packed(s))
+                    .sum()
+            })
+            .collect();
+        PackModel {
+            vars,
+            conflicts,
+            scores,
+        }
+    }
+
+    /// The assignment-relaxation optimum of this state — an admissible
+    /// lower bound on the cost of every schedule reachable from it.
+    ///
+    /// Statements inside an already-merged unit, and singletons some
+    /// remaining variable still touches, are assigned their cheapest
+    /// floor; a singleton *no* variable touches can never be packed in
+    /// any descendant state (merging only coarsens the partition and
+    /// cannot create a partner that does not exist pairwise), so it is
+    /// assigned its exact scalar cost.
+    pub fn relaxation_bound(&self, units: &[Unit], floors: &Floors) -> f64 {
+        let mut packable: BTreeSet<StmtId> = BTreeSet::new();
+        for c in &self.vars {
+            packable.extend(c.stmts.iter().copied());
+        }
+        let mut bound = 0.0;
+        for u in units {
+            for &s in u.stmts() {
+                bound += if u.width() > 1 || packable.contains(&s) {
+                    floors.packed(s)
+                } else {
+                    floors.scalar(s)
+                };
+            }
+        }
+        bound
+    }
+
+    /// The variable to branch on: the highest-score candidate,
+    /// tie-broken by the lexicographically smallest sorted statement-id
+    /// list so the search is deterministic.
+    pub fn branch_var(&self) -> Option<usize> {
+        (0..self.vars.len()).min_by(|&i, &j| {
+            self.scores[j]
+                .total_cmp(&self.scores[i])
+                .then_with(|| tie_key(&self.vars[i]).cmp(&tie_key(&self.vars[j])))
+        })
+    }
+}

@@ -1,0 +1,36 @@
+//! The [`slp_core::Packer`] implementation the driver installs for
+//! [`slp_core::Strategy::Optimal`].
+
+use std::time::Instant;
+
+use slp_core::{PackOutcome, PackRequest, Packer};
+
+use crate::solve::{solve_block, SolveBudget};
+
+/// Exact statement packing via branch-and-bound over the 0-1 ILP
+/// model, warm-started from the heuristic incumbent in the request.
+///
+/// Stateless: budgets come from the request's [`slp_core::OptParams`]
+/// (`deadline_ms == 0` disables the wall deadline, `max_nodes == 0`
+/// lifts the node cap), so a shared instance is safe across threads and
+/// deterministic whenever the node cap — not the clock — is binding.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimalPacker;
+
+impl Packer for OptimalPacker {
+    fn pack(&self, req: &PackRequest<'_>) -> PackOutcome {
+        let budget = SolveBudget::from_params(req.config.opt, Instant::now());
+        let out = solve_block(req, budget);
+        PackOutcome {
+            schedule: out.schedule,
+            cost: out.cost,
+            lower_bound: out.lower_bound,
+            nodes: out.nodes,
+            degraded: out.degraded,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "bnb-ilp"
+    }
+}

@@ -1,0 +1,324 @@
+//! Best-first branch-and-bound over packing states.
+//!
+//! A *state* is a partition of the block's statements into grouping
+//! units plus a set of excluded merges ([`PairKey`]s). The root is the
+//! all-singleton partition with nothing excluded; branching picks one
+//! remaining candidate variable and splits the state into the
+//! *include* child (the two units merged, stale exclusions dropped) and
+//! the *exclude* child (that exact merge forbidden forever). Any valid
+//! partition is reachable through pairwise merges, so together the two
+//! children cover every completion of the parent.
+//!
+//! Each expanded node — not only leaves — has its current partition
+//! scheduled (by both the framework scheduler and program order, keeping
+//! the cheaper) and costed with the same `slp-core::cost` estimator the
+//! holistic optimizer arbitrates with, so the incumbent improves as soon
+//! as a better packing is *seen*, not when its subtree is exhausted:
+//! that is what makes the search anytime. Nodes are expanded best-first
+//! by their [assignment-relaxation bound](crate::model::PackModel::relaxation_bound)
+//! (FIFO among ties), states are deduplicated on their canonical
+//! `(units, exclusions)` signature, and a subtree is pruned when its
+//! bound cannot beat the incumbent.
+//!
+//! On completion the incumbent is *optimal over statement packings
+//! modulo the deterministic scheduler's lane ordering and
+//! linearization* — the solver decides which statements pack together,
+//! and delegates lane order to the same scheduler every strategy uses —
+//! and `lower_bound == cost` (gap 0). When a budget expires first, the
+//! incumbent (never worse than the heuristic warm start) ships with the
+//! proven bound `min(incumbent, open-node bounds)` and `degraded =
+//! true`.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap, HashSet};
+use std::time::Instant;
+
+use slp_analysis::Unit;
+use slp_core::{
+    estimate_schedule_cost, schedule_block, schedule_in_program_order, BlockSchedule, CostContext,
+    PackRequest,
+};
+use slp_ir::{StmtId, TypeEnv};
+
+use crate::model::{pair_key, Floors, PackModel, PairKey};
+
+/// Cost comparisons treat differences below this as ties, mirroring the
+/// pipeline's own arbitration tolerance.
+const EPS: f64 = 1e-9;
+
+/// Anytime budgets of one block solve.
+#[derive(Debug, Clone, Copy)]
+pub struct SolveBudget {
+    /// Absolute wall deadline, if any.
+    pub deadline: Option<Instant>,
+    /// Node-expansion cap; `0` means unlimited.
+    pub max_nodes: u64,
+}
+
+impl SolveBudget {
+    /// Builds the budget from [`slp_core::OptParams`], anchoring the
+    /// deadline at `now`.
+    pub fn from_params(params: slp_core::OptParams, now: Instant) -> SolveBudget {
+        SolveBudget {
+            deadline: (params.deadline_ms > 0)
+                .then(|| now + std::time::Duration::from_millis(params.deadline_ms)),
+            max_nodes: params.max_nodes,
+        }
+    }
+
+    fn expired(&self, nodes: u64) -> bool {
+        (self.max_nodes > 0 && nodes >= self.max_nodes)
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// What one block solve proved.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The best packing found (never costlier than the warm start).
+    pub schedule: BlockSchedule,
+    /// Its estimated cost.
+    pub cost: f64,
+    /// The proven lower bound on any valid packing's cost (equals
+    /// `cost` when the search exhausted).
+    pub lower_bound: f64,
+    /// Nodes expanded.
+    pub nodes: u64,
+    /// Whether a budget expired before exhaustion.
+    pub degraded: bool,
+}
+
+/// One open search state.
+#[derive(Debug)]
+struct Node {
+    units: Vec<Unit>,
+    excluded: BTreeSet<PairKey>,
+    bound: f64,
+    seq: u64,
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.bound == other.bound && self.seq == other.seq
+    }
+}
+impl Eq for Node {}
+
+// BinaryHeap is a max-heap; invert so the *lowest* bound (FIFO among
+// ties) pops first.
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The canonical dedup signature of a state: sorted unit statement
+/// lists plus the (already canonical) exclusion set.
+fn signature(units: &[Unit], excluded: &BTreeSet<PairKey>) -> (Vec<Vec<usize>>, Vec<PairKey>) {
+    let mut us: Vec<Vec<usize>> = units
+        .iter()
+        .map(|u| {
+            let mut v: Vec<usize> = u.stmts().iter().map(|s| s.index()).collect();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    us.sort_unstable();
+    (us, excluded.iter().cloned().collect())
+}
+
+/// Solves one block's statement packing to proven optimality or budget
+/// exhaustion, warm-started from the request's incumbent.
+pub fn solve_block(req: &PackRequest<'_>, budget: SolveBudget) -> SolveOutcome {
+    let cx = CostContext {
+        program: req.program,
+        loops: req.loops,
+        exposed: req.exposed,
+        cost: &req.config.machine.cost,
+        vector_regs: req.config.machine.vector_regs,
+        assume_layout: req.optimism,
+    };
+    let lane_cap = |s: StmtId| {
+        let stmt = req.block.stmt(s).expect("stmt in block");
+        req.config
+            .machine
+            .lanes_for(req.program.dest_type(stmt.dest()))
+    };
+    let floors = Floors::compute(req.block, &cx, lane_cap);
+
+    let mut best_sched = req.incumbent.clone();
+    let mut best_cost = req.incumbent_cost;
+    let mut nodes = 0u64;
+    let mut seq = 0u64;
+    let mut degraded = false;
+
+    let root_units: Vec<Unit> = req.block.iter().map(|s| Unit::singleton(s.id())).collect();
+    let root_excluded = BTreeSet::new();
+    let root_model = PackModel::build(
+        &root_units,
+        req.block,
+        req.deps,
+        req.program,
+        lane_cap,
+        &root_excluded,
+        &floors,
+    );
+    let root_bound = root_model.relaxation_bound(&root_units, &floors);
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    let mut seen: HashSet<(Vec<Vec<usize>>, Vec<PairKey>)> = HashSet::new();
+    seen.insert(signature(&root_units, &root_excluded));
+    heap.push(Node {
+        units: root_units,
+        excluded: root_excluded,
+        bound: root_bound,
+        seq,
+    });
+
+    while let Some(node) = heap.pop() {
+        // Best-first invariant: every open state's bound is ≥ this
+        // node's, so once the top cannot beat the incumbent the
+        // incumbent is proven optimal.
+        if node.bound >= best_cost - EPS {
+            break;
+        }
+        if budget.expired(nodes) {
+            degraded = true;
+            // The tightest bound provable now: the minimum over still-open
+            // states (child bounds are monotone over their parents, so the
+            // unexpanded frontier covers every unexplored completion).
+            let frontier = heap.into_iter().map(|n| n.bound).fold(node.bound, f64::min);
+            return finish(best_sched, best_cost, frontier, nodes, degraded);
+        }
+        nodes += 1;
+
+        // Evaluate this state's partition as-is: it is itself a
+        // complete packing (unmerged units schedule as scalars).
+        let (sched, cost) = evaluate(&node.units, req, &cx);
+        if cost < best_cost - EPS {
+            best_cost = cost;
+            best_sched = sched;
+        }
+
+        let model = PackModel::build(
+            &node.units,
+            req.block,
+            req.deps,
+            req.program,
+            lane_cap,
+            &node.excluded,
+            &floors,
+        );
+        let Some(var) = model.branch_var() else {
+            continue; // no candidate left: a leaf partition
+        };
+        let cand = &model.vars[var];
+        let key = pair_key(cand);
+
+        // Include child: merge the two units; exclusions whose sides no
+        // longer name a current unit can never fire again (unit
+        // statement sets only grow), so drop them to keep states small
+        // and the dedup effective.
+        let mut merged_units: Vec<Unit> = Vec::with_capacity(node.units.len() - 1);
+        let (lo, hi) = (cand.a.min(cand.b), cand.a.max(cand.b));
+        for (i, u) in node.units.iter().enumerate() {
+            if i == lo {
+                merged_units.push(Unit::merged(&node.units[cand.a], &node.units[cand.b]));
+            } else if i != hi {
+                merged_units.push(u.clone());
+            }
+        }
+        let live: BTreeSet<Vec<usize>> = merged_units
+            .iter()
+            .map(|u| {
+                let mut v: Vec<usize> = u.stmts().iter().map(|s| s.index()).collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let merged_excluded: BTreeSet<PairKey> = node
+            .excluded
+            .iter()
+            .filter(|(a, b)| live.contains(a) && live.contains(b))
+            .cloned()
+            .collect();
+
+        // Exclude child: same partition, this exact merge forbidden.
+        let mut excl_excluded = node.excluded.clone();
+        excl_excluded.insert(key);
+
+        for (child_units, child_excluded) in
+            [(merged_units, merged_excluded), (node.units, excl_excluded)]
+        {
+            let sig = signature(&child_units, &child_excluded);
+            if !seen.insert(sig) {
+                continue;
+            }
+            let child_model = PackModel::build(
+                &child_units,
+                req.block,
+                req.deps,
+                req.program,
+                lane_cap,
+                &child_excluded,
+                &floors,
+            );
+            let bound = child_model.relaxation_bound(&child_units, &floors);
+            if bound >= best_cost - EPS {
+                continue; // pruned: cannot beat the incumbent
+            }
+            seq += 1;
+            heap.push(Node {
+                units: child_units,
+                excluded: child_excluded,
+                bound,
+                seq,
+            });
+        }
+    }
+
+    // Frontier exhausted (or the top bound met the incumbent): every
+    // completion was either visited or pruned against a bound no lower
+    // than the final incumbent, so the incumbent is optimal over
+    // packings modulo the scheduler and the proven bound meets it.
+    finish(best_sched, best_cost, best_cost, nodes, degraded)
+}
+
+fn finish(
+    schedule: BlockSchedule,
+    cost: f64,
+    lower_bound: f64,
+    nodes: u64,
+    degraded: bool,
+) -> SolveOutcome {
+    SolveOutcome {
+        schedule,
+        cost,
+        lower_bound: lower_bound.clamp(0.0, cost),
+        nodes,
+        degraded,
+    }
+}
+
+/// Schedules a partition (framework scheduler and program order, keeping
+/// the cheaper — ties favor the framework scheduler) and costs it with
+/// the arbitration estimator.
+fn evaluate(units: &[Unit], req: &PackRequest<'_>, cx: &CostContext<'_>) -> (BlockSchedule, f64) {
+    let a = schedule_block(req.block, req.deps, units, &req.config.schedule);
+    let ca = estimate_schedule_cost(req.block, &a, cx);
+    let b = schedule_in_program_order(req.block, req.deps, units, &req.config.schedule);
+    let cb = estimate_schedule_cost(req.block, &b, cx);
+    if cb < ca - EPS {
+        (b, cb)
+    } else {
+        (a, ca)
+    }
+}

@@ -175,8 +175,12 @@ pub fn lower_kernel(
     // Indirect (permuted) superword reuse is this paper's contribution;
     // the baseline algorithms neglect it (§4.3: "... which is neglected
     // in the original SLP algorithm"), so their backends only get direct
-    // reuse.
-    let permuted_reuse = kernel.config.strategy == slp_core::Strategy::Holistic;
+    // reuse. The Optimal solver prices permutes with the same tables the
+    // holistic optimizer uses, so its code gets the same treatment.
+    let permuted_reuse = matches!(
+        kernel.config.strategy,
+        slp_core::Strategy::Holistic | slp_core::Strategy::Optimal
+    );
     lower_kernel_with(kernel, machine, cost_gate, permuted_reuse)
 }
 

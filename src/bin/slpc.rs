@@ -4,7 +4,8 @@
 //! slpc <kernel.slp> [options]
 //!
 //! options:
-//!   --strategy scalar|native|slp|global   optimizer (default: global)
+//!   --strategy scalar|native|slp|global|optimal
+//!                                         optimizer (default: global)
 //!   --layout                              enable the §5 data layout stage
 //!   --machine intel|amd                   cost model (default: intel)
 //!   --emit source|schedule|code|stats     what to print (default: stats)
@@ -29,7 +30,8 @@
 //! slpc check <kernel.slp>... [options]
 //!
 //! Compiles each kernel under every vectorizing configuration (Native,
-//! SLP, Global, Global+Layout) and runs the slp-verify checkers over the
+//! SLP, Global, Global+Layout, Optimal) and runs the slp-verify checkers
+//! over the
 //! output: dependence preservation, pack legality, layout soundness, and
 //! differential translation validation against the scalar build.
 //!
@@ -65,7 +67,8 @@
 //! is a manifest listing one kernel path per line (`#` comments).
 //!
 //! options:
-//!   --strategy scalar|native|slp|global   optimizer (default: global)
+//!   --strategy scalar|native|slp|global|optimal
+//!                                         optimizer (default: global)
 //!   --layout                              enable the data layout stage
 //!   --machine intel|amd                   cost model (default: intel)
 //!   --unroll N                            unroll factor (default: auto)
@@ -107,7 +110,7 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpc <kernel.slp> [--strategy scalar|native|slp|global] \
+        "usage: slpc <kernel.slp> [--strategy scalar|native|slp|global|optimal] \
          [--layout] [--machine intel|amd] [--emit source|schedule|code|stats] \
          [--run] [--unroll N] [--refine]\n       \
          slpc analyze <kernel.slp>... [--machine intel|amd] [--json]\n       \
@@ -275,6 +278,7 @@ fn check_configs(opts: &CheckOptions) -> Vec<(String, SlpConfig)> {
         ("SLP", Strategy::Baseline, false),
         ("Global", Strategy::Holistic, false),
         ("Global+Layout", Strategy::Holistic, true),
+        ("Optimal", Strategy::Optimal, false),
     ]
     .into_iter()
     .map(|(label, strategy, layout)| {
@@ -910,6 +914,18 @@ fn main() -> ExitCode {
             println!("dependences refuted   {}", s.deps_refuted);
             println!("scalar packs laid out {}", s.scalar_packs_laid_out);
             println!("array replications    {}", s.replications);
+            if kernel.config.strategy == Strategy::Optimal {
+                println!("solver nodes          {}", s.opt_nodes);
+                println!("optimality gap        {} ppm", s.opt_gap_ppm);
+                println!(
+                    "solver outcome        {}",
+                    if s.opt_degraded {
+                        "budget expired (anytime result)"
+                    } else {
+                        "proven optimal"
+                    }
+                );
+            }
         }
         _ => unreachable!("validated in parse_args"),
     }

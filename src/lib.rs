@@ -19,6 +19,8 @@
 //! * [`analyze`] — abstract interpretation: strided intervals, def-use,
 //!   the range-refined dependence oracle, whole-program lints
 //! * [`core`] — grouping, scheduling, baselines, cost model, layout
+//! * [`opt`] — exact statement packing: 0-1 ILP branch-and-bound behind
+//!   the `Packer` trait (`Strategy::Optimal`)
 //! * [`vm`] — vector code generation and the simulated machines
 //! * [`suite`] — the Table 3 benchmark kernels and a program generator
 //! * [`tv`] — symbolic translation validation: prove scalar ≡ vectorized
@@ -59,6 +61,7 @@ pub use slp_core as core;
 pub use slp_driver as driver;
 pub use slp_ir as ir;
 pub use slp_lang as lang;
+pub use slp_opt as opt;
 pub use slp_suite as suite;
 pub use slp_tv as tv;
 pub use slp_verify as verify;
@@ -93,8 +96,9 @@ pub use slp_vm as vm;
 /// [`execute`] without any change visible through this module).
 pub mod prelude {
     pub use slp_core::{
-        compile, compile_timed, CompileStats, CompiledKernel, ExecError, ExecErrorKind,
-        MachineConfig, SlpConfig, SlpError, Strategy, Verifier, VerifierHandle, VerifyError,
+        compile, compile_timed, estimate_kernel_cost, CompileStats, CompiledKernel, ExecError,
+        ExecErrorKind, HeuristicPacker, MachineConfig, OptParams, PackOutcome, PackRequest, Packer,
+        PackerHandle, SlpConfig, SlpError, Strategy, Verifier, VerifierHandle, VerifyError,
     };
     pub use slp_driver::{
         compile_batch, compile_source, parallel_map, parse_machine, parse_strategy, BatchConfig,
@@ -102,6 +106,7 @@ pub mod prelude {
     };
     pub use slp_ir::Program;
     pub use slp_lang::{compile as parse_kernel, ParseError};
+    pub use slp_opt::OptimalPacker;
     pub use slp_vm::{
         execute, execute_gated, run_scalar, BytecodeKernel, MachineState, Outcome, RunStats,
     };
