@@ -3,6 +3,7 @@
 //! ```text
 //! bench vm-throughput [--quick] [--out PATH] [--reps N]
 //! bench opt-gap [--quick] [--out PATH] [--deadline-ms N] [--max-nodes N]
+//! bench serve-load [--quick] [--out PATH] [--connections N] [--requests N] [--seed N]
 //! ```
 //!
 //! `vm-throughput` executes the sixteen-kernel suite under four schemes
@@ -37,6 +38,17 @@
 //! either strictly beating the heuristic (confirmed) or proving it
 //! optimal.
 //!
+//! `serve-load` benchmarks the `slp-serve` TCP stack end to end: it
+//! starts an in-process server on a loopback port and drives the
+//! deterministic load generator through three phases — **cold**
+//! (unique-source kernels, every request compiles), **warm** (a small
+//! fixed kernel set, cache hits after the first round) and **mixed**
+//! (the full class mix including malformed lines and an over-quota
+//! tenant) — recording throughput and p50/p99 latency per phase into
+//! `BENCH_serve.json`. The run fails unless valid traffic produced
+//! zero protocol errors and the warm phase out-ran the cold phase by
+//! at least 5x (the cache tier is the whole point of serving).
+//!
 //! `vm-throughput` results land in `BENCH_vm.json` (override either
 //! with `--out`). Compilation fans out across the driver's worker pool;
 //! timing loops are strictly serial so the two engines see identical
@@ -66,11 +78,16 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: bench vm-throughput [--quick] [--out PATH] [--reps N]\n       \
          bench opt-gap [--quick] [--out PATH] [--deadline-ms N] [--max-nodes N]\n       \
-         --quick        vm-throughput: 1 repetition; opt-gap: small node cap (CI smoke)\n       \
-         --out          report path (default BENCH_vm.json / BENCH_opt.json)\n       \
+         bench serve-load [--quick] [--out PATH] [--connections N] [--requests N] [--seed N]\n       \
+         --quick        vm-throughput: 1 repetition; opt-gap: small node cap;\n                      \
+         serve-load: fewer requests (CI smoke)\n       \
+         --out          report path (default BENCH_vm.json / BENCH_opt.json / BENCH_serve.json)\n       \
          --reps         timed repetitions per configuration (default 5)\n       \
          --deadline-ms  per-block solver deadline, 0 = none (default 0)\n       \
-         --max-nodes    per-block solver node cap, 0 = unlimited (default 200000)"
+         --max-nodes    per-block solver node cap, 0 = unlimited (default 200000)\n       \
+         --connections  serve-load: concurrent TCP connections (default 8)\n       \
+         --requests     serve-load: requests per connection per phase (default 50)\n       \
+         --seed         serve-load: request-stream seed (default 1592676784)"
     );
     ExitCode::from(2)
 }
@@ -80,7 +97,190 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("vm-throughput") => vm_throughput(&args[1..]),
         Some("opt-gap") => opt_gap(&args[1..]),
+        Some("serve-load") => serve_load(&args[1..]),
         _ => usage(),
+    }
+}
+
+/// End-to-end TCP serving throughput: cold, warm and mixed phases
+/// against an in-process server.
+fn serve_load(args: &[String]) -> ExitCode {
+    use slp::driver::loadgen::{run, LoadConfig, LoadMix, LoadReport};
+    use slp::driver::{serve_tcp, Handler, QuotaConfig, ServeConfig, TcpOptions};
+    use std::sync::Arc;
+
+    let mut quick = false;
+    let mut out = "BENCH_serve.json".to_string();
+    let mut connections = 8usize;
+    let mut requests = 50usize;
+    let mut seed = 0x5eed_51b0u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out = path.clone(),
+                None => return usage(),
+            },
+            "--connections" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => connections = n,
+                _ => return usage(),
+            },
+            "--requests" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => requests = n,
+                _ => return usage(),
+            },
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => seed = n,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if quick {
+        requests = requests.min(20);
+    }
+
+    // An in-process server on a kernel-assigned loopback port: memory
+    // cache only (disk I/O would measure the filesystem, not the serve
+    // stack) and a tightly-metered "hog" tenant so the mixed phase
+    // exercises real quota rejections.
+    let handler = Arc::new(Handler::new(
+        Arc::new(slp::prelude::CompileCache::in_memory(1024)),
+        ServeConfig {
+            quota_overrides: vec![(
+                "hog".to_string(),
+                QuotaConfig {
+                    capacity: 4.0,
+                    refill_per_sec: 0.0,
+                },
+            )],
+            ..ServeConfig::default()
+        },
+    ));
+    // One worker per connection: the bench measures the serve stack
+    // under full concurrency, not worker-pool queueing.
+    let server = match serve_tcp(
+        "127.0.0.1:0",
+        Arc::clone(&handler),
+        TcpOptions {
+            workers: connections,
+            ..TcpOptions::default()
+        },
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve-load: cannot start server: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let addr = server.local_addr();
+    eprintln!(
+        "serve-load: server on {addr}, {connections} connection(s), \
+         {requests} request(s)/connection/phase, seed {seed}"
+    );
+
+    let phase = |name: &str, mix: LoadMix, seed: u64| -> Result<(LoadReport, Json), ExitCode> {
+        let config = LoadConfig {
+            connections,
+            requests_per_connection: requests,
+            seed,
+            mix,
+            quota_tenant: "hog".to_string(),
+        };
+        let report = match run(addr, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("serve-load: {name} phase failed: {e}");
+                return Err(ExitCode::from(1));
+            }
+        };
+        eprintln!(
+            "{name:>5}: {:>8.0} req/s, p50 {:>8.3} ms, p99 {:>8.3} ms, \
+             {} ok, {} expected error(s), {} protocol error(s)",
+            report.throughput_rps(),
+            report.percentile_nanos(50.0) as f64 / 1e6,
+            report.percentile_nanos(99.0) as f64 / 1e6,
+            report.ok,
+            report.expected_errors,
+            report.protocol_errors
+        );
+        let json = Json::obj([
+            ("phase", Json::str(name)),
+            ("sent", Json::num(report.sent)),
+            ("ok", Json::num(report.ok)),
+            ("expected_errors", Json::num(report.expected_errors)),
+            ("protocol_errors", Json::num(report.protocol_errors)),
+            ("throughput_rps", Json::float(report.throughput_rps())),
+            ("p50_nanos", Json::num(report.percentile_nanos(50.0))),
+            ("p99_nanos", Json::num(report.percentile_nanos(99.0))),
+            ("wall_nanos", Json::num(report.wall_nanos)),
+        ]);
+        Ok((report, json))
+    };
+
+    let only = |warm, cold, malformed, over_quota| LoadMix {
+        warm,
+        cold,
+        malformed,
+        over_quota,
+    };
+    // Distinct seeds keep the cold phase's unique sources disjoint from
+    // the mixed phase's.
+    let (cold, cold_json) = match phase("cold", only(0, 1, 0, 0), seed) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let (warm, warm_json) = match phase("warm", only(1, 0, 0, 0), seed ^ 1) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let (mixed, mixed_json) = match phase("mixed", LoadMix::default(), seed ^ 2) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+
+    let summary = server.shutdown();
+    let protocol_errors = cold.protocol_errors + warm.protocol_errors + mixed.protocol_errors;
+    let speedup = if cold.throughput_rps() > 0.0 {
+        warm.throughput_rps() / cold.throughput_rps()
+    } else {
+        0.0
+    };
+    let ok = protocol_errors == 0 && speedup >= 5.0;
+    eprintln!(
+        "serve-load: warm/cold speedup {speedup:.1}x, {protocol_errors} protocol error(s); \
+         server counters: {} requests, {} compiled, {} cache hit(s), {} coalesced, \
+         {} quota rejection(s)",
+        summary.requests,
+        summary.compiled,
+        summary.cache_hits,
+        summary.coalesced,
+        summary.rejected_quota
+    );
+
+    let report = Json::obj([
+        ("benchmark", Json::str("serve-load")),
+        ("quick", Json::Bool(quick)),
+        ("connections", Json::num(connections as u64)),
+        ("requests_per_connection", Json::num(requests as u64)),
+        // A string: seeds are u64 and Json::num rejects > 2^53.
+        ("seed", Json::str(seed.to_string())),
+        ("warm_cold_speedup", Json::float(speedup)),
+        ("protocol_errors", Json::num(protocol_errors)),
+        ("phases", Json::Arr(vec![cold_json, warm_json, mixed_json])),
+        ("serve", summary.to_json()),
+        ("pass", Json::Bool(ok)),
+    ]);
+    if let Err(e) = std::fs::write(&out, report.to_pretty() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::from(1);
+    }
+    eprintln!("wrote {out}");
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }
 

@@ -62,8 +62,10 @@ impl Strategy {
     /// The CLI name of the strategy (`scalar`, `native`, `slp`,
     /// `global`, `optimal`), as parsed by
     /// [`FromStr`](std::str::FromStr) and rendered by
-    /// [`Display`](std::fmt::Display). Distinct from
-    /// [`Strategy::label`], which follows the figure legends.
+    /// [`Display`](std::fmt::Display). The parser additionally accepts
+    /// `auto-adjacent` as an alias for `native`; rendering always uses
+    /// the canonical spelling. Distinct from [`Strategy::label`], which
+    /// follows the figure legends.
     pub fn cli_name(self) -> &'static str {
         match self {
             Strategy::Scalar => "scalar",
@@ -97,12 +99,16 @@ impl std::str::FromStr for Strategy {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         match s {
             "scalar" => Ok(Strategy::Scalar),
-            "native" => Ok(Strategy::Native),
+            // `auto-adjacent` names what the native vectorizer actually
+            // does — pack only adjacent statements — and is kept as an
+            // accepted alias so scripts can use either spelling.
+            "native" | "auto-adjacent" => Ok(Strategy::Native),
             "slp" => Ok(Strategy::Baseline),
             "global" => Ok(Strategy::Holistic),
             "optimal" => Ok(Strategy::Optimal),
             other => Err(format!(
-                "unknown strategy '{other}' (expected scalar, native, slp, global or optimal)"
+                "unknown strategy '{other}' (expected scalar, native (alias auto-adjacent), \
+                 slp, global or optimal)"
             )),
         }
     }

@@ -1,13 +1,27 @@
-//! The content-addressed compile cache: an in-memory LRU tier plus an
-//! optional on-disk tier.
+//! The content-addressed compile cache: a *sharded* in-memory LRU tier
+//! plus an optional on-disk tier.
 //!
 //! Entries are whole compilations — the [`CompiledKernel`], the verify
 //! [`Report`] (if the request asked for verification) and the original
 //! compile's [`PhaseTimings`] — keyed by [`Fingerprint`]. The memory
-//! tier serves repeat requests within a process (the `slpd serve` loop,
-//! repeated kernels in one batch); the disk tier under `.slp-cache/`
-//! makes whole corpus re-runs warm across processes, which is what turns
-//! a second `slpc batch` over an unchanged tree into a near-no-op.
+//! tier serves repeat requests within a process (the `slpd` serve
+//! loops, repeated kernels in one batch); the disk tier under
+//! `.slp-cache/` makes whole corpus re-runs warm across processes,
+//! which is what turns a second `slpc batch` over an unchanged tree
+//! into a near-no-op.
+//!
+//! Concurrency design (the serve tier hammers this object from many
+//! connections at once):
+//!
+//! * the memory tier is split into power-of-two **shards** selected by
+//!   the fingerprint's low bits, each with its own lock and its own LRU
+//!   order, so concurrent hits on different kernels stop serializing on
+//!   one mutex. Small caches (below one shard's worth of entries) keep
+//!   a single shard and therefore exact global LRU order — the
+//!   capacity-2 eviction tests and tiny test caches behave as before;
+//! * the running [`CacheStats`] counters are plain atomics, never a
+//!   lock, so the hottest path (a memory hit) takes exactly one shard
+//!   lock and touches nothing shared beyond it.
 //!
 //! Robustness rules:
 //!
@@ -21,11 +35,12 @@
 //!   final name.
 //!
 //! The whole cache is internally synchronized (`&self` methods), so one
-//! instance can be shared by every worker of a batch and every request
-//! of a serve session.
+//! instance can be shared by every worker of a batch and every
+//! connection of a serve session.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use slp_core::{CompiledKernel, PhaseTimings};
@@ -94,14 +109,41 @@ impl CacheStats {
     }
 }
 
-struct MemoryTier {
+/// Lock-free counterpart of [`CacheStats`]; snapshots are taken with
+/// relaxed loads (counters are monotone, exactness only matters once
+/// the writers are quiescent, which is when summaries are read).
+#[derive(Default)]
+struct AtomicStats {
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    disk_errors: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One shard of the memory tier: a `HashMap` plus its own LRU order.
+struct MemoryShard {
     entries: HashMap<Fingerprint, CachedCompile>,
     /// LRU order, least recently used first.
     order: Vec<Fingerprint>,
     capacity: usize,
 }
 
-impl MemoryTier {
+impl MemoryShard {
     fn touch(&mut self, fp: Fingerprint) {
         self.order.retain(|&f| f != fp);
         self.order.push(fp);
@@ -126,23 +168,92 @@ impl MemoryTier {
     }
 }
 
-/// The two-tier compile cache. See the module docs for the design.
-#[derive(Debug)]
-pub struct CompileCache {
-    memory: Mutex<MemoryTierBox>,
-    disk_dir: Option<PathBuf>,
-    stats: Mutex<CacheStats>,
+/// The sharded memory tier. Shard selection uses the fingerprint's low
+/// bits — fingerprints are already uniform 128-bit hashes, so no
+/// re-hashing is needed.
+struct MemoryTier {
+    shards: Vec<Mutex<MemoryShard>>,
 }
 
-// Wrapper so `CompileCache` can derive a useful `Debug` without dumping
-// whole kernels.
-struct MemoryTierBox(MemoryTier);
+/// Entries one shard should comfortably hold before it is worth paying
+/// for another lock. Caches smaller than this stay single-sharded and
+/// keep exact global LRU semantics.
+const SHARD_TARGET: usize = 32;
 
-impl std::fmt::Debug for MemoryTierBox {
+/// Upper bound on shards; past this, lock contention is no longer the
+/// bottleneck for any realistic connection count.
+const MAX_SHARDS: usize = 16;
+
+fn shard_count(capacity: usize) -> usize {
+    (capacity / SHARD_TARGET)
+        .next_power_of_two()
+        .clamp(1, MAX_SHARDS)
+}
+
+impl MemoryTier {
+    fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let shards = shard_count(capacity);
+        let per_shard = capacity.div_ceil(shards);
+        MemoryTier {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(MemoryShard {
+                        entries: HashMap::new(),
+                        order: Vec::new(),
+                        capacity: per_shard,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, fp: Fingerprint) -> &Mutex<MemoryShard> {
+        // `shards.len()` is a power of two; the low bits of the second
+        // hash stream index it uniformly.
+        &self.shards[(fp.1 as usize) & (self.shards.len() - 1)]
+    }
+
+    fn get(&self, fp: Fingerprint) -> Option<CachedCompile> {
+        self.shard(fp).lock().expect("cache shard lock").get(fp)
+    }
+
+    fn put(&self, fp: Fingerprint, entry: CachedCompile) -> u64 {
+        self.shard(fp)
+            .lock()
+            .expect("cache shard lock")
+            .put(fp, entry)
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").entries.len())
+            .sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard lock");
+            shard.entries.clear();
+            shard.order.clear();
+        }
+    }
+}
+
+/// The two-tier compile cache. See the module docs for the design.
+pub struct CompileCache {
+    memory: MemoryTier,
+    disk_dir: Option<PathBuf>,
+    stats: AtomicStats,
+}
+
+impl std::fmt::Debug for CompileCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MemoryTier")
-            .field("entries", &self.0.entries.len())
-            .field("capacity", &self.0.capacity)
+        f.debug_struct("CompileCache")
+            .field("shards", &self.memory.shards.len())
+            .field("entries", &self.memory.len())
+            .field("disk_dir", &self.disk_dir)
             .finish()
     }
 }
@@ -158,13 +269,9 @@ impl CompileCache {
     /// A memory-only cache holding at most `capacity` entries.
     pub fn in_memory(capacity: usize) -> Self {
         CompileCache {
-            memory: Mutex::new(MemoryTierBox(MemoryTier {
-                entries: HashMap::new(),
-                order: Vec::new(),
-                capacity: capacity.max(1),
-            })),
+            memory: MemoryTier::new(capacity),
             disk_dir: None,
-            stats: Mutex::new(CacheStats::default()),
+            stats: AtomicStats::default(),
         }
     }
 
@@ -181,61 +288,53 @@ impl CompileCache {
         self.disk_dir.as_deref()
     }
 
+    /// How many shards the memory tier was split into (1 for small
+    /// caches, up to 16 for serve-sized ones).
+    pub fn shard_count(&self) -> usize {
+        self.memory.shards.len()
+    }
+
     /// A snapshot of the running counters.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock().expect("cache stats lock")
+        self.stats.snapshot()
     }
 
     /// Number of entries currently in the memory tier.
     pub fn memory_len(&self) -> usize {
-        self.memory.lock().expect("cache lock").0.entries.len()
+        self.memory.len()
     }
 
     /// Empties the memory tier (the disk tier is untouched). Useful in
     /// tests and for bounding memory between batches.
     pub fn clear_memory(&self) {
-        let mut mem = self.memory.lock().expect("cache lock");
-        mem.0.entries.clear();
-        mem.0.order.clear();
+        self.memory.clear();
     }
 
     /// Looks up a compilation, returning the entry and the tier that
     /// answered.
     pub fn get(&self, fp: Fingerprint) -> Option<(CachedCompile, CacheTier)> {
-        if let Some(entry) = self.memory.lock().expect("cache lock").0.get(fp) {
-            self.stats.lock().expect("cache stats lock").memory_hits += 1;
+        if let Some(entry) = self.memory.get(fp) {
+            self.stats.memory_hits.fetch_add(1, Ordering::Relaxed);
             return Some((entry, CacheTier::Memory));
         }
         if let Some(entry) = self.disk_get(fp) {
             // Promote to memory so repeat lookups stay cheap.
-            self.memory
-                .lock()
-                .expect("cache lock")
-                .0
-                .put(fp, entry.clone());
-            self.stats.lock().expect("cache stats lock").disk_hits += 1;
+            self.memory.put(fp, entry.clone());
+            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
             return Some((entry, CacheTier::Disk));
         }
-        self.stats.lock().expect("cache stats lock").misses += 1;
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 
     /// Stores a compilation under `fp` in both tiers.
     pub fn put(&self, fp: Fingerprint, entry: &CachedCompile) {
-        let evictions = self
-            .memory
-            .lock()
-            .expect("cache lock")
-            .0
-            .put(fp, entry.clone());
-        {
-            let mut stats = self.stats.lock().expect("cache stats lock");
-            stats.stores += 1;
-            stats.evictions += evictions;
-        }
+        let evictions = self.memory.put(fp, entry.clone());
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+        self.stats.evictions.fetch_add(evictions, Ordering::Relaxed);
         if self.disk_dir.is_some() {
             if let Err(()) = self.disk_put(fp, entry) {
-                self.stats.lock().expect("cache stats lock").disk_errors += 1;
+                self.stats.disk_errors.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -254,7 +353,7 @@ impl CompileCache {
             Err(_) => {
                 // Corrupt or stale: drop it so the slot recompiles clean.
                 let _ = std::fs::remove_file(&path);
-                self.stats.lock().expect("cache stats lock").disk_errors += 1;
+                self.stats.disk_errors.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -368,6 +467,9 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let cache = CompileCache::in_memory(2);
+        // Small caches must stay single-sharded so global LRU order is
+        // exact.
+        assert_eq!(cache.shard_count(), 1);
         let (fp0, e0) = entry_for(&source(0));
         let (fp1, e1) = entry_for(&source(1));
         let (fp2, e2) = entry_for(&source(2));
@@ -403,5 +505,46 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.lookups(), 3);
         assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serve_sized_caches_shard() {
+        assert_eq!(shard_count(2), 1);
+        assert_eq!(shard_count(31), 1);
+        assert_eq!(shard_count(64), 2);
+        assert_eq!(shard_count(DEFAULT_MEMORY_CAPACITY), 8);
+        assert_eq!(shard_count(100_000), MAX_SHARDS);
+        let cache = CompileCache::in_memory(DEFAULT_MEMORY_CAPACITY);
+        assert_eq!(cache.shard_count(), 8);
+    }
+
+    #[test]
+    fn sharded_stats_are_exact_under_concurrent_hits() {
+        let cache = CompileCache::in_memory(DEFAULT_MEMORY_CAPACITY);
+        assert!(cache.shard_count() > 1);
+        let keyed: Vec<(Fingerprint, CachedCompile)> =
+            (0..4).map(|n| entry_for(&source(n))).collect();
+        for (fp, e) in &keyed {
+            cache.put(*fp, e);
+        }
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 50;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let cache = &cache;
+                let keyed = &keyed;
+                scope.spawn(move || {
+                    for i in 0..ROUNDS {
+                        let (fp, _) = &keyed[(t + i) % keyed.len()];
+                        assert!(cache.get(*fp).is_some());
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.memory_hits, (THREADS * ROUNDS) as u64);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(stats.stores, keyed.len() as u64);
+        assert_eq!(cache.memory_len(), keyed.len());
     }
 }

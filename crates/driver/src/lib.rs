@@ -20,9 +20,15 @@
 //!   with deterministic output order; a panicking or over-budget kernel
 //!   degrades to [`Strategy::Scalar`] instead of sinking the batch,
 //! * [`DriverReport`] — machine-readable per-kernel and corpus-wide
-//!   phase timings, cache counters and degradation records,
-//! * [`serve`] — a line-delimited JSON request loop sharing one cache
-//!   across requests.
+//!   phase timings, cache counters, degradation records and (for
+//!   serving sessions) the [`ServeSummary`] counters.
+//!
+//! The request/response *serving* layer itself — the versioned wire
+//! protocol, the transport-agnostic handler with admission control,
+//! request coalescing and per-tenant quotas, and the stdio/TCP
+//! adapters — lives in the `slp-serve` crate (re-exported as
+//! `slp::driver::{serve, serve_tcp}` by the facade); this crate
+//! provides the pieces it is built from.
 //!
 //! ```
 //! use slp_core::{MachineConfig, SlpConfig, Strategy};
@@ -55,7 +61,6 @@ mod codec;
 mod fingerprint;
 pub mod json;
 mod report;
-mod serve;
 
 pub use batch::{compile_batch, compile_guarded, parallel_map, BatchConfig, KernelOutcome};
 pub use cache::{
@@ -66,8 +71,7 @@ pub use codec::{
     encode_report, encode_timings, CodecError, FORMAT_VERSION,
 };
 pub use fingerprint::{fingerprint, fingerprint_with_tag, Fingerprint};
-pub use report::DriverReport;
-pub use serve::{serve, ServeSummary};
+pub use report::{stats_json, timings_json, DriverReport, ServeSummary};
 
 use std::time::Instant;
 
@@ -380,9 +384,9 @@ pub(crate) fn elapsed_nanos(start: Instant) -> u64 {
 }
 
 /// Parses the CLI strategy names shared by `slpc`, `slpd` and the serve
-/// protocol (`scalar`, `native`, `slp`, `global`, `optimal`) — a thin
-/// wrapper over
-/// [`Strategy`]'s `FromStr`, kept for callers that want an `Option`.
+/// protocol (`scalar`, `native` — alias `auto-adjacent` —, `slp`,
+/// `global`, `optimal`) — a thin wrapper over [`Strategy`]'s `FromStr`,
+/// kept for callers that want an `Option`.
 pub fn parse_strategy(name: &str) -> Option<Strategy> {
     name.parse().ok()
 }

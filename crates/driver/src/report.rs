@@ -13,6 +13,58 @@ use slp_core::{Phase, PhaseTimings};
 use crate::json::Json;
 use crate::{CacheStats, KernelOutcome, ProveVerdict};
 
+/// Totals of one serving session (the stdio loop or a whole TCP
+/// server's lifetime), snapshotted from the handler's atomic counters.
+///
+/// The counters partition cleanly: every received request is counted in
+/// [`requests`](ServeSummary::requests); every *admitted* compile
+/// request in [`accepted`](ServeSummary::accepted); every `ok:true`
+/// compile response in [`compiled`](ServeSummary::compiled), of which
+/// [`cache_hits`](ServeSummary::cache_hits) were answered by a cache
+/// tier and [`coalesced`](ServeSummary::coalesced) by piggy-backing on
+/// an identical in-flight compile. Every `ok:false` response counts in
+/// [`errors`](ServeSummary::errors), including the typed admission
+/// ([`rejected_overload`](ServeSummary::rejected_overload)) and quota
+/// ([`rejected_quota`](ServeSummary::rejected_quota)) rejections.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests processed (including malformed ones).
+    pub requests: u64,
+    /// Compile requests admitted past quota and admission control.
+    pub accepted: u64,
+    /// Compile requests that produced a kernel.
+    pub compiled: u64,
+    /// Of those, how many either cache tier answered.
+    pub cache_hits: u64,
+    /// Of those, how many piggy-backed on an identical in-flight
+    /// compile instead of compiling or hitting a cache tier themselves.
+    pub coalesced: u64,
+    /// Compile requests rejected by the in-flight admission cap.
+    pub rejected_overload: u64,
+    /// Compile requests rejected by a tenant's token-bucket quota.
+    pub rejected_quota: u64,
+    /// Requests answered with `"ok": false` (every rejection and
+    /// malformed request included).
+    pub errors: u64,
+}
+
+impl ServeSummary {
+    /// The summary as a JSON object (stable key order, used by the
+    /// `stats` verb, the metrics endpoint and [`DriverReport`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("requests", Json::num(self.requests)),
+            ("accepted", Json::num(self.accepted)),
+            ("compiled", Json::num(self.compiled)),
+            ("cache_hits", Json::num(self.cache_hits)),
+            ("coalesced", Json::num(self.coalesced)),
+            ("rejected_overload", Json::num(self.rejected_overload)),
+            ("rejected_quota", Json::num(self.rejected_quota)),
+            ("errors", Json::num(self.errors)),
+        ])
+    }
+}
+
 /// How one batch entry ended up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RowStatus {
@@ -98,6 +150,10 @@ pub struct DriverReport {
     pub wall_nanos: u64,
     /// The cache's counters after the run, when a cache was used.
     pub cache: Option<CacheStats>,
+    /// Serve-session counters, when the report describes a serving
+    /// session rather than a one-shot batch (see
+    /// [`DriverReport::with_serve`]).
+    pub serve: Option<ServeSummary>,
 }
 
 impl DriverReport {
@@ -174,7 +230,16 @@ impl DriverReport {
             phase_totals,
             wall_nanos,
             cache,
+            serve: None,
         }
+    }
+
+    /// Attaches serve-session counters (the TCP/stdio front-ends thread
+    /// their [`ServeSummary`] through here so one report type carries
+    /// batch and serve telemetry alike).
+    pub fn with_serve(mut self, serve: ServeSummary) -> Self {
+        self.serve = Some(serve);
+        self
     }
 
     /// Rows that compiled at the requested configuration.
@@ -294,6 +359,9 @@ impl DriverReport {
         if let Some(stats) = &self.cache {
             fields.push(("cache", stats_json(stats)));
         }
+        if let Some(serve) = &self.serve {
+            fields.push(("serve", serve.to_json()));
+        }
         fields.push(("rows", Json::Arr(kernels)));
         Json::obj(fields)
     }
@@ -367,6 +435,21 @@ impl DriverReport {
                 if refuted == 1 { "" } else { "s" }
             ));
         }
+        if let Some(serve) = &self.serve {
+            out.push_str(&format!(
+                "serve: {} requests, {} accepted, {} compiled ({} cache hits, \
+                 {} coalesced), {} rejected (overload {}, quota {}), {} errors\n",
+                serve.requests,
+                serve.accepted,
+                serve.compiled,
+                serve.cache_hits,
+                serve.coalesced,
+                serve.rejected_overload + serve.rejected_quota,
+                serve.rejected_overload,
+                serve.rejected_quota,
+                serve.errors,
+            ));
+        }
         if let Some(stats) = &self.cache {
             out.push_str(&format!(
                 "cache: {} memory + {} disk hits / {} lookups ({:.1}% hit rate)\n",
@@ -389,8 +472,10 @@ fn millis(nanos: u64) -> String {
     format!("{:.2}ms", nanos as f64 / 1.0e6)
 }
 
-/// Phase timings as a `{"unroll": nanos, ...}` object.
-pub(crate) fn timings_json(timings: &PhaseTimings) -> Json {
+/// Phase timings as a `{"unroll": nanos, ...}` object — the shared
+/// serialization used by batch reports, the serve protocol and the
+/// metrics endpoint.
+pub fn timings_json(timings: &PhaseTimings) -> Json {
     Json::obj(
         Phase::ALL
             .iter()
@@ -399,8 +484,9 @@ pub(crate) fn timings_json(timings: &PhaseTimings) -> Json {
     )
 }
 
-/// Cache counters as JSON.
-pub(crate) fn stats_json(stats: &CacheStats) -> Json {
+/// Cache counters as JSON — shared by batch reports and the serve
+/// protocol's `stats` verb.
+pub fn stats_json(stats: &CacheStats) -> Json {
     Json::obj(vec![
         ("memory_hits", Json::num(stats.memory_hits)),
         ("disk_hits", Json::num(stats.disk_hits)),
@@ -410,4 +496,34 @@ pub(crate) fn stats_json(stats: &CacheStats) -> Json {
         ("disk_errors", Json::num(stats.disk_errors)),
         ("hit_rate", Json::float(stats.hit_rate())),
     ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_counters_thread_through_the_report() {
+        let summary = ServeSummary {
+            requests: 10,
+            accepted: 7,
+            compiled: 6,
+            cache_hits: 3,
+            coalesced: 2,
+            rejected_overload: 1,
+            rejected_quota: 2,
+            errors: 4,
+        };
+        let report = DriverReport::from_outcomes(&[], 0, None).with_serve(summary);
+        let json = report.to_json();
+        let serve = json.get("serve").expect("serve object present");
+        assert_eq!(serve.get("requests").and_then(Json::u64), Some(10));
+        assert_eq!(serve.get("coalesced").and_then(Json::u64), Some(2));
+        assert_eq!(serve.get("rejected_quota").and_then(Json::u64), Some(2));
+        let table = report.summary_table();
+        assert!(table.contains("serve: 10 requests"), "table: {table}");
+        // A plain batch report carries no serve section.
+        let plain = DriverReport::from_outcomes(&[], 0, None);
+        assert!(plain.to_json().get("serve").is_none());
+    }
 }

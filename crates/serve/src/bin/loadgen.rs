@@ -1,0 +1,131 @@
+//! `loadgen` — deterministic load generator for a running `slpd --tcp`.
+//!
+//! ```text
+//! loadgen --addr HOST:PORT [options]
+//!
+//! options:
+//!   --addr HOST:PORT     server to target (required)
+//!   --connections N      concurrent connections     (default: 8)
+//!   --requests N         requests per connection    (default: 50)
+//!   --seed N             request-stream seed        (default: 1592676784)
+//!   --mix W,C,M,Q        warm,cold,malformed,over-quota weights
+//!                        (default: 6,2,1,1)
+//!   --quota-tenant NAME  tenant for the over-quota class (default: hog)
+//!   --json               machine-readable report on stdout
+//! ```
+//!
+//! The stream is a pure function of the seed: same seed, same requests,
+//! same expected responses. Exit codes: 0 when the run saw zero
+//! protocol errors, 1 otherwise, 2 usage error.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+use slp_driver::json::Json;
+use slp_serve::loadgen::{run, LoadConfig, LoadMix};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: loadgen --addr HOST:PORT [--connections N] [--requests N] \
+         [--seed N] [--mix W,C,M,Q] [--quota-tenant NAME] [--json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_mix(text: &str) -> Option<LoadMix> {
+    let parts: Vec<u32> = text
+        .split(',')
+        .map(|p| p.trim().parse().ok())
+        .collect::<Option<Vec<u32>>>()?;
+    let [warm, cold, malformed, over_quota] = parts.as_slice() else {
+        return None;
+    };
+    Some(LoadMix {
+        warm: *warm,
+        cold: *cold,
+        malformed: *malformed,
+        over_quota: *over_quota,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<SocketAddr> = None;
+    let mut config = LoadConfig::default();
+    let mut json_output = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                let Some(resolved) = args
+                    .next()
+                    .and_then(|a| a.to_socket_addrs().ok())
+                    .and_then(|mut addrs| addrs.next())
+                else {
+                    return usage();
+                };
+                addr = Some(resolved);
+            }
+            "--connections" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.connections = n,
+                _ => return usage(),
+            },
+            "--requests" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => config.requests_per_connection = n,
+                _ => return usage(),
+            },
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => config.seed = n,
+                None => return usage(),
+            },
+            "--mix" => match args.next().as_deref().and_then(parse_mix) {
+                Some(mix) => config.mix = mix,
+                None => return usage(),
+            },
+            "--quota-tenant" => match args.next() {
+                Some(name) => config.quota_tenant = name,
+                None => return usage(),
+            },
+            "--json" => json_output = true,
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else { return usage() };
+
+    let report = match run(addr, &config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            return ExitCode::from(1);
+        }
+    };
+
+    if json_output {
+        let doc = Json::obj(vec![
+            ("sent", Json::num(report.sent)),
+            ("ok", Json::num(report.ok)),
+            ("expected_errors", Json::num(report.expected_errors)),
+            ("protocol_errors", Json::num(report.protocol_errors)),
+            ("throughput_rps", Json::float(report.throughput_rps())),
+            ("p50_nanos", Json::num(report.percentile_nanos(50.0))),
+            ("p99_nanos", Json::num(report.percentile_nanos(99.0))),
+            ("wall_nanos", Json::num(report.wall_nanos)),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        println!(
+            "loadgen: {} sent, {} ok, {} expected error(s), {} protocol error(s)",
+            report.sent, report.ok, report.expected_errors, report.protocol_errors
+        );
+        println!(
+            "loadgen: {:.0} req/s, p50 {:.2} ms, p99 {:.2} ms",
+            report.throughput_rps(),
+            report.percentile_nanos(50.0) as f64 / 1e6,
+            report.percentile_nanos(99.0) as f64 / 1e6,
+        );
+    }
+    if report.protocol_errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,458 @@
+//! The transport-agnostic request handler: one request line in, one
+//! response out.
+//!
+//! [`Handler`] owns everything a serving session shares across
+//! connections — the compile cache, the in-flight deduplication table,
+//! the per-tenant token buckets, the admission gauge and the serve
+//! counters — so the stdio loop, the TCP server and the tests all
+//! drive the *same* object and observe the same semantics.
+//!
+//! A `compile` request passes through four gates, in order:
+//!
+//! 1. **drain** — a draining handler admits no new compiles
+//!    ([`ErrorCode::Draining`]); in-flight ones run to completion;
+//! 2. **quota** — the request's tenant takes one token from its bucket
+//!    ([`ErrorCode::QuotaExhausted`] when empty). Rejections touch
+//!    nothing shared — in particular they can never poison the cache;
+//! 3. **admission** — the global in-flight gauge is bumped; past
+//!    [`ServeConfig::max_in_flight`] the request is rejected with
+//!    [`ErrorCode::Overloaded`] instead of queueing unboundedly;
+//! 4. **dedup** — requests with an identical fingerprint already
+//!    compiling *join* that compile instead of starting their own: the
+//!    leader compiles once, followers block on the slot and get a clone
+//!    of the result, reported as `"cache":"coalesced"`.
+//!
+//! Every counter is atomic; a [`ServeSummary`] snapshot is exact once
+//! the writers are quiescent, which the concurrency tests pin.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use slp_core::PhaseTimings;
+use slp_driver::json::Json;
+use slp_driver::{
+    compile_guarded, stats_json, timings_json, CacheDisposition, CompileCache, CompileOutcome,
+    CompileRequest, DriverError, Fingerprint, ServeSummary,
+};
+
+use crate::protocol::{outcome_fields, parse_request, Envelope, ErrorCode, Request};
+
+/// A per-tenant token bucket: `capacity` tokens, refilled continuously
+/// at `refill_per_sec`. One compile request costs one token.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuotaConfig {
+    /// Maximum (and initial) token balance.
+    pub capacity: f64,
+    /// Tokens restored per second (0 = a fixed allowance, never
+    /// refilled).
+    pub refill_per_sec: f64,
+}
+
+/// Handler knobs. All fields are public; start from `..Default::default()`.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission cap: compile requests in flight at once (leaders and
+    /// coalesced followers alike). `0` disables the cap.
+    pub max_in_flight: usize,
+    /// The default per-tenant quota; `None` serves every tenant
+    /// unmetered (tenants named in `quota_overrides` are still
+    /// metered).
+    pub quota: Option<QuotaConfig>,
+    /// Per-tenant quota overrides, consulted before `quota`.
+    pub quota_overrides: Vec<(String, QuotaConfig)>,
+    /// Budget applied to compile requests that do not carry their own
+    /// `budget_ms`.
+    pub default_budget_ms: Option<u64>,
+    /// Whether identical in-flight fingerprints are coalesced onto one
+    /// compile.
+    pub dedup: bool,
+    /// Test instrumentation: artificial delay (milliseconds) inserted
+    /// while a leader holds its dedup slot, before compiling. Makes
+    /// coalescing and drain windows deterministic in the concurrency
+    /// tests; leave `0` in production.
+    pub compile_hold_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_in_flight: 256,
+            quota: None,
+            quota_overrides: Vec::new(),
+            default_budget_ms: None,
+            dedup: true,
+            compile_hold_ms: 0,
+        }
+    }
+}
+
+/// One handled request: the response document plus whether the request
+/// asked the session to shut down.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The response, ready to be written as one line.
+    pub json: Json,
+    /// `true` for an acknowledged `shutdown` verb — the transport
+    /// should drain and close.
+    pub shutdown: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    accepted: AtomicU64,
+    compiled: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_quota: AtomicU64,
+    errors: AtomicU64,
+    /// Gauge: compile requests currently inside the admission gate.
+    active: AtomicU64,
+}
+
+struct Bucket {
+    tokens: f64,
+    last_refill: Instant,
+}
+
+/// The dedup slot an in-flight compile publishes its result through.
+struct InflightSlot {
+    result: Mutex<Option<Result<CompileOutcome, DriverError>>>,
+    done: Condvar,
+}
+
+/// Decrements the active gauge even on unwind paths.
+struct ActiveGuard<'a>(&'a AtomicU64);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// The shared serving core. See the module docs for the gate order.
+pub struct Handler {
+    cache: Arc<CompileCache>,
+    config: ServeConfig,
+    counters: Counters,
+    inflight: Mutex<HashMap<Fingerprint, Arc<InflightSlot>>>,
+    buckets: Mutex<HashMap<String, Bucket>>,
+    phase_totals: Mutex<PhaseTimings>,
+    draining: AtomicBool,
+}
+
+impl std::fmt::Debug for Handler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Handler")
+            .field("config", &self.config)
+            .field("draining", &self.draining.load(Ordering::Relaxed))
+            .field("active", &self.active())
+            .finish()
+    }
+}
+
+impl Handler {
+    /// A handler serving from (and filling) `cache` under `config`.
+    pub fn new(cache: Arc<CompileCache>, config: ServeConfig) -> Handler {
+        Handler {
+            cache,
+            config,
+            counters: Counters::default(),
+            inflight: Mutex::new(HashMap::new()),
+            buckets: Mutex::new(HashMap::new()),
+            phase_totals: Mutex::new(PhaseTimings::new()),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// Convenience: a defaulted handler around a fresh cache.
+    pub fn with_cache(cache: CompileCache) -> Handler {
+        Handler::new(Arc::new(cache), ServeConfig::default())
+    }
+
+    /// The shared compile cache.
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Compile requests currently inside the admission gate.
+    pub fn active(&self) -> u64 {
+        self.counters.active.load(Ordering::Relaxed)
+    }
+
+    /// Stops admitting new compiles; in-flight ones run to completion.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`Handler::begin_drain`] was called.
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Records a connection-level overload rejection (e.g. the TCP
+    /// accept queue was full — the handler never saw a request line).
+    pub fn note_connection_rejected(&self) {
+        self.counters
+            .rejected_overload
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An exact snapshot of the serve counters (exact once writers are
+    /// quiescent).
+    pub fn summary(&self) -> ServeSummary {
+        let c = &self.counters;
+        ServeSummary {
+            requests: c.requests.load(Ordering::Relaxed),
+            accepted: c.accepted.load(Ordering::Relaxed),
+            compiled: c.compiled.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
+            rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            errors: c.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Handles one request line and returns the response to write.
+    pub fn handle_line(&self, line: &str) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let (json, shutdown) = match parse_request(line) {
+            Request::Malformed(response) => (response, false),
+            Request::Compile {
+                envelope,
+                request,
+                budget_ms,
+            } => (self.handle_compile(&envelope, &request, budget_ms), false),
+            Request::Stats(envelope) => (self.handle_stats(&envelope), false),
+            Request::Ping(envelope) => (envelope.ok(vec![("pong", Json::Bool(true))]), false),
+            Request::Shutdown(envelope) => {
+                (envelope.ok(vec![("shutdown", Json::Bool(true))]), true)
+            }
+        };
+        if !matches!(json.get("ok"), Some(Json::Bool(true))) {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        Response { json, shutdown }
+    }
+
+    fn handle_stats(&self, envelope: &Envelope) -> Json {
+        let summary = self.summary();
+        if envelope.v1 {
+            envelope.ok(vec![
+                ("cache", stats_json(&self.cache.stats())),
+                ("serve", summary.to_json()),
+                ("active", Json::num(self.active())),
+                ("draining", Json::Bool(self.draining())),
+            ])
+        } else {
+            // The legacy stats shape, pinned by the compat tests.
+            envelope.ok(vec![
+                ("cache", stats_json(&self.cache.stats())),
+                ("requests", Json::num(summary.requests)),
+                ("compiled", Json::num(summary.compiled)),
+            ])
+        }
+    }
+
+    fn handle_compile(
+        &self,
+        envelope: &Envelope,
+        request: &CompileRequest,
+        budget_ms: Option<u64>,
+    ) -> Json {
+        // Gate 1: drain.
+        if self.draining() {
+            return envelope.error(
+                ErrorCode::Draining,
+                "server is draining and admits no new compiles",
+            );
+        }
+        // Gate 2: tenant quota.
+        if !self.take_token(&envelope.tenant) {
+            self.counters.rejected_quota.fetch_add(1, Ordering::Relaxed);
+            return envelope.error(
+                ErrorCode::QuotaExhausted,
+                &format!(
+                    "tenant {:?} has exhausted its request quota",
+                    envelope.tenant
+                ),
+            );
+        }
+        // Gate 3: admission.
+        let cap = self.config.max_in_flight;
+        let active = self.counters.active.fetch_add(1, Ordering::Relaxed) + 1;
+        let _guard = ActiveGuard(&self.counters.active);
+        if cap != 0 && active as usize > cap {
+            self.counters
+                .rejected_overload
+                .fetch_add(1, Ordering::Relaxed);
+            return envelope.error(
+                ErrorCode::Overloaded,
+                &format!("server at its in-flight cap ({cap}); retry later"),
+            );
+        }
+        self.counters.accepted.fetch_add(1, Ordering::Relaxed);
+
+        // Gate 4: dedup, then compile.
+        let budget = budget_ms.or(self.config.default_budget_ms);
+        let (result, coalesced) = self.compile_deduped(request, budget);
+        match result {
+            Ok(outcome) => {
+                self.counters.compiled.fetch_add(1, Ordering::Relaxed);
+                if coalesced {
+                    self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    if outcome.cache_hit() {
+                        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if outcome.cache == CacheDisposition::Compiled {
+                        // Telemetry counts work actually performed, so
+                        // cached (re-served) timings are not re-merged.
+                        self.phase_totals
+                            .lock()
+                            .expect("phase totals lock")
+                            .merge(&outcome.timings);
+                    }
+                }
+                envelope.ok(outcome_fields(&request.name, &outcome, coalesced))
+            }
+            Err(err) => envelope.error(ErrorCode::from_driver(&err), &err.to_string()),
+        }
+    }
+
+    /// Runs one compile under the dedup table: the first request for a
+    /// fingerprint becomes the leader and compiles; concurrent
+    /// duplicates block on the slot and reuse the leader's result.
+    /// Returns the result plus whether it was coalesced.
+    fn compile_deduped(
+        &self,
+        request: &CompileRequest,
+        budget_ms: Option<u64>,
+    ) -> (Result<CompileOutcome, DriverError>, bool) {
+        if !self.config.dedup {
+            return (
+                compile_guarded(request, Some(&self.cache), budget_ms),
+                false,
+            );
+        }
+        let fp = request.fingerprint();
+        let slot = {
+            let mut inflight = self.inflight.lock().expect("inflight lock");
+            match inflight.get(&fp) {
+                Some(slot) => {
+                    // Follower: wait for the leader's published result.
+                    let slot = Arc::clone(slot);
+                    drop(inflight);
+                    let mut result = slot.result.lock().expect("inflight slot lock");
+                    while result.is_none() {
+                        result = slot.done.wait(result).expect("inflight slot wait");
+                    }
+                    return (result.clone().expect("published result"), true);
+                }
+                None => {
+                    let slot = Arc::new(InflightSlot {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    inflight.insert(fp, Arc::clone(&slot));
+                    slot
+                }
+            }
+        };
+
+        // Leader: compile (the guarded path re-checks the cache first),
+        // publish, and retire the slot. The hold is test-only — see
+        // `ServeConfig::compile_hold_ms`.
+        if self.config.compile_hold_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(
+                self.config.compile_hold_ms,
+            ));
+        }
+        let result = compile_guarded(request, Some(&self.cache), budget_ms);
+        self.inflight.lock().expect("inflight lock").remove(&fp);
+        *slot.result.lock().expect("inflight slot lock") = Some(result.clone());
+        slot.done.notify_all();
+        (result, false)
+    }
+
+    /// Takes one token from `tenant`'s bucket; `true` when the request
+    /// may proceed (including when the tenant is unmetered).
+    fn take_token(&self, tenant: &str) -> bool {
+        let quota = self
+            .config
+            .quota_overrides
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, q)| *q)
+            .or(self.config.quota);
+        let Some(quota) = quota else { return true };
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().expect("quota lock");
+        let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
+            tokens: quota.capacity,
+            last_refill: now,
+        });
+        let elapsed = now.duration_since(bucket.last_refill).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * quota.refill_per_sec).min(quota.capacity);
+        bucket.last_refill = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The `/metrics`-style text exposition: serve counters, cache
+    /// counters and accumulated per-phase compile telemetry, one
+    /// `name value` line each (Prometheus text format, counters only).
+    pub fn metrics_text(&self) -> String {
+        let s = self.summary();
+        let cache = self.cache.stats();
+        let phases = *self.phase_totals.lock().expect("phase totals lock");
+        let mut out = String::new();
+        for (name, value) in [
+            ("slp_serve_requests_total", s.requests),
+            ("slp_serve_accepted_total", s.accepted),
+            ("slp_serve_compiled_total", s.compiled),
+            ("slp_serve_cache_hits_total", s.cache_hits),
+            ("slp_serve_coalesced_total", s.coalesced),
+            ("slp_serve_rejected_overload_total", s.rejected_overload),
+            ("slp_serve_rejected_quota_total", s.rejected_quota),
+            ("slp_serve_errors_total", s.errors),
+            ("slp_serve_active", self.active()),
+            ("slp_serve_draining", u64::from(self.draining())),
+            ("slp_cache_memory_hits_total", cache.memory_hits),
+            ("slp_cache_disk_hits_total", cache.disk_hits),
+            ("slp_cache_misses_total", cache.misses),
+            ("slp_cache_stores_total", cache.stores),
+            ("slp_cache_evictions_total", cache.evictions),
+            ("slp_cache_disk_errors_total", cache.disk_errors),
+        ] {
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (phase, nanos) in phases.iter() {
+            out.push_str(&format!(
+                "slp_phase_nanos_total{{phase=\"{}\"}} {nanos}\n",
+                phase.name()
+            ));
+        }
+        out
+    }
+
+    /// Accumulated per-phase telemetry of the compiles this handler
+    /// actually performed (cache hits and coalesced requests excluded).
+    pub fn phase_totals(&self) -> PhaseTimings {
+        *self.phase_totals.lock().expect("phase totals lock")
+    }
+
+    /// The timings serialization shared with the driver reports,
+    /// exposed for the stats verb of adapters.
+    pub fn phase_totals_json(&self) -> Json {
+        timings_json(&self.phase_totals())
+    }
+}

@@ -1,0 +1,34 @@
+//! `slp-serve` — the concurrent, multi-tenant compile-serving layer.
+//!
+//! The crate splits serving into three pieces:
+//!
+//! * [`protocol`] — the versioned line-delimited JSON wire protocol:
+//!   the v1 envelope (`{"v":1,"id":…,"tenant":…,"cmd":…}`), the legacy
+//!   bare form it remains compatible with, and the stable `S1xx` error
+//!   codes;
+//! * [`handler`] — the transport-agnostic [`Handler`]: one request
+//!   line in, one response line out, owning the compile cache, the
+//!   in-flight deduplication table, the per-tenant token buckets, the
+//!   admission gate and the serve counters;
+//! * adapters — [`stdio::serve`] (line loop over any `BufRead`/`Write`
+//!   pair, what `slpd` runs by default) and [`tcp::serve_tcp`] (accept
+//!   thread, worker pool, bounded queues, `GET /metrics`), both thin:
+//!   every semantic lives in the handler, so the two transports cannot
+//!   drift apart.
+//!
+//! [`loadgen`] is the deterministic load generator the `loadgen`
+//! binary, the `bench serve-load` harness and the CI smoke job share.
+//!
+//! The crate is re-exported as part of `slp::driver`, so callers write
+//! `slp::driver::{serve, serve_tcp}`.
+
+pub mod handler;
+pub mod loadgen;
+pub mod protocol;
+pub mod stdio;
+pub mod tcp;
+
+pub use handler::{Handler, QuotaConfig, Response, ServeConfig};
+pub use protocol::ErrorCode;
+pub use stdio::{serve, serve_handler};
+pub use tcp::{serve_tcp, TcpOptions, TcpServer};

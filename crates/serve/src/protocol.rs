@@ -1,0 +1,383 @@
+//! The `slpd` wire protocol: the versioned v1 envelope, the legacy
+//! bare form, and the `S100`-series machine-readable error codes.
+//!
+//! # The v1 envelope
+//!
+//! A request is one line of JSON carrying `"v": 1`:
+//!
+//! ```json
+//! {"v":1,"id":"req-7","tenant":"team-a","cmd":"compile","source":"kernel k { … }"}
+//! ```
+//!
+//! * `v` — protocol version, must be the number `1`;
+//! * `id` — optional request correlator (string or number), echoed
+//!   verbatim in the response so clients may pipeline;
+//! * `tenant` — optional tenant key for quota accounting (defaults to
+//!   the anonymous tenant `""`);
+//! * `cmd` — the verb: `compile`, `stats`, `ping`, `shutdown`.
+//!
+//! Every v1 response echoes `v` and `id` and carries `ok`. Failures
+//! add a stable `code` from the table below plus a human-readable
+//! `error`:
+//!
+//! | code   | meaning                                             |
+//! |--------|-----------------------------------------------------|
+//! | `S100` | malformed request (bad JSON, missing/invalid field) |
+//! | `S101` | unknown `cmd`                                       |
+//! | `S102` | unsupported protocol version                        |
+//! | `S110` | kernel source did not parse                         |
+//! | `S111` | kernel parsed but failed semantic validation        |
+//! | `S112` | compiler panic (caught; the server survives)        |
+//! | `S113` | compile exceeded its time budget                    |
+//! | `S120` | overloaded: in-flight admission cap reached         |
+//! | `S121` | tenant quota exhausted (token bucket empty)         |
+//! | `S122` | server is draining; request not admitted            |
+//!
+//! # The legacy bare form
+//!
+//! A request without a `"v"` field is a legacy request (the protocol
+//! `slpd` spoke before versioning). It is answered in the legacy
+//! response shape: no `v`, no `id`, errors carry the historical `kind`
+//! strings (`request`/`parse`/`invalid`/`panic`/`timeout`) instead of
+//! codes. Conditions that postdate the legacy protocol (admission,
+//! quotas, drain) use their [`ErrorCode::legacy_kind`] names. The
+//! compat test suite pins both shapes.
+
+use slp_core::SlpConfig;
+use slp_driver::json::Json;
+use slp_driver::{
+    parse_machine, parse_strategy, CompileOutcome, CompileRequest, DriverError, VerifyLevel,
+};
+
+/// The stable machine-readable error codes of the v1 protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// `S100`: malformed request — invalid JSON, missing or ill-typed
+    /// field.
+    BadRequest,
+    /// `S101`: the `cmd` verb is not one the server knows.
+    UnknownCommand,
+    /// `S102`: the request carried a `v` other than `1`.
+    BadVersion,
+    /// `S110`: the kernel source did not parse.
+    ParseError,
+    /// `S111`: the kernel parsed but failed semantic validation.
+    InvalidProgram,
+    /// `S112`: the compiler panicked (caught by the guard thread).
+    CompilerPanic,
+    /// `S113`: the compile exceeded its time budget.
+    BudgetExceeded,
+    /// `S120`: the in-flight admission cap was reached.
+    Overloaded,
+    /// `S121`: the tenant's token-bucket quota is exhausted.
+    QuotaExhausted,
+    /// `S122`: the server is draining and admits no new compiles.
+    Draining,
+}
+
+impl ErrorCode {
+    /// The stable wire code (`"S100"`…`"S122"`).
+    pub fn code(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "S100",
+            ErrorCode::UnknownCommand => "S101",
+            ErrorCode::BadVersion => "S102",
+            ErrorCode::ParseError => "S110",
+            ErrorCode::InvalidProgram => "S111",
+            ErrorCode::CompilerPanic => "S112",
+            ErrorCode::BudgetExceeded => "S113",
+            ErrorCode::Overloaded => "S120",
+            ErrorCode::QuotaExhausted => "S121",
+            ErrorCode::Draining => "S122",
+        }
+    }
+
+    /// The `kind` string used when answering a *legacy* request. The
+    /// first five mirror the historical serve loop exactly; the
+    /// admission-era conditions get descriptive names (the legacy
+    /// protocol never produced them).
+    pub fn legacy_kind(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest | ErrorCode::UnknownCommand | ErrorCode::BadVersion => "request",
+            ErrorCode::ParseError => "parse",
+            ErrorCode::InvalidProgram => "invalid",
+            ErrorCode::CompilerPanic => "panic",
+            ErrorCode::BudgetExceeded => "timeout",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::QuotaExhausted => "quota",
+            ErrorCode::Draining => "draining",
+        }
+    }
+
+    /// Maps a driver failure onto its wire code.
+    pub fn from_driver(err: &DriverError) -> ErrorCode {
+        match err {
+            DriverError::Parse(_) => ErrorCode::ParseError,
+            DriverError::Invalid(_) => ErrorCode::InvalidProgram,
+            DriverError::Panic(_) => ErrorCode::CompilerPanic,
+            DriverError::Timeout(_) => ErrorCode::BudgetExceeded,
+        }
+    }
+}
+
+/// Which protocol shape a request arrived in, plus its envelope fields.
+#[derive(Debug, Clone)]
+pub struct Envelope {
+    /// `false` for legacy bare-form requests.
+    pub v1: bool,
+    /// The request's `id`, echoed verbatim in v1 responses
+    /// ([`Json::Null`] when absent).
+    pub id: Json,
+    /// The quota tenant (`""` when absent — the anonymous tenant).
+    pub tenant: String,
+}
+
+impl Envelope {
+    /// The legacy envelope (bare-form request, anonymous tenant).
+    pub fn legacy() -> Envelope {
+        Envelope {
+            v1: false,
+            id: Json::Null,
+            tenant: String::new(),
+        }
+    }
+
+    fn v1_base(&self) -> Vec<(&'static str, Json)> {
+        vec![("v", Json::num(1)), ("id", self.id.clone())]
+    }
+
+    /// An `ok:false` response in this envelope's shape.
+    pub fn error(&self, code: ErrorCode, message: &str) -> Json {
+        if self.v1 {
+            let mut fields = self.v1_base();
+            fields.push(("ok", Json::Bool(false)));
+            fields.push(("code", Json::str(code.code())));
+            fields.push(("error", Json::str(message)));
+            Json::obj(fields)
+        } else {
+            Json::obj(vec![
+                ("ok", Json::Bool(false)),
+                ("kind", Json::str(code.legacy_kind())),
+                ("error", Json::str(message)),
+            ])
+        }
+    }
+
+    /// An `ok:true` response wrapping `fields` in this envelope's
+    /// shape.
+    pub fn ok(&self, fields: Vec<(&'static str, Json)>) -> Json {
+        let mut out = if self.v1 { self.v1_base() } else { Vec::new() };
+        out.push(("ok", Json::Bool(true)));
+        out.extend(fields);
+        Json::obj(out)
+    }
+}
+
+/// A parsed request line: the envelope plus the verb and its body.
+#[derive(Debug)]
+pub enum Request {
+    /// `cmd: "compile"` with its parsed [`CompileRequest`] and optional
+    /// per-request budget.
+    Compile {
+        /// The envelope the response must use.
+        envelope: Envelope,
+        /// The driver request.
+        request: Box<CompileRequest>,
+        /// `budget_ms` field, if present.
+        budget_ms: Option<u64>,
+    },
+    /// `cmd: "stats"`.
+    Stats(Envelope),
+    /// `cmd: "ping"` (v1 only; legacy never had it but accepting it
+    /// everywhere is harmless).
+    Ping(Envelope),
+    /// `cmd: "shutdown"`.
+    Shutdown(Envelope),
+    /// The line could not be turned into a request; the payload is the
+    /// ready-to-send error response.
+    Malformed(Json),
+}
+
+/// Parses one request line into a [`Request`], with every failure
+/// already rendered as the correctly-shaped error response.
+pub fn parse_request(line: &str) -> Request {
+    let raw = match Json::parse(line) {
+        Ok(v) => v,
+        // Unparseable lines cannot name a protocol version; answer in
+        // the legacy shape, which is also what v1 clients must expect
+        // for garbage (the `kind` key is absent there — `code` is not —
+        // so the shapes stay distinguishable).
+        Err(e) => {
+            return Request::Malformed(
+                Envelope::legacy()
+                    .error(ErrorCode::BadRequest, &format!("invalid request JSON: {e}")),
+            )
+        }
+    };
+
+    let envelope = match raw.get("v") {
+        None => Envelope::legacy(),
+        Some(v) => {
+            let id = raw.get("id").cloned().unwrap_or(Json::Null);
+            let tenant = raw
+                .get("tenant")
+                .and_then(Json::string)
+                .unwrap_or("")
+                .to_string();
+            let envelope = Envelope {
+                v1: true,
+                id,
+                tenant,
+            };
+            if v.u64() != Some(1) {
+                return Request::Malformed(envelope.error(
+                    ErrorCode::BadVersion,
+                    &format!(
+                        "unsupported protocol version {} (this server speaks v1)",
+                        v.to_compact()
+                    ),
+                ));
+            }
+            envelope
+        }
+    };
+
+    let cmd = match raw.get("cmd").and_then(Json::string) {
+        Some(c) => c,
+        None => {
+            return Request::Malformed(
+                envelope.error(ErrorCode::BadRequest, "missing string field \"cmd\""),
+            )
+        }
+    };
+    match cmd {
+        "compile" => match parse_compile_body(&raw) {
+            Ok((request, budget_ms)) => Request::Compile {
+                envelope,
+                request: Box::new(request),
+                budget_ms,
+            },
+            Err(msg) => Request::Malformed(envelope.error(ErrorCode::BadRequest, &msg)),
+        },
+        "stats" => Request::Stats(envelope),
+        "ping" => Request::Ping(envelope),
+        "shutdown" => Request::Shutdown(envelope),
+        other => Request::Malformed(
+            envelope.error(ErrorCode::UnknownCommand, &format!("unknown cmd {other:?}")),
+        ),
+    }
+}
+
+/// Builds a [`CompileRequest`] (plus budget) from a `compile` verb's
+/// fields, or an error message naming the offending field.
+fn parse_compile_body(req: &Json) -> Result<(CompileRequest, Option<u64>), String> {
+    let source = req
+        .get("source")
+        .and_then(Json::string)
+        .ok_or("missing string field \"source\"")?
+        .to_string();
+    let name = req
+        .get("name")
+        .and_then(Json::string)
+        .unwrap_or("<anonymous>")
+        .to_string();
+
+    let strategy_name = req
+        .get("strategy")
+        .and_then(Json::string)
+        .unwrap_or("global");
+    let strategy = parse_strategy(strategy_name)
+        .ok_or_else(|| format!("unknown strategy {strategy_name:?}"))?;
+    let machine_name = req.get("machine").and_then(Json::string).unwrap_or("intel");
+    let machine =
+        parse_machine(machine_name).ok_or_else(|| format!("unknown machine {machine_name:?}"))?;
+    let verify_name = req.get("verify").and_then(Json::string).unwrap_or("static");
+    let verify = VerifyLevel::from_name(verify_name)
+        .ok_or_else(|| format!("unknown verify level {verify_name:?}"))?;
+
+    let mut config = SlpConfig::for_machine(machine, strategy);
+    if let Some(unroll) = req.get("unroll") {
+        config.unroll = usize::try_from(unroll.u64().ok_or("field \"unroll\" must be an integer")?)
+            .map_err(|_| "field \"unroll\" out of range")?;
+    }
+    if let Some(layout) = req.get("layout") {
+        if layout.bool().ok_or("field \"layout\" must be a boolean")? {
+            config = config.with_layout();
+        }
+    }
+    let budget_ms = match req.get("budget_ms") {
+        Some(b) => Some(b.u64().ok_or("field \"budget_ms\" must be an integer")?),
+        None => None,
+    };
+
+    Ok((
+        CompileRequest {
+            name,
+            source,
+            config,
+            verify,
+        },
+        budget_ms,
+    ))
+}
+
+/// The success-response body of a compile (shared by both envelope
+/// shapes; the envelope wraps it). `via_coalesce` marks a request that
+/// piggy-backed on an identical in-flight compile — its `cache` field
+/// reads `"coalesced"` since neither tier nor a fresh compile answered
+/// *this* request.
+pub fn outcome_fields(
+    name: &str,
+    outcome: &CompileOutcome,
+    via_coalesce: bool,
+) -> Vec<(&'static str, Json)> {
+    let mut fields = vec![
+        ("name", Json::str(name)),
+        (
+            "cache",
+            Json::str(if via_coalesce {
+                "coalesced"
+            } else {
+                outcome.cache.name()
+            }),
+        ),
+        ("fingerprint", Json::str(outcome.fingerprint.to_hex())),
+        ("stmts", Json::num(outcome.kernel.stats.stmts as u64)),
+        (
+            "superwords",
+            Json::num(outcome.kernel.stats.superwords as u64),
+        ),
+        (
+            "vectorized_stmts",
+            Json::num(outcome.kernel.stats.vectorized_stmts as u64),
+        ),
+    ];
+    match &outcome.report {
+        Some(report) => {
+            fields.push(("verify_errors", Json::num(report.error_count() as u64)));
+            fields.push(("verify_warnings", Json::num(report.warning_count() as u64)));
+            fields.push((
+                "diagnostics",
+                Json::Arr(
+                    report
+                        .diagnostics
+                        .iter()
+                        .map(|d| Json::str(d.to_string()))
+                        .collect(),
+                ),
+            ));
+        }
+        None => {
+            fields.push(("verify_errors", Json::Null));
+            fields.push(("verify_warnings", Json::Null));
+            fields.push(("diagnostics", Json::Arr(Vec::new())));
+        }
+    }
+    fields.push((
+        "prove",
+        outcome.prove.map_or(Json::Null, |v| Json::str(v.name())),
+    ));
+    fields.push(("phase_nanos", slp_driver::timings_json(&outcome.timings)));
+    fields.push(("wall_nanos", Json::num(outcome.wall_nanos)));
+    fields
+}

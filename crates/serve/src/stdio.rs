@@ -1,0 +1,54 @@
+//! The stdio transport: line-delimited JSON over any
+//! `BufRead`/`Write` pair.
+//!
+//! This is the adapter `slpd` (without `--tcp`) runs: one request per
+//! input line, one response per output line, flushed immediately. The
+//! protocol — both the v1 envelope and the legacy bare form — is
+//! documented in [`crate::protocol`]; all semantics (caching, quotas,
+//! dedup, counters) live in [`Handler`] and are shared with the TCP
+//! adapter.
+
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+
+use slp_driver::{CompileCache, ServeSummary};
+
+use crate::handler::{Handler, ServeConfig};
+
+/// Serves requests from `input` to `output` against `cache` with
+/// default [`ServeConfig`] until EOF or a `shutdown` request.
+///
+/// The drop-in successor of the old `slp_driver::serve` entry point
+/// (the cache moved behind an `Arc` so the handler can be shared with
+/// other transports).
+pub fn serve<R: BufRead, W: Write>(
+    input: R,
+    output: W,
+    cache: Arc<CompileCache>,
+) -> io::Result<ServeSummary> {
+    let handler = Handler::new(cache, ServeConfig::default());
+    serve_handler(input, output, &handler)
+}
+
+/// Serves requests from `input` to `output` through an existing
+/// [`Handler`] until EOF or a `shutdown` request. Blank lines are
+/// ignored; every other line gets exactly one response line.
+pub fn serve_handler<R: BufRead, W: Write>(
+    input: R,
+    mut output: W,
+    handler: &Handler,
+) -> io::Result<ServeSummary> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handler.handle_line(&line);
+        writeln!(output, "{}", response.json.to_compact())?;
+        output.flush()?;
+        if response.shutdown {
+            break;
+        }
+    }
+    Ok(handler.summary())
+}

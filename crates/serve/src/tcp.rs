@@ -1,0 +1,323 @@
+//! The TCP transport: an accept thread, a worker pool and bounded
+//! queues at every stage.
+//!
+//! ```text
+//!            accept thread                worker pool (N threads)
+//!  clients ──► TcpListener ──► sync_channel(backlog) ──► connection
+//!                │ full? write S120 line, drop            session
+//!                ▼                                          │
+//!            (admission)                 per-connection     ▼
+//!                                 sync_channel(queue_depth) of lines
+//! ```
+//!
+//! Each accepted connection is driven by one worker at a time. The
+//! worker reads the first line itself: a line starting with `GET ` is
+//! answered as a one-shot HTTP request with the handler's
+//! [`metrics_text`](Handler::metrics_text) exposition (so `curl
+//! http://host:port/metrics` works against the same port); anything
+//! else enters the line protocol. After the first line a reader thread
+//! feeds a *bounded* request queue so clients may pipeline up to
+//! `queue_depth` requests — past that, TCP backpressure applies
+//! instead of unbounded buffering.
+//!
+//! Shutdown is graceful in both directions: a `shutdown` request (or
+//! [`TcpServer::shutdown`]) puts the handler in drain mode — in-flight
+//! compiles finish and are answered, new ones get `S122` — then closes
+//! the read half of every live connection, joins the pool and returns
+//! the final [`ServeSummary`].
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+
+use slp_driver::ServeSummary;
+
+use crate::handler::Handler;
+use crate::protocol::{Envelope, ErrorCode};
+
+/// TCP adapter knobs. All fields are public; start from
+/// `..Default::default()`.
+#[derive(Debug, Clone, Copy)]
+pub struct TcpOptions {
+    /// Worker threads driving connection sessions.
+    pub workers: usize,
+    /// Accepted-but-unclaimed connection queue depth; past it new
+    /// connections are answered with one `S120` line and dropped.
+    pub backlog: usize,
+    /// Per-connection pipelined request queue depth.
+    pub queue_depth: usize,
+}
+
+impl Default for TcpOptions {
+    fn default() -> Self {
+        TcpOptions {
+            workers: 4,
+            backlog: 64,
+            queue_depth: 32,
+        }
+    }
+}
+
+struct Shared {
+    handler: Arc<Handler>,
+    stop: AtomicBool,
+    /// Signalled when some connection receives a `shutdown` request.
+    done: (Mutex<bool>, Condvar),
+    /// Read-half handles of live connections, closed on drain.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
+    queue_depth: usize,
+}
+
+impl Shared {
+    fn signal_done(&self) {
+        let (flag, cv) = &self.done;
+        *flag.lock().expect("done lock") = true;
+        cv.notify_all();
+    }
+}
+
+/// A running TCP server; join it with [`wait`](TcpServer::wait) or end
+/// it with [`shutdown`](TcpServer::shutdown).
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpServer")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl TcpServer {
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared handler (live counters, metrics, drain control).
+    pub fn handler(&self) -> &Arc<Handler> {
+        &self.shared.handler
+    }
+
+    /// Blocks until some connection sends a `shutdown` request, then
+    /// drains and returns the final summary.
+    pub fn wait(self) -> ServeSummary {
+        {
+            let (flag, cv) = &self.shared.done;
+            let mut done = flag.lock().expect("done lock");
+            while !*done {
+                done = cv.wait(done).expect("done wait");
+            }
+        }
+        self.finish()
+    }
+
+    /// Initiates a graceful drain from the owning thread and returns
+    /// the final summary once every in-flight request is answered.
+    pub fn shutdown(self) -> ServeSummary {
+        self.shared.signal_done();
+        self.finish()
+    }
+
+    fn finish(self) -> ServeSummary {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.handler.begin_drain();
+        // Wake the blocking accept() so the thread observes `stop`;
+        // joining it drops the connection sender, which lets idle
+        // workers exit.
+        let _ = TcpStream::connect(self.local_addr);
+        let _ = self.accept.join();
+        for (_, conn) in self.shared.conns.lock().expect("conns lock").drain() {
+            let _ = conn.shutdown(Shutdown::Read);
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+        self.shared.handler.summary()
+    }
+}
+
+/// Binds `addr` and serves the line protocol (plus `GET /metrics`)
+/// through `handler` until shut down.
+pub fn serve_tcp(
+    addr: impl ToSocketAddrs,
+    handler: Arc<Handler>,
+    options: TcpOptions,
+) -> io::Result<TcpServer> {
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        handler,
+        stop: AtomicBool::new(false),
+        done: (Mutex::new(false), Condvar::new()),
+        conns: Mutex::new(HashMap::new()),
+        next_conn: AtomicU64::new(0),
+        queue_depth: options.queue_depth.max(1),
+    });
+
+    let (conn_tx, conn_rx) = sync_channel::<TcpStream>(options.backlog.max(1));
+    let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+    let accept = thread::Builder::new()
+        .name("slp-serve-accept".into())
+        .spawn({
+            let shared = Arc::clone(&shared);
+            move || {
+                for conn in listener.incoming() {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    match conn_tx.try_send(stream) {
+                        Ok(()) => {}
+                        Err(TrySendError::Full(stream)) => {
+                            shared.handler.note_connection_rejected();
+                            let line = Envelope::legacy()
+                                .error(ErrorCode::Overloaded, "connection queue full; retry later")
+                                .to_compact();
+                            let _ = writeln!(&stream, "{line}");
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    }
+                }
+            }
+        })?;
+
+    let mut workers = Vec::with_capacity(options.workers.max(1));
+    for i in 0..options.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let conn_rx = Arc::clone(&conn_rx);
+        workers.push(
+            thread::Builder::new()
+                .name(format!("slp-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared, &conn_rx))?,
+        );
+    }
+
+    Ok(TcpServer {
+        local_addr,
+        shared,
+        accept,
+        workers,
+    })
+}
+
+fn worker_loop(shared: &Arc<Shared>, conn_rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Take the lock only to receive — connections are handled with
+        // the pool free to claim the next one.
+        let stream = match conn_rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => {
+                let _ = handle_connection(shared, stream);
+            }
+            Err(_) => return, // sender gone: server is finishing
+        }
+    }
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> {
+    // Responses are single small lines: never let Nagle hold one back
+    // against a delayed ACK.
+    stream.set_nodelay(true)?;
+    let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    shared
+        .conns
+        .lock()
+        .expect("conns lock")
+        .insert(conn_id, stream.try_clone()?);
+    let result = drive_connection(shared, &stream);
+    shared.conns.lock().expect("conns lock").remove(&conn_id);
+    result
+}
+
+fn drive_connection(shared: &Arc<Shared>, stream: &TcpStream) -> io::Result<()> {
+    let handler = &shared.handler;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(());
+    }
+    if first.starts_with("GET ") {
+        return write_metrics_http(stream, handler);
+    }
+    if respond(stream, handler, &first)? {
+        shared.signal_done();
+        return Ok(());
+    }
+
+    // Pipelining: a reader thread fills a bounded line queue; once the
+    // queue is full it stops reading and TCP backpressure takes over.
+    let (line_tx, line_rx) = sync_channel::<String>(shared.queue_depth);
+    let reader_thread = thread::Builder::new()
+        .name("slp-serve-conn-reader".into())
+        .spawn(move || {
+            for line in reader.lines() {
+                let Ok(line) = line else { break };
+                if line_tx.send(line).is_err() {
+                    break;
+                }
+            }
+        })?;
+
+    let mut result = Ok(());
+    let mut session_shutdown = false;
+    while let Ok(line) = line_rx.recv() {
+        match respond(stream, handler, &line) {
+            Ok(true) => {
+                session_shutdown = true;
+                break;
+            }
+            Ok(false) => {}
+            Err(e) => {
+                result = Err(e);
+                break;
+            }
+        }
+    }
+    // Dropping the queue unblocks (and so retires) the reader thread.
+    drop(line_rx);
+    let _ = stream.shutdown(Shutdown::Read);
+    let _ = reader_thread.join();
+    if session_shutdown {
+        shared.signal_done();
+    }
+    result
+}
+
+/// Handles one protocol line; `Ok(true)` means the session was asked
+/// to shut down. Blank lines get no response.
+fn respond(mut stream: &TcpStream, handler: &Handler, line: &str) -> io::Result<bool> {
+    if line.trim().is_empty() {
+        return Ok(false);
+    }
+    let response = handler.handle_line(line);
+    writeln!(stream, "{}", response.json.to_compact())?;
+    stream.flush()?;
+    Ok(response.shutdown)
+}
+
+fn write_metrics_http(mut stream: &TcpStream, handler: &Handler) -> io::Result<()> {
+    let body = handler.metrics_text();
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}

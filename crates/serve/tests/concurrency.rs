@@ -1,0 +1,288 @@
+//! Concurrency invariants of the serve core: coalescing compiles once,
+//! quota rejections poison nothing, drain finishes in-flight work, and
+//! the counters are exact under multi-threaded load.
+
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use slp_driver::json::Json;
+use slp_driver::CompileCache;
+use slp_serve::{Handler, QuotaConfig, ServeConfig};
+
+const SRC: &str = "kernel k { array A: f64[16]; array B: f64[16]; \
+                   for i in 0..16 { A[i] = A[i] + B[i]; } }";
+
+fn unique_src(tag: u64) -> String {
+    format!(
+        "kernel u{tag} {{ array A: f64[16]; \
+         for i in 0..16 {{ A[i] = A[i] + {}.0; }} }}",
+        tag % 100
+    )
+}
+
+fn compile_line(id: u64, tenant: &str, source: &str) -> String {
+    Json::obj(vec![
+        ("v", Json::num(1)),
+        ("id", Json::num(id)),
+        ("tenant", Json::str(tenant)),
+        ("cmd", Json::str("compile")),
+        ("source", Json::str(source)),
+    ])
+    .to_compact()
+}
+
+fn handler(config: ServeConfig) -> Handler {
+    Handler::new(Arc::new(CompileCache::in_memory(256)), config)
+}
+
+/// N concurrent identical requests compile exactly once: one leader
+/// stores, everyone else coalesces onto it (or hits the cache if it
+/// arrives after the leader finished).
+#[test]
+fn coalesced_fingerprints_compile_once() {
+    const N: u64 = 8;
+    // The hold keeps the leader's slot occupied long enough that the
+    // siblings reliably arrive while it is in flight.
+    let handler = handler(ServeConfig {
+        compile_hold_ms: 100,
+        ..ServeConfig::default()
+    });
+    thread::scope(|scope| {
+        for id in 0..N {
+            let handler = &handler;
+            scope.spawn(move || {
+                let response = handler.handle_line(&compile_line(id, "", SRC));
+                assert_eq!(response.json.get("ok"), Some(&Json::Bool(true)));
+            });
+        }
+    });
+    let summary = handler.summary();
+    let stats = handler.cache().stats();
+    assert_eq!(stats.stores, 1, "exactly one compile may store");
+    assert_eq!(summary.compiled, N);
+    assert_eq!(
+        summary.coalesced + summary.cache_hits,
+        N - 1,
+        "everyone but the leader reuses its work: {summary:?}"
+    );
+    assert!(
+        summary.coalesced >= 1,
+        "the hold guarantees real coalescing"
+    );
+    assert_eq!(summary.errors, 0);
+}
+
+/// With dedup disabled the same burst races into N separate compiles —
+/// the cache deduplicates *storage* but every request pays the compile.
+#[test]
+fn dedup_off_compiles_redundantly() {
+    const N: u64 = 4;
+    let handler = handler(ServeConfig {
+        dedup: false,
+        compile_hold_ms: 0,
+        ..ServeConfig::default()
+    });
+    thread::scope(|scope| {
+        for id in 0..N {
+            let handler = &handler;
+            scope.spawn(move || handler.handle_line(&compile_line(id, "", SRC)));
+        }
+    });
+    let summary = handler.summary();
+    assert_eq!(summary.coalesced, 0);
+    assert_eq!(summary.compiled, N);
+}
+
+/// Quota exhaustion rejects with `S121` and touches nothing shared:
+/// the rejected source is not cached, not compiled, and compiles fine
+/// for a tenant with budget.
+#[test]
+fn quota_exhaustion_is_typed_and_poisons_nothing() {
+    let handler = handler(ServeConfig {
+        quota_overrides: vec![(
+            "metered".to_string(),
+            QuotaConfig {
+                capacity: 2.0,
+                refill_per_sec: 0.0,
+            },
+        )],
+        ..ServeConfig::default()
+    });
+
+    // Two distinct sources fit the budget...
+    for tag in 0..2 {
+        let r = handler.handle_line(&compile_line(tag, "metered", &unique_src(tag)));
+        assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)), "within quota");
+    }
+    // ...the third is rejected with the stable code...
+    let rejected_src = unique_src(99);
+    let r = handler.handle_line(&compile_line(2, "metered", &rejected_src));
+    assert_eq!(r.json.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(r.json.get("code").and_then(Json::string), Some("S121"));
+
+    let stats = handler.cache().stats();
+    assert_eq!(stats.stores, 2, "the rejected request must not store");
+
+    // ...and the rejected source is untainted: an unmetered tenant
+    // compiles it from scratch.
+    let r = handler.handle_line(&compile_line(3, "other", &rejected_src));
+    assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(
+        r.json.get("cache").and_then(Json::string),
+        Some("compiled"),
+        "a rejection must not have primed the cache"
+    );
+
+    let summary = handler.summary();
+    assert_eq!(summary.rejected_quota, 1);
+    assert_eq!(summary.compiled, 3);
+    // Anonymous-tenant traffic is not metered by an override.
+    let r = handler.handle_line(&compile_line(4, "", &unique_src(7)));
+    assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)));
+}
+
+/// The token bucket refills over wall time.
+#[test]
+fn quota_refills_over_time() {
+    let handler = handler(ServeConfig {
+        quota: Some(QuotaConfig {
+            capacity: 1.0,
+            refill_per_sec: 50.0,
+        }),
+        ..ServeConfig::default()
+    });
+    let r = handler.handle_line(&compile_line(0, "t", SRC));
+    assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)));
+    let r = handler.handle_line(&compile_line(1, "t", SRC));
+    assert_eq!(r.json.get("code").and_then(Json::string), Some("S121"));
+    // 50 tokens/s: one full token well within 100 ms.
+    thread::sleep(Duration::from_millis(100));
+    let r = handler.handle_line(&compile_line(2, "t", SRC));
+    assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)), "bucket refilled");
+}
+
+/// Past the admission cap requests are rejected with `S120` instead of
+/// queueing.
+#[test]
+fn admission_cap_rejects_overload() {
+    let handler = Arc::new(Handler::new(
+        Arc::new(CompileCache::in_memory(64)),
+        ServeConfig {
+            max_in_flight: 1,
+            compile_hold_ms: 200,
+            ..ServeConfig::default()
+        },
+    ));
+    let leader = {
+        let handler = Arc::clone(&handler);
+        thread::spawn(move || handler.handle_line(&compile_line(0, "", SRC)))
+    };
+    // Let the leader through the gate, then overflow it with a
+    // *different* source (the same one would coalesce, not reject).
+    while handler.active() == 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    let r = handler.handle_line(&compile_line(1, "", &unique_src(1)));
+    assert_eq!(r.json.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(r.json.get("code").and_then(Json::string), Some("S120"));
+    let leader_response = leader.join().expect("leader thread");
+    assert_eq!(leader_response.json.get("ok"), Some(&Json::Bool(true)));
+    let summary = handler.summary();
+    assert_eq!(summary.rejected_overload, 1);
+    assert_eq!(summary.accepted, 1);
+    assert_eq!(summary.compiled, 1);
+}
+
+/// Drain: in-flight compiles complete and are answered; new ones are
+/// rejected with `S122`.
+#[test]
+fn graceful_drain_completes_in_flight_compiles() {
+    let handler = Arc::new(Handler::new(
+        Arc::new(CompileCache::in_memory(64)),
+        ServeConfig {
+            compile_hold_ms: 150,
+            ..ServeConfig::default()
+        },
+    ));
+    let inflight = {
+        let handler = Arc::clone(&handler);
+        thread::spawn(move || handler.handle_line(&compile_line(0, "", SRC)))
+    };
+    while handler.active() == 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    handler.begin_drain();
+    // New work is refused...
+    let r = handler.handle_line(&compile_line(1, "", &unique_src(2)));
+    assert_eq!(r.json.get("code").and_then(Json::string), Some("S122"));
+    // ...but the admitted compile runs to a successful answer.
+    let response = inflight.join().expect("in-flight thread");
+    assert_eq!(response.json.get("ok"), Some(&Json::Bool(true)));
+    let summary = handler.summary();
+    assert_eq!(summary.compiled, 1);
+    assert_eq!(summary.errors, 1, "only the drained request errored");
+}
+
+/// The counters add up exactly under contended mixed load:
+/// every accepted compile is a store, a cache hit or a coalesce.
+#[test]
+fn counters_are_exact_under_concurrent_load() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 25;
+    let handler = handler(ServeConfig::default());
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let handler = &handler;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    let line = match i % 5 {
+                        // Shared sources: hits/coalesces after first use.
+                        0..=2 => compile_line(t * PER_THREAD + i, "", SRC),
+                        // Unique source per (thread, i): always compiles.
+                        3 => compile_line(t * PER_THREAD + i, "", &unique_src(t * PER_THREAD + i)),
+                        // Malformed.
+                        _ => "{\"v\":1,\"cmd\":\"compile\"}".to_string(),
+                    };
+                    handler.handle_line(&line);
+                }
+            });
+        }
+    });
+    let summary = handler.summary();
+    let stats = handler.cache().stats();
+    let total = THREADS * PER_THREAD;
+    let malformed = THREADS * PER_THREAD.div_ceil(5);
+    assert_eq!(summary.requests, total);
+    assert_eq!(summary.errors, malformed);
+    assert_eq!(summary.accepted, total - malformed);
+    assert_eq!(summary.compiled, summary.accepted);
+    assert_eq!(
+        summary.compiled,
+        stats.stores + summary.cache_hits + summary.coalesced,
+        "every compile is exactly one of stored/hit/coalesced: {summary:?} {stats:?}"
+    );
+    assert_eq!(summary.rejected_overload, 0);
+    assert_eq!(summary.rejected_quota, 0);
+    assert_eq!(handler.active(), 0, "the admission gauge returns to zero");
+}
+
+/// The metrics exposition reflects the same counters.
+#[test]
+fn metrics_text_matches_summary() {
+    let handler = handler(ServeConfig::default());
+    handler.handle_line(&compile_line(0, "", SRC));
+    handler.handle_line(&compile_line(1, "", SRC));
+    handler.handle_line("garbage");
+    let text = handler.metrics_text();
+    assert!(text.contains("slp_serve_requests_total 3\n"), "{text}");
+    assert!(text.contains("slp_serve_compiled_total 2\n"), "{text}");
+    assert!(text.contains("slp_serve_cache_hits_total 1\n"), "{text}");
+    assert!(text.contains("slp_serve_errors_total 1\n"), "{text}");
+    assert!(text.contains("slp_serve_active 0\n"), "{text}");
+    // Exactly one compile ran: its phase telemetry is exported.
+    assert!(
+        text.contains("slp_phase_nanos_total{phase="),
+        "phase telemetry missing:\n{text}"
+    );
+}

@@ -1,0 +1,268 @@
+//! Wire-protocol pinning: the v1 envelope, the legacy bare form, the
+//! stable `S1xx` error codes, and the strategy strings the docs
+//! promise.
+
+use std::io::Cursor;
+use std::sync::Arc;
+
+use slp_driver::json::Json;
+use slp_driver::{parse_strategy, CompileCache, ServeSummary};
+use slp_serve::{serve_handler, Handler, ServeConfig};
+
+const SRC: &str = "kernel k { array A: f64[16]; array B: f64[16]; \
+                   for i in 0..16 { A[i] = A[i] + B[i]; } }";
+
+/// Drives `lines` through a fresh default handler over the stdio
+/// adapter and returns the parsed responses plus the summary.
+fn run(lines: &str) -> (Vec<Json>, ServeSummary) {
+    let handler = Handler::new(Arc::new(CompileCache::in_memory(8)), ServeConfig::default());
+    let mut out = Vec::new();
+    let summary = serve_handler(Cursor::new(lines), &mut out, &handler).expect("serve I/O");
+    let responses = String::from_utf8(out)
+        .expect("utf8 output")
+        .lines()
+        .map(|l| Json::parse(l).expect("response parses"))
+        .collect();
+    (responses, summary)
+}
+
+fn compile_v1(id: u64, tenant: &str, source: &str) -> String {
+    Json::obj(vec![
+        ("v", Json::num(1)),
+        ("id", Json::num(id)),
+        ("tenant", Json::str(tenant)),
+        ("cmd", Json::str("compile")),
+        ("name", Json::str("k")),
+        ("source", Json::str(source)),
+    ])
+    .to_compact()
+}
+
+#[test]
+fn v1_envelope_round_trips_with_id_echo() {
+    let (responses, summary) = run(&format!(
+        "{}\n{}\n",
+        compile_v1(7, "team-a", SRC),
+        compile_v1(8, "team-a", SRC)
+    ));
+    assert_eq!(responses.len(), 2);
+    for (r, id) in responses.iter().zip([7, 8]) {
+        assert_eq!(r.get("v").and_then(Json::u64), Some(1));
+        assert_eq!(r.get("id").and_then(Json::u64), Some(id));
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    }
+    assert_eq!(
+        responses[0].get("cache").and_then(Json::string),
+        Some("compiled")
+    );
+    assert_eq!(
+        responses[1].get("cache").and_then(Json::string),
+        Some("memory")
+    );
+    assert_eq!(summary.compiled, 2);
+    assert_eq!(summary.cache_hits, 1);
+}
+
+#[test]
+fn v1_echoes_string_ids_verbatim() {
+    let line = format!("{{\"v\":1,\"id\":\"req-xyz\",\"cmd\":\"compile\",\"source\":{SRC:?}}}");
+    let (responses, _) = run(&line);
+    assert_eq!(
+        responses[0].get("id").and_then(Json::string),
+        Some("req-xyz")
+    );
+}
+
+/// The compat contract: a bare legacy request gets the historical
+/// response shape — no `v`, no `id`, errors use `kind` — while a v1
+/// request gets the envelope. One server, both shapes.
+#[test]
+fn legacy_requests_still_get_legacy_responses() {
+    let legacy_ok = format!("{{\"cmd\":\"compile\",\"name\":\"k\",\"source\":{SRC:?}}}");
+    let legacy_bad = "{\"cmd\":\"compile\",\"source\":\"kernel {\"}".to_string();
+    let v1_bad = "{\"v\":1,\"id\":3,\"cmd\":\"compile\",\"source\":\"kernel {\"}".to_string();
+    let (responses, _) = run(&format!("{legacy_ok}\n{legacy_bad}\n{v1_bad}\n"));
+
+    // Legacy success: ok plus payload, no envelope keys.
+    assert_eq!(responses[0].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(responses[0].get("v"), None);
+    assert_eq!(responses[0].get("id"), None);
+    assert_eq!(
+        responses[0].get("cache").and_then(Json::string),
+        Some("compiled")
+    );
+
+    // Legacy failure: `kind`, not `code`.
+    assert_eq!(responses[1].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        responses[1].get("kind").and_then(Json::string),
+        Some("parse")
+    );
+    assert_eq!(responses[1].get("code"), None);
+    assert_eq!(responses[1].get("v"), None);
+
+    // The same failure under v1: `code`, not `kind`, id echoed.
+    assert_eq!(responses[2].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        responses[2].get("code").and_then(Json::string),
+        Some("S110")
+    );
+    assert_eq!(responses[2].get("kind"), None);
+    assert_eq!(responses[2].get("id").and_then(Json::u64), Some(3));
+}
+
+#[test]
+fn error_codes_are_stable() {
+    let cases: Vec<(String, &str)> = vec![
+        // Unknown command.
+        ("{\"v\":1,\"cmd\":\"frobnicate\"}".into(), "S101"),
+        // Unsupported version.
+        ("{\"v\":2,\"cmd\":\"ping\"}".into(), "S102"),
+        // Missing source.
+        ("{\"v\":1,\"cmd\":\"compile\"}".into(), "S100"),
+        // Unknown strategy string.
+        (
+            format!("{{\"v\":1,\"cmd\":\"compile\",\"source\":{SRC:?},\"strategy\":\"warp\"}}"),
+            "S100",
+        ),
+        // Source does not parse.
+        (
+            "{\"v\":1,\"cmd\":\"compile\",\"source\":\"kernel {\"}".into(),
+            "S110",
+        ),
+        // Parses but fails semantic validation (zero-extent array).
+        (
+            "{\"v\":1,\"cmd\":\"compile\",\"source\":\"kernel bad { array A: f64[0]; \
+             for i in 0..4 { A[0] = A[0] + 1.0; } }\"}"
+                .into(),
+            "S111",
+        ),
+    ];
+    let lines: String = cases.iter().map(|(l, _)| format!("{l}\n")).collect();
+    let (responses, summary) = run(&lines);
+    for ((line, code), response) in cases.iter().zip(&responses) {
+        assert_eq!(
+            response.get("ok"),
+            Some(&Json::Bool(false)),
+            "{line} should fail"
+        );
+        assert_eq!(
+            response.get("code").and_then(Json::string),
+            Some(*code),
+            "wrong code for {line}"
+        );
+    }
+    assert_eq!(summary.errors, cases.len() as u64);
+}
+
+#[test]
+fn unparseable_lines_answer_in_the_legacy_shape() {
+    // Garbage cannot name a protocol version, so even v1 clients must
+    // accept the legacy shape here; the presence of `code` (and absence
+    // of `kind`) is how the shapes stay distinguishable — except for
+    // this one case, which both generations report identically.
+    let (responses, _) = run("{this is not json\n");
+    assert_eq!(responses[0].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        responses[0].get("kind").and_then(Json::string),
+        Some("request")
+    );
+    assert_eq!(responses[0].get("v"), None);
+}
+
+/// Satellite regression: the usage docs list exactly the strategy
+/// strings the parser accepts — including `optimal` and the
+/// `auto-adjacent` alias — and every documented string compiles.
+#[test]
+fn documented_strategy_strings_round_trip() {
+    let documented = [
+        "scalar",
+        "native",
+        "auto-adjacent",
+        "slp",
+        "global",
+        "optimal",
+    ];
+    for name in documented {
+        // The parser accepts every documented string...
+        let strategy = parse_strategy(name)
+            .unwrap_or_else(|| panic!("documented strategy {name:?} must parse"));
+        // ...the canonical rendering parses back to the same strategy...
+        assert_eq!(
+            parse_strategy(strategy.cli_name()),
+            Some(strategy),
+            "cli_name of {name:?} must round-trip"
+        );
+        // ...and a wire request naming it compiles.
+        let line =
+            format!("{{\"v\":1,\"cmd\":\"compile\",\"source\":{SRC:?},\"strategy\":{name:?}}}");
+        let (responses, _) = run(&line);
+        assert_eq!(
+            responses[0].get("ok"),
+            Some(&Json::Bool(true)),
+            "documented strategy {name:?} must compile: {}",
+            responses[0].to_compact()
+        );
+    }
+    // The alias is an alias, not a distinct strategy: both names land on
+    // the same pipeline and so the same cache key.
+    assert_eq!(parse_strategy("auto-adjacent"), parse_strategy("native"));
+}
+
+#[test]
+fn ping_stats_and_shutdown_verbs() {
+    let lines = format!(
+        "{}\n{}\n{}\n{}\n{}\n",
+        "{\"v\":1,\"id\":1,\"cmd\":\"ping\"}",
+        compile_v1(2, "", SRC),
+        "{\"v\":1,\"id\":3,\"cmd\":\"stats\"}",
+        "{\"cmd\":\"stats\"}",
+        "{\"v\":1,\"id\":4,\"cmd\":\"shutdown\"}",
+    );
+    let (responses, summary) = run(&lines);
+    assert_eq!(responses.len(), 5);
+    assert_eq!(responses[0].get("pong"), Some(&Json::Bool(true)));
+
+    // v1 stats: serve counters, cache counters, gauges.
+    let stats = &responses[2];
+    assert_eq!(stats.get("id").and_then(Json::u64), Some(3));
+    let serve = stats.get("serve").expect("v1 stats carry serve counters");
+    assert_eq!(serve.get("compiled").and_then(Json::u64), Some(1));
+    assert!(stats.get("cache").is_some());
+    assert_eq!(stats.get("draining"), Some(&Json::Bool(false)));
+
+    // Legacy stats: the historical flat shape.
+    let legacy = &responses[3];
+    assert!(legacy.get("cache").is_some());
+    assert_eq!(legacy.get("compiled").and_then(Json::u64), Some(1));
+    assert_eq!(legacy.get("serve"), None);
+
+    // Shutdown acknowledges in-envelope and ends the loop.
+    assert_eq!(responses[4].get("shutdown"), Some(&Json::Bool(true)));
+    assert_eq!(responses[4].get("id").and_then(Json::u64), Some(4));
+    assert_eq!(summary.requests, 5);
+}
+
+#[test]
+fn shutdown_stops_the_loop_before_later_lines() {
+    let (responses, summary) = run("{\"cmd\":\"shutdown\"}\n{\"cmd\":\"stats\"}\n");
+    assert_eq!(responses.len(), 1);
+    assert_eq!(responses[0].get("shutdown"), Some(&Json::Bool(true)));
+    assert_eq!(summary.requests, 1);
+}
+
+#[test]
+fn coalesced_marker_never_appears_uncontended() {
+    // Single-threaded traffic can never coalesce; the cache field must
+    // be one of the tier names.
+    let (responses, summary) = run(&format!(
+        "{}\n{}\n",
+        compile_v1(1, "", SRC),
+        compile_v1(2, "", SRC)
+    ));
+    for r in &responses {
+        let cache = r.get("cache").and_then(Json::string).expect("cache field");
+        assert!(["compiled", "memory", "disk"].contains(&cache), "{cache}");
+    }
+    assert_eq!(summary.coalesced, 0);
+}

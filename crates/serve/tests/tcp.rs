@@ -1,0 +1,275 @@
+//! TCP adapter integration: real sockets against a real server —
+//! envelope round-trips, coalescing and quota rejection over the wire,
+//! the metrics endpoint, graceful drain, and a deterministic loadgen
+//! run with zero protocol errors.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use slp_driver::json::Json;
+use slp_driver::CompileCache;
+use slp_serve::loadgen::{self, LoadConfig, LoadMix};
+use slp_serve::{serve_tcp, Handler, QuotaConfig, ServeConfig, TcpOptions, TcpServer};
+
+const SRC: &str = "kernel k { array A: f64[16]; array B: f64[16]; \
+                   for i in 0..16 { A[i] = A[i] + B[i]; } }";
+
+fn start(config: ServeConfig) -> TcpServer {
+    let handler = Handler::new(Arc::new(CompileCache::in_memory(256)), config);
+    serve_tcp("127.0.0.1:0", Arc::new(handler), TcpOptions::default()).expect("bind loopback")
+}
+
+fn compile_line(id: u64, tenant: &str, source: &str) -> String {
+    Json::obj(vec![
+        ("v", Json::num(1)),
+        ("id", Json::num(id)),
+        ("tenant", Json::str(tenant)),
+        ("cmd", Json::str("compile")),
+        ("source", Json::str(source)),
+    ])
+    .to_compact()
+}
+
+/// Sends one line, reads one line.
+fn round_trip(stream: &TcpStream, reader: &mut impl BufRead, line: &str) -> Json {
+    writeln!(&mut { stream }, "{line}").expect("write request");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    Json::parse(response.trim_end()).expect("response parses")
+}
+
+fn connect(server: &TcpServer) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+#[test]
+fn v1_and_legacy_round_trip_over_tcp() {
+    let server = start(ServeConfig::default());
+    let (stream, mut reader) = connect(&server);
+
+    let r = round_trip(&stream, &mut reader, &compile_line(11, "team", SRC));
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(r.get("id").and_then(Json::u64), Some(11));
+    assert_eq!(r.get("cache").and_then(Json::string), Some("compiled"));
+
+    // A legacy bare request over the same connection.
+    let legacy = format!("{{\"cmd\":\"compile\",\"source\":{SRC:?}}}");
+    let r = round_trip(&stream, &mut reader, &legacy);
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(r.get("v"), None);
+    assert_eq!(r.get("cache").and_then(Json::string), Some("memory"));
+
+    drop((stream, reader));
+    let summary = server.shutdown();
+    assert_eq!(summary.compiled, 2);
+    assert_eq!(summary.cache_hits, 1);
+}
+
+/// Acceptance pin: concurrent identical requests over distinct TCP
+/// connections coalesce onto one compile.
+#[test]
+fn coalescing_over_tcp_compiles_once() {
+    const CONNS: usize = 4;
+    let server = start(ServeConfig {
+        compile_hold_ms: 100,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut clients = Vec::new();
+    for id in 0..CONNS as u64 {
+        clients.push(thread::spawn(move || {
+            let stream = TcpStream::connect(addr).expect("connect");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            round_trip(&stream, &mut reader, &compile_line(id, "", SRC))
+        }));
+    }
+    let responses: Vec<Json> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    for r in &responses {
+        assert_eq!(r.get("ok"), Some(&Json::Bool(true)), "{}", r.to_compact());
+    }
+    let summary = server.shutdown();
+    assert_eq!(summary.compiled, CONNS as u64);
+    assert_eq!(
+        summary.coalesced + summary.cache_hits,
+        CONNS as u64 - 1,
+        "one compile, everyone else reuses it: {summary:?}"
+    );
+    assert!(summary.coalesced >= 1);
+    // The wire marks coalesced responses distinctly.
+    let coalesced_on_wire = responses
+        .iter()
+        .filter(|r| r.get("cache").and_then(Json::string) == Some("coalesced"))
+        .count() as u64;
+    assert_eq!(coalesced_on_wire, summary.coalesced);
+}
+
+/// Acceptance pin: quota exhaustion is a typed `S121` over the wire.
+#[test]
+fn quota_rejection_over_tcp() {
+    let server = start(ServeConfig {
+        quota_overrides: vec![(
+            "hog".to_string(),
+            QuotaConfig {
+                capacity: 1.0,
+                refill_per_sec: 0.0,
+            },
+        )],
+        ..ServeConfig::default()
+    });
+    let (stream, mut reader) = connect(&server);
+    let r = round_trip(&stream, &mut reader, &compile_line(1, "hog", SRC));
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    let r = round_trip(&stream, &mut reader, &compile_line(2, "hog", SRC));
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(r.get("code").and_then(Json::string), Some("S121"));
+    assert_eq!(r.get("id").and_then(Json::u64), Some(2));
+    // Other tenants are unaffected on the same connection.
+    let r = round_trip(&stream, &mut reader, &compile_line(3, "polite", SRC));
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    drop((stream, reader));
+    let summary = server.shutdown();
+    assert_eq!(summary.rejected_quota, 1);
+}
+
+#[test]
+fn metrics_endpoint_speaks_http() {
+    let server = start(ServeConfig::default());
+    // Prime a counter so the exposition is non-trivial.
+    let (stream, mut reader) = connect(&server);
+    round_trip(&stream, &mut reader, &compile_line(1, "", SRC));
+    drop((stream, reader));
+
+    let mut http = TcpStream::connect(server.local_addr()).expect("connect");
+    write!(http, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    http.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+    assert!(response.contains("Content-Type: text/plain"), "{response}");
+    assert!(
+        response.contains("slp_serve_compiled_total 1\n"),
+        "{response}"
+    );
+    assert!(
+        response.contains("slp_cache_stores_total 1\n"),
+        "{response}"
+    );
+    server.shutdown();
+}
+
+/// A `shutdown` request over TCP ends the whole server via `wait()`,
+/// and the drain answers everything already admitted.
+#[test]
+fn shutdown_request_drains_the_server() {
+    let server = start(ServeConfig {
+        compile_hold_ms: 150,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+
+    // A slow compile in flight on one connection...
+    let slow = thread::spawn(move || {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        round_trip(&stream, &mut reader, &compile_line(1, "", SRC))
+    });
+    while server.handler().active() == 0 {
+        thread::sleep(Duration::from_millis(1));
+    }
+    // ...while another connection asks the server to shut down.
+    let (stream, mut reader) = connect(&server);
+    let r = round_trip(
+        &stream,
+        &mut reader,
+        "{\"v\":1,\"id\":9,\"cmd\":\"shutdown\"}",
+    );
+    assert_eq!(r.get("shutdown"), Some(&Json::Bool(true)));
+
+    let summary = server.wait();
+    let slow_response = slow.join().expect("slow client");
+    assert_eq!(
+        slow_response.get("ok"),
+        Some(&Json::Bool(true)),
+        "the admitted compile must be answered before the server dies"
+    );
+    assert_eq!(summary.compiled, 1);
+
+    // The listener is really gone.
+    thread::sleep(Duration::from_millis(20));
+    assert!(
+        TcpStream::connect(addr).is_err() || {
+            // Some kernels accept briefly after close; a dead server
+            // must at least not answer.
+            let s = TcpStream::connect(addr).unwrap();
+            s.set_read_timeout(Some(Duration::from_millis(100))).ok();
+            let mut buf = [0u8; 1];
+            writeln!(&mut (&s), "{{\"cmd\":\"stats\"}}").ok();
+            matches!((&s).read(&mut buf), Ok(0) | Err(_))
+        }
+    );
+}
+
+/// Pipelining: many requests written before any response is read still
+/// produce in-order, id-matched responses.
+#[test]
+fn pipelined_requests_answer_in_order() {
+    const N: u64 = 10;
+    let server = start(ServeConfig::default());
+    let (stream, mut reader) = connect(&server);
+    let mut batch = String::new();
+    for id in 0..N {
+        batch.push_str(&compile_line(id, "", SRC));
+        batch.push('\n');
+    }
+    (&stream).write_all(batch.as_bytes()).expect("write batch");
+    for id in 0..N {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read response");
+        let r = Json::parse(line.trim_end()).expect("parses");
+        assert_eq!(r.get("id").and_then(Json::u64), Some(id), "order preserved");
+    }
+    drop((stream, reader));
+    server.shutdown();
+}
+
+/// The deterministic load generator against a real server: valid
+/// traffic must produce zero protocol errors, and the same seed must
+/// reproduce the same request stream.
+#[test]
+fn loadgen_sees_zero_protocol_errors() {
+    let server = start(ServeConfig {
+        quota_overrides: vec![(
+            "hog".to_string(),
+            QuotaConfig {
+                capacity: 2.0,
+                refill_per_sec: 0.0,
+            },
+        )],
+        ..ServeConfig::default()
+    });
+    let config = LoadConfig {
+        connections: 4,
+        requests_per_connection: 15,
+        seed: 42,
+        mix: LoadMix::default(),
+        quota_tenant: "hog".to_string(),
+    };
+    let report = loadgen::run(server.local_addr(), &config).expect("loadgen run");
+    assert_eq!(report.sent, 4 * 15);
+    assert_eq!(
+        report.protocol_errors, 0,
+        "a healthy server never violates its own protocol"
+    );
+    assert!(report.ok > 0);
+    assert_eq!(report.latencies_nanos.len() as u64, report.sent);
+    assert!(report.throughput_rps() > 0.0);
+    let summary = server.shutdown();
+    assert_eq!(summary.requests, report.sent);
+}

@@ -4,7 +4,7 @@
 //! slpc <kernel.slp> [options]
 //!
 //! options:
-//!   --strategy scalar|native|slp|global|optimal
+//!   --strategy scalar|native (alias: auto-adjacent)|slp|global|optimal
 //!                                         optimizer (default: global)
 //!   --layout                              enable the §5 data layout stage
 //!   --machine intel|amd                   cost model (default: intel)
@@ -67,7 +67,7 @@
 //! is a manifest listing one kernel path per line (`#` comments).
 //!
 //! options:
-//!   --strategy scalar|native|slp|global|optimal
+//!   --strategy scalar|native (alias: auto-adjacent)|slp|global|optimal
 //!                                         optimizer (default: global)
 //!   --layout                              enable the data layout stage
 //!   --machine intel|amd                   cost model (default: intel)
@@ -110,7 +110,7 @@ struct Options {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: slpc <kernel.slp> [--strategy scalar|native|slp|global|optimal] \
+        "usage: slpc <kernel.slp> [--strategy scalar|native (alias: auto-adjacent)|slp|global|optimal] \
          [--layout] [--machine intel|amd] [--emit source|schedule|code|stats] \
          [--run] [--unroll N] [--refine]\n       \
          slpc analyze <kernel.slp>... [--machine intel|amd] [--json]\n       \

@@ -1,40 +1,81 @@
 //! `slpd` — the SLP compile server.
 //!
 //! ```text
-//! slpd serve [--cache-dir DIR] [--no-cache] [--memory N]
+//! slpd serve [options]
 //!
-//! options:
-//!   --cache-dir DIR   disk cache location (default: .slp-cache)
-//!   --no-cache        in-memory caching only, no disk tier
-//!   --memory N        in-memory LRU capacity (default: 256)
+//! transport:
+//!   (default)            line-delimited JSON over stdin/stdout
+//!   --tcp ADDR           serve TCP on ADDR (e.g. 127.0.0.1:7474);
+//!                        the same port answers `GET /metrics`
+//!
+//! cache:
+//!   --cache-dir DIR      disk cache location (default: .slp-cache)
+//!   --no-cache           in-memory caching only, no disk tier
+//!   --memory N           in-memory LRU capacity (default: 256)
+//!
+//! serving:
+//!   --max-in-flight N    admission cap on concurrent compiles
+//!                        (default: 256, 0 = unlimited)
+//!   --quota CAP:REFILL   per-tenant token bucket: capacity and
+//!                        tokens-per-second (default: unmetered)
+//!   --budget-ms N        default per-compile time budget
+//!   --no-dedup           disable in-flight request coalescing
+//!   --workers N          TCP worker threads (default: 4)
 //! ```
 //!
-//! Speaks line-delimited JSON over stdin/stdout: one request per input
-//! line, one response per output line, flushed immediately. All
-//! requests share one content-addressed compile cache (in-memory LRU
-//! plus a disk tier under `.slp-cache/` by default), so repeated
-//! sources are answered without recompiling — across requests and, via
-//! the disk tier, across server restarts. See `slp::driver::serve` for
-//! the request and response schema.
+//! One request per input line, one response per output line, flushed
+//! immediately. Requests use the versioned v1 envelope
+//! (`{"v":1,"id":…,"tenant":…,"cmd":…}`) or the legacy bare form;
+//! see `slp::driver` (the `slp-serve` protocol module) for the full
+//! schema and the `S100`-series error codes.
 //!
-//! The loop ends on EOF or a `{"cmd":"shutdown"}` request; a summary
-//! line goes to stderr. Exit codes: 0 success, 1 I/O error, 2 usage
-//! error.
+//! The `compile` verb accepts a `strategy` field naming any pipeline
+//! strategy: `scalar`, `native` (alias `auto-adjacent`), `slp`,
+//! `global` (the default) or `optimal`.
+//!
+//! All requests share one content-addressed compile cache (in-memory
+//! sharded LRU plus a disk tier under `.slp-cache/` by default), so
+//! repeated sources are answered without recompiling — across requests,
+//! across connections and, via the disk tier, across server restarts.
+//! Identical requests in flight at the same time are coalesced onto a
+//! single compile.
+//!
+//! The stdio loop ends on EOF or a `{"cmd":"shutdown"}` request; a TCP
+//! server drains gracefully on `shutdown`. A summary line goes to
+//! stderr. Exit codes: 0 success, 1 I/O error, 2 usage error.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use slp::driver::{serve, DEFAULT_DISK_DIR, DEFAULT_MEMORY_CAPACITY};
-use slp::prelude::CompileCache;
+use slp::driver::{
+    serve_handler, serve_tcp, Handler, QuotaConfig, ServeConfig, TcpOptions, DEFAULT_DISK_DIR,
+    DEFAULT_MEMORY_CAPACITY,
+};
+use slp::prelude::{CompileCache, ServeSummary};
 
 struct Options {
     cache_dir: Option<String>,
     no_cache: bool,
     memory: usize,
+    tcp: Option<String>,
+    workers: usize,
+    serve: ServeConfig,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: slpd serve [--cache-dir DIR] [--no-cache] [--memory N]");
+    eprintln!(
+        "usage: slpd serve [--tcp ADDR] [--cache-dir DIR] [--no-cache] [--memory N] \
+         [--max-in-flight N] [--quota CAP:REFILL] [--budget-ms N] [--no-dedup] [--workers N]"
+    );
     ExitCode::from(2)
+}
+
+fn parse_quota(text: &str) -> Option<QuotaConfig> {
+    let (cap, refill) = text.split_once(':')?;
+    Some(QuotaConfig {
+        capacity: cap.trim().parse().ok().filter(|c: &f64| *c >= 0.0)?,
+        refill_per_sec: refill.trim().parse().ok().filter(|r: &f64| *r >= 0.0)?,
+    })
 }
 
 fn parse_args() -> Result<Options, ExitCode> {
@@ -47,6 +88,9 @@ fn parse_args() -> Result<Options, ExitCode> {
         cache_dir: None,
         no_cache: false,
         memory: DEFAULT_MEMORY_CAPACITY,
+        tcp: None,
+        workers: 4,
+        serve: ServeConfig::default(),
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,10 +103,48 @@ fn parse_args() -> Result<Options, ExitCode> {
                 Some(n) if n > 0 => opts.memory = n,
                 _ => return Err(usage()),
             },
+            "--tcp" => match args.next() {
+                Some(addr) => opts.tcp = Some(addr),
+                None => return Err(usage()),
+            },
+            "--max-in-flight" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.serve.max_in_flight = n,
+                None => return Err(usage()),
+            },
+            "--quota" => match args.next().as_deref().and_then(parse_quota) {
+                Some(q) => opts.serve.quota = Some(q),
+                None => return Err(usage()),
+            },
+            "--budget-ms" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.serve.default_budget_ms = Some(n),
+                None => return Err(usage()),
+            },
+            "--no-dedup" => opts.serve.dedup = false,
+            "--workers" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n > 0 => opts.workers = n,
+                _ => return Err(usage()),
+            },
             _ => return Err(usage()),
         }
     }
     Ok(opts)
+}
+
+fn report(summary: &ServeSummary, cache: &CompileCache) {
+    let stats = cache.stats();
+    eprintln!(
+        "slpd: {} request(s), {} accepted, {} compiled, {} cache hit(s), {} coalesced, \
+         {} overload + {} quota rejection(s), {} error(s); cache hit rate {:.1}%",
+        summary.requests,
+        summary.accepted,
+        summary.compiled,
+        summary.cache_hits,
+        summary.coalesced,
+        summary.rejected_overload,
+        summary.rejected_quota,
+        summary.errors,
+        stats.hit_rate() * 100.0
+    );
 }
 
 fn main() -> ExitCode {
@@ -70,29 +152,44 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
-    let cache = if opts.no_cache {
+    let cache = Arc::new(if opts.no_cache {
         CompileCache::in_memory(opts.memory)
     } else {
         let dir = opts
             .cache_dir
-            .unwrap_or_else(|| DEFAULT_DISK_DIR.to_string());
+            .as_deref()
+            .unwrap_or(DEFAULT_DISK_DIR)
+            .to_string();
         CompileCache::with_disk(opts.memory, dir)
-    };
+    });
+    let handler = Arc::new(Handler::new(Arc::clone(&cache), opts.serve));
+
+    if let Some(addr) = opts.tcp {
+        let server = match serve_tcp(
+            addr.as_str(),
+            Arc::clone(&handler),
+            TcpOptions {
+                workers: opts.workers,
+                ..TcpOptions::default()
+            },
+        ) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("slpd: cannot serve on {addr}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        eprintln!("slpd: serving TCP on {}", server.local_addr());
+        let summary = server.wait();
+        report(&summary, &cache);
+        return ExitCode::SUCCESS;
+    }
 
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
-    match serve(stdin.lock(), stdout.lock(), &cache) {
+    match serve_handler(stdin.lock(), stdout.lock(), &handler) {
         Ok(summary) => {
-            let stats = cache.stats();
-            eprintln!(
-                "slpd: {} request(s), {} compiled, {} cache hit(s), {} error(s); \
-                 cache hit rate {:.1}%",
-                summary.requests,
-                summary.compiled,
-                summary.cache_hits,
-                summary.errors,
-                stats.hit_rate() * 100.0
-            );
+            report(&summary, &cache);
             ExitCode::SUCCESS
         }
         Err(e) => {

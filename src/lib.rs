@@ -26,7 +26,9 @@
 //! * [`tv`] — symbolic translation validation: prove scalar ≡ vectorized
 //!   over all inputs via hash-consed value graphs
 //! * [`verify`] — legality lints and differential translation validation
-//! * [`driver`] — compile caching, parallel batches, telemetry, serving
+//! * [`driver`] — compile caching, parallel batches, telemetry, plus the
+//!   `slp-serve` layer: versioned wire protocol, multi-tenant quotas,
+//!   request coalescing, stdio/TCP transports and a load generator
 //!
 //! # Examples
 //!
@@ -58,7 +60,6 @@
 pub use slp_analysis as analysis;
 pub use slp_analyze as analyze;
 pub use slp_core as core;
-pub use slp_driver as driver;
 pub use slp_ir as ir;
 pub use slp_lang as lang;
 pub use slp_opt as opt;
@@ -66,6 +67,24 @@ pub use slp_suite as suite;
 pub use slp_tv as tv;
 pub use slp_verify as verify;
 pub use slp_vm as vm;
+
+/// The batch/caching driver plus the serving layer in one namespace.
+///
+/// Everything from `slp-driver` (compile requests, the two-tier cache,
+/// batches, reports, fingerprints) re-exported alongside the
+/// `slp-serve` front: [`serve`](driver::serve) (stdio line protocol),
+/// [`serve_tcp`](driver::serve_tcp) (concurrent TCP with workers,
+/// admission control and `GET /metrics`), the transport-agnostic
+/// [`Handler`](driver::Handler) with its [`ServeConfig`](driver::ServeConfig)
+/// / [`QuotaConfig`](driver::QuotaConfig) knobs, and the stable
+/// [`ErrorCode`](driver::ErrorCode) table of the wire protocol.
+pub mod driver {
+    pub use slp_driver::*;
+    pub use slp_serve::{
+        loadgen, protocol, serve, serve_handler, serve_tcp, ErrorCode, Handler, QuotaConfig,
+        ServeConfig, TcpOptions, TcpServer,
+    };
+}
 
 /// The stable, front-end-facing API surface in one import.
 ///
@@ -102,11 +121,13 @@ pub mod prelude {
     };
     pub use slp_driver::{
         compile_batch, compile_source, parallel_map, parse_machine, parse_strategy, BatchConfig,
-        CompileCache, CompileOutcome, CompileRequest, DriverError, ProveVerdict, VerifyLevel,
+        CompileCache, CompileOutcome, CompileRequest, DriverError, ProveVerdict, ServeSummary,
+        VerifyLevel,
     };
     pub use slp_ir::Program;
     pub use slp_lang::{compile as parse_kernel, ParseError};
     pub use slp_opt::OptimalPacker;
+    pub use slp_serve::{serve, serve_tcp, Handler, QuotaConfig, ServeConfig, TcpOptions};
     pub use slp_vm::{
         execute, execute_gated, run_scalar, BytecodeKernel, MachineState, Outcome, RunStats,
     };
