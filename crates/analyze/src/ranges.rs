@@ -17,7 +17,9 @@
 
 use std::collections::HashMap;
 
-use slp_ir::{AffineExpr, BinOp, Expr, Item, LoopHeader, LoopVarId, Operand, Program, UnOp, VarId};
+use slp_ir::{
+    AffineExpr, BinOp, CmpOp, Expr, Item, LoopHeader, LoopVarId, Operand, Program, UnOp, VarId,
+};
 
 use crate::domain::StridedInterval;
 
@@ -210,6 +212,91 @@ impl FloatInterval {
         }
     }
 
+    /// Decides a comparison over intervals: `Some(v)` when every pair
+    /// drawn from `a × b` compares to `v`, `None` when the branch can go
+    /// either way. ⊤ operands (possibly NaN) are never decidable — NaN
+    /// fails every ordered comparison, so even disjoint bounds prove
+    /// nothing.
+    pub fn decide_cmp(op: CmpOp, a: &FloatInterval, b: &FloatInterval) -> Option<bool> {
+        if a.is_top() || b.is_top() {
+            return None;
+        }
+        match op {
+            CmpOp::Lt => {
+                if a.hi < b.lo {
+                    Some(true)
+                } else if a.lo >= b.hi {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpOp::Le => {
+                if a.hi <= b.lo {
+                    Some(true)
+                } else if a.lo > b.hi {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpOp::Gt => Self::decide_cmp(CmpOp::Lt, b, a),
+            CmpOp::Ge => Self::decide_cmp(CmpOp::Le, b, a),
+            CmpOp::Eq => {
+                if a.lo == a.hi && b.lo == b.hi && a.lo == b.lo {
+                    Some(true)
+                } else if a.hi < b.lo || b.hi < a.lo {
+                    Some(false)
+                } else {
+                    None
+                }
+            }
+            CmpOp::Ne => Self::decide_cmp(CmpOp::Eq, a, b).map(|v| !v),
+        }
+    }
+
+    /// Abstract select `cond(a, b) ? t : f`. A decidable condition takes
+    /// one arm exactly; otherwise the result joins both arms — the
+    /// branch-condition refinement of the taken arm happens per operand
+    /// in [`refine_by_cmp`](Self::refine_by_cmp).
+    pub fn apply_select(
+        op: CmpOp,
+        a: &FloatInterval,
+        b: &FloatInterval,
+        t: &FloatInterval,
+        f: &FloatInterval,
+    ) -> FloatInterval {
+        match Self::decide_cmp(op, a, b) {
+            Some(true) => *t,
+            Some(false) => *f,
+            None => t.join(f),
+        }
+    }
+
+    /// Narrows `self` under the assumption that `self op other` holds —
+    /// the strided-interval refinement a taken branch grants its
+    /// condition operands. Sound with NaN: a NaN left side satisfies no
+    /// ordered comparison, so inside a taken `<`/`<=`/`>`/`>=`/`==`
+    /// branch the operand is known non-NaN and clamping to the finite
+    /// bound is exact. `!=` proves nothing representable.
+    pub fn refine_by_cmp(&self, op: CmpOp, other: &FloatInterval) -> FloatInterval {
+        match op {
+            CmpOp::Lt | CmpOp::Le => FloatInterval {
+                lo: self.lo,
+                hi: self.hi.min(other.hi),
+            },
+            CmpOp::Gt | CmpOp::Ge => FloatInterval {
+                lo: self.lo.max(other.lo),
+                hi: self.hi,
+            },
+            CmpOp::Eq => FloatInterval {
+                lo: self.lo.max(other.lo),
+                hi: self.hi.min(other.hi),
+            },
+            CmpOp::Ne => *self,
+        }
+    }
+
     /// Abstract unary operation.
     pub fn apply_un(op: UnOp, a: &FloatInterval) -> FloatInterval {
         match op {
@@ -320,9 +407,56 @@ fn transfer(s: &slp_ir::Statement, state: &mut [FloatInterval]) {
             &eval_operand(a, state),
             &FloatInterval::apply_bin(BinOp::Mul, &eval_operand(b, state), &eval_operand(c, state)),
         ),
+        Expr::Select(op, a, b, t, f) => {
+            let ia = eval_operand(a, state);
+            let ib = eval_operand(b, state);
+            match FloatInterval::decide_cmp(*op, &ia, &ib) {
+                Some(true) => eval_operand(t, state),
+                Some(false) => eval_operand(f, state),
+                None => {
+                    // Taken-branch refinement: when an arm *is* one of
+                    // the condition operands, the comparison known to
+                    // hold on that arm narrows its interval (e.g.
+                    // `select(x < 0, -x, x)` is provably >= 0 minus a
+                    // rounding ulp). Non-top operands are provably
+                    // non-NaN, so negating the condition for the false
+                    // arm is sound there.
+                    let mut it = eval_operand(t, state);
+                    if t == a {
+                        it = it.refine_by_cmp(*op, &ib);
+                    } else if t == b {
+                        it = it.refine_by_cmp(op.swap(), &ia);
+                    }
+                    let mut ie = eval_operand(f, state);
+                    if !ia.is_top() && !ib.is_top() {
+                        if let Some(neg) = negate_ordered(*op) {
+                            if f == a {
+                                ie = ie.refine_by_cmp(neg, &ib);
+                            } else if f == b {
+                                ie = ie.refine_by_cmp(neg.swap(), &ia);
+                            }
+                        }
+                    }
+                    it.join(&ie)
+                }
+            }
+        }
     };
     if let slp_ir::Dest::Scalar(v) = s.dest() {
         state[v.index()] = value;
+    }
+}
+
+/// The comparison that holds when `op` does not, valid only for inputs
+/// known non-NaN (`Eq`'s negation `Ne` carries no interval information,
+/// so it reports `None`).
+fn negate_ordered(op: CmpOp) -> Option<CmpOp> {
+    match op {
+        CmpOp::Lt => Some(CmpOp::Ge),
+        CmpOp::Le => Some(CmpOp::Gt),
+        CmpOp::Gt => Some(CmpOp::Le),
+        CmpOp::Ge => Some(CmpOp::Lt),
+        CmpOp::Eq | CmpOp::Ne => None,
     }
 }
 
@@ -458,6 +592,71 @@ mod tests {
         let r = ScalarRanges::analyze(&p);
         assert!(r.range(a).is_top(), "runtime-seeded input");
         assert!(r.range(y).is_top());
+    }
+
+    #[test]
+    fn decidable_select_takes_one_arm_exactly() {
+        let mut p = Program::new("t");
+        let y = p.add_scalar("y", ScalarType::F64);
+        p.push_stmt(
+            y.into(),
+            Expr::Select(CmpOp::Lt, 1.0.into(), 2.0.into(), 5.0.into(), 9.0.into()),
+        );
+        let r = ScalarRanges::analyze(&p);
+        assert!(r.range(y).contains(5.0));
+        assert!(!r.range(y).contains(9.0));
+    }
+
+    #[test]
+    fn taken_branch_narrows_condition_operand() {
+        // x = abs(s) is in [0, +inf); y = select(x < 2, x, 2) clamps the
+        // taken arm by the branch condition: y is provably in [0, 2].
+        let mut p = Program::new("t");
+        let s = p.add_scalar("s", ScalarType::F64);
+        let x = p.add_scalar("x", ScalarType::F64);
+        let y = p.add_scalar("y", ScalarType::F64);
+        p.push_stmt(x.into(), Expr::Unary(UnOp::Abs, s.into()));
+        p.push_stmt(
+            y.into(),
+            Expr::Select(CmpOp::Lt, x.into(), 2.0.into(), x.into(), 2.0.into()),
+        );
+        let r = ScalarRanges::analyze(&p);
+        let ry = r.range(y);
+        assert!(ry.is_bounded(), "clamp bounds the range: {ry}");
+        assert_eq!(ry.lo, 0.0);
+        assert_eq!(ry.hi, 2.0);
+    }
+
+    #[test]
+    fn undecidable_select_with_top_operands_joins_arms() {
+        let mut p = Program::new("t");
+        let s = p.add_scalar("s", ScalarType::F64);
+        let y = p.add_scalar("y", ScalarType::F64);
+        p.push_stmt(
+            y.into(),
+            Expr::Select(CmpOp::Gt, s.into(), 0.0.into(), 3.0.into(), 7.0.into()),
+        );
+        let r = ScalarRanges::analyze(&p);
+        assert!(r.range(y).contains(3.0) && r.range(y).contains(7.0));
+        assert!(!r.range(y).contains(8.0));
+    }
+
+    #[test]
+    fn decide_cmp_is_nan_aware() {
+        let a = FloatInterval { lo: 0.0, hi: 1.0 };
+        let b = FloatInterval { lo: 2.0, hi: 3.0 };
+        assert_eq!(FloatInterval::decide_cmp(CmpOp::Lt, &a, &b), Some(true));
+        assert_eq!(FloatInterval::decide_cmp(CmpOp::Gt, &a, &b), Some(false));
+        assert_eq!(FloatInterval::decide_cmp(CmpOp::Ne, &a, &b), Some(true));
+        // ⊤ may be NaN: nothing is decidable, not even with disjoint
+        // finite bounds on the other side.
+        let top = FloatInterval::top();
+        for op in CmpOp::all() {
+            assert_eq!(FloatInterval::decide_cmp(op, &top, &b), None, "{op:?}");
+        }
+        let c2 = FloatInterval::constant(2.0);
+        assert_eq!(FloatInterval::decide_cmp(CmpOp::Eq, &c2, &c2), Some(true));
+        assert_eq!(FloatInterval::decide_cmp(CmpOp::Le, &b, &b), None);
     }
 
     #[test]

@@ -102,6 +102,8 @@ pub fn op_cost_factor(shape: slp_ir::ExprShape) -> f64 {
         ExprShape::Binary(BinOp::Div) => 10.0,
         ExprShape::Binary(BinOp::Min) | ExprShape::Binary(BinOp::Max) => 1.0,
         ExprShape::MulAdd => 2.5,
+        // Compare-to-mask plus blend: two cheap ALU ops.
+        ExprShape::Select(_) => 2.0,
     }
 }
 

@@ -27,7 +27,7 @@ use slp_core::{
     SuperwordStmt, WeightParams,
 };
 use slp_ir::{
-    AccessVector, AffineExpr, ArrayId, ArrayRef, BinOp, BlockId, Dest, Expr, Item, Loop,
+    AccessVector, AffineExpr, ArrayId, ArrayRef, BinOp, BlockId, CmpOp, Dest, Expr, Item, Loop,
     LoopHeader, LoopVarId, Operand, Program, ScalarType, Statement, StmtId, UnOp, VarId,
 };
 use slp_verify::{Diagnostic, LintCode, Report, Span};
@@ -37,8 +37,9 @@ use crate::json::Json;
 /// The encoding version stamped into every payload; bumped on any
 /// incompatible change so old cache files read as misses, not garbage.
 /// v4 added `Strategy::Optimal`, the solver budget fields in the config
-/// and the `opt_*` solver statistics.
-pub const FORMAT_VERSION: u64 = 4;
+/// and the `opt_*` solver statistics. v5 added the `sel.*` predicated
+/// blend operators produced by if-conversion.
+pub const FORMAT_VERSION: u64 = 5;
 
 /// A decode failure: the payload was syntactically valid JSON but not a
 /// valid kernel encoding (truncated, corrupted, or a different format
@@ -145,6 +146,14 @@ fn expr_op_tag(e: &Expr) -> &'static str {
         Expr::Binary(BinOp::Min, _, _) => "min",
         Expr::Binary(BinOp::Max, _, _) => "max",
         Expr::MulAdd(_, _, _) => "muladd",
+        Expr::Select(op, _, _, _, _) => match op {
+            CmpOp::Lt => "sel.lt",
+            CmpOp::Le => "sel.le",
+            CmpOp::Gt => "sel.gt",
+            CmpOp::Ge => "sel.ge",
+            CmpOp::Eq => "sel.eq",
+            CmpOp::Ne => "sel.ne",
+        },
     }
 }
 
@@ -283,6 +292,12 @@ fn decode_expr(v: &Json) -> Result<Expr> {
         "min" => Expr::Binary(BinOp::Min, next()?, next()?),
         "max" => Expr::Binary(BinOp::Max, next()?, next()?),
         "muladd" => Expr::MulAdd(next()?, next()?, next()?),
+        "sel.lt" => Expr::Select(CmpOp::Lt, next()?, next()?, next()?, next()?),
+        "sel.le" => Expr::Select(CmpOp::Le, next()?, next()?, next()?, next()?),
+        "sel.gt" => Expr::Select(CmpOp::Gt, next()?, next()?, next()?, next()?),
+        "sel.ge" => Expr::Select(CmpOp::Ge, next()?, next()?, next()?, next()?),
+        "sel.eq" => Expr::Select(CmpOp::Eq, next()?, next()?, next()?, next()?),
+        "sel.ne" => Expr::Select(CmpOp::Ne, next()?, next()?, next()?, next()?),
         other => return err(format!("unknown operator '{other}'")),
     })
 }
@@ -917,6 +932,37 @@ mod tests {
             assert_eq!(back.replications, k.replications);
             assert_eq!(back.stats, k.stats);
             // Re-encoding the decoded kernel is byte-identical.
+            assert_eq!(encode_kernel(&back).to_compact(), text);
+        }
+    }
+
+    /// An if-converted kernel: the merge selects must survive the
+    /// `sel.*` codec rows bit-for-bit in both directions.
+    const BRANCHY: &str = "kernel branchy {
+        const N = 16;
+        array A: f64[N];
+        array B: f64[N];
+        for i in 0..N {
+            if A[i] < 0.0 {
+                B[i] = 0.0;
+            } else {
+                B[i] = A[i];
+            }
+        }
+    }";
+
+    #[test]
+    fn branchy_kernel_roundtrips_and_keeps_its_selects() {
+        for layout in [false, true] {
+            let k = compiled(BRANCHY, layout);
+            let mut selects = 0usize;
+            k.program
+                .for_each_stmt(|s| selects += matches!(s.expr(), Expr::Select(..)) as usize);
+            assert!(selects >= 1, "if-conversion must leave a select behind");
+            let text = encode_kernel(&k).to_compact();
+            let back = decode_kernel(&json::parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back.program, k.program);
+            assert_eq!(back.schedules, k.schedules);
             assert_eq!(encode_kernel(&back).to_compact(), text);
         }
     }

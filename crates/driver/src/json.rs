@@ -437,11 +437,21 @@ impl<'a> Parser<'a> {
                     }
                 }
                 _ => {
-                    // Consume one UTF-8 character.
-                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Consume the longest run without a quote or
+                    // backslash in one step. Both delimiters are ASCII,
+                    // so they can never split a multi-byte sequence and
+                    // the run is validated as UTF-8 exactly once —
+                    // validating the whole remaining input per character
+                    // (the old code) was quadratic, which a megabyte
+                    // request line turns into a denial of service.
+                    let run = rest
+                        .iter()
+                        .position(|&b| b == b'"' || b == b'\\')
+                        .unwrap_or(rest.len());
+                    let s = std::str::from_utf8(&rest[..run])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos += run;
                 }
             }
         }
@@ -514,6 +524,18 @@ mod tests {
         for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"\\q\"", "nul"] {
             assert!(parse(bad).is_err(), "{bad:?} should fail");
         }
+    }
+
+    #[test]
+    fn large_strings_parse_in_linear_time() {
+        // Regression: the string scanner once validated the whole
+        // remaining input per character, so this 2 MiB payload took
+        // minutes; linear scanning finishes instantly. Mixed escapes
+        // keep the fast path honest about resuming after them.
+        let s = format!("{}\"quoted\"\n{}", "x".repeat(1 << 20), "é".repeat(1 << 19));
+        let text = Json::str(&s).to_compact();
+        let v = parse(&text).expect("parses");
+        assert_eq!(v.string(), Some(s.as_str()));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use slp_ir::{
-    AccessVector, AffineExpr, ArrayId, ArrayRef, BinOp, Dest, Expr, Item, Loop, LoopHeader,
+    AccessVector, AffineExpr, ArrayId, ArrayRef, BinOp, CmpOp, Dest, Expr, Item, Loop, LoopHeader,
     LoopVarId, Operand, Program, ScalarType, UnOp, VarId,
 };
 
@@ -75,8 +75,13 @@ impl Gen {
         }
     }
 
+    fn cmp(&mut self) -> CmpOp {
+        let ops = CmpOp::all();
+        ops[self.rng.gen_range(0..ops.len())]
+    }
+
     fn expr(&mut self, loops: &[LoopHeader]) -> Expr {
-        match self.rng.gen_range(0..10u32) {
+        match self.rng.gen_range(0..12u32) {
             0..=4 => {
                 let ops = BinOp::all();
                 let op = ops[self.rng.gen_range(0..ops.len())];
@@ -92,6 +97,13 @@ impl Gen {
                 let op = ops[self.rng.gen_range(0..ops.len())];
                 Expr::Unary(op, self.operand(loops))
             }
+            8..=9 => Expr::Select(
+                self.cmp(),
+                self.operand(loops),
+                self.operand(loops),
+                self.operand(loops),
+                self.operand(loops),
+            ),
             _ => Expr::Copy(self.operand(loops)),
         }
     }
@@ -159,6 +171,34 @@ pub fn ir_case(seed: u64, n: u64) -> Program {
         let n_stmts = g.rng.gen_range(1..=6usize);
         let mut body: Vec<Item> = Vec::new();
         for _ in 0..n_stmts {
+            if g.rng.gen_bool(0.15) {
+                // Exclusive merge pair — the canonical if-conversion
+                // residue. A then-merge `d = select(op,a,b,t,d)` guards
+                // the true side; an optional else-merge with the *same*
+                // predicate, `d = select(op,a,b,d,e)`, guards the false
+                // side. The dependence analysis must see the two writes
+                // as reorderable, and the packer may fuse them.
+                let op = g.cmp();
+                let a = g.operand(&headers);
+                let b = g.operand(&headers);
+                let dest = g.dest(&headers);
+                let dest_read = match &dest {
+                    Dest::Array(r) => Operand::Array(r.clone()),
+                    Dest::Scalar(v) => Operand::Scalar(*v),
+                };
+                let t = g.operand(&headers);
+                let s1 = p.make_stmt(
+                    dest.clone(),
+                    Expr::Select(op, a.clone(), b.clone(), t, dest_read.clone()),
+                );
+                body.push(Item::Stmt(s1));
+                if g.rng.gen_bool(0.6) {
+                    let e = g.operand(&headers);
+                    let s2 = p.make_stmt(dest, Expr::Select(op, a, b, dest_read, e));
+                    body.push(Item::Stmt(s2));
+                }
+                continue;
+            }
             let (dest, expr) = if g.rng.gen_bool(0.25) {
                 // Loop-carried chain: A[c*i + off] = f(A[c*i + off'])
                 // on the same array, offsets straddling the write.
@@ -274,6 +314,41 @@ mod tests {
             .filter(|&n| ir_case(1, n).validate().is_ok())
             .count();
         assert!(valid >= 25, "only {valid}/50 cases validate");
+    }
+
+    #[test]
+    fn selects_and_merge_pairs_appear() {
+        let mut with_select = 0usize;
+        let mut with_pair = 0usize;
+        for n in 0..60u64 {
+            let p = ir_case(4, n);
+            let mut any = false;
+            for info in p.blocks() {
+                let stmts: Vec<_> = info.block.iter().collect();
+                for s in &stmts {
+                    if matches!(s.expr(), Expr::Select(..)) {
+                        any = true;
+                    }
+                }
+                for w in stmts.windows(2) {
+                    if w[0].dest() == w[1].dest()
+                        && matches!(w[0].expr(), Expr::Select(..))
+                        && matches!(w[1].expr(), Expr::Select(..))
+                    {
+                        with_pair += 1;
+                    }
+                }
+            }
+            with_select += any as usize;
+        }
+        assert!(
+            with_select >= 20,
+            "only {with_select}/60 cases had a select"
+        );
+        assert!(
+            with_pair >= 5,
+            "only {with_pair} exclusive merge pairs seen"
+        );
     }
 
     #[test]

@@ -25,17 +25,55 @@ const EXTREME_INTS: &[&str] = &[
 
 /// Fragments spliced at random positions.
 const SPLICES: &[&str] = &[
-    "[", "]", "{", "}", "(", ")", ";", "..", "*", "+", "-", "/", "=", "step", "for", "kernel",
-    "array", "scalar", "const", "f32", "i64", "\"", ".", "in", "i", "A",
+    "[",
+    "]",
+    "{",
+    "}",
+    "(",
+    ")",
+    ";",
+    "..",
+    "*",
+    "+",
+    "-",
+    "/",
+    "=",
+    "step",
+    "for",
+    "kernel",
+    "array",
+    "scalar",
+    "const",
+    "f32",
+    "i64",
+    "\"",
+    ".",
+    "in",
+    "i",
+    "A",
+    "if",
+    "else",
+    "select",
+    "<=",
+    "!=",
+    "if (A[i] < 0) { A[i] = 0; }",
 ];
 
 /// A base program to mutate, drawn from the generators and the suite.
 fn base_source(rng: &mut StdRng) -> String {
     let k = rng.gen_range(0..10u32);
-    if k < 7 {
-        // Generator output: structured, valid, parameter-swept.
+    if k < 6 {
+        // Generator output: structured, valid, parameter-swept. The
+        // generator emits `select` expressions, so branchy programs
+        // flow through the mutation pool too.
         let seed = rng.gen_range(0..1u64 << 48);
         slp_suite::corpus(seed, 1).remove(0).1
+    } else if k < 8 {
+        // A branchy kernel: `if`/`else` bodies the front-end
+        // if-converts, so mutants attack the control-flow grammar.
+        let names = slp_suite::branchy_catalog();
+        let pick = rng.gen_range(0..names.len());
+        slp_suite::branchy_source(names[pick], 1)
     } else {
         // A hand-written benchmark kernel at a small scale.
         let names = slp_suite::catalog();
@@ -161,6 +199,23 @@ mod tests {
             let src = source_case(9, n);
             assert!(slp_lang::compile(&src).is_ok(), "case {n} must parse");
         }
+    }
+
+    #[test]
+    fn branchy_bases_flow_through() {
+        // The unmutated (n % 3 == 0) stream must carry both `if` bodies
+        // from the branchy catalog and `select` expressions from the
+        // random generator, so the differential oracles exercise
+        // if-conversion and masked superwords on every campaign.
+        let mut with_if = 0usize;
+        let mut with_select = 0usize;
+        for n in (0..180u64).step_by(3) {
+            let src = source_case(11, n);
+            with_if += src.contains("if ") as usize;
+            with_select += src.contains("select(") as usize;
+        }
+        assert!(with_if >= 6, "only {with_if}/60 bases had an if");
+        assert!(with_select >= 6, "only {with_select}/60 bases had a select");
     }
 
     #[test]

@@ -35,4 +35,10 @@ fn corpus_covers_every_bug_class() {
             "no {class} reproducer in corpus: {names:?}"
         );
     }
+    // The if-conversion reproducers are promoted by hand, not by the
+    // campaign writer; make sure a branchy case of each flavor stays in.
+    assert!(
+        names.iter().any(|n| n.contains("-branchy-")),
+        "no branchy reproducer in corpus: {names:?}"
+    );
 }

@@ -18,10 +18,11 @@ use std::fmt;
 
 use crate::affine::AffineExpr;
 use crate::block::BasicBlock;
-use crate::expr::{ArrayRef, Operand};
+use crate::expr::{ArrayRef, CmpOp, Expr, Operand};
 use crate::ids::StmtId;
 use crate::numeric;
 use crate::program::LoopHeader;
+use crate::stmt::Statement;
 
 /// An external aliasing oracle consulted by [`BlockDeps::analyze_with`].
 ///
@@ -148,6 +149,9 @@ pub struct BlockDeps {
     pos: HashMap<StmtId, usize>,
     direct: Vec<Dependence>,
     reach: BitMatrix,
+    /// Position pairs `(p, q)`, `p < q`, recognized as commuting
+    /// exclusive-predicate merge selects (see [`BlockDeps::reorderable`]).
+    exclusive_merges: Vec<(usize, usize)>,
 }
 
 impl BlockDeps {
@@ -177,10 +181,14 @@ impl BlockDeps {
         let n = ids.len();
         let mut direct = Vec::new();
         let mut reach = BitMatrix::new(n);
+        let mut exclusive_merges = Vec::new();
         let stmts = block.stmts();
         for q in 0..n {
             for p in 0..q {
                 let (sp, sq) = (&stmts[p], &stmts[q]);
+                if exclusive_merge_pair(sp, sq, loops, oracle) {
+                    exclusive_merges.push((p, q));
+                }
                 let mut dep = false;
                 // RAW: q reads what p wrote.
                 if sq
@@ -224,7 +232,12 @@ impl BlockDeps {
         }
         reach.close_transitively();
         let pos = ids.iter().enumerate().map(|(i, &id)| (id, i)).collect();
-        BlockDeps { pos, direct, reach }
+        BlockDeps {
+            pos,
+            direct,
+            reach,
+            exclusive_merges,
+        }
     }
 
     fn pos(&self, s: StmtId) -> usize {
@@ -254,6 +267,32 @@ impl BlockDeps {
     /// (§4.1 constraint 1 for members of a superword statement).
     pub fn independent(&self, a: StmtId, b: StmtId) -> bool {
         a != b && !self.depends(a, b) && !self.depends(b, a)
+    }
+
+    /// Whether the pair `a`, `b` itself imposes no ordering constraint
+    /// (dependence paths through third statements still constrain the
+    /// schedule).
+    ///
+    /// This is [`independent`](Self::independent) *plus* the
+    /// predicate-aware refinement for if-converted code: the then-merge
+    /// and else-merge of one branch (`x = select(c, t, x)` followed by
+    /// `x = select(c, x, f)`) carry RAW/WAR/WAW edges on `x`, yet the
+    /// pair provably commutes — at most one of the two is active
+    /// (non-identity) in any execution, because their predicates are
+    /// mutually exclusive, and an identity merge passes the old value
+    /// through regardless of order.
+    ///
+    /// The refinement is for **ordering only**: such a pair must *not*
+    /// be packed into one superword statement (both lanes write the same
+    /// location), so [`independent`](Self::independent) deliberately
+    /// still reports `false` for it.
+    pub fn reorderable(&self, a: StmtId, b: StmtId) -> bool {
+        if self.independent(a, b) {
+            return true;
+        }
+        let (pa, pb) = (self.pos(a), self.pos(b));
+        let pair = (pa.min(pb), pa.max(pb));
+        pa != pb && self.exclusive_merges.contains(&pair)
     }
 
     /// Whether grouping `(a1, a2)` and `(b1, b2)` as two atomic superword
@@ -291,6 +330,118 @@ impl BlockDeps {
         }
         true
     }
+}
+
+/// The predicate under which a merge-form select statement is *active*
+/// (stores something other than the destination's old value).
+///
+/// `x = select(a op b, t, x)` is active exactly when `a op b` holds;
+/// `x = select(a op b, x, f)` is active exactly when it does **not**.
+/// The truth of a comparison is one of four outcomes of the operand
+/// pair — `<`, `=`, `>` or *unordered* (a NaN operand) — so a predicate
+/// is represented as the set of outcomes on which it fires. That keeps
+/// negation exact under IEEE semantics: `!(a < b)` fires on `=`, `>`
+/// *and* unordered, which is not `a >= b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergePredicate<'a> {
+    /// Left comparison operand.
+    pub a: &'a Operand,
+    /// Right comparison operand.
+    pub b: &'a Operand,
+    /// Outcome set over `{<, =, >, unordered}` on which the statement
+    /// is active.
+    mask: u8,
+    /// Operand position (within [`Expr::operands`] order) of the
+    /// pass-through arm that re-reads the destination.
+    pass_idx: usize,
+}
+
+const LT: u8 = 1 << 0;
+const EQ: u8 = 1 << 1;
+const GT: u8 = 1 << 2;
+const UNORD: u8 = 1 << 3;
+
+fn cmp_truth_mask(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Lt => LT,
+        CmpOp::Le => LT | EQ,
+        CmpOp::Gt => GT,
+        CmpOp::Ge => GT | EQ,
+        CmpOp::Eq => EQ,
+        // IEEE `!=` is true for unordered operands.
+        CmpOp::Ne => LT | GT | UNORD,
+    }
+}
+
+impl<'a> MergePredicate<'a> {
+    /// Extracts the active predicate of `stmt` if it is a merge-form
+    /// select (one value arm syntactically equal to the destination).
+    pub fn of(stmt: &'a Statement) -> Option<Self> {
+        let Expr::Select(op, a, b, t, f) = stmt.expr() else {
+            return None;
+        };
+        let dest = stmt.def();
+        // Prefer the false arm: `select(c, v, x)` is the then-merge.
+        if *f == dest {
+            Some(MergePredicate {
+                a,
+                b,
+                mask: cmp_truth_mask(*op),
+                pass_idx: 3,
+            })
+        } else if *t == dest {
+            Some(MergePredicate {
+                a,
+                b,
+                mask: !cmp_truth_mask(*op) & 0xF,
+                pass_idx: 2,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether `self` and `other` can never be active in the same
+    /// execution: same comparison operands and disjoint outcome sets.
+    /// Sound under NaN because the outcome partition is exhaustive.
+    pub fn excludes(&self, other: &MergePredicate<'_>) -> bool {
+        self.a == other.a && self.b == other.b && self.mask & other.mask == 0
+    }
+}
+
+/// Whether `sp` and `sq` are merge-form selects over the *same*
+/// destination whose active predicates are mutually exclusive, with the
+/// destination read only through each statement's own pass-through arm.
+///
+/// Such a pair commutes: in any execution at most one statement is
+/// active; the inactive one rewrites the destination's current value,
+/// which is the same no-op on either side of the active store. The
+/// operand-position check rules out the unsound cases — a condition or
+/// value arm reading the destination would observe the other statement's
+/// store and break the symmetry.
+fn exclusive_merge_pair(
+    sp: &Statement,
+    sq: &Statement,
+    loops: &[LoopHeader],
+    oracle: &dyn DepOracle,
+) -> bool {
+    let (Some(p), Some(q)) = (MergePredicate::of(sp), MergePredicate::of(sq)) else {
+        return false;
+    };
+    if sp.def() != sq.def() || !p.excludes(&q) {
+        return false;
+    }
+    // The destination must not alias any other operand of either
+    // statement (condition or value arm) — only the pass-through read.
+    for (s, pred) in [(sp, &p), (sq, &q)] {
+        let dest = s.def();
+        for (i, u) in s.expr().operands().into_iter().enumerate() {
+            if i != pred.pass_idx && oracle.operands_overlap(&dest, u, loops) {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Whether two operands may denote the same storage location
@@ -573,6 +724,154 @@ mod tests {
             vec![DepKind::Raw],
             "only v's flow dependence survives"
         );
+    }
+
+    #[test]
+    fn exclusive_merge_pair_is_reorderable_but_not_independent() {
+        use crate::expr::CmpOp;
+        // The shape if-conversion emits for `if v1 < v2 { x=v3 } else { x=v4 }`:
+        //   S0: x = select(v1 < v2, v3, x)   (active when true)
+        //   S1: x = select(v1 < v2, x, v4)   (active when false)
+        let x = v(0);
+        let block = bb(vec![
+            (
+                0,
+                x.clone(),
+                Expr::Select(CmpOp::Lt, v(1), v(2), v(3), x.clone()),
+            ),
+            (
+                1,
+                x.clone(),
+                Expr::Select(CmpOp::Lt, v(1), v(2), x.clone(), v(4)),
+            ),
+        ]);
+        let d = BlockDeps::analyze(&block);
+        let (s0, s1) = (StmtId::new(0), StmtId::new(1));
+        // The RAW/WAR/WAW edges on x are still reported (packing must
+        // never place both lanes of one superword on the same scalar)...
+        assert!(d.depends(s0, s1));
+        assert!(!d.independent(s0, s1));
+        // ...but the pair commutes for scheduling purposes.
+        assert!(d.reorderable(s0, s1));
+        assert!(d.reorderable(s1, s0));
+    }
+
+    #[test]
+    fn overlapping_predicates_are_not_reorderable() {
+        use crate::expr::CmpOp;
+        // Lt and Le can both hold (strictly less): not exclusive.
+        let x = v(0);
+        let block = bb(vec![
+            (
+                0,
+                x.clone(),
+                Expr::Select(CmpOp::Lt, v(1), v(2), v(3), x.clone()),
+            ),
+            (
+                1,
+                x.clone(),
+                Expr::Select(CmpOp::Le, v(1), v(2), v(4), x.clone()),
+            ),
+        ]);
+        let d = BlockDeps::analyze(&block);
+        assert!(!d.reorderable(StmtId::new(0), StmtId::new(1)));
+    }
+
+    #[test]
+    fn ne_predicate_fires_on_nan_so_eq_merge_does_not_commute_with_ordered() {
+        use crate::expr::CmpOp;
+        // `v1 != v2` is true for NaN operands; `!(v1 < v2)` also holds
+        // there, so a then-merge on Ne and an else-merge on Lt can both
+        // be active — must NOT be reorderable.
+        let x = v(0);
+        let block = bb(vec![
+            (
+                0,
+                x.clone(),
+                Expr::Select(CmpOp::Ne, v(1), v(2), v(3), x.clone()),
+            ),
+            (
+                1,
+                x.clone(),
+                Expr::Select(CmpOp::Lt, v(1), v(2), x.clone(), v(4)),
+            ),
+        ]);
+        let d = BlockDeps::analyze(&block);
+        assert!(!d.reorderable(StmtId::new(0), StmtId::new(1)));
+        // Eq/Ne over the same operands partition all four outcomes:
+        // exclusive, hence reorderable.
+        let block = bb(vec![
+            (
+                0,
+                x.clone(),
+                Expr::Select(CmpOp::Eq, v(1), v(2), v(3), x.clone()),
+            ),
+            (
+                1,
+                x.clone(),
+                Expr::Select(CmpOp::Ne, v(1), v(2), v(4), x.clone()),
+            ),
+        ]);
+        let d = BlockDeps::analyze(&block);
+        assert!(d.reorderable(StmtId::new(0), StmtId::new(1)));
+    }
+
+    #[test]
+    fn destination_in_condition_or_value_arm_blocks_commuting() {
+        use crate::expr::CmpOp;
+        let x = v(0);
+        // Condition reads the destination: S1's guard would observe
+        // S0's store.
+        let block = bb(vec![
+            (
+                0,
+                x.clone(),
+                Expr::Select(CmpOp::Lt, x.clone(), v(2), v(3), x.clone()),
+            ),
+            (
+                1,
+                x.clone(),
+                Expr::Select(CmpOp::Lt, x.clone(), v(2), x.clone(), v(4)),
+            ),
+        ]);
+        let d = BlockDeps::analyze(&block);
+        assert!(!d.reorderable(StmtId::new(0), StmtId::new(1)));
+        // Value arm reads the destination.
+        let block = bb(vec![
+            (
+                0,
+                x.clone(),
+                Expr::Select(CmpOp::Lt, v(1), v(2), x.clone(), x.clone()),
+            ),
+            (
+                1,
+                x.clone(),
+                Expr::Select(CmpOp::Lt, v(1), v(2), x.clone(), v(4)),
+            ),
+        ]);
+        let d = BlockDeps::analyze(&block);
+        assert!(!d.reorderable(StmtId::new(0), StmtId::new(1)));
+    }
+
+    #[test]
+    fn merge_predicate_extraction() {
+        use crate::expr::CmpOp;
+        let x = v(0);
+        let s = Statement::new(
+            StmtId::new(0),
+            VarId::new(0).into(),
+            Expr::Select(CmpOp::Ge, v(1), v(2), v(3), x.clone()),
+        );
+        let p = MergePredicate::of(&s).expect("merge form");
+        assert_eq!(p.a, &v(1));
+        // A select whose arms never read the destination has no merge
+        // predicate.
+        let s = Statement::new(
+            StmtId::new(1),
+            VarId::new(0).into(),
+            Expr::Select(CmpOp::Ge, v(1), v(2), v(3), v(4)),
+        );
+        assert!(MergePredicate::of(&s).is_none());
     }
 
     #[test]

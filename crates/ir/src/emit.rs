@@ -128,6 +128,17 @@ fn emit_stmt(p: &Program, s: &Statement, out: &mut String) {
             out.push_str(" * ");
             emit_operand(p, c, out);
         }
+        Expr::Select(op, a, b, t, e) => {
+            out.push_str("select(");
+            emit_operand(p, a, out);
+            let _ = write!(out, " {op} ");
+            emit_operand(p, b, out);
+            out.push_str(", ");
+            emit_operand(p, t, out);
+            out.push_str(", ");
+            emit_operand(p, e, out);
+            out.push(')');
+        }
     }
     out.push_str(";\n");
 }

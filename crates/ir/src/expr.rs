@@ -244,6 +244,82 @@ impl fmt::Display for UnOp {
     }
 }
 
+/// Comparison operators, used only as the predicate of a
+/// [`Expr::Select`]: the IR has no boolean values, so a comparison never
+/// appears outside a select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpOp {
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+}
+
+impl CmpOp {
+    /// Applies the comparison with IEEE-754 semantics (every ordered
+    /// comparison involving NaN is false; `!=` is true).
+    pub fn apply(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+        }
+    }
+
+    /// The comparison satisfied exactly when `self` is not (NaN inputs
+    /// included: `!(a < b)` is `a >= b || unordered`, which `Ge` does
+    /// *not* express, so negation swaps the select arms instead — see
+    /// [`Expr::Select`]). This helper only flips the operand order:
+    /// `a < b` ⇔ `b > a`.
+    pub fn swap(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// All comparison operators (handy for tests and generators).
+    pub fn all() -> [CmpOp; 6] {
+        [
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+            CmpOp::Eq,
+            CmpOp::Ne,
+        ]
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A right-hand-side expression: at most one operator over operands.
 #[derive(Debug, Clone, PartialEq, PartialOrd)]
 pub enum Expr {
@@ -256,6 +332,9 @@ pub enum Expr {
     /// A fused multiply-add `dst = a + b * c`, the shape of the example
     /// statements `A[2i] = d + a*c` in the paper's Figure 15.
     MulAdd(Operand, Operand, Operand),
+    /// A predicated blend `dst = (a cmp b) ? t : f` — the masked form
+    /// if-conversion produces; vectorizes as compare-to-mask + blend.
+    Select(CmpOp, Operand, Operand, Operand, Operand),
 }
 
 impl Expr {
@@ -265,6 +344,7 @@ impl Expr {
             Expr::Copy(a) | Expr::Unary(_, a) => vec![a],
             Expr::Binary(_, a, b) => vec![a, b],
             Expr::MulAdd(a, b, c) => vec![a, b, c],
+            Expr::Select(_, a, b, t, e) => vec![a, b, t, e],
         }
     }
 
@@ -274,6 +354,7 @@ impl Expr {
             Expr::Copy(a) | Expr::Unary(_, a) => vec![a],
             Expr::Binary(_, a, b) => vec![a, b],
             Expr::MulAdd(a, b, c) => vec![a, b, c],
+            Expr::Select(_, a, b, t, e) => vec![a, b, t, e],
         }
     }
 
@@ -283,6 +364,7 @@ impl Expr {
             Expr::Copy(_) | Expr::Unary(_, _) => 1,
             Expr::Binary(_, _, _) => 2,
             Expr::MulAdd(_, _, _) => 3,
+            Expr::Select(_, _, _, _, _) => 4,
         }
     }
 
@@ -295,6 +377,7 @@ impl Expr {
             Expr::Unary(op, _) => ExprShape::Unary(*op),
             Expr::Binary(op, _, _) => ExprShape::Binary(*op),
             Expr::MulAdd(_, _, _) => ExprShape::MulAdd,
+            Expr::Select(op, _, _, _, _) => ExprShape::Select(*op),
         }
     }
 }
@@ -309,6 +392,7 @@ impl fmt::Display for Expr {
                 _ => write!(f, "{a} {op} {b}"),
             },
             Expr::MulAdd(a, b, c) => write!(f, "{a} + {b} * {c}"),
+            Expr::Select(op, a, b, t, e) => write!(f, "select({a} {op} {b}, {t}, {e})"),
         }
     }
 }
@@ -324,6 +408,9 @@ pub enum ExprShape {
     Binary(BinOp),
     /// Shape of [`Expr::MulAdd`].
     MulAdd,
+    /// Shape of [`Expr::Select`]; selects pack only with selects using
+    /// the same comparison.
+    Select(CmpOp),
 }
 
 /// A typed destination: where a statement writes.
@@ -454,6 +541,43 @@ mod tests {
         assert_eq!(add.shape(), ExprShape::Binary(BinOp::Add));
         assert_eq!(add.arity(), 2);
         assert_eq!(Expr::MulAdd(x.clone(), x.clone(), x.clone()).arity(), 3);
+    }
+
+    #[test]
+    fn cmpop_semantics() {
+        assert!(CmpOp::Lt.apply(1.0, 2.0));
+        assert!(!CmpOp::Lt.apply(2.0, 2.0));
+        assert!(CmpOp::Le.apply(2.0, 2.0));
+        assert!(CmpOp::Ge.apply(2.0, 2.0));
+        assert!(CmpOp::Eq.apply(0.0, -0.0));
+        assert!(CmpOp::Ne.apply(1.0, 2.0));
+        // IEEE: ordered comparisons with NaN are false, != is true.
+        for op in [CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq] {
+            assert!(!op.apply(f64::NAN, 1.0), "{op:?}");
+        }
+        assert!(CmpOp::Ne.apply(f64::NAN, 1.0));
+        for op in CmpOp::all() {
+            assert_eq!(op.swap().swap(), op);
+            assert_eq!(op.apply(1.0, 2.0), op.swap().apply(2.0, 1.0));
+        }
+    }
+
+    #[test]
+    fn select_shape_and_operands() {
+        let x = Operand::Const(1.0);
+        let s = Expr::Select(CmpOp::Lt, x.clone(), x.clone(), x.clone(), x.clone());
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.operands().len(), 4);
+        assert_eq!(s.shape(), ExprShape::Select(CmpOp::Lt));
+        assert_ne!(s.shape(), ExprShape::Select(CmpOp::Gt));
+        let shown = Expr::Select(
+            CmpOp::Ge,
+            Operand::Scalar(VarId::new(0)),
+            0.0.into(),
+            Operand::Scalar(VarId::new(1)),
+            2.0.into(),
+        );
+        assert_eq!(shown.to_string(), "select(v0 >= 0, v1, 2)");
     }
 
     #[test]

@@ -61,9 +61,11 @@ pub use align::{
 pub use block::BasicBlock;
 pub use deps::{
     gcd_test_refutes_zero, operands_overlap, operands_overlap_in, refs_overlap_in, AffineOverlap,
-    BlockDeps, DepKind, DepOracle, Dependence,
+    BlockDeps, DepKind, DepOracle, Dependence, MergePredicate,
 };
-pub use expr::{ArrayRef, BinOp, Dest, Expr, ExprShape, Operand, OperandKind, TypeEnv, UnOp};
+pub use expr::{
+    ArrayRef, BinOp, CmpOp, Dest, Expr, ExprShape, Operand, OperandKind, TypeEnv, UnOp,
+};
 pub use ids::{ArrayId, LoopVarId, StmtId, VarId};
 pub use program::{ArrayInfo, BlockId, BlockInfo, Item, Loop, LoopHeader, Program, ScalarInfo};
 pub use stmt::Statement;

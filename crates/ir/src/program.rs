@@ -430,6 +430,9 @@ impl Program {
             Expr::Unary(op, _) => format!("{op}({})", ops[0]),
             Expr::Binary(op, _, _) => format!("{} {op} {}", ops[0], ops[1]),
             Expr::MulAdd(_, _, _) => format!("{} + {} * {}", ops[0], ops[1], ops[2]),
+            Expr::Select(op, _, _, _, _) => {
+                format!("select({} {op} {}, {}, {})", ops[0], ops[1], ops[2], ops[3])
+            }
         };
         format!("{}: {} = {}", s.id(), dest, rhs)
     }

@@ -4,7 +4,7 @@
 //! bounds) are folded during parsing, so the AST stores plain `i64` where
 //! the source may have written `2*N+8`.
 
-use slp_ir::{BinOp, ScalarType, UnOp};
+use slp_ir::{BinOp, CmpOp, ScalarType, UnOp};
 
 /// A parsed kernel.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +44,30 @@ pub enum AstItem {
         /// 1-based source line (for lowering diagnostics).
         line: u32,
     },
+    /// `if a cmp b { then } [else { else }]` — removed before lowering
+    /// by [`if_convert`](crate::if_convert::if_convert), which flattens
+    /// both bodies into predicated `select` assignments.
+    If {
+        /// Branch condition.
+        cond: AstCond,
+        /// Items executed when the condition holds.
+        then_body: Vec<AstItem>,
+        /// Items executed otherwise (empty without `else`).
+        else_body: Vec<AstItem>,
+        /// 1-based source line (for lowering diagnostics).
+        line: u32,
+    },
+}
+
+/// A branch / select condition `a cmp b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstCond {
+    /// The comparison operator.
+    pub op: CmpOp,
+    /// Left operand.
+    pub a: AstTerm,
+    /// Right operand.
+    pub b: AstTerm,
 }
 
 /// A named location: scalar `x` or array element `A[2*i+1][j]`.
@@ -84,4 +108,6 @@ pub enum AstRhs {
     Binary(BinOp, AstTerm, AstTerm),
     /// `lhs = a + b * c`
     MulAdd(AstTerm, AstTerm, AstTerm),
+    /// `lhs = select(a cmp b, t, f)`
+    Select(AstCond, AstTerm, AstTerm),
 }

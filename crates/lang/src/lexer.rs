@@ -81,7 +81,13 @@ impl<'a> Lexer<'a> {
                 ':' => self.single(Token::Colon),
                 ';' => self.single(Token::Semi),
                 ',' => self.single(Token::Comma),
+                '=' if self.peek2() == Some('=') => self.double(Token::EqEq),
                 '=' => self.single(Token::Eq),
+                '<' if self.peek2() == Some('=') => self.double(Token::Le),
+                '<' => self.single(Token::Lt),
+                '>' if self.peek2() == Some('=') => self.double(Token::Ge),
+                '>' => self.single(Token::Gt),
+                '!' if self.peek2() == Some('=') => self.double(Token::Ne),
                 '+' => self.single(Token::Plus),
                 '-' => self.single(Token::Minus),
                 '*' => self.single(Token::Star),
@@ -126,6 +132,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn single(&mut self, t: Token) -> Token {
+        self.bump();
+        t
+    }
+
+    fn double(&mut self, t: Token) -> Token {
+        self.bump();
         self.bump();
         t
     }
@@ -197,6 +209,8 @@ impl<'a> Lexer<'a> {
             "for" => Token::For,
             "in" => Token::In,
             "step" => Token::Step,
+            "if" => Token::If,
+            "else" => Token::Else,
             "f32" => Token::Type(ScalarType::F32),
             "f64" => Token::Type(ScalarType::F64),
             "i8" => Token::Type(ScalarType::I8),
@@ -297,6 +311,52 @@ mod tests {
         let e = lex("a @ b").unwrap_err();
         assert!(e.message().contains("unexpected character"));
         assert_eq!(e.col(), 3);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("a < b <= c > d >= e == f != g"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Lt,
+                Token::Ident("b".into()),
+                Token::Le,
+                Token::Ident("c".into()),
+                Token::Gt,
+                Token::Ident("d".into()),
+                Token::Ge,
+                Token::Ident("e".into()),
+                Token::EqEq,
+                Token::Ident("f".into()),
+                Token::Ne,
+                Token::Ident("g".into()),
+                Token::Eof
+            ]
+        );
+        // '==' must not lex as two assignments.
+        assert_eq!(toks("=="), vec![Token::EqEq, Token::Eof]);
+        // A bare '!' is still an error.
+        let e = lex("a ! b").unwrap_err();
+        assert!(e.message().contains("unexpected character"));
+    }
+
+    #[test]
+    fn if_else_keywords_and_prefixed_identifiers() {
+        assert_eq!(
+            toks("if else iffy elsewhere selector select"),
+            vec![
+                Token::If,
+                Token::Else,
+                Token::Ident("iffy".into()),
+                Token::Ident("elsewhere".into()),
+                // `select` is contextual (call syntax only), never a
+                // keyword, so both stay identifiers.
+                Token::Ident("selector".into()),
+                Token::Ident("select".into()),
+                Token::Eof
+            ]
+        );
     }
 
     #[test]

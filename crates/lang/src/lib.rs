@@ -18,9 +18,19 @@
 //!         a = A[2*i];
 //!         A[2*i+1] = a * B[4*i] + b;   // muladd form
 //!         b = min(a, b);
+//!         b = select(a < 0.0, 0.0, b); // predicated blend
+//!         if b >= 1.0 {                // if-converted into selects
+//!             B[4*i] = b;
+//!         } else {
+//!             B[4*i] = 1.0;
+//!         }
 //!     }
 //! }
 //! ```
+//!
+//! `if`/`else` bodies are flattened before lowering by the
+//! [`if_convert`] pass, so the IR the packer sees is always a
+//! straight-line block of (possibly predicated) assignments.
 //!
 //! # Examples
 //!
@@ -39,12 +49,14 @@
 
 pub mod ast;
 mod error;
+mod if_convert;
 mod lexer;
 mod lower;
 mod parser;
 mod token;
 
 pub use error::{ParseError, Result};
+pub use if_convert::if_convert;
 pub use lexer::lex;
 pub use lower::{compile, lower};
 pub use parser::parse;

@@ -12,6 +12,11 @@ use crate::error::{ParseError, Result};
 
 /// Lowers a parsed kernel to an IR [`Program`].
 ///
+/// Branchy kernels are if-converted first (see
+/// [`if_convert`](crate::if_convert::if_convert)): by the time items
+/// reach the lowerer every `if` has been flattened into predicated
+/// `select` assignments, so the IR stays straight-line.
+///
 /// # Errors
 ///
 /// Returns a [`ParseError`] for undeclared names, subscripted scalars,
@@ -27,6 +32,15 @@ use crate::error::{ParseError, Result};
 /// assert_eq!(program.arrays()[0].dims, vec![8]);
 /// ```
 pub fn lower(ast: &KernelAst) -> Result<Program> {
+    if crate::if_convert::has_branches(ast) {
+        let mut flat = ast.clone();
+        crate::if_convert::if_convert(&mut flat);
+        return lower_flat(&flat);
+    }
+    lower_flat(ast)
+}
+
+fn lower_flat(ast: &KernelAst) -> Result<Program> {
     let mut p = Program::new(ast.name.clone());
     let mut arrays: HashMap<&str, ArrayId> = HashMap::new();
     let mut scalars: HashMap<&str, VarId> = HashMap::new();
@@ -115,6 +129,11 @@ impl<'a> Lowerer<'a> {
                 let expr = self.rhs(rhs, *line)?;
                 Ok(Item::Stmt(self.program.make_stmt(dest, expr)))
             }
+            AstItem::If { line, .. } => Err(ParseError::new(
+                "internal error: 'if' reached lowering without if-conversion",
+                *line,
+                0,
+            )),
         }
     }
 
@@ -217,6 +236,13 @@ impl<'a> Lowerer<'a> {
                 self.operand(b, line)?,
                 self.operand(c, line)?,
             ),
+            AstRhs::Select(cond, t, f) => Expr::Select(
+                cond.op,
+                self.operand(&cond.a, line)?,
+                self.operand(&cond.b, line)?,
+                self.operand(t, line)?,
+                self.operand(f, line)?,
+            ),
         })
     }
 }
@@ -291,6 +317,57 @@ mod tests {
         let r = s.uses()[0].as_array().unwrap();
         assert_eq!(r.access.dim(0).coeff(inner.var), 2);
         assert_eq!(r.access.dim(0).coeff(blocks[0].loops[0].var), 0);
+    }
+
+    #[test]
+    fn select_lowers_to_ir_select() {
+        let p = compile(
+            "kernel k { array A: f64[8]; for i in 0..8 {
+                 A[i] = select(A[i] < 0.0, 0.0, A[i]);
+             } }",
+        )
+        .unwrap();
+        let b = &p.blocks()[0];
+        assert_eq!(b.block.len(), 1);
+        let s = &b.block.stmts()[0];
+        assert!(matches!(s.expr(), Expr::Select(slp_ir::CmpOp::Lt, ..)));
+        assert_eq!(s.expr().operands().len(), 4);
+    }
+
+    #[test]
+    fn branchy_kernel_compiles_to_straight_line_selects() {
+        // clamp-to-[0,1] via if/else; must lower to one basic block of
+        // selects after if-conversion.
+        let p = compile(
+            "kernel clamp { array A: f64[8]; for i in 0..8 {
+                 if A[i] < 0.0 {
+                     A[i] = 0.0;
+                 } else if A[i] > 1.0 {
+                     A[i] = 1.0;
+                 }
+             } }",
+        )
+        .unwrap();
+        let blocks = p.blocks();
+        assert_eq!(blocks.len(), 1, "if-conversion keeps a single block");
+        let selects = blocks[0]
+            .block
+            .stmts()
+            .iter()
+            .filter(|s| matches!(s.expr(), Expr::Select(..)))
+            .count();
+        assert!(selects >= 2, "both branches become selects: {p}");
+        // The flattened program must round-trip through the emitter.
+        let src = p.to_source();
+        let again = compile(&src).unwrap();
+        assert_eq!(again.stmt_count(), p.stmt_count());
+    }
+
+    #[test]
+    fn branchy_errors_keep_source_lines() {
+        let e = compile("kernel k { scalar x: f64;\nif x < 0.0 {\n  x = zz;\n} }").unwrap_err();
+        assert!(e.message().contains("not declared"), "{e}");
+        assert_eq!(e.line(), 3, "diagnostics survive if-conversion");
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //!           | 'array' ident ':' type ('[' intexpr ']')+ ';'
 //!           | 'scalar' ident (',' ident)* ':' type ';'
 //! item    ::= 'for' ident 'in' intexpr '..' intexpr '{' item* '}'
+//!           | 'if' cond '{' item* '}' ('else' ('{' item* '}' | if-item))?
 //!           | lvalue '=' rhs ';'
 //! lvalue  ::= ident ('[' affine ']')*
 //! rhs     ::= fn '(' term (',' term)? ')'      fn ∈ {neg, abs, sqrt, min, max}
+//!           | 'select' '(' cond ',' term ',' term ')'
 //!           | term (('+'|'-'|'*'|'/') term)?   with a + b * c parsed as muladd
+//! cond    ::= term ('<'|'<='|'>'|'>='|'=='|'!=') term
 //! term    ::= ('-')? number | lvalue
 //! affine  ::= ('+'|'-')? aterm (('+'|'-') aterm)*
 //! aterm   ::= int ('*' ident)? | ident ('*' int)?
@@ -18,9 +21,9 @@
 
 use std::collections::HashMap;
 
-use slp_ir::{BinOp, UnOp};
+use slp_ir::{BinOp, CmpOp, UnOp};
 
-use crate::ast::{AstAffine, AstItem, AstLValue, AstRhs, AstTerm, KernelAst};
+use crate::ast::{AstAffine, AstCond, AstItem, AstLValue, AstRhs, AstTerm, KernelAst};
 use crate::error::{ParseError, Result};
 use crate::lexer::lex;
 use crate::token::{Spanned, Token};
@@ -239,6 +242,39 @@ impl Parser {
                 step,
                 body,
             })
+        } else if self.peek().token == Token::If {
+            let line = self.peek().line;
+            self.bump();
+            if self.depth >= MAX_LOOP_DEPTH {
+                return self.err(format!(
+                    "if nesting exceeds the depth limit of {MAX_LOOP_DEPTH}"
+                ));
+            }
+            self.depth += 1;
+            let cond = self.cond()?;
+            self.expect(&Token::LBrace)?;
+            let then_body = self.items_until(&Token::RBrace)?;
+            self.expect(&Token::RBrace)?;
+            let else_body = if self.eat(&Token::Else) {
+                if self.peek().token == Token::If {
+                    // `else if …` sugars to an else block holding one if.
+                    vec![self.item()?]
+                } else {
+                    self.expect(&Token::LBrace)?;
+                    let body = self.items_until(&Token::RBrace)?;
+                    self.expect(&Token::RBrace)?;
+                    body
+                }
+            } else {
+                Vec::new()
+            };
+            self.depth -= 1;
+            Ok(AstItem::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+            })
         } else {
             let line = self.peek().line;
             let lhs = self.lvalue()?;
@@ -269,9 +305,45 @@ impl Parser {
         }
     }
 
+    /// Parses a comparison `term cmp term`.
+    fn cond(&mut self) -> Result<AstCond> {
+        let a = self.term()?;
+        let op = match self.peek().token {
+            Token::Lt => CmpOp::Lt,
+            Token::Le => CmpOp::Le,
+            Token::Gt => CmpOp::Gt,
+            Token::Ge => CmpOp::Ge,
+            Token::EqEq => CmpOp::Eq,
+            Token::Ne => CmpOp::Ne,
+            _ => {
+                return self.err(format!(
+                    "expected a comparison operator, found '{}'",
+                    self.peek().token
+                ))
+            }
+        };
+        self.bump();
+        let b = self.term()?;
+        Ok(AstCond { op, a, b })
+    }
+
     fn rhs(&mut self) -> Result<AstRhs> {
-        // Call syntax: fn '(' ... ')' for the named operators.
+        // Call syntax: fn '(' ... ')' for the named operators. `select`
+        // is contextual like `min`: a keyword only when followed by '('.
         if let Token::Ident(name) = &self.peek().token {
+            if name == "select"
+                && self.tokens.get(self.pos + 1).map(|s| &s.token) == Some(&Token::LParen)
+            {
+                self.bump(); // select
+                self.bump(); // '('
+                let cond = self.cond()?;
+                self.expect(&Token::Comma)?;
+                let t = self.term()?;
+                self.expect(&Token::Comma)?;
+                let f = self.term()?;
+                self.expect(&Token::RParen)?;
+                return Ok(AstRhs::Select(cond, t, f));
+            }
             let fun: Option<FnKind> = match name.as_str() {
                 "neg" => Some(FnKind::Un(UnOp::Neg)),
                 "abs" => Some(FnKind::Un(UnOp::Abs)),
@@ -628,6 +700,115 @@ mod tests {
         }
         ok.push('}');
         assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn if_else_parses() {
+        let k = parse(
+            "kernel k { array A: f64[8]; scalar x: f64;
+             for i in 0..8 {
+                 if A[i] < 0.0 { x = 1.0; } else { x = 2.0; }
+             } }",
+        )
+        .unwrap();
+        let AstItem::For { body, .. } = &k.items[0] else {
+            panic!()
+        };
+        let AstItem::If {
+            cond,
+            then_body,
+            else_body,
+            ..
+        } = &body[0]
+        else {
+            panic!("expected if, got {:?}", body[0])
+        };
+        assert_eq!(cond.op, CmpOp::Lt);
+        assert_eq!(then_body.len(), 1);
+        assert_eq!(else_body.len(), 1);
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let k = parse(
+            "kernel k { scalar x, y: f64;
+             if x < 0.0 { y = 0.0; } else if x > 1.0 { y = 1.0; } else { y = x; } }",
+        )
+        .unwrap();
+        let AstItem::If { else_body, .. } = &k.items[0] else {
+            panic!()
+        };
+        assert!(matches!(&else_body[0], AstItem::If { .. }));
+    }
+
+    #[test]
+    fn select_call_parses() {
+        let k = parse("kernel k { scalar a,b,c: f64; a = select(b >= 0.0, b, c); }").unwrap();
+        match &k.items[0] {
+            AstItem::Assign {
+                rhs: AstRhs::Select(cond, _, _),
+                ..
+            } => assert_eq!(cond.op, CmpOp::Ge),
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_as_variable_name_still_works() {
+        let k = parse("kernel k { scalar select, a: f64; a = select; select = a; }").unwrap();
+        assert!(matches!(
+            &k.items[0],
+            AstItem::Assign {
+                rhs: AstRhs::Copy(AstTerm::Loc(l)),
+                ..
+            } if l.name == "select"
+        ));
+    }
+
+    #[test]
+    fn branchy_negative_fixtures() {
+        // A condition needs a comparison.
+        let e = parse("kernel k { scalar x: f64; if x { x = 1.0; } }").unwrap_err();
+        assert!(e.message().contains("comparison"), "{e}");
+        // select with a bare term instead of a condition.
+        let e = parse("kernel k { scalar x: f64; x = select(x, 1.0, 2.0); }").unwrap_err();
+        assert!(e.message().contains("comparison"), "{e}");
+        // select is ternary.
+        let e = parse("kernel k { scalar x: f64; x = select(x < 0.0, 1.0); }").unwrap_err();
+        assert!(e.message().contains("expected ','"), "{e}");
+        // else without a preceding if is not an item.
+        let e = parse("kernel k { scalar x: f64; else { x = 1.0; } }").unwrap_err();
+        assert!(e.message().contains("expected"), "{e}");
+        // A missing brace after the condition.
+        let e = parse("kernel k { scalar x: f64; if x < 0.0 x = 1.0; }").unwrap_err();
+        assert!(e.message().contains("expected '{'"), "{e}");
+        // Keyword-prefixed names are ordinary identifiers.
+        let k = parse("kernel k { scalar iffy, selector: f64; iffy = selector; }").unwrap();
+        assert!(matches!(
+            &k.items[0],
+            AstItem::Assign {
+                rhs: AstRhs::Copy(AstTerm::Loc(l)),
+                ..
+            } if l.name == "selector"
+        ));
+        // Comparisons are not expressions outside if/select.
+        let e = parse("kernel k { scalar x: f64; x = x < 1.0; }").unwrap_err();
+        assert!(e.message().contains("expected ';'"), "{e}");
+    }
+
+    #[test]
+    fn if_nesting_counts_against_depth_limit() {
+        let mut src = String::from("kernel k { scalar x: f64; ");
+        for _ in 0..(MAX_LOOP_DEPTH + 1) {
+            src.push_str("if x < 1.0 { ");
+        }
+        src.push_str("x = 1.0; ");
+        for _ in 0..(MAX_LOOP_DEPTH + 1) {
+            src.push('}');
+        }
+        src.push('}');
+        let e = parse(&src).unwrap_err();
+        assert!(e.message().contains("depth limit"), "{e}");
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub enum Token {
     In,
     /// `step`
     Step,
+    /// `if`
+    If,
+    /// `else`
+    Else,
     /// `f32` / `f64` / `i8` / `i16` / `i32` / `i64`
     Type(slp_ir::ScalarType),
     /// An identifier.
@@ -59,6 +63,18 @@ pub enum Token {
     Slash,
     /// `..`
     DotDot,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
     /// End of input.
     Eof,
 }
@@ -73,6 +89,8 @@ impl fmt::Display for Token {
             Token::For => write!(f, "for"),
             Token::In => write!(f, "in"),
             Token::Step => write!(f, "step"),
+            Token::If => write!(f, "if"),
+            Token::Else => write!(f, "else"),
             Token::Type(t) => write!(f, "{t}"),
             Token::Ident(s) => write!(f, "{s}"),
             Token::Int(v) => write!(f, "{v}"),
@@ -93,6 +111,12 @@ impl fmt::Display for Token {
             Token::Star => write!(f, "*"),
             Token::Slash => write!(f, "/"),
             Token::DotDot => write!(f, ".."),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::EqEq => write!(f, "=="),
+            Token::Ne => write!(f, "!="),
             Token::Eof => write!(f, "<eof>"),
         }
     }

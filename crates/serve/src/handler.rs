@@ -24,10 +24,16 @@
 //!
 //! Every counter is atomic; a [`ServeSummary`] snapshot is exact once
 //! the writers are quiescent, which the concurrency tests pin.
+//!
+//! The handler is panic-hardened: transports enter through
+//! [`Handler::handle_line_guarded`], a dedup leader that unwinds still
+//! publishes an error to its followers (so they never hang), and every
+//! internal lock tolerates poisoning — a panicked compile degrades
+//! that one request to an `S112` response instead of wedging the pool.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 use slp_core::PhaseTimings;
@@ -73,6 +79,17 @@ pub struct ServeConfig {
     /// coalescing and drain windows deterministic in the concurrency
     /// tests; leave `0` in production.
     pub compile_hold_ms: u64,
+    /// Longest request line (bytes, newline excluded) the transports
+    /// will buffer. Past the cap the line is discarded in constant
+    /// memory and answered with [`ErrorCode::LineTooLong`] (`S103`);
+    /// the session keeps serving. `0` disables the cap.
+    pub max_line_bytes: usize,
+    /// Test instrumentation: a compile whose request `name` matches
+    /// panics deliberately *while holding the in-flight table lock* —
+    /// the worst place a compiler bug could fire. The panic-isolation
+    /// tests use it to pin that a poisoned lock degrades one request,
+    /// not the server. Leave `None` in production.
+    pub panic_on_name: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -84,8 +101,29 @@ impl Default for ServeConfig {
             default_budget_ms: None,
             dedup: true,
             compile_hold_ms: 0,
+            max_line_bytes: 1 << 20,
+            panic_on_name: None,
         }
     }
+}
+
+/// Locks `mutex`, tolerating poisoning: a thread that panicked while
+/// holding a handler lock must degrade *its* request to an error
+/// response, not wedge every request that comes after it. All handler
+/// state stays consistent under `into_inner` because every critical
+/// section leaves the data valid before any operation that can panic
+/// (the compile itself runs outside the locks).
+pub(crate) fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison tolerance as
+/// [`lock_unpoisoned`].
+pub(crate) fn wait_unpoisoned<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
 /// One handled request: the response document plus whether the request
@@ -122,6 +160,30 @@ struct Bucket {
 struct InflightSlot {
     result: Mutex<Option<Result<CompileOutcome, DriverError>>>,
     done: Condvar,
+}
+
+/// Guarantees a dedup leader always publishes: if the leader unwinds
+/// before the normal publish path, the guard retires the slot and
+/// publishes a [`DriverError::Panic`] so blocked followers wake with
+/// an `S112` answer instead of hanging forever.
+struct SlotPublishGuard<'a> {
+    handler: &'a Handler,
+    fp: Fingerprint,
+    slot: &'a Arc<InflightSlot>,
+    armed: bool,
+}
+
+impl Drop for SlotPublishGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        lock_unpoisoned(&self.handler.inflight).remove(&self.fp);
+        *lock_unpoisoned(&self.slot.result) = Some(Err(DriverError::Panic(
+            "compile leader panicked before publishing a result".into(),
+        )));
+        self.slot.done.notify_all();
+    }
 }
 
 /// Decrements the active gauge even on unwind paths.
@@ -214,6 +276,63 @@ impl Handler {
             rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
             rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The transports' line cap (see [`ServeConfig::max_line_bytes`]).
+    pub fn max_line_bytes(&self) -> usize {
+        self.config.max_line_bytes
+    }
+
+    /// The response for a request line the transport discarded at the
+    /// [`ServeConfig::max_line_bytes`] cap. Counted as a request and an
+    /// error; answered in the legacy shape since an unread line cannot
+    /// name a protocol version (the same convention as unparseable
+    /// JSON).
+    pub fn reject_oversized_line(&self) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        Response {
+            json: Envelope::legacy().error(
+                ErrorCode::LineTooLong,
+                &format!(
+                    "request line exceeds the {}-byte cap and was discarded",
+                    self.config.max_line_bytes
+                ),
+            ),
+            shutdown: false,
+        }
+    }
+
+    /// [`Handler::handle_line`] behind a panic guard: a panic escaping
+    /// the handler — a compiler invariant violation outside the compile
+    /// guard's own net, or a bug in the serve layer itself — is caught
+    /// here and degraded to an `S112` error response, so the serving
+    /// thread (stdio loop or TCP worker) survives and keeps answering.
+    /// The transports call this, never `handle_line` directly.
+    pub fn handle_line_guarded(&self, line: &str) -> Response {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle_line(line))) {
+            Ok(response) => response,
+            Err(_) => {
+                // `handle_line` already counted the request; the panic
+                // skipped its error accounting.
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                let envelope = match parse_request(line) {
+                    Request::Compile { envelope, .. }
+                    | Request::Stats(envelope)
+                    | Request::Ping(envelope)
+                    | Request::Shutdown(envelope) => envelope,
+                    Request::Malformed(_) => Envelope::legacy(),
+                };
+                Response {
+                    json: envelope.error(
+                        ErrorCode::CompilerPanic,
+                        "request handling panicked; the request was abandoned and the server \
+                         kept serving",
+                    ),
+                    shutdown: false,
+                }
+            }
         }
     }
 
@@ -312,10 +431,7 @@ impl Handler {
                     if outcome.cache == CacheDisposition::Compiled {
                         // Telemetry counts work actually performed, so
                         // cached (re-served) timings are not re-merged.
-                        self.phase_totals
-                            .lock()
-                            .expect("phase totals lock")
-                            .merge(&outcome.timings);
+                        lock_unpoisoned(&self.phase_totals).merge(&outcome.timings);
                     }
                 }
                 envelope.ok(outcome_fields(&request.name, &outcome, coalesced))
@@ -341,15 +457,17 @@ impl Handler {
         }
         let fp = request.fingerprint();
         let slot = {
-            let mut inflight = self.inflight.lock().expect("inflight lock");
+            let mut inflight = lock_unpoisoned(&self.inflight);
             match inflight.get(&fp) {
                 Some(slot) => {
                     // Follower: wait for the leader's published result.
+                    // The publish guard below guarantees one arrives
+                    // even if the leader panics.
                     let slot = Arc::clone(slot);
                     drop(inflight);
-                    let mut result = slot.result.lock().expect("inflight slot lock");
+                    let mut result = lock_unpoisoned(&slot.result);
                     while result.is_none() {
-                        result = slot.done.wait(result).expect("inflight slot wait");
+                        result = wait_unpoisoned(&slot.done, result);
                     }
                     return (result.clone().expect("published result"), true);
                 }
@@ -365,16 +483,32 @@ impl Handler {
         };
 
         // Leader: compile (the guarded path re-checks the cache first),
-        // publish, and retire the slot. The hold is test-only — see
+        // publish, and retire the slot. From here to the publish the
+        // guard is armed: any unwind still retires the slot and answers
+        // the followers. The hold is test-only — see
         // `ServeConfig::compile_hold_ms`.
+        let mut publish = SlotPublishGuard {
+            handler: self,
+            fp,
+            slot: &slot,
+            armed: true,
+        };
         if self.config.compile_hold_ms > 0 {
             std::thread::sleep(std::time::Duration::from_millis(
                 self.config.compile_hold_ms,
             ));
         }
+        if self.config.panic_on_name.as_deref() == Some(request.name.as_str()) {
+            // Test instrumentation (`ServeConfig::panic_on_name`):
+            // panic while holding the in-flight table lock, poisoning
+            // it, to pin that poisoning never outlives the request.
+            let _poisoner = lock_unpoisoned(&self.inflight);
+            panic!("injected compile panic for {:?}", request.name);
+        }
         let result = compile_guarded(request, Some(&self.cache), budget_ms);
-        self.inflight.lock().expect("inflight lock").remove(&fp);
-        *slot.result.lock().expect("inflight slot lock") = Some(result.clone());
+        publish.armed = false;
+        lock_unpoisoned(&self.inflight).remove(&fp);
+        *lock_unpoisoned(&slot.result) = Some(result.clone());
         slot.done.notify_all();
         (result, false)
     }
@@ -391,7 +525,7 @@ impl Handler {
             .or(self.config.quota);
         let Some(quota) = quota else { return true };
         let now = Instant::now();
-        let mut buckets = self.buckets.lock().expect("quota lock");
+        let mut buckets = lock_unpoisoned(&self.buckets);
         let bucket = buckets.entry(tenant.to_string()).or_insert(Bucket {
             tokens: quota.capacity,
             last_refill: now,
@@ -413,7 +547,7 @@ impl Handler {
     pub fn metrics_text(&self) -> String {
         let s = self.summary();
         let cache = self.cache.stats();
-        let phases = *self.phase_totals.lock().expect("phase totals lock");
+        let phases = *lock_unpoisoned(&self.phase_totals);
         let mut out = String::new();
         for (name, value) in [
             ("slp_serve_requests_total", s.requests),
@@ -447,7 +581,7 @@ impl Handler {
     /// Accumulated per-phase telemetry of the compiles this handler
     /// actually performed (cache hits and coalesced requests excluded).
     pub fn phase_totals(&self) -> PhaseTimings {
-        *self.phase_totals.lock().expect("phase totals lock")
+        *lock_unpoisoned(&self.phase_totals)
     }
 
     /// The timings serialization shared with the driver reports,

@@ -23,6 +23,7 @@
 //! `slp::driver::{serve, serve_tcp}`.
 
 pub mod handler;
+pub mod line;
 pub mod loadgen;
 pub mod protocol;
 pub mod stdio;

@@ -1,0 +1,178 @@
+//! Bounded line reading for the wire transports.
+//!
+//! Both adapters read newline-delimited requests from an untrusted
+//! peer. The standard [`BufRead::lines`] iterator buffers until it
+//! sees a `\n` — a client (or a port scanner) that never sends one
+//! grows the buffer without bound. [`read_line_capped`] reads at most
+//! `cap` bytes of payload per line; past the cap it *streams* the rest
+//! of the oversized line to the bit bucket (constant memory), reports
+//! [`LineRead::TooLong`], and leaves the reader positioned at the next
+//! line so the session can keep serving.
+
+use std::io::{self, BufRead, ErrorKind};
+
+/// One bounded read: a complete line, an oversized one (already
+/// discarded through its terminating newline), or end of input.
+#[derive(Debug)]
+pub enum LineRead {
+    /// A complete line within the cap, `\n`/`\r\n` stripped.
+    Line(String),
+    /// The line exceeded the cap; `discarded` counts the bytes dropped
+    /// (the whole line, including what was buffered before the cap
+    /// tripped). The reader is positioned after the line's `\n`.
+    TooLong {
+        /// Total bytes of the oversized line that were thrown away.
+        discarded: usize,
+    },
+    /// End of input (a final unterminated line within the cap is still
+    /// returned as [`LineRead::Line`] first).
+    Eof,
+}
+
+/// Reads the next `\n`-terminated line from `reader`, holding at most
+/// `cap` bytes in memory (`cap == 0` means unlimited, the historical
+/// behavior). Invalid UTF-8 is an [`ErrorKind::InvalidData`] error,
+/// matching [`BufRead::lines`].
+pub fn read_line_capped<R: BufRead>(reader: &mut R, cap: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            // EOF: flush a trailing unterminated line, if any.
+            return if buf.is_empty() {
+                Ok(LineRead::Eof)
+            } else {
+                finish_line(buf)
+            };
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                if cap != 0 && buf.len() + newline > cap {
+                    let discarded = buf.len() + newline;
+                    reader.consume(newline + 1);
+                    return Ok(LineRead::TooLong { discarded });
+                }
+                buf.extend_from_slice(&chunk[..newline]);
+                reader.consume(newline + 1);
+                return finish_line(buf);
+            }
+            None => {
+                let taken = chunk.len();
+                if cap != 0 && buf.len() + taken > cap {
+                    // Cap tripped mid-line: drop what we have and
+                    // stream the rest of the line away.
+                    let mut discarded = buf.len() + taken;
+                    buf.clear();
+                    reader.consume(taken);
+                    discarded += discard_to_newline(reader)?;
+                    return Ok(LineRead::TooLong { discarded });
+                }
+                buf.extend_from_slice(chunk);
+                reader.consume(taken);
+            }
+        }
+    }
+}
+
+/// Consumes input up to and including the next `\n` (or EOF) without
+/// buffering it; returns the number of bytes thrown away.
+fn discard_to_newline<R: BufRead>(reader: &mut R) -> io::Result<usize> {
+    let mut discarded = 0;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(discarded);
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(newline) => {
+                discarded += newline;
+                reader.consume(newline + 1);
+                return Ok(discarded);
+            }
+            None => {
+                discarded += chunk.len();
+                let taken = chunk.len();
+                reader.consume(taken);
+            }
+        }
+    }
+}
+
+fn finish_line(mut buf: Vec<u8>) -> io::Result<LineRead> {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(LineRead::Line)
+        .map_err(|_| io::Error::new(ErrorKind::InvalidData, "stream did not contain valid UTF-8"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn read_all(input: &str, cap: usize) -> Vec<String> {
+        let mut reader = Cursor::new(input);
+        let mut out = Vec::new();
+        loop {
+            match read_line_capped(&mut reader, cap).expect("read") {
+                LineRead::Line(l) => out.push(l),
+                LineRead::TooLong { discarded } => out.push(format!("<toolong {discarded}>")),
+                LineRead::Eof => return out,
+            }
+        }
+    }
+
+    #[test]
+    fn splits_lines_like_the_std_iterator() {
+        assert_eq!(read_all("a\nbb\r\n\nccc", 0), ["a", "bb", "", "ccc"]);
+        assert_eq!(read_all("", 0), Vec::<String>::new());
+        assert_eq!(read_all("\n", 0), [""]);
+    }
+
+    #[test]
+    fn cap_zero_is_unlimited() {
+        let long = "x".repeat(100_000);
+        assert_eq!(read_all(&format!("{long}\n"), 0), [long]);
+    }
+
+    #[test]
+    fn line_exactly_at_the_cap_passes() {
+        let line = "y".repeat(16);
+        assert_eq!(read_all(&format!("{line}\nok"), 16), [line, "ok".into()]);
+    }
+
+    #[test]
+    fn oversized_line_is_discarded_and_the_stream_resynchronizes() {
+        let long = "z".repeat(50);
+        let got = read_all(&format!("{long}\nafter\n"), 16);
+        assert_eq!(got, ["<toolong 50>", "after"]);
+    }
+
+    #[test]
+    fn oversized_unterminated_tail_still_reports() {
+        // A peer that sends an endless line and hangs up mid-way.
+        let got = read_all(&"q".repeat(40).to_string(), 8);
+        assert_eq!(got, ["<toolong 40>"]);
+    }
+
+    #[test]
+    fn cap_applies_per_line_not_per_stream() {
+        let input = format!(
+            "{}\n{}\n{}\n",
+            "a".repeat(10),
+            "b".repeat(30),
+            "c".repeat(10)
+        );
+        let got = read_all(&input, 16);
+        assert_eq!(got, ["a".repeat(10), "<toolong 30>".into(), "c".repeat(10)]);
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_io_error() {
+        let mut reader = Cursor::new(&[0xffu8, 0xfe, b'\n'][..]);
+        let err = read_line_capped(&mut reader, 0).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::InvalidData);
+    }
+}

@@ -25,6 +25,7 @@
 //! | `S100` | malformed request (bad JSON, missing/invalid field) |
 //! | `S101` | unknown `cmd`                                       |
 //! | `S102` | unsupported protocol version                        |
+//! | `S103` | request line exceeded the server's byte cap         |
 //! | `S110` | kernel source did not parse                         |
 //! | `S111` | kernel parsed but failed semantic validation        |
 //! | `S112` | compiler panic (caught; the server survives)        |
@@ -59,6 +60,10 @@ pub enum ErrorCode {
     UnknownCommand,
     /// `S102`: the request carried a `v` other than `1`.
     BadVersion,
+    /// `S103`: the request line exceeded
+    /// [`ServeConfig::max_line_bytes`](crate::ServeConfig::max_line_bytes)
+    /// and was discarded unread.
+    LineTooLong,
     /// `S110`: the kernel source did not parse.
     ParseError,
     /// `S111`: the kernel parsed but failed semantic validation.
@@ -82,6 +87,7 @@ impl ErrorCode {
             ErrorCode::BadRequest => "S100",
             ErrorCode::UnknownCommand => "S101",
             ErrorCode::BadVersion => "S102",
+            ErrorCode::LineTooLong => "S103",
             ErrorCode::ParseError => "S110",
             ErrorCode::InvalidProgram => "S111",
             ErrorCode::CompilerPanic => "S112",
@@ -98,7 +104,10 @@ impl ErrorCode {
     /// protocol never produced them).
     pub fn legacy_kind(self) -> &'static str {
         match self {
-            ErrorCode::BadRequest | ErrorCode::UnknownCommand | ErrorCode::BadVersion => "request",
+            ErrorCode::BadRequest
+            | ErrorCode::UnknownCommand
+            | ErrorCode::BadVersion
+            | ErrorCode::LineTooLong => "request",
             ErrorCode::ParseError => "parse",
             ErrorCode::InvalidProgram => "invalid",
             ErrorCode::CompilerPanic => "panic",

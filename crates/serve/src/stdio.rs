@@ -14,6 +14,7 @@ use std::sync::Arc;
 use slp_driver::{CompileCache, ServeSummary};
 
 use crate::handler::{Handler, ServeConfig};
+use crate::line::{read_line_capped, LineRead};
 
 /// Serves requests from `input` to `output` against `cache` with
 /// default [`ServeConfig`] until EOF or a `shutdown` request.
@@ -32,18 +33,27 @@ pub fn serve<R: BufRead, W: Write>(
 
 /// Serves requests from `input` to `output` through an existing
 /// [`Handler`] until EOF or a `shutdown` request. Blank lines are
-/// ignored; every other line gets exactly one response line.
+/// ignored; every other line gets exactly one response line. Lines
+/// past [`ServeConfig::max_line_bytes`] are discarded in constant
+/// memory and answered with `S103`; a request that panics the handler
+/// is answered with `S112` — in both cases the loop keeps serving.
 pub fn serve_handler<R: BufRead, W: Write>(
-    input: R,
+    mut input: R,
     mut output: W,
     handler: &Handler,
 ) -> io::Result<ServeSummary> {
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let response = handler.handle_line(&line);
+    let cap = handler.max_line_bytes();
+    loop {
+        let response = match read_line_capped(&mut input, cap)? {
+            LineRead::Eof => break,
+            LineRead::TooLong { .. } => handler.reject_oversized_line(),
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                handler.handle_line_guarded(&line)
+            }
+        };
         writeln!(output, "{}", response.json.to_compact())?;
         output.flush()?;
         if response.shutdown {

@@ -18,7 +18,9 @@
 //! else enters the line protocol. After the first line a reader thread
 //! feeds a *bounded* request queue so clients may pipeline up to
 //! `queue_depth` requests — past that, TCP backpressure applies
-//! instead of unbounded buffering.
+//! instead of unbounded buffering. Every line is read under the
+//! handler's `max_line_bytes` cap: an oversized line is discarded in
+//! constant memory and answered with one `S103` error line, in order.
 //!
 //! Shutdown is graceful in both directions: a `shutdown` request (or
 //! [`TcpServer::shutdown`]) puts the handler in drain mode — in-flight
@@ -27,7 +29,7 @@
 //! the final [`ServeSummary`].
 
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, TrySendError};
@@ -36,7 +38,8 @@ use std::thread::{self, JoinHandle};
 
 use slp_driver::ServeSummary;
 
-use crate::handler::Handler;
+use crate::handler::{lock_unpoisoned, wait_unpoisoned, Handler};
+use crate::line::{read_line_capped, LineRead};
 use crate::protocol::{Envelope, ErrorCode};
 
 /// TCP adapter knobs. All fields are public; start from
@@ -76,7 +79,7 @@ struct Shared {
 impl Shared {
     fn signal_done(&self) {
         let (flag, cv) = &self.done;
-        *flag.lock().expect("done lock") = true;
+        *lock_unpoisoned(flag) = true;
         cv.notify_all();
     }
 }
@@ -115,9 +118,9 @@ impl TcpServer {
     pub fn wait(self) -> ServeSummary {
         {
             let (flag, cv) = &self.shared.done;
-            let mut done = flag.lock().expect("done lock");
+            let mut done = lock_unpoisoned(flag);
             while !*done {
-                done = cv.wait(done).expect("done wait");
+                done = wait_unpoisoned(cv, done);
             }
         }
         self.finish()
@@ -138,7 +141,7 @@ impl TcpServer {
         // workers exit.
         let _ = TcpStream::connect(self.local_addr);
         let _ = self.accept.join();
-        for (_, conn) in self.shared.conns.lock().expect("conns lock").drain() {
+        for (_, conn) in lock_unpoisoned(&self.shared.conns).drain() {
             let _ = conn.shutdown(Shutdown::Read);
         }
         for worker in self.workers {
@@ -235,49 +238,61 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) -> io::Result<()> 
     // against a delayed ACK.
     stream.set_nodelay(true)?;
     let conn_id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
-    shared
-        .conns
-        .lock()
-        .expect("conns lock")
-        .insert(conn_id, stream.try_clone()?);
+    lock_unpoisoned(&shared.conns).insert(conn_id, stream.try_clone()?);
     let result = drive_connection(shared, &stream);
-    shared.conns.lock().expect("conns lock").remove(&conn_id);
+    lock_unpoisoned(&shared.conns).remove(&conn_id);
     result
 }
 
 fn drive_connection(shared: &Arc<Shared>, stream: &TcpStream) -> io::Result<()> {
     let handler = &shared.handler;
+    let cap = handler.max_line_bytes();
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut first = String::new();
-    if reader.read_line(&mut first)? == 0 {
-        return Ok(());
-    }
-    if first.starts_with("GET ") {
-        return write_metrics_http(stream, handler);
-    }
-    if respond(stream, handler, &first)? {
-        shared.signal_done();
-        return Ok(());
+    match read_line_capped(&mut reader, cap)? {
+        LineRead::Eof => return Ok(()),
+        LineRead::TooLong { .. } => {
+            write_response(stream, &handler.reject_oversized_line().json)?;
+        }
+        LineRead::Line(first) => {
+            if first.starts_with("GET ") {
+                return write_metrics_http(stream, handler);
+            }
+            if respond(stream, handler, &first)? {
+                shared.signal_done();
+                return Ok(());
+            }
+        }
     }
 
     // Pipelining: a reader thread fills a bounded line queue; once the
     // queue is full it stops reading and TCP backpressure takes over.
-    let (line_tx, line_rx) = sync_channel::<String>(shared.queue_depth);
+    // Oversized lines are discarded by the reader in constant memory
+    // and forwarded as a marker so the session answers `S103` in order.
+    let (line_tx, line_rx) = sync_channel::<LineRead>(shared.queue_depth);
     let reader_thread = thread::Builder::new()
         .name("slp-serve-conn-reader".into())
-        .spawn(move || {
-            for line in reader.lines() {
-                let Ok(line) = line else { break };
-                if line_tx.send(line).is_err() {
-                    break;
+        .spawn(move || loop {
+            match read_line_capped(&mut reader, cap) {
+                Ok(LineRead::Eof) | Err(_) => break,
+                Ok(read) => {
+                    if line_tx.send(read).is_err() {
+                        break;
+                    }
                 }
             }
         })?;
 
     let mut result = Ok(());
     let mut session_shutdown = false;
-    while let Ok(line) = line_rx.recv() {
-        match respond(stream, handler, &line) {
+    while let Ok(read) = line_rx.recv() {
+        let outcome = match read {
+            LineRead::TooLong { .. } => {
+                write_response(stream, &handler.reject_oversized_line().json).map(|()| false)
+            }
+            LineRead::Line(line) => respond(stream, handler, &line),
+            LineRead::Eof => unreachable!("reader thread never forwards EOF"),
+        };
+        match outcome {
             Ok(true) => {
                 session_shutdown = true;
                 break;
@@ -301,14 +316,19 @@ fn drive_connection(shared: &Arc<Shared>, stream: &TcpStream) -> io::Result<()> 
 
 /// Handles one protocol line; `Ok(true)` means the session was asked
 /// to shut down. Blank lines get no response.
-fn respond(mut stream: &TcpStream, handler: &Handler, line: &str) -> io::Result<bool> {
+fn respond(stream: &TcpStream, handler: &Handler, line: &str) -> io::Result<bool> {
     if line.trim().is_empty() {
         return Ok(false);
     }
-    let response = handler.handle_line(line);
-    writeln!(stream, "{}", response.json.to_compact())?;
-    stream.flush()?;
+    let response = handler.handle_line_guarded(line);
+    write_response(stream, &response.json)?;
     Ok(response.shutdown)
+}
+
+/// Writes one response line and flushes it.
+fn write_response(mut stream: &TcpStream, json: &slp_driver::json::Json) -> io::Result<()> {
+    writeln!(stream, "{}", json.to_compact())?;
+    stream.flush()
 }
 
 fn write_metrics_http(mut stream: &TcpStream, handler: &Handler) -> io::Result<()> {

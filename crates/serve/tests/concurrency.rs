@@ -267,6 +267,78 @@ fn counters_are_exact_under_concurrent_load() {
     assert_eq!(handler.active(), 0, "the admission gauge returns to zero");
 }
 
+/// Panic isolation: a compile that panics — injected here *while
+/// holding the in-flight table lock*, poisoning it — degrades to an
+/// `S112` answer for the leader AND for every coalesced follower
+/// (nobody hangs on the slot), and the handler keeps answering
+/// afterwards even though one of its mutexes was poisoned.
+#[test]
+fn injected_panic_degrades_to_s112_and_the_server_keeps_answering() {
+    const FOLLOWERS: u64 = 3;
+    let handler = Arc::new(Handler::new(
+        Arc::new(CompileCache::in_memory(64)),
+        ServeConfig {
+            compile_hold_ms: 100,
+            panic_on_name: Some("boom".to_string()),
+            ..ServeConfig::default()
+        },
+    ));
+    let boom_line = |id: u64| {
+        Json::obj(vec![
+            ("v", Json::num(1)),
+            ("id", Json::num(id)),
+            ("cmd", Json::str("compile")),
+            ("name", Json::str("boom")),
+            ("source", Json::str(SRC)),
+        ])
+        .to_compact()
+    };
+
+    // A leader plus followers racing onto the same fingerprint. Every
+    // one must get a typed S112 answer — whether it led (its own panic,
+    // caught by the guarded entry point), coalesced onto the doomed
+    // slot (the publish guard's answer), or retried as a fresh leader.
+    let mut clients = Vec::new();
+    for id in 0..=FOLLOWERS {
+        let handler = Arc::clone(&handler);
+        clients.push(thread::spawn(move || {
+            handler.handle_line_guarded(&boom_line(id))
+        }));
+        // Stagger so followers arrive while the leader holds the slot.
+        thread::sleep(Duration::from_millis(10));
+    }
+    for client in clients {
+        let response = client.join().expect("client thread must not die").json;
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(
+            response.get("code").and_then(Json::string),
+            Some("S112"),
+            "{}",
+            response.to_compact()
+        );
+    }
+
+    // The in-flight table is empty again (the guard retired the slot)...
+    assert_eq!(handler.active(), 0);
+    // ...and the handler still serves everything, through the poisoned
+    // lock: a fresh compile, a quota-metered path, stats and metrics.
+    let r = handler.handle_line_guarded(&compile_line(90, "tenant", &unique_src(5)));
+    assert_eq!(
+        r.json.get("ok"),
+        Some(&Json::Bool(true)),
+        "a panicked request must not wedge later compiles: {}",
+        r.json.to_compact()
+    );
+    let r = handler.handle_line_guarded("{\"v\":1,\"id\":91,\"cmd\":\"stats\"}");
+    assert_eq!(r.json.get("ok"), Some(&Json::Bool(true)));
+    assert!(handler.metrics_text().contains("slp_serve_requests_total"));
+    let summary = handler.summary();
+    assert!(
+        summary.errors > FOLLOWERS,
+        "every doomed request counted as an error: {summary:?}"
+    );
+}
+
 /// The metrics exposition reflects the same counters.
 #[test]
 fn metrics_text_matches_summary() {

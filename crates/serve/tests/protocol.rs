@@ -15,7 +15,11 @@ const SRC: &str = "kernel k { array A: f64[16]; array B: f64[16]; \
 /// Drives `lines` through a fresh default handler over the stdio
 /// adapter and returns the parsed responses plus the summary.
 fn run(lines: &str) -> (Vec<Json>, ServeSummary) {
-    let handler = Handler::new(Arc::new(CompileCache::in_memory(8)), ServeConfig::default());
+    run_with(lines, ServeConfig::default())
+}
+
+fn run_with(lines: &str, config: ServeConfig) -> (Vec<Json>, ServeSummary) {
+    let handler = Handler::new(Arc::new(CompileCache::in_memory(8)), config);
     let mut out = Vec::new();
     let summary = serve_handler(Cursor::new(lines), &mut out, &handler).expect("serve I/O");
     let responses = String::from_utf8(out)
@@ -168,6 +172,86 @@ fn unparseable_lines_answer_in_the_legacy_shape() {
         Some("request")
     );
     assert_eq!(responses[0].get("v"), None);
+}
+
+/// Satellite regression: a request line past the configured byte cap
+/// is answered with the stable `S103` error — in the legacy shape,
+/// since an unread line cannot name a protocol version — and the
+/// session keeps serving the lines after it.
+#[test]
+fn oversized_lines_answer_s103_and_the_session_survives() {
+    let config = ServeConfig {
+        max_line_bytes: 256,
+        ..ServeConfig::default()
+    };
+    // An otherwise-valid compile whose source alone blows the cap.
+    let huge = compile_v1(
+        1,
+        "",
+        &format!("kernel k {{ {} }}", "array A: f64[16]; ".repeat(100)),
+    );
+    assert!(huge.len() > 256);
+    let lines = format!("{huge}\n{}\n", compile_v1(2, "", SRC));
+    let (responses, summary) = run_with(&lines, config);
+    assert_eq!(responses.len(), 2);
+
+    // The oversized line: a typed rejection, legacy-shaped.
+    assert_eq!(responses[0].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        responses[0].get("kind").and_then(Json::string),
+        Some("request")
+    );
+    assert!(
+        responses[0]
+            .get("error")
+            .and_then(Json::string)
+            .is_some_and(|e| e.contains("256-byte cap")),
+        "{}",
+        responses[0].to_compact()
+    );
+
+    // The line after it is served normally.
+    assert_eq!(responses[1].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(responses[1].get("id").and_then(Json::u64), Some(2));
+    assert_eq!(summary.requests, 2);
+    assert_eq!(summary.errors, 1);
+}
+
+/// The cap is byte-exact (a line at the cap passes) and `0` disables
+/// it entirely.
+#[test]
+fn line_cap_boundary_and_opt_out() {
+    let at_cap = compile_v1(1, "", SRC);
+    let (responses, _) = run_with(
+        &format!("{at_cap}\n"),
+        ServeConfig {
+            max_line_bytes: at_cap.len(),
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(
+        responses[0].get("ok"),
+        Some(&Json::Bool(true)),
+        "a line exactly at the cap must pass: {}",
+        responses[0].to_compact()
+    );
+
+    // Cap disabled: a multi-megabyte line (a valid kernel padded with
+    // whitespace) is read in full and compiles.
+    let huge = compile_v1(2, "", &format!("{}{}", " ".repeat(1 << 21), SRC));
+    let (responses, _) = run_with(
+        &format!("{huge}\n"),
+        ServeConfig {
+            max_line_bytes: 0,
+            ..ServeConfig::default()
+        },
+    );
+    assert_eq!(
+        responses[0].get("ok"),
+        Some(&Json::Bool(true)),
+        "{}",
+        responses[0].to_compact()
+    );
 }
 
 /// Satellite regression: the usage docs list exactly the strategy

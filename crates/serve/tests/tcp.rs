@@ -139,6 +139,85 @@ fn quota_rejection_over_tcp() {
     assert_eq!(summary.rejected_quota, 1);
 }
 
+/// An oversized request line over the wire — even as the very first
+/// line of the connection — is answered with the typed rejection and
+/// the connection keeps serving in order.
+#[test]
+fn oversized_lines_over_tcp_are_rejected_and_the_connection_survives() {
+    let server = start(ServeConfig {
+        max_line_bytes: 512,
+        ..ServeConfig::default()
+    });
+    let (stream, mut reader) = connect(&server);
+
+    // First line oversized: the reader must resynchronize on it.
+    let huge = compile_line(1, "", &format!("kernel k {{ {} }}", "x".repeat(4096)));
+    let r = round_trip(&stream, &mut reader, &huge);
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(r.get("kind").and_then(Json::string), Some("request"));
+    assert!(
+        r.get("error")
+            .and_then(Json::string)
+            .is_some_and(|e| e.contains("512-byte cap")),
+        "{}",
+        r.to_compact()
+    );
+
+    // The same connection then pipelines normally, including another
+    // oversized line mid-stream.
+    let r = round_trip(&stream, &mut reader, &compile_line(2, "", SRC));
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(r.get("id").and_then(Json::u64), Some(2));
+    let r = round_trip(&stream, &mut reader, &huge);
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    let r = round_trip(&stream, &mut reader, "{\"v\":1,\"id\":3,\"cmd\":\"ping\"}");
+    assert_eq!(r.get("pong"), Some(&Json::Bool(true)));
+
+    drop((stream, reader));
+    let summary = server.shutdown();
+    assert_eq!(summary.errors, 2);
+    assert_eq!(summary.compiled, 1);
+}
+
+/// Panic isolation over the wire: a compile that panics inside the
+/// handler answers `S112` on its own connection while other
+/// connections (and later requests on the same one) are unaffected.
+#[test]
+fn panicked_compile_over_tcp_answers_s112_and_the_pool_survives() {
+    let server = start(ServeConfig {
+        panic_on_name: Some("boom".to_string()),
+        ..ServeConfig::default()
+    });
+    let (stream, mut reader) = connect(&server);
+
+    let boom = Json::obj(vec![
+        ("v", Json::num(1)),
+        ("id", Json::num(1)),
+        ("cmd", Json::str("compile")),
+        ("name", Json::str("boom")),
+        ("source", Json::str(SRC)),
+    ])
+    .to_compact();
+    let r = round_trip(&stream, &mut reader, &boom);
+    assert_eq!(r.get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(r.get("code").and_then(Json::string), Some("S112"));
+    assert_eq!(r.get("id").and_then(Json::u64), Some(1));
+
+    // Same connection still answers...
+    let r = round_trip(&stream, &mut reader, &compile_line(2, "", SRC));
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+    // ...and so does a fresh one.
+    let (stream2, mut reader2) = connect(&server);
+    let r = round_trip(&stream2, &mut reader2, &compile_line(3, "", SRC));
+    assert_eq!(r.get("ok"), Some(&Json::Bool(true)));
+
+    drop((stream, reader));
+    drop((stream2, reader2));
+    let summary = server.shutdown();
+    assert_eq!(summary.errors, 1);
+    assert_eq!(summary.compiled, 2);
+}
+
 #[test]
 fn metrics_endpoint_speaks_http() {
     let server = start(ServeConfig::default());

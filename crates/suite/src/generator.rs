@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use slp_ir::{
-    AccessVector, AffineExpr, ArrayId, ArrayRef, BinOp, Dest, Expr, Item, Loop, LoopHeader,
+    AccessVector, AffineExpr, ArrayId, ArrayRef, BinOp, CmpOp, Dest, Expr, Item, Loop, LoopHeader,
     Operand, Program, ScalarType, UnOp, VarId,
 };
 
@@ -99,7 +99,7 @@ pub fn random_program(seed: u64, config: &GeneratorConfig) -> Program {
         } else {
             array_ref(&mut rng).into()
         };
-        let expr = match rng.gen_range(0..8) {
+        let expr = match rng.gen_range(0..10) {
             0 => Expr::Copy(operand(&mut rng)),
             1 => Expr::Unary(
                 // sqrt over seeded positive data stays real; neg and abs
@@ -112,7 +112,19 @@ pub fn random_program(seed: u64, config: &GeneratorConfig) -> Program {
                     [rng.gen_range(0..5usize)];
                 Expr::Binary(op, operand(&mut rng), operand(&mut rng))
             }
-            _ => Expr::MulAdd(operand(&mut rng), operand(&mut rng), operand(&mut rng)),
+            7 => Expr::MulAdd(operand(&mut rng), operand(&mut rng), operand(&mut rng)),
+            // Predicated select — what the if-converter lowers branches
+            // to, so random programs exercise masked superwords too.
+            _ => {
+                let ops = CmpOp::all();
+                Expr::Select(
+                    ops[rng.gen_range(0..ops.len())],
+                    operand(&mut rng),
+                    operand(&mut rng),
+                    operand(&mut rng),
+                    operand(&mut rng),
+                )
+            }
         };
         let stmt = p.make_stmt(dest, expr);
         body.push(Item::Stmt(stmt));
@@ -222,6 +234,24 @@ mod tests {
         assert_eq!(blocks[0].loops.len(), 2);
         assert_eq!(blocks[0].loops[0].upper, 4);
         p.validate().expect("nested generation stays valid");
+    }
+
+    #[test]
+    fn selects_appear_across_seeds() {
+        // The branchy arm must actually fire so downstream fuzzers and
+        // property tests see masked superwords, not just straight-line math.
+        let c = GeneratorConfig::default();
+        let hits = (0..20)
+            .filter(|&seed| {
+                let p = random_program(seed, &c);
+                p.blocks().iter().any(|info| {
+                    info.block
+                        .iter()
+                        .any(|s| matches!(s.expr(), Expr::Select(..)))
+                })
+            })
+            .count();
+        assert!(hits >= 10, "only {hits}/20 seeds produced a select");
     }
 
     #[test]

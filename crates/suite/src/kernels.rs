@@ -512,6 +512,100 @@ pub fn kernel(name: &str, scale: usize) -> slp_ir::Program {
         .unwrap_or_else(|e| panic!("benchmark '{name}' failed to compile: {e}"))
 }
 
+/// Names of the branchy kernels, in presentation order.
+///
+/// These are separate from the Table 3 [`catalog`]: they exist to
+/// exercise the if-conversion path (`if`/`else` flattened into
+/// predicated `select` superwords) end to end, and are gated by their
+/// own differential and prove tests.
+pub fn branchy_catalog() -> Vec<&'static str> {
+    vec!["abs", "clamp", "threshold", "masked_stencil"]
+}
+
+/// The source of branchy kernel `name` at problem scale `scale`.
+///
+/// # Panics
+///
+/// Panics if `name` is not in [`branchy_catalog`] or `scale` is zero.
+pub fn branchy_source(name: &str, scale: usize) -> String {
+    assert!(scale > 0, "scale must be positive");
+    let n = 64 * scale;
+    match name {
+        // Elementwise absolute value: the canonical single-sided branch.
+        "abs" => format!(
+            "kernel abs {{
+                const N = {n};
+                array A: f64[N]; array B: f64[N];
+                for i in 0..N {{
+                    if A[i] < 0.0 {{
+                        B[i] = neg(A[i]);
+                    }} else {{
+                        B[i] = A[i];
+                    }}
+                }}
+            }}"
+        ),
+        // Clamp to [0, 1]: a two-deep else-if chain, the shape that
+        // defeats basic-block SLP without if-conversion.
+        "clamp" => format!(
+            "kernel clamp {{
+                const N = {n};
+                array X: f64[N]; array Y: f64[N];
+                for i in 0..N {{
+                    if X[i] < 0.0 {{
+                        Y[i] = 0.0;
+                    }} else if X[i] > 1.0 {{
+                        Y[i] = 1.0;
+                    }} else {{
+                        Y[i] = X[i];
+                    }}
+                }}
+            }}"
+        ),
+        // Binary threshold: both branches store to the same cell, so the
+        // merged selects carry mutually exclusive predicates.
+        "threshold" => format!(
+            "kernel threshold {{
+                const N = {n};
+                array S: f64[N]; array T: f64[N];
+                for i in 0..N {{
+                    if S[i] >= 0.5 {{
+                        T[i] = 1.0;
+                    }} else {{
+                        T[i] = 0.0;
+                    }}
+                }}
+            }}"
+        ),
+        // Masked 3-point stencil: the update only fires where the mask
+        // is set; the stencil body itself becomes an unconditional
+        // temporary feeding a predicated blend.
+        "masked_stencil" => format!(
+            "kernel masked_stencil {{
+                const N = {n};
+                array M: f64[N+2]; array U: f64[N+2]; array V: f64[N+2];
+                for i in 0..N {{
+                    if M[i] != 0.0 {{
+                        V[i+1] = U[i] + U[i+2];
+                    }}
+                }}
+            }}"
+        ),
+        other => panic!("unknown branchy kernel '{other}'"),
+    }
+}
+
+/// Parses and lowers branchy kernel `name` at `scale` (if-conversion
+/// happens during lowering).
+///
+/// # Panics
+///
+/// Panics if the kernel is unknown or fails to compile.
+pub fn branchy_kernel(name: &str, scale: usize) -> slp_ir::Program {
+    slp_lang::compile(&branchy_source(name, scale))
+        .unwrap_or_else(|e| panic!("branchy kernel '{name}' failed to compile: {e}"))
+}
+
 /// Every benchmark with its program, in catalog order.
 pub fn all(scale: usize) -> Vec<(BenchmarkSpec, slp_ir::Program)> {
     catalog()

@@ -27,4 +27,7 @@ mod generator;
 mod kernels;
 
 pub use generator::{corpus, random_program, GeneratorConfig};
-pub use kernels::{all, catalog, kernel, nas, source, spec_of, BenchmarkSpec, SuiteKind};
+pub use kernels::{
+    all, branchy_catalog, branchy_kernel, branchy_source, catalog, kernel, nas, source, spec_of,
+    BenchmarkSpec, SuiteKind,
+};

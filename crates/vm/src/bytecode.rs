@@ -493,6 +493,7 @@ fn arity(shape: ExprShape) -> usize {
         ExprShape::Copy | ExprShape::Unary(_) => 1,
         ExprShape::Binary(_) => 2,
         ExprShape::MulAdd => 3,
+        ExprShape::Select(_) => 4,
     }
 }
 
@@ -670,9 +671,9 @@ impl<'a> Translator<'a> {
             let op = match inst {
                 VInst::Scalar { stmt, .. } => {
                     let operands = stmt.expr().operands();
-                    if operands.len() > 3 {
+                    if operands.len() > 4 {
                         return Err(ExecError::malformed(format!(
-                            "statement {} has {} operands (max 3)",
+                            "statement {} has {} operands (max 4)",
                             stmt.id(),
                             operands.len()
                         )));
@@ -1261,13 +1262,23 @@ impl<'a> Vm<'a> {
                     self.regs[d + k] = self.regs[a + k] + self.regs[b + k] * self.regs[c + k];
                 }
             }
+            ExprShape::Select(op) => {
+                let (a, b, t, e) = (s[0] as usize, s[1] as usize, s[2] as usize, s[3] as usize);
+                for k in 0..w {
+                    self.regs[d + k] = if op.apply(self.regs[a + k], self.regs[b + k]) {
+                        self.regs[t + k]
+                    } else {
+                        self.regs[e + k]
+                    };
+                }
+            }
         }
     }
 
     fn exec_scalar(&mut self, shape: ExprShape, args: Range, dest: RDest) -> Result<(), ExecError> {
         let bc = self.bc;
         let a = &bc.args[args.0 as usize..args.1 as usize];
-        let mut vals = [0.0f64; 3];
+        let mut vals = [0.0f64; 4];
         for (i, arg) in a.iter().enumerate() {
             vals[i] = match *arg {
                 RArg::Const(c) => c,

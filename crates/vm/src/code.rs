@@ -482,6 +482,15 @@ impl fmt::Display for VInst {
                         slp_ir::BinOp::Max => "vmax",
                     },
                     ExprShape::MulAdd => "vfma",
+                    // Compare-to-mask + blend, printed as one superword op.
+                    ExprShape::Select(op) => match op {
+                        slp_ir::CmpOp::Lt => "vsellt",
+                        slp_ir::CmpOp::Le => "vselle",
+                        slp_ir::CmpOp::Gt => "vselgt",
+                        slp_ir::CmpOp::Ge => "vselge",
+                        slp_ir::CmpOp::Eq => "vseleq",
+                        slp_ir::CmpOp::Ne => "vselne",
+                    },
                 };
                 let ss: Vec<String> = srcs.iter().map(|s| s.to_string()).collect();
                 write!(f, "{name:<7} {dst}, {}", ss.join(", "))

@@ -548,6 +548,13 @@ pub fn apply_shape(shape: ExprShape, vals: &[f64]) -> f64 {
             BinOp::Max => vals[0].max(vals[1]),
         },
         ExprShape::MulAdd => vals[0] + vals[1] * vals[2],
+        ExprShape::Select(op) => {
+            if op.apply(vals[0], vals[1]) {
+                vals[2]
+            } else {
+                vals[3]
+            }
+        }
     }
 }
 
@@ -659,6 +666,15 @@ mod tests {
         assert_eq!(t(ExprShape::Binary(BinOp::Sub), &[5.0, 3.0]), 2.0);
         assert_eq!(t(ExprShape::Binary(BinOp::Max), &[5.0, 3.0]), 5.0);
         assert_eq!(t(ExprShape::MulAdd, &[1.0, 2.0, 3.0]), 7.0);
+        use slp_ir::CmpOp;
+        assert_eq!(t(ExprShape::Select(CmpOp::Lt), &[1.0, 2.0, 8.0, 9.0]), 8.0);
+        assert_eq!(t(ExprShape::Select(CmpOp::Lt), &[2.0, 2.0, 8.0, 9.0]), 9.0);
+        assert_eq!(t(ExprShape::Select(CmpOp::Ne), &[2.0, 2.0, 8.0, 9.0]), 9.0);
+        // NaN condition: ordered comparisons fall through to the else arm.
+        assert_eq!(
+            t(ExprShape::Select(CmpOp::Ge), &[f64::NAN, 0.0, 8.0, 9.0]),
+            9.0
+        );
     }
 
     #[test]
