@@ -54,27 +54,38 @@ fn gcd_i128(a: i128, b: i128) -> i128 {
         b = t;
     }
     // The magnitude of any i128 gcd argument is at most 2^127, which only
-    // fails to convert back for |i128::MIN|; clamp keeps that case sound.
-    i128::try_from(a).unwrap_or(i128::MAX)
+    // fails to convert back for |i128::MIN|. The result is used as a
+    // stride, so the sound degradation is 1 (the dense hull) — a large
+    // substitute like i128::MAX would not divide the true gcd and could
+    // drop members from a join.
+    i128::try_from(a).unwrap_or(1)
 }
 
 impl StridedInterval {
     /// Canonicalizes `⟨lo, hi, stride⟩`; `lo` must not exceed `hi`.
+    ///
+    /// Total over all of `i128`: the endpoint snap works through
+    /// `rem_euclid` residues rather than the span `hi - lo`, which
+    /// overflows for intervals touching `i128::MIN` — those keep their
+    /// congruence instead of degrading to the stride-1 hull.
     fn canonical(lo: i128, hi: i128, stride: i128) -> Self {
         debug_assert!(lo <= hi, "inverted interval {lo}..{hi}");
         if lo == hi {
             return StridedInterval { lo, hi, stride: 0 };
         }
-        let stride = if stride <= 0 { 1 } else { stride };
+        let stride = stride.max(1);
         if stride == 1 {
             return StridedInterval { lo, hi, stride };
         }
-        // Pull `hi` down to the last lattice point so it is a member. A
-        // span too wide for i128 degrades to the stride-1 hull (sound).
-        let Some(span) = hi.checked_sub(lo) else {
-            return StridedInterval { lo, hi, stride: 1 };
-        };
-        let hi = hi - span.rem_euclid(stride);
+        // Pull `hi` down to the last lattice point so it is a member:
+        // the distance down to `hi ≡ lo (mod stride)` is the residue
+        // difference. Both residues live in `[0, stride)`, so neither
+        // the subtraction nor the final snap can overflow.
+        let down = (hi.rem_euclid(stride) - lo.rem_euclid(stride)).rem_euclid(stride);
+        let hi = hi - down;
+        if lo == hi {
+            return StridedInterval { lo, hi, stride: 0 };
+        }
         StridedInterval { lo, hi, stride }
     }
 
@@ -88,13 +99,35 @@ impl StridedInterval {
     }
 
     /// The set `{lo, lo + stride, …} ∩ [lo, hi]` (e.g. the values of a
-    /// loop induction variable).
+    /// loop induction variable). A negative stride denotes the mirrored
+    /// descending sequence `{hi, hi − |stride|, …} ∩ [lo, hi]` — the
+    /// anchor endpoint is `hi`, so canonicalization pulls `lo` *up*
+    /// instead of collapsing to the dense hull. A zero stride over a
+    /// non-singleton range means the dense interval.
     ///
     /// # Panics
     ///
     /// Panics in debug builds if `lo > hi`.
     pub fn range(lo: i64, hi: i64, stride: i64) -> Self {
-        Self::canonical(lo as i128, hi as i128, stride as i128)
+        let (lo, hi) = (lo as i128, hi as i128);
+        if stride >= 0 {
+            return Self::canonical(lo, hi, stride as i128);
+        }
+        debug_assert!(lo <= hi, "inverted interval {lo}..{hi}");
+        if lo == hi {
+            return StridedInterval { lo, hi, stride: 0 };
+        }
+        // `-(stride as i128)` is exact even for i64::MIN.
+        let stride = -(stride as i128);
+        if stride == 1 {
+            return StridedInterval { lo, hi, stride };
+        }
+        let up = (hi.rem_euclid(stride) - lo.rem_euclid(stride)).rem_euclid(stride);
+        let lo = lo + up;
+        if lo == hi {
+            return StridedInterval { lo, hi, stride: 0 };
+        }
+        StridedInterval { lo, hi, stride }
     }
 
     /// The unconstrained element: all integers.
@@ -275,6 +308,66 @@ mod tests {
         // Same-base join keeps the common stride.
         let k = a.join(&StridedInterval::range(0, 18, 6));
         assert_eq!(k.stride(), 6);
+    }
+
+    #[test]
+    fn negative_stride_enumerates_descending_from_hi() {
+        // step −4 from 10 down: {10, 6, 2} — anchored at hi, lo pulled up.
+        let s = StridedInterval::range(0, 10, -4);
+        assert_eq!((s.lo(), s.hi(), s.stride()), (2, 10, 4));
+        assert!(s.contains(6));
+        assert!(!s.contains(0));
+        assert!(!s.contains(4));
+        // Descending unit stride is the dense interval.
+        let d = StridedInterval::range(-3, 3, -1);
+        assert_eq!((d.lo(), d.hi(), d.stride()), (-3, 3, 1));
+        // i64::MIN stride must not overflow on negation.
+        let m = StridedInterval::range(0, 5, i64::MIN);
+        assert_eq!((m.lo(), m.hi(), m.stride()), (5, 5, 0));
+        assert_eq!(
+            StridedInterval::range(7, 7, -3),
+            StridedInterval::constant(7)
+        );
+    }
+
+    /// The exact singleton `{i128::MIN}`, built through checked public ops:
+    /// `(−2^63)(2^63 − 1) − 2^63 = −2^126`, then doubled by `add`.
+    fn min_singleton() -> StridedInterval {
+        let m = StridedInterval::constant(i64::MIN)
+            .scale(i64::MAX)
+            .add(&StridedInterval::constant(i64::MIN));
+        assert_eq!((m.lo(), m.hi()), (-(1i128 << 126), -(1i128 << 126)));
+        let m = m.add(&m);
+        assert_eq!((m.lo(), m.hi(), m.stride()), (i128::MIN, i128::MIN, 0));
+        m
+    }
+
+    #[test]
+    fn lo_at_i128_min_canonicalizes_without_overflow() {
+        // join({i128::MIN}, {0, 2^62}) = ⟨i128::MIN, 2^62, 2^62⟩: the span
+        // 2^127 + 2^62 overflows i128, so the old span-based snap degraded
+        // this to the stride-1 hull; the residue snap keeps the congruence.
+        let y = StridedInterval::range(0, i64::MAX, 1 << 62);
+        assert_eq!((y.lo(), y.hi(), y.stride()), (0, 1 << 62, 1 << 62));
+        let s = min_singleton().join(&y);
+        assert_eq!(s.lo(), i128::MIN, "endpoint reaches i128::MIN exactly");
+        assert_eq!(s.hi(), 1i128 << 62);
+        assert_eq!(s.stride(), 1i128 << 62, "congruence survives the wide span");
+        assert!(!s.is_top());
+        assert!(s.contains(0));
+        assert!(!s.contains(1));
+        assert!(!s.contains(3));
+    }
+
+    #[test]
+    fn join_at_extreme_distance_stays_sound() {
+        // The base distance of join({i128::MIN}, {0}) is |i128::MIN| =
+        // 2^127, whose gcd is unrepresentable; it must degrade to the
+        // dense hull (stride 1), never to a stride that loses members.
+        let j = min_singleton().join(&StridedInterval::constant(0));
+        assert_eq!((j.lo(), j.hi(), j.stride()), (i128::MIN, 0, 1));
+        assert!(j.contains(0), "member of the right operand survives");
+        assert!(j.contains(-5), "dense hull");
     }
 
     #[test]

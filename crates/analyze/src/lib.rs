@@ -20,9 +20,15 @@
 //!   dependences the constant/GCD baseline cannot, with a telemetry
 //!   counter of refinements ([`oracle`]);
 //! * [`lint_program`] — whole-program safety lints: use-before-def,
-//!   dead stores, provably out-of-bounds subscripts, and misalignment
-//!   risks for pack candidates ([`lint`]); `slp-verify` surfaces these
-//!   as diagnostics V500–V503.
+//!   dead stores (same-iteration and whole-program), provably
+//!   out-of-bounds subscripts, and misalignment risks for pack
+//!   candidates ([`lint`]); `slp-verify` surfaces these as diagnostics
+//!   V500–V504 and V507;
+//! * [`SafetyCert`] — per-access memory-safety certificates: every
+//!   array access classified `ProvenSafe` / `ProvenFaulting` /
+//!   `Unknown` against its declared extents ([`safety`]); `slp-verify`
+//!   reports these as V505/V506, and the bytecode engine elides bounds
+//!   checks for certified accesses.
 //!
 //! # Examples
 //!
@@ -64,9 +70,11 @@ pub mod domain;
 pub mod lint;
 pub mod oracle;
 pub mod ranges;
+pub mod safety;
 
 pub use defuse::{ArrayAccess, DefUse};
 pub use domain::StridedInterval;
 pub use lint::{lint_program, Finding, FindingKind};
 pub use oracle::RangeOracle;
 pub use ranges::{eval_affine, loop_env, render_scalar_ranges, FloatInterval, ScalarRanges};
+pub use safety::{AccessCert, AccessVerdict, SafetyCert};

@@ -1,7 +1,7 @@
 //! Whole-program safety lints (the analyses behind the V5xx codes).
 //!
-//! Five findings, computed purely over `slp-ir` (the `slp-verify` crate
-//! maps them onto its diagnostic framework as V500–V504):
+//! Six findings, computed purely over `slp-ir` (the `slp-verify` crate
+//! maps them onto its diagnostic framework as V500–V504 and V507):
 //!
 //! * **use-before-def** — a scalar is read strictly before its first
 //!   write, so the first pass observes the runtime input seed;
@@ -18,20 +18,24 @@
 //!   so vectorizing it costs an unaligned (or scalar-decomposed) store;
 //! * **loop never executes** — constant bounds prove a zero trip count,
 //!   so the loop body is dead code (and silently escapes every other
-//!   lint, the vectorizer, and the VM).
+//!   lint, the vectorizer, and the VM);
+//! * **dead array store** — the program never reads the array, and a
+//!   later write's exact strided value set covers every cell the store
+//!   touches, so no stored value survives to the kernel outputs.
 //!
 //! The lints are deliberately biased to silence: each rule only fires on
 //! program shapes where the verdict is exact, so a lint-clean report on
 //! the curated kernels stays meaningful.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 use slp_ir::{
     pack_is_aligned_in, pack_is_contiguous, refs_overlap_in, ArrayRef, BlockInfo, Dest, Item,
     LoopVarId, Operand, Program, Statement, StmtId,
 };
 
-use crate::defuse::DefUse;
+use crate::defuse::{ArrayAccess, DefUse};
+use crate::domain::StridedInterval;
 use crate::ranges::{eval_affine, loop_env};
 
 /// The kind of a lint finding (maps to V500–V503 in `slp-verify`).
@@ -47,6 +51,9 @@ pub enum FindingKind {
     MisalignmentRisk,
     /// A loop whose bounds prove it never executes (V504).
     LoopNeverExecutes,
+    /// An array store whose cells are never read and provably all
+    /// overwritten before the program ends (V507).
+    DeadArrayStore,
 }
 
 /// One lint finding, anchored to a statement.
@@ -82,6 +89,7 @@ pub fn lint_program(program: &Program) -> Vec<Finding> {
     let mut findings = Vec::new();
     lint_use_before_def(program, &du, &mut findings);
     lint_dead_stores(program, &du, &mut findings);
+    lint_dead_array_stores(program, &du, &mut findings);
     lint_out_of_bounds(program, &mut findings);
     lint_misalignment(program, &mut findings);
     lint_dead_loops(program, &mut findings);
@@ -277,6 +285,100 @@ fn array_dead_stores(
                     });
                     break;
                 }
+            }
+        }
+    }
+}
+
+// ---- V507: whole-program dead array stores -------------------------------
+
+/// Flags stores to arrays the program never reads whose value set is
+/// provably covered by a later write — nothing the store writes survives
+/// to the kernel outputs, so the store (often a forgotten initialization
+/// pass) is pure wasted work.
+///
+/// Biased to silence, firing only where the verdict is exact:
+///
+/// * the array has no read access anywhere in the program (otherwise
+///   liveness depends on interleaving the loop structure hides);
+/// * the array is rank 1 with exactly evaluable subscripts;
+/// * both the store's and the killer's blocks are *linear* — top-level
+///   straight-line code or the sole block of a top-level loop — so flat
+///   statement order is execution order and the killer's writes all
+///   execute after the store's;
+/// * the killer is in a strictly later block: same-block coverage can
+///   overwrite a cell *before* the store's own iteration reaches it,
+///   and is V501's must-alias territory instead.
+fn lint_dead_array_stores(program: &Program, du: &DefUse, out: &mut Vec<Finding>) {
+    // Exact strided coverage: every member of `inner` is a member of
+    // `outer` (bounds nested, bases congruent, stride divisible).
+    fn covers(outer: &StridedInterval, inner: &StridedInterval) -> bool {
+        if inner.lo() < outer.lo() || inner.hi() > outer.hi() {
+            return false;
+        }
+        let s = outer.stride();
+        if s <= 1 {
+            return true; // dense interval or singleton with equal bounds
+        }
+        inner.lo().rem_euclid(s) == outer.lo().rem_euclid(s) && inner.stride().rem_euclid(s) == 0
+    }
+
+    let blocks = program.blocks();
+    let mut home: HashMap<StmtId, usize> = HashMap::new();
+    for (idx, info) in blocks.iter().enumerate() {
+        for s in info.block.iter() {
+            home.insert(s.id(), idx);
+        }
+    }
+    // Per block: linear shape, loop environment, cached subscript eval.
+    let linear: Vec<bool> = blocks
+        .iter()
+        .map(|info| !matches!(classify(program, info), BlockShape::Complex))
+        .collect();
+    let envs: Vec<_> = blocks.iter().map(|info| loop_env(&info.loops)).collect();
+    let value_set = |acc: &ArrayAccess| -> Option<StridedInterval> {
+        let idx = *home.get(&acc.stmt)?;
+        if !linear[idx] {
+            return None;
+        }
+        let env = envs[idx].as_ref()?; // dead loops are V504's report
+        let si = eval_affine(&acc.reference.access.dims()[0], env)?;
+        if si.is_top() {
+            return None;
+        }
+        Some(si)
+    };
+
+    for a in program.array_ids() {
+        if program.array(a).dims.len() != 1 {
+            continue;
+        }
+        let accs = du.array_accesses(a);
+        if accs.iter().any(|x| !x.is_write) {
+            continue; // the array is read somewhere: out of scope
+        }
+        for w in accs {
+            let Some(sw) = value_set(w) else { continue };
+            let Some(w_ord) = du.order_of(w.stmt) else {
+                continue;
+            };
+            let killer = accs.iter().find(|x| {
+                home.get(&x.stmt) != home.get(&w.stmt)
+                    && du.order_of(x.stmt) > Some(w_ord)
+                    && value_set(x).is_some_and(|sx| covers(&sx, &sw))
+            });
+            if let Some(x) = killer {
+                out.push(Finding {
+                    kind: FindingKind::DeadArrayStore,
+                    stmt: w.stmt,
+                    message: format!(
+                        "store to '{}' by {} is never read and fully overwritten by {}; \
+                         nothing it writes survives to the kernel outputs",
+                        program.array(a).name,
+                        w.stmt,
+                        x.stmt
+                    ),
+                });
             }
         }
     }
@@ -610,6 +712,118 @@ mod tests {
                 .iter()
                 .all(|f| f.kind != FindingKind::DeadStore),
             "intervening read keeps the store live"
+        );
+    }
+
+    #[test]
+    fn dead_array_store_across_sibling_loops() {
+        // for i { A[i] = 1.0 }; for i { A[i] = B[i] }: A is never read and
+        // the second sweep overwrites every cell — the first is dead.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![16], false);
+        let b = p.add_array("B", ScalarType::F64, vec![16], true);
+        let i = p.add_loop_var("i");
+        let j = p.add_loop_var("j");
+        let ra = |v| ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(v)]));
+        let rb = ArrayRef::new(b, AccessVector::new(vec![AffineExpr::var(j)]));
+        let s0 = p.make_stmt(ra(i).into(), Expr::Copy(1.0.into()));
+        let dead = s0.id();
+        simple_loop(&mut p, i, 16, vec![s0]);
+        let s1 = p.make_stmt(ra(j).into(), Expr::Copy(rb.into()));
+        simple_loop(&mut p, j, 16, vec![s1]);
+        let f = lint_program(&p);
+        assert_eq!(kinds(&f), vec![FindingKind::DeadArrayStore]);
+        assert_eq!(f[0].stmt, dead);
+        assert!(f[0].message.contains("'A'"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn partially_overwritten_store_stays_live() {
+        // The second sweep only covers half the cells: the rest are
+        // kernel outputs, so the first store is live.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![16], false);
+        let i = p.add_loop_var("i");
+        let j = p.add_loop_var("j");
+        let s0 = p.make_stmt(
+            ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)])).into(),
+            Expr::Copy(1.0.into()),
+        );
+        simple_loop(&mut p, i, 16, vec![s0]);
+        let s1 = p.make_stmt(
+            ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(j)])).into(),
+            Expr::Copy(2.0.into()),
+        );
+        simple_loop(&mut p, j, 8, vec![s1]);
+        assert!(lint_program(&p).is_empty());
+    }
+
+    #[test]
+    fn read_anywhere_disables_the_whole_program_dead_store() {
+        // Same two sweeps, but a read between them keeps the first live.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", ScalarType::F64, vec![16], false);
+        let y = p.add_scalar("y", ScalarType::F64);
+        let i = p.add_loop_var("i");
+        let j = p.add_loop_var("j");
+        let s0 = p.make_stmt(
+            ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(i)])).into(),
+            Expr::Copy(1.0.into()),
+        );
+        simple_loop(&mut p, i, 16, vec![s0]);
+        p.push_stmt(
+            y.into(),
+            Expr::Copy(
+                ArrayRef::new(a, AccessVector::new(vec![AffineExpr::constant_expr(3)])).into(),
+            ),
+        );
+        let s1 = p.make_stmt(
+            ArrayRef::new(a, AccessVector::new(vec![AffineExpr::var(j)])).into(),
+            Expr::Copy(2.0.into()),
+        );
+        simple_loop(&mut p, j, 16, vec![s1]);
+        assert!(
+            lint_program(&p)
+                .iter()
+                .all(|f| f.kind != FindingKind::DeadArrayStore),
+            "a read anywhere keeps every store live"
+        );
+    }
+
+    #[test]
+    fn strided_coverage_is_exact_both_ways() {
+        // A[2i] killed by a dense A[j] sweep: covered. The mirrored case
+        // (dense store, strided killer) leaves odd cells live.
+        let build = |first_scale: i64, second_scale: i64, first_trips: i64, second_trips: i64| {
+            let mut p = Program::new("t");
+            let a = p.add_array("A", ScalarType::F64, vec![16], false);
+            let i = p.add_loop_var("i");
+            let j = p.add_loop_var("j");
+            let s0 = p.make_stmt(
+                ArrayRef::new(
+                    a,
+                    AccessVector::new(vec![AffineExpr::var(i).scaled(first_scale)]),
+                )
+                .into(),
+                Expr::Copy(1.0.into()),
+            );
+            simple_loop(&mut p, i, first_trips, vec![s0]);
+            let s1 = p.make_stmt(
+                ArrayRef::new(
+                    a,
+                    AccessVector::new(vec![AffineExpr::var(j).scaled(second_scale)]),
+                )
+                .into(),
+                Expr::Copy(2.0.into()),
+            );
+            simple_loop(&mut p, j, second_trips, vec![s1]);
+            lint_program(&p)
+        };
+        let f = build(2, 1, 8, 16);
+        assert_eq!(kinds(&f), vec![FindingKind::DeadArrayStore]);
+        assert!(
+            build(1, 2, 16, 8).is_empty(),
+            "strided killer misses odd cells"
         );
     }
 

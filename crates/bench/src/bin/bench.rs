@@ -8,10 +8,15 @@
 //!
 //! `vm-throughput` executes the sixteen-kernel suite under four schemes
 //! (scalar / SLP / Global / Global+Layout) on both simulated machines
-//! with *both* execution engines — the fast bytecode engine behind
-//! `slp::prelude::execute` and the tree-walking reference interpreter — and
-//! reports the suite execution throughput of each (kernel runs per
-//! second and simulated instructions per second of real wall time).
+//! with *three* engine configurations — the bytecode engine with
+//! certificate-proven bounds checks elided (the one behind
+//! `slp::prelude::execute`), the same engine fully checked, and the
+//! tree-walking reference interpreter — and reports the suite execution
+//! throughput of each (kernel runs per second and simulated
+//! instructions per second of real wall time). The certified-vs-checked
+//! pair isolates what the memory-safety certificates buy at execution
+//! time; a **check-elision gate** first proves the two lowerings
+//! bit-identical on every configuration.
 //!
 //! Before anything is timed, every configuration passes the
 //! **differential gate**: the two engines must agree bit for bit on the
@@ -64,14 +69,18 @@ use slp::vm::execute_reference;
 use slp_bench::Scheme;
 
 /// One compiled configuration: a suite kernel under one scheme on one
-/// machine, with its bytecode lowering prebuilt (translation is paid
+/// machine, with its bytecode lowerings prebuilt (translation is paid
 /// once and amortized across runs, which is the engine's intended use).
+/// `bytecode` elides the bounds checks of certificate-proven accesses;
+/// `bytecode_checked` keeps every check — the pair isolates what the
+/// memory-safety certificates buy at execution time.
 struct Case {
     kernel: &'static str,
     scheme: Scheme,
     machine: MachineConfig,
     compiled: CompiledKernel,
     bytecode: BytecodeKernel,
+    bytecode_checked: BytecodeKernel,
 }
 
 fn usage() -> ExitCode {
@@ -554,12 +563,15 @@ fn vm_throughput(args: &[String]) -> ExitCode {
         let compiled = compile(program, &scheme.config(machine));
         let bytecode = BytecodeKernel::compile(&compiled, machine, true)
             .unwrap_or_else(|e| panic!("{kernel} under {scheme:?} failed to lower: {e}"));
+        let bytecode_checked = BytecodeKernel::compile_checked(&compiled, machine, true)
+            .unwrap_or_else(|e| panic!("{kernel} under {scheme:?} failed to lower checked: {e}"));
         Case {
             kernel,
             scheme,
             machine: machine.clone(),
             compiled,
             bytecode,
+            bytecode_checked,
         }
     });
     eprintln!(
@@ -609,6 +621,50 @@ fn vm_throughput(args: &[String]) -> ExitCode {
         }
     }
 
+    // The check-elision gate: the certificate-elided lowering must be
+    // bit-identical (memory image and every counter) to the fully
+    // checked one — elision may only remove compares, never change a
+    // result. Also tallies how many accesses actually dropped checks.
+    let mut elided_accesses = 0usize;
+    let mut total_accesses = 0usize;
+    let elision_failures: Vec<String> = parallel_map(&cases, 0, |_, case| {
+        let fast = case.bytecode.run().expect("gated run");
+        let checked = case.bytecode_checked.run().expect("gated run");
+        if fast.state.bitwise_eq(&checked.state) && fast.stats == checked.stats {
+            None
+        } else {
+            Some(format!(
+                "{} / {} / {}: certified lowering diverges from the checked one",
+                case.kernel,
+                case.scheme.label(),
+                case.machine.name
+            ))
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    for case in &cases {
+        let (unchecked, total) = case.bytecode.unchecked_accesses();
+        elided_accesses += unchecked;
+        total_accesses += total;
+    }
+    let elision_ok = elision_failures.is_empty();
+    if elision_ok {
+        eprintln!(
+            "check-elision gate: bit-identical; {elided_accesses}/{total_accesses} accesses \
+             certificate-elided"
+        );
+    } else {
+        eprintln!(
+            "check-elision gate FAILED on {} configuration(s):",
+            elision_failures.len()
+        );
+        for f in &elision_failures {
+            eprintln!("{f}");
+        }
+    }
+
     // Serial timing: the whole suite, `reps` times, per engine. The
     // simulated-instruction total is identical for both engines (the
     // gate proved it), so both throughputs share one denominator.
@@ -636,6 +692,15 @@ fn vm_throughput(args: &[String]) -> ExitCode {
     let start = Instant::now();
     for _ in 0..reps {
         for case in &cases {
+            let outcome = case.bytecode_checked.run().expect("gated run");
+            std::hint::black_box(&outcome);
+        }
+    }
+    let checked_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    for _ in 0..reps {
+        for case in &cases {
             let outcome = execute_reference(&case.compiled, &case.machine).expect("gated run");
             std::hint::black_box(&outcome);
         }
@@ -645,17 +710,25 @@ fn vm_throughput(args: &[String]) -> ExitCode {
     let runs = (cases.len() * reps) as f64;
     let insts = total_insts as f64 * reps as f64;
     let speedup = reference_secs / fast_secs;
+    let elision_speedup = checked_secs / fast_secs;
     eprintln!(
-        "bytecode engine:  {:>10.1} kernel runs/s, {:>12.3e} simulated insts/s ({fast_secs:.3}s wall)",
+        "bytecode (certified): {:>10.1} kernel runs/s, {:>12.3e} simulated insts/s ({fast_secs:.3}s wall)",
         runs / fast_secs,
         insts / fast_secs
     );
     eprintln!(
-        "reference engine: {:>10.1} kernel runs/s, {:>12.3e} simulated insts/s ({reference_secs:.3}s wall)",
+        "bytecode (checked):   {:>10.1} kernel runs/s, {:>12.3e} simulated insts/s ({checked_secs:.3}s wall)",
+        runs / checked_secs,
+        insts / checked_secs
+    );
+    eprintln!(
+        "reference engine:     {:>10.1} kernel runs/s, {:>12.3e} simulated insts/s ({reference_secs:.3}s wall)",
         runs / reference_secs,
         insts / reference_secs
     );
-    eprintln!("speedup: {speedup:.2}x");
+    eprintln!(
+        "speedup over reference: {speedup:.2}x; over checked bytecode: {elision_speedup:.2}x"
+    );
 
     let engine = |secs: f64| {
         Json::obj([
@@ -681,8 +754,15 @@ fn vm_throughput(args: &[String]) -> ExitCode {
         ("total_kernel_runs", Json::num(runs as u64)),
         ("total_simulated_instructions", Json::num(insts as u64)),
         ("bytecode_engine", engine(fast_secs)),
+        ("bytecode_engine_checked", engine(checked_secs)),
         ("reference_engine", engine(reference_secs)),
         ("speedup", Json::float(speedup)),
+        ("check_elision_speedup", Json::float(elision_speedup)),
+        (
+            "accesses_certificate_elided",
+            Json::num(elided_accesses as u64),
+        ),
+        ("accesses_total", Json::num(total_accesses as u64)),
         (
             "gate",
             Json::str(if gate_ok { "bit-identical" } else { "failed" }),
@@ -691,6 +771,18 @@ fn vm_throughput(args: &[String]) -> ExitCode {
             "gate_failures",
             Json::Arr(gate_failures.iter().map(Json::str).collect()),
         ),
+        (
+            "elision_gate",
+            Json::str(if elision_ok {
+                "bit-identical"
+            } else {
+                "failed"
+            }),
+        ),
+        (
+            "elision_gate_failures",
+            Json::Arr(elision_failures.iter().map(Json::str).collect()),
+        ),
     ]);
     if let Err(e) = std::fs::write(&out, report.to_pretty() + "\n") {
         eprintln!("cannot write {out}: {e}");
@@ -698,7 +790,7 @@ fn vm_throughput(args: &[String]) -> ExitCode {
     }
     eprintln!("wrote {out}");
 
-    if gate_ok {
+    if gate_ok && elision_ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

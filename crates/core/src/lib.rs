@@ -36,6 +36,10 @@ pub use telemetry::{Phase, PhaseTimings};
 // surface; re-export its type so config-building crates (slp-driver)
 // need not depend on slp-analysis directly.
 pub use slp_analysis::WeightParams;
+// `CompiledKernel::safety` likewise: consumers of compiled kernels
+// (slp-vm's check elision, slp-driver's codec, slp-serve's admission
+// gate) can name the certificate types without a slp-analyze edge.
+pub use slp_analyze::{AccessCert, AccessVerdict, SafetyCert};
 pub use superword::{
     validate_schedule, BlockSchedule, ScheduledItem, SuperwordStmt, ValidityError,
 };

@@ -11,7 +11,7 @@ use slp_ir::{
 };
 
 use slp_analysis::WeightParams;
-use slp_analyze::RangeOracle;
+use slp_analyze::{RangeOracle, SafetyCert};
 
 use crate::baseline::{baseline_block, baseline_groups};
 use crate::cost::{estimate_schedule_cost, CostContext};
@@ -460,6 +460,15 @@ pub struct CompileStats {
     /// Whether any [`Strategy::Optimal`] block solve hit its anytime
     /// budget and degraded to the (still-valid) best-known packing.
     pub opt_degraded: bool,
+    /// Array accesses the safety certificate proved in bounds for every
+    /// iteration (candidates for unchecked bytecode execution).
+    pub accesses_proven_safe: usize,
+    /// Array accesses the certificate could not classify (executed with
+    /// full bounds checks).
+    pub accesses_unknown: usize,
+    /// Array accesses proven to fault on some attained iteration.
+    /// Non-zero means `slp-verify` reports a V505 error.
+    pub accesses_proven_faulting: usize,
 }
 
 /// The result of compiling one kernel.
@@ -476,6 +485,11 @@ pub struct CompiledKernel {
     pub replications: Vec<Replication>,
     /// Compilation statistics.
     pub stats: CompileStats,
+    /// Per-access memory-safety certificate over the *transformed*
+    /// program: the bytecode engine elides bounds checks for accesses
+    /// proven safe; `slp-verify` turns faulting/unknown verdicts into
+    /// V505/V506 diagnostics.
+    pub safety: SafetyCert,
     /// The configuration the kernel was compiled with.
     pub config: SlpConfig,
 }
@@ -725,6 +739,14 @@ fn compile_inner(
     stats.replications = replications.len();
     timings.add(Phase::Layout, layout_start.elapsed());
 
+    // Certify the final transformed program — replication rewrites and
+    // unrolling are already applied, so the certificate describes exactly
+    // the accesses the VM will execute.
+    let safety = timings.time(Phase::Safety, || SafetyCert::certify(&program));
+    stats.accesses_proven_safe = safety.proven_safe();
+    stats.accesses_unknown = safety.unknown();
+    stats.accesses_proven_faulting = safety.proven_faulting();
+
     CompiledKernel {
         program,
         schedules: schedules
@@ -734,6 +756,7 @@ fn compile_inner(
         scalar_layout,
         replications,
         stats,
+        safety,
         config: config.clone(),
     }
 }

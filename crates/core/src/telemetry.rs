@@ -41,19 +41,24 @@ pub enum Phase {
     Solve,
     /// The §5 data layout stage (scalar placement + array replication).
     Layout,
+    /// Memory-safety certification of the transformed program's array
+    /// accesses (the V505/V506 evidence and the bytecode engine's
+    /// license to elide bounds checks).
+    Safety,
     /// The post-compile verification hook, when installed.
     Verify,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 7] = [
+    pub const ALL: [Phase; 8] = [
         Phase::Unroll,
         Phase::Alignment,
         Phase::Grouping,
         Phase::Scheduling,
         Phase::Solve,
         Phase::Layout,
+        Phase::Safety,
         Phase::Verify,
     ];
 
@@ -66,6 +71,7 @@ impl Phase {
             Phase::Scheduling => "scheduling",
             Phase::Solve => "solve",
             Phase::Layout => "layout",
+            Phase::Safety => "safety",
             Phase::Verify => "verify",
         }
     }
@@ -78,7 +84,8 @@ impl Phase {
             Phase::Scheduling => 3,
             Phase::Solve => 4,
             Phase::Layout => 5,
-            Phase::Verify => 6,
+            Phase::Safety => 6,
+            Phase::Verify => 7,
         }
     }
 }
@@ -97,7 +104,7 @@ impl fmt::Display for Phase {
 /// corpus-wide totals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PhaseTimings {
-    nanos: [u64; 7],
+    nanos: [u64; 8],
 }
 
 impl PhaseTimings {
@@ -209,6 +216,7 @@ mod tests {
                 "scheduling",
                 "solve",
                 "layout",
+                "safety",
                 "verify"
             ]
         );

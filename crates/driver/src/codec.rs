@@ -22,9 +22,9 @@
 //! numbers).
 
 use slp_core::{
-    ArrayLayoutConfig, BlockSchedule, CompileStats, CompiledKernel, CostParams, MachineConfig,
-    Phase, PhaseTimings, ScalarLayout, ScheduleConfig, ScheduledItem, SlpConfig, Strategy,
-    SuperwordStmt, WeightParams,
+    AccessCert, AccessVerdict, ArrayLayoutConfig, BlockSchedule, CompileStats, CompiledKernel,
+    CostParams, MachineConfig, Phase, PhaseTimings, SafetyCert, ScalarLayout, ScheduleConfig,
+    ScheduledItem, SlpConfig, Strategy, SuperwordStmt, WeightParams,
 };
 use slp_ir::{
     AccessVector, AffineExpr, ArrayId, ArrayRef, BinOp, BlockId, CmpOp, Dest, Expr, Item, Loop,
@@ -38,8 +38,11 @@ use crate::json::Json;
 /// incompatible change so old cache files read as misses, not garbage.
 /// v4 added `Strategy::Optimal`, the solver budget fields in the config
 /// and the `opt_*` solver statistics. v5 added the `sel.*` predicated
-/// blend operators produced by if-conversion.
-pub const FORMAT_VERSION: u64 = 5;
+/// blend operators produced by if-conversion. v6 added the memory-safety
+/// certificate (`safety`) and the `accesses_*` verdict counters — a
+/// stale v5 kernel must not be served without a certificate, so v5
+/// payloads read as misses.
+pub const FORMAT_VERSION: u64 = 6;
 
 /// A decode failure: the payload was syntactically valid JSON but not a
 /// valid kernel encoding (truncated, corrupted, or a different format
@@ -738,10 +741,62 @@ pub fn encode_kernel(k: &CompiledKernel) -> Json {
                 ("opt_nodes", Json::num(k.stats.opt_nodes)),
                 ("opt_gap_ppm", Json::num(k.stats.opt_gap_ppm)),
                 ("opt_degraded", Json::Bool(k.stats.opt_degraded)),
+                (
+                    "accesses_proven_safe",
+                    Json::num(k.stats.accesses_proven_safe as u64),
+                ),
+                (
+                    "accesses_unknown",
+                    Json::num(k.stats.accesses_unknown as u64),
+                ),
+                (
+                    "accesses_proven_faulting",
+                    Json::num(k.stats.accesses_proven_faulting as u64),
+                ),
             ]),
         ),
+        ("safety", encode_safety(&k.safety)),
         ("config", encode_config(&k.config)),
     ])
+}
+
+fn encode_safety(cert: &SafetyCert) -> Json {
+    Json::Arr(
+        cert.accesses
+            .iter()
+            .map(|a| {
+                Json::obj([
+                    ("b", Json::num(u64::from(a.block.0))),
+                    ("s", Json::num(a.stmt.index() as u64)),
+                    ("r", encode_array_ref(&a.reference)),
+                    ("w", Json::Bool(a.is_write)),
+                    ("v", Json::str(a.verdict.name())),
+                    ("d", Json::str(&a.detail)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn decode_safety(v: &Json) -> Result<SafetyCert> {
+    let mut accesses = Vec::new();
+    for a in v
+        .array()
+        .ok_or_else(|| CodecError("safety cert not an array".into()))?
+    {
+        let verdict = req_str(a, "v")?;
+        let verdict = AccessVerdict::from_name(verdict)
+            .ok_or_else(|| CodecError(format!("unknown access verdict '{verdict}'")))?;
+        accesses.push(AccessCert {
+            block: BlockId(req_u32(a, "b")?),
+            stmt: StmtId::new(req_u32(a, "s")?),
+            reference: decode_array_ref(req(a, "r")?)?,
+            is_write: req_bool(a, "w")?,
+            verdict,
+            detail: req_str(a, "d")?.to_string(),
+        });
+    }
+    Ok(SafetyCert { accesses })
 }
 
 /// Decodes a kernel encoded by [`encode_kernel`].
@@ -797,7 +852,11 @@ pub fn decode_kernel(v: &Json) -> Result<CompiledKernel> {
         opt_nodes: req_u64(st, "opt_nodes")?,
         opt_gap_ppm: req_u64(st, "opt_gap_ppm")?,
         opt_degraded: req_bool(st, "opt_degraded")?,
+        accesses_proven_safe: req_u64(st, "accesses_proven_safe")? as usize,
+        accesses_unknown: req_u64(st, "accesses_unknown")? as usize,
+        accesses_proven_faulting: req_u64(st, "accesses_proven_faulting")? as usize,
     };
+    let safety = decode_safety(req(v, "safety")?)?;
     let config = decode_config(req(v, "config")?)?;
     Ok(CompiledKernel {
         program,
@@ -805,6 +864,7 @@ pub fn decode_kernel(v: &Json) -> Result<CompiledKernel> {
         scalar_layout,
         replications,
         stats,
+        safety,
         config,
     })
 }
@@ -931,9 +991,42 @@ mod tests {
             assert_eq!(back.scalar_layout, k.scalar_layout);
             assert_eq!(back.replications, k.replications);
             assert_eq!(back.stats, k.stats);
+            assert_eq!(back.safety, k.safety);
             // Re-encoding the decoded kernel is byte-identical.
             assert_eq!(encode_kernel(&back).to_compact(), text);
         }
+    }
+
+    /// The memory-safety certificate is part of the v6 payload: it must
+    /// survive the round trip verbatim, including verdicts and details,
+    /// so a cache hit can elide bounds checks exactly like a cold
+    /// compile.
+    #[test]
+    fn safety_certificate_roundtrips_with_every_verdict_field() {
+        let k = compiled(GATHER, false);
+        assert!(
+            k.safety.proven_safe() > 0,
+            "the gather kernel certifies its accesses"
+        );
+        let text = encode_kernel(&k).to_compact();
+        let back = decode_kernel(&json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back.safety, k.safety);
+        assert_eq!(
+            (
+                back.safety.proven_safe(),
+                back.safety.unknown(),
+                back.safety.proven_faulting()
+            ),
+            (
+                k.safety.proven_safe(),
+                k.safety.unknown(),
+                k.safety.proven_faulting()
+            )
+        );
+        assert_eq!(
+            back.stats.accesses_proven_safe,
+            k.stats.accesses_proven_safe
+        );
     }
 
     /// An if-converted kernel: the merge selects must survive the
@@ -1032,6 +1125,49 @@ mod tests {
         let err = decode_kernel(&v).expect_err("v3 entry must not decode");
         assert!(
             err.0.contains("format version 3"),
+            "rejection must name the version gate, got: {}",
+            err.0
+        );
+    }
+
+    /// A disk entry written by the v5 codec (pre-safety-certificate: no
+    /// `safety` payload, no access-verdict stats, format stamp 5) must
+    /// be rejected at the version gate — a clean cache miss that forces
+    /// recertification — rather than misdecoded into a kernel with an
+    /// empty certificate that the VM would trust to elide bounds checks.
+    #[test]
+    fn format_version_5_entries_are_rejected() {
+        let k = compiled(GATHER, false);
+        let mut v = encode_kernel(&k);
+        // Reconstruct the v5 shape: old format stamp, and none of the
+        // keys v6 introduced anywhere in the tree.
+        fn strip_v6_keys(v: &mut Json) {
+            match v {
+                Json::Obj(pairs) => {
+                    pairs.retain(|(key, _)| {
+                        !matches!(
+                            key.as_str(),
+                            "safety"
+                                | "accesses_proven_safe"
+                                | "accesses_unknown"
+                                | "accesses_proven_faulting"
+                        )
+                    });
+                    for (key, val) in pairs.iter_mut() {
+                        if key == "format" {
+                            *val = Json::num(5);
+                        }
+                        strip_v6_keys(val);
+                    }
+                }
+                Json::Arr(items) => items.iter_mut().for_each(strip_v6_keys),
+                _ => {}
+            }
+        }
+        strip_v6_keys(&mut v);
+        let err = decode_kernel(&v).expect_err("v5 entry must not decode");
+        assert!(
+            err.0.contains("format version 5"),
             "rejection must name the version gate, got: {}",
             err.0
         );

@@ -379,6 +379,32 @@ pub fn compile_source(
     })
 }
 
+/// Parses and certifies `source` without compiling it — the serve
+/// layer's pre-compile safety gate. A kernel whose certificate proves
+/// an out-of-bounds access ([`slp_core::AccessVerdict::ProvenFaulting`])
+/// can be rejected with its own wire code before any packing,
+/// scheduling or verification work is spent on it.
+///
+/// Returns `None` when the request must fall through to the normal
+/// compile path instead, so that path's diagnostics keep their own wire
+/// codes: sources that do not parse (`S110`), and sources with
+/// validation errors *other than* provable bounds violations (`S111` —
+/// duplicate ids, bad extents, out-of-scope loop variables). Provable
+/// bounds violations themselves are exactly what the certificate
+/// classifies, so those do get a certificate here rather than `None`.
+pub fn certify_source(source: &str) -> Option<slp_core::SafetyCert> {
+    let program = slp_lang::compile(source).ok()?;
+    if let Err(errors) = program.validate() {
+        if !errors
+            .iter()
+            .all(|e| matches!(e, slp_ir::ValidationError::OutOfBounds { .. }))
+        {
+            return None;
+        }
+    }
+    Some(slp_core::SafetyCert::certify(&program))
+}
+
 pub(crate) fn elapsed_nanos(start: Instant) -> u64 {
     u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }

@@ -43,6 +43,10 @@ pub struct ServeSummary {
     pub rejected_overload: u64,
     /// Compile requests rejected by a tenant's token-bucket quota.
     pub rejected_quota: u64,
+    /// Compile requests rejected because the memory-safety certificate
+    /// proved an access out of bounds (wire code `S114`), before any
+    /// compile work was spent on them.
+    pub rejected_unsafe: u64,
     /// Requests answered with `"ok": false` (every rejection and
     /// malformed request included).
     pub errors: u64,
@@ -60,6 +64,7 @@ impl ServeSummary {
             ("coalesced", Json::num(self.coalesced)),
             ("rejected_overload", Json::num(self.rejected_overload)),
             ("rejected_quota", Json::num(self.rejected_quota)),
+            ("rejected_unsafe", Json::num(self.rejected_unsafe)),
             ("errors", Json::num(self.errors)),
         ])
     }
@@ -110,6 +115,12 @@ pub struct KernelRow {
     /// False dependences disproved by the range-refined oracle (0 unless
     /// the request enabled `refine_deps`).
     pub deps_refuted: usize,
+    /// Array accesses the memory-safety certificate proved in bounds.
+    pub accesses_proven_safe: usize,
+    /// Array accesses the certificate could not classify.
+    pub accesses_unknown: usize,
+    /// Array accesses proven to fault (the kernel carries a V505 error).
+    pub accesses_proven_faulting: usize,
     /// The symbolic proof verdict; `None` unless the batch ran at
     /// [`crate::VerifyLevel::Prove`].
     pub prove: Option<ProveVerdict>,
@@ -190,6 +201,9 @@ impl DriverReport {
                         superwords: compiled.kernel.stats.superwords,
                         vectorized_stmts: compiled.kernel.stats.vectorized_stmts,
                         deps_refuted: compiled.kernel.stats.deps_refuted,
+                        accesses_proven_safe: compiled.kernel.stats.accesses_proven_safe,
+                        accesses_unknown: compiled.kernel.stats.accesses_unknown,
+                        accesses_proven_faulting: compiled.kernel.stats.accesses_proven_faulting,
                         prove: compiled.prove,
                         opt_nodes: compiled.kernel.stats.opt_nodes,
                         opt_gap_ppm: compiled.kernel.stats.opt_gap_ppm,
@@ -211,6 +225,9 @@ impl DriverReport {
                     superwords: 0,
                     vectorized_stmts: 0,
                     deps_refuted: 0,
+                    accesses_proven_safe: 0,
+                    accesses_unknown: 0,
+                    accesses_proven_faulting: 0,
                     prove: None,
                     opt_nodes: 0,
                     opt_gap_ppm: 0,
@@ -271,6 +288,18 @@ impl DriverReport {
         self.rows.iter().map(|r| r.deps_refuted).sum()
     }
 
+    /// Certificate verdict totals summed over all rows:
+    /// `(proven_safe, unknown, proven_faulting)`.
+    pub fn access_verdict_counts(&self) -> (usize, usize, usize) {
+        self.rows.iter().fold((0, 0, 0), |(s, u, f), r| {
+            (
+                s + r.accesses_proven_safe,
+                u + r.accesses_unknown,
+                f + r.accesses_proven_faulting,
+            )
+        })
+    }
+
     /// Rows whose proof attempt ended with the given verdict.
     pub fn prove_count(&self, verdict: ProveVerdict) -> usize {
         self.rows
@@ -301,6 +330,15 @@ impl DriverReport {
                 ("superwords", Json::num(row.superwords as u64)),
                 ("vectorized_stmts", Json::num(row.vectorized_stmts as u64)),
                 ("deps_refuted", Json::num(row.deps_refuted as u64)),
+                (
+                    "accesses_proven_safe",
+                    Json::num(row.accesses_proven_safe as u64),
+                ),
+                ("accesses_unknown", Json::num(row.accesses_unknown as u64)),
+                (
+                    "accesses_proven_faulting",
+                    Json::num(row.accesses_proven_faulting as u64),
+                ),
                 (
                     "prove",
                     row.prove.map_or(Json::Null, |v| Json::str(v.name())),
@@ -336,6 +374,14 @@ impl DriverReport {
             ("failed", Json::num(self.failed_count() as u64)),
             ("verify_errors", Json::num(self.verify_error_count() as u64)),
             ("deps_refuted", Json::num(self.deps_refuted_count() as u64)),
+            ("accesses", {
+                let (safe, unknown, faulting) = self.access_verdict_counts();
+                Json::obj([
+                    ("proven_safe", Json::num(safe as u64)),
+                    ("unknown", Json::num(unknown as u64)),
+                    ("proven_faulting", Json::num(faulting as u64)),
+                ])
+            }),
             (
                 "prove",
                 Json::obj([
@@ -435,18 +481,25 @@ impl DriverReport {
                 if refuted == 1 { "" } else { "s" }
             ));
         }
+        let (safe, unknown, faulting) = self.access_verdict_counts();
+        if safe + unknown + faulting > 0 {
+            out.push_str(&format!(
+                "safety: {safe} accesses proven safe, {unknown} unknown, {faulting} proven faulting\n",
+            ));
+        }
         if let Some(serve) = &self.serve {
             out.push_str(&format!(
                 "serve: {} requests, {} accepted, {} compiled ({} cache hits, \
-                 {} coalesced), {} rejected (overload {}, quota {}), {} errors\n",
+                 {} coalesced), {} rejected (overload {}, quota {}, unsafe {}), {} errors\n",
                 serve.requests,
                 serve.accepted,
                 serve.compiled,
                 serve.cache_hits,
                 serve.coalesced,
-                serve.rejected_overload + serve.rejected_quota,
+                serve.rejected_overload + serve.rejected_quota + serve.rejected_unsafe,
                 serve.rejected_overload,
                 serve.rejected_quota,
+                serve.rejected_unsafe,
                 serve.errors,
             ));
         }
@@ -512,6 +565,7 @@ mod tests {
             coalesced: 2,
             rejected_overload: 1,
             rejected_quota: 2,
+            rejected_unsafe: 1,
             errors: 4,
         };
         let report = DriverReport::from_outcomes(&[], 0, None).with_serve(summary);

@@ -25,6 +25,12 @@
 //!    miscompiles on a non-default input the point-wise check missed, or
 //!    the validator itself is wrong. Both are bugs worth a reproducer.
 //!    `Proved`/`Budget`/`Unsupported` verdicts make no extra claim.
+//! 6. **Certificate soundness**: the memory-safety certificate's
+//!    verdicts are proofs, held to execution in both directions. A
+//!    kernel certified all-`ProvenSafe` must never trap out of bounds in
+//!    the fully checked reference engine (the unchecked fast path would
+//!    have corrupted memory); a kernel with a `ProvenFaulting` access
+//!    must never complete cleanly (the "proof" of a fault was wrong).
 //!
 //! Programs whose dynamic statement count or memory footprint exceeds
 //! the fuzzing budgets are compile-tested only, so a hostile bound like
@@ -87,6 +93,10 @@ pub enum AnomalyKind {
     /// The symbolic validator refuted a kernel whose differential check
     /// was clean, or its counterexample failed to replay.
     ValidatorDisagreement,
+    /// The memory-safety certificate's proof disagreed with execution:
+    /// an all-`ProvenSafe` kernel trapped out of bounds in the checked
+    /// reference engine, or a `ProvenFaulting` kernel completed cleanly.
+    CertificateUnsound,
 }
 
 impl AnomalyKind {
@@ -99,6 +109,7 @@ impl AnomalyKind {
             AnomalyKind::RoundTrip => "round-trip",
             AnomalyKind::LintFalsePositive => "lint-false-positive",
             AnomalyKind::ValidatorDisagreement => "validator-disagreement",
+            AnomalyKind::CertificateUnsound => "certificate-unsound",
         }
     }
 }
@@ -392,6 +403,49 @@ pub fn check_program(
                     stage: Stage::Execute,
                     strategy: Some(label),
                     detail: diags[0].to_string(),
+                })
+            }
+            Ok(_) => {}
+        }
+        // The certificate-soundness oracle, both directions. The
+        // reference engine keeps every bounds check regardless of the
+        // certificate, so it is the ground truth the certificate's
+        // proofs are held to: all-safe kernels must run clean, and a
+        // proven-faulting access must actually trap (any earlier typed
+        // error still counts as a trap — the run did not complete).
+        match guarded(|| slp_vm::execute_reference(&kernel, machine)) {
+            Err(panic) => {
+                return Some(Anomaly {
+                    kind: AnomalyKind::Panic,
+                    stage: Stage::Execute,
+                    strategy: Some(label),
+                    detail: panic,
+                })
+            }
+            Ok(Err(e))
+                if kernel.safety.all_proven_safe()
+                    && e.kind() == slp_vm::ExecErrorKind::OutOfBounds =>
+            {
+                return Some(Anomaly {
+                    kind: AnomalyKind::CertificateUnsound,
+                    stage: Stage::Execute,
+                    strategy: Some(label),
+                    detail: format!(
+                        "certificate proves every access in bounds but the reference \
+                         engine trapped: {e}"
+                    ),
+                })
+            }
+            Ok(Ok(_)) if kernel.safety.proven_faulting() > 0 => {
+                return Some(Anomaly {
+                    kind: AnomalyKind::CertificateUnsound,
+                    stage: Stage::Execute,
+                    strategy: Some(label),
+                    detail: format!(
+                        "certificate proves {} access(es) faulting but the reference \
+                         engine completed cleanly",
+                        kernel.safety.proven_faulting()
+                    ),
                 })
             }
             Ok(_) => {}

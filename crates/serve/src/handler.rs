@@ -7,7 +7,7 @@
 //! counters — so the stdio loop, the TCP server and the tests all
 //! drive the *same* object and observe the same semantics.
 //!
-//! A `compile` request passes through four gates, in order:
+//! A `compile` request passes through five gates, in order:
 //!
 //! 1. **drain** — a draining handler admits no new compiles
 //!    ([`ErrorCode::Draining`]); in-flight ones run to completion;
@@ -17,7 +17,11 @@
 //! 3. **admission** — the global in-flight gauge is bumped; past
 //!    [`ServeConfig::max_in_flight`] the request is rejected with
 //!    [`ErrorCode::Overloaded`] instead of queueing unboundedly;
-//! 4. **dedup** — requests with an identical fingerprint already
+//! 4. **safety** — the memory-safety certificate pass runs over the
+//!    parsed source; a kernel with a proven out-of-bounds access (V505)
+//!    is rejected with [`ErrorCode::ProvenUnsafe`] before any compile
+//!    work is spent on it;
+//! 5. **dedup** — requests with an identical fingerprint already
 //!    compiling *join* that compile instead of starting their own: the
 //!    leader compiles once, followers block on the slot and get a clone
 //!    of the result, reported as `"cache":"coalesced"`.
@@ -146,6 +150,7 @@ struct Counters {
     coalesced: AtomicU64,
     rejected_overload: AtomicU64,
     rejected_quota: AtomicU64,
+    rejected_unsafe: AtomicU64,
     errors: AtomicU64,
     /// Gauge: compile requests currently inside the admission gate.
     active: AtomicU64,
@@ -275,6 +280,7 @@ impl Handler {
             coalesced: c.coalesced.load(Ordering::Relaxed),
             rejected_overload: c.rejected_overload.load(Ordering::Relaxed),
             rejected_quota: c.rejected_quota.load(Ordering::Relaxed),
+            rejected_unsafe: c.rejected_unsafe.load(Ordering::Relaxed),
             errors: c.errors.load(Ordering::Relaxed),
         }
     }
@@ -416,7 +422,36 @@ impl Handler {
         }
         self.counters.accepted.fetch_add(1, Ordering::Relaxed);
 
-        // Gate 4: dedup, then compile.
+        // Gate 4: safety. A kernel whose memory-safety certificate
+        // proves an out-of-bounds access would fail verification after
+        // the full compile pipeline ran; the certificate alone decides
+        // that, so the request is rejected before any packing or
+        // scheduling work (and before it can occupy a dedup slot).
+        // Sources that do not parse fall through: the compile path owns
+        // the parse error and its `S110` code.
+        if let Some(cert) = slp_driver::certify_source(&request.source) {
+            if cert.proven_faulting() > 0 {
+                self.counters
+                    .rejected_unsafe
+                    .fetch_add(1, Ordering::Relaxed);
+                let detail = cert
+                    .accesses
+                    .iter()
+                    .find(|a| a.verdict == slp_core::AccessVerdict::ProvenFaulting)
+                    .map(|a| a.detail.clone())
+                    .unwrap_or_default();
+                return envelope.error(
+                    ErrorCode::ProvenUnsafe,
+                    &format!(
+                        "kernel {:?} is proven memory-unsafe and was rejected before \
+                         compilation: {detail}",
+                        request.name
+                    ),
+                );
+            }
+        }
+
+        // Gate 5: dedup, then compile.
         let budget = budget_ms.or(self.config.default_budget_ms);
         let (result, coalesced) = self.compile_deduped(request, budget);
         match result {
@@ -557,6 +592,7 @@ impl Handler {
             ("slp_serve_coalesced_total", s.coalesced),
             ("slp_serve_rejected_overload_total", s.rejected_overload),
             ("slp_serve_rejected_quota_total", s.rejected_quota),
+            ("slp_serve_rejected_unsafe_total", s.rejected_unsafe),
             ("slp_serve_errors_total", s.errors),
             ("slp_serve_active", self.active()),
             ("slp_serve_draining", u64::from(self.draining())),

@@ -30,6 +30,7 @@
 //! | `S111` | kernel parsed but failed semantic validation        |
 //! | `S112` | compiler panic (caught; the server survives)        |
 //! | `S113` | compile exceeded its time budget                    |
+//! | `S114` | kernel proven memory-unsafe before compilation      |
 //! | `S120` | overloaded: in-flight admission cap reached         |
 //! | `S121` | tenant quota exhausted (token bucket empty)         |
 //! | `S122` | server is draining; request not admitted            |
@@ -72,6 +73,10 @@ pub enum ErrorCode {
     CompilerPanic,
     /// `S113`: the compile exceeded its time budget.
     BudgetExceeded,
+    /// `S114`: the memory-safety certificate pass proved an array
+    /// access out of bounds (V505), so the kernel was rejected before
+    /// any compile work was spent on it.
+    ProvenUnsafe,
     /// `S120`: the in-flight admission cap was reached.
     Overloaded,
     /// `S121`: the tenant's token-bucket quota is exhausted.
@@ -92,6 +97,7 @@ impl ErrorCode {
             ErrorCode::InvalidProgram => "S111",
             ErrorCode::CompilerPanic => "S112",
             ErrorCode::BudgetExceeded => "S113",
+            ErrorCode::ProvenUnsafe => "S114",
             ErrorCode::Overloaded => "S120",
             ErrorCode::QuotaExhausted => "S121",
             ErrorCode::Draining => "S122",
@@ -112,6 +118,7 @@ impl ErrorCode {
             ErrorCode::InvalidProgram => "invalid",
             ErrorCode::CompilerPanic => "panic",
             ErrorCode::BudgetExceeded => "timeout",
+            ErrorCode::ProvenUnsafe => "unsafe",
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::QuotaExhausted => "quota",
             ErrorCode::Draining => "draining",

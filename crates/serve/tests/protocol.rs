@@ -159,6 +159,52 @@ fn error_codes_are_stable() {
     assert_eq!(summary.errors, cases.len() as u64);
 }
 
+/// Tentpole regression: a kernel the certificate pass proves
+/// memory-unsafe is rejected with the stable `S114` code *before* any
+/// compile work — the compiler never runs, so nothing is cached — and
+/// the session keeps serving. Legacy clients see the same rejection as
+/// `kind: "unsafe"`.
+#[test]
+fn proven_unsafe_kernels_are_rejected_before_compilation() {
+    let oob = "kernel oob { array A: f64[8]; for i in 0..8 { A[i+1] = 2.0; } }";
+    let legacy = format!("{{\"cmd\":\"compile\",\"name\":\"oob\",\"source\":{oob:?}}}");
+    let lines = format!(
+        "{}\n{legacy}\n{}\n",
+        compile_v1(1, "", oob),
+        compile_v1(2, "", SRC)
+    );
+    let (responses, summary) = run(&lines);
+
+    // v1: typed S114 rejection naming the faulting access.
+    assert_eq!(responses[0].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        responses[0].get("code").and_then(Json::string),
+        Some("S114")
+    );
+    assert!(
+        responses[0]
+            .get("error")
+            .and_then(Json::string)
+            .is_some_and(|e| e.contains("proven memory-unsafe")),
+        "{}",
+        responses[0].to_compact()
+    );
+
+    // Legacy: same gate, historical shape.
+    assert_eq!(responses[1].get("ok"), Some(&Json::Bool(false)));
+    assert_eq!(
+        responses[1].get("kind").and_then(Json::string),
+        Some("unsafe")
+    );
+
+    // The session keeps serving, and the safe compile still works.
+    assert_eq!(responses[2].get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(summary.rejected_unsafe, 2);
+    assert_eq!(summary.errors, 2);
+    // The unsafe kernel never reached the compiler: one compile total.
+    assert_eq!(summary.compiled, 1);
+}
+
 #[test]
 fn unparseable_lines_answer_in_the_legacy_shape() {
     // Garbage cannot name a protocol version, so even v1 clients must

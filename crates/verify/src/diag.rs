@@ -100,6 +100,18 @@ pub enum LintCode {
     /// A loop whose constant bounds prove a zero trip count: its body is
     /// dead code.
     LoopNeverExecutes,
+    /// The memory-safety certificate proved an array access faults on
+    /// some attained iteration (interval endpoints over the iteration
+    /// box are attained, so this is a proof, not a may-fault estimate).
+    ProvenFaultingAccess,
+    /// The memory-safety certificate could not classify an array access:
+    /// it executes with full bounds checks and its safety rests on the
+    /// runtime check, not on a proof.
+    UnprovenAccess,
+    /// A store into an array cell that no statement ever reads and that a
+    /// later store provably overwrites in full: nothing the store writes
+    /// survives to the kernel outputs.
+    DeadArrayStore,
     /// The symbolic validator found (and execution confirmed) an input on
     /// which the vectorized kernel and the scalar program diverge.
     SymbolicMismatch,
@@ -136,6 +148,9 @@ impl LintCode {
             LintCode::OutOfBoundsSubscript => "V502",
             LintCode::MisalignmentRisk => "V503",
             LintCode::LoopNeverExecutes => "V504",
+            LintCode::ProvenFaultingAccess => "V505",
+            LintCode::UnprovenAccess => "V506",
+            LintCode::DeadArrayStore => "V507",
             LintCode::SymbolicMismatch => "V600",
             LintCode::SymbolicBudgetExceeded => "V601",
             LintCode::SymbolicUnsupported => "V602",
@@ -143,7 +158,7 @@ impl LintCode {
     }
 
     /// Every lint code in the catalogue, in `Vnnn` order.
-    pub const ALL: [LintCode; 23] = [
+    pub const ALL: [LintCode; 26] = [
         LintCode::ScheduleNotPermutation,
         LintCode::DependenceOrderViolated,
         LintCode::IntraPackDependence,
@@ -164,6 +179,9 @@ impl LintCode {
         LintCode::OutOfBoundsSubscript,
         LintCode::MisalignmentRisk,
         LintCode::LoopNeverExecutes,
+        LintCode::ProvenFaultingAccess,
+        LintCode::UnprovenAccess,
+        LintCode::DeadArrayStore,
         LintCode::SymbolicMismatch,
         LintCode::SymbolicBudgetExceeded,
         LintCode::SymbolicUnsupported,
@@ -183,7 +201,8 @@ impl LintCode {
     /// is a warning: unaligned packs execute correctly (the VM charges
     /// the unaligned-access cost), all other findings mean the kernel is
     /// wrong. The V5xx source lints are warnings except
-    /// [`LintCode::OutOfBoundsSubscript`]: strided-interval endpoints
+    /// [`LintCode::OutOfBoundsSubscript`] and
+    /// [`LintCode::ProvenFaultingAccess`]: strided-interval endpoints
     /// over the iteration box are attained, so a flagged subscript
     /// really does escape the array on some iteration. Among the V6xx
     /// symbolic-validation codes only [`LintCode::SymbolicMismatch`] is an
@@ -196,6 +215,8 @@ impl LintCode {
             | LintCode::DeadStore
             | LintCode::MisalignmentRisk
             | LintCode::LoopNeverExecutes
+            | LintCode::UnprovenAccess
+            | LintCode::DeadArrayStore
             | LintCode::SymbolicBudgetExceeded
             | LintCode::SymbolicUnsupported => Severity::Warning,
             _ => Severity::Error,
@@ -385,6 +406,9 @@ mod tests {
         assert_eq!(LintCode::NonInjectiveLayoutMap.code(), "V301");
         assert_eq!(LintCode::DifferentialMismatch.code(), "V401");
         assert_eq!(LintCode::LoopNeverExecutes.code(), "V504");
+        assert_eq!(LintCode::ProvenFaultingAccess.code(), "V505");
+        assert_eq!(LintCode::UnprovenAccess.code(), "V506");
+        assert_eq!(LintCode::DeadArrayStore.code(), "V507");
         assert_eq!(LintCode::SymbolicMismatch.code(), "V600");
         assert_eq!(LintCode::SymbolicBudgetExceeded.code(), "V601");
         assert_eq!(LintCode::SymbolicUnsupported.code(), "V602");
@@ -417,6 +441,7 @@ mod tests {
             LintCode::DifferentialMismatch,
             LintCode::ExecutionFailed,
             LintCode::OutOfBoundsSubscript,
+            LintCode::ProvenFaultingAccess,
             LintCode::SymbolicMismatch,
         ] {
             assert_eq!(code.severity(), Severity::Error, "{code}");
@@ -427,6 +452,8 @@ mod tests {
             LintCode::DeadStore,
             LintCode::MisalignmentRisk,
             LintCode::LoopNeverExecutes,
+            LintCode::UnprovenAccess,
+            LintCode::DeadArrayStore,
             LintCode::SymbolicBudgetExceeded,
             LintCode::SymbolicUnsupported,
         ] {

@@ -17,6 +17,9 @@
 //! * [`check_differential`] — executes the scalar baseline and the
 //!   compiled kernel on identical seeded memory and diffs the final
 //!   arrays bit for bit (`V4xx`),
+//! * [`check_certificate`] — reports the kernel's memory-safety
+//!   certificate: proven-faulting accesses are V505 errors, unproven
+//!   accesses V506 warnings,
 //! * [`lint_program`] — whole-program dataflow lints over the *source*
 //!   program, bridged from `slp-analyze`: use-before-def, dead stores,
 //!   provably out-of-bounds subscripts, misalignment risks, dead loops
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod cert;
 mod deps;
 mod diag;
 mod differential;
@@ -57,6 +61,7 @@ mod lints;
 mod packs;
 mod symbolic;
 
+pub use cert::check_certificate;
 pub use deps::check_dependences;
 pub use diag::{Diagnostic, LintCode, Report, Severity, Span};
 pub use differential::{
@@ -72,13 +77,14 @@ use slp_core::SlpConfig;
 use slp_core::{CompiledKernel, VerifyError};
 use slp_ir::Program;
 
-/// Runs all static checkers (dependences, packs, layout) over a compiled
-/// kernel.
+/// Runs all static checkers (dependences, packs, layout, memory-safety
+/// certificate) over a compiled kernel.
 pub fn verify_kernel(kernel: &CompiledKernel) -> Report {
     let mut report = Report::new();
     report.extend(check_dependences(kernel));
     report.extend(check_packs(kernel));
     report.extend(check_layout(kernel));
+    report.extend(check_certificate(kernel).diagnostics);
     report
 }
 

@@ -14,7 +14,9 @@
 //! * misalignment risk for a pack candidate →
 //!   [`LintCode::MisalignmentRisk`] (V503, warning),
 //! * a loop that provably never executes →
-//!   [`LintCode::LoopNeverExecutes`] (V504, warning).
+//!   [`LintCode::LoopNeverExecutes`] (V504, warning),
+//! * an array store no read observes, fully overwritten by a later
+//!   store → [`LintCode::DeadArrayStore`] (V507, warning).
 
 use std::collections::HashMap;
 
@@ -54,6 +56,7 @@ pub fn lint_program(program: &Program) -> Report {
             FindingKind::OutOfBounds => LintCode::OutOfBoundsSubscript,
             FindingKind::MisalignmentRisk => LintCode::MisalignmentRisk,
             FindingKind::LoopNeverExecutes => LintCode::LoopNeverExecutes,
+            FindingKind::DeadArrayStore => LintCode::DeadArrayStore,
         };
         let span = match home.get(&finding.stmt) {
             Some(&b) => Span::stmts(b, vec![finding.stmt]),
@@ -107,6 +110,19 @@ mod tests {
         assert!(r.has(LintCode::UseBeforeDef), "{r}");
         assert!(r.has(LintCode::DeadStore), "{r}");
         assert!(r.passes(), "V500/V501 do not fail the build: {r}");
+    }
+
+    #[test]
+    fn dead_array_store_is_a_warning() {
+        // The first loop's stores are never read and the second loop
+        // overwrites every cell it wrote.
+        let r = lint(
+            "kernel shadow { array A: f64[8]; scalar s: f64;
+             for i in 0..8 { A[i] = 1.0; }
+             for j in 0..8 { A[j] = 2.0; } }",
+        );
+        assert!(r.has(LintCode::DeadArrayStore), "{r}");
+        assert!(r.passes(), "V507 does not fail the build: {r}");
     }
 
     #[test]

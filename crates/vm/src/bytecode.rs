@@ -37,7 +37,7 @@
 
 use std::collections::HashMap;
 
-use slp_core::{CompiledKernel, CostParams, MachineConfig, Replication};
+use slp_core::{CompiledKernel, CostParams, MachineConfig, Replication, SafetyCert};
 use slp_ir::{
     ArrayId, ArrayRef, BinOp, BlockId, Dest, ExprShape, Item, LoopVarId, Operand, Program,
     ScalarType, StmtId, TypeEnv, UnOp,
@@ -107,6 +107,11 @@ struct Access {
     /// Whether the access rank matches the array rank; a mismatch is
     /// unconditionally out of bounds (as in `ArrayInfo::in_bounds`).
     rank_ok: bool,
+    /// Whether the per-dimension bounds checks must run. `false` only
+    /// when the kernel's memory-safety certificate proved the access in
+    /// bounds for every iteration (and check elision was not disabled),
+    /// licensing the fast unchecked resolve path.
+    checked: bool,
 }
 
 /// One dense, pre-resolved instruction. `m*` fields index the metrics
@@ -285,6 +290,29 @@ impl BytecodeKernel {
         BytecodeKernel::from_codes(kernel, machine, &codes)
     }
 
+    /// Like [`BytecodeKernel::compile`], but keeps every per-dimension
+    /// bounds check even for accesses the kernel's memory-safety
+    /// certificate proved safe. This is the `--no-unchecked` escape
+    /// hatch and the baseline the `bench vm-throughput` certified row is
+    /// measured against.
+    pub fn compile_checked(
+        kernel: &CompiledKernel,
+        machine: &MachineConfig,
+        cost_gate: bool,
+    ) -> Result<BytecodeKernel, ExecError> {
+        let codes = lower_kernel(kernel, machine, cost_gate);
+        BytecodeKernel::from_codes_with(kernel, machine, &codes, false)
+    }
+
+    /// `(unchecked, total)` array-access counts of this lowering: how
+    /// many accesses the kernel's memory-safety certificate let run
+    /// without their per-dimension bounds checks. Under
+    /// [`BytecodeKernel::compile_checked`] the first count is always 0.
+    pub fn unchecked_accesses(&self) -> (usize, usize) {
+        let unchecked = self.accesses.iter().filter(|a| !a.checked).count();
+        (unchecked, self.accesses.len())
+    }
+
     /// Translates pre-lowered `codes` (one per block of
     /// `kernel.program`, in [`Program::blocks`] order) to bytecode.
     ///
@@ -295,6 +323,17 @@ impl BytecodeKernel {
         kernel: &CompiledKernel,
         machine: &MachineConfig,
         codes: &[(BlockId, BlockCode)],
+    ) -> Result<BytecodeKernel, ExecError> {
+        BytecodeKernel::from_codes_with(kernel, machine, codes, true)
+    }
+
+    /// [`BytecodeKernel::from_codes`] with explicit control over whether
+    /// certificate-proven accesses may drop their bounds checks.
+    fn from_codes_with(
+        kernel: &CompiledKernel,
+        machine: &MachineConfig,
+        codes: &[(BlockId, BlockCode)],
+        elide_checks: bool,
     ) -> Result<BytecodeKernel, ExecError> {
         let program = &kernel.program;
         let mut array_base = Vec::new();
@@ -323,6 +362,9 @@ impl BytecodeKernel {
             srcs: Vec::new(),
             array_base: &array_base,
             reg_len: 0,
+            safety: &kernel.safety,
+            block: BlockId(0),
+            elide_checks,
         };
 
         let infos = program.blocks();
@@ -332,6 +374,7 @@ impl BytecodeKernel {
         let mut by_first: HashMap<StmtId, u32> = HashMap::new();
         for (slot, (info, (id, code))) in infos.iter().zip(codes).enumerate() {
             debug_assert_eq!(info.id, *id);
+            tr.block = info.id;
             let body_stack: Vec<LoopVarId> = info.loops.iter().map(|h| h.var).collect();
             let pre_stack = &body_stack[..body_stack.len().saturating_sub(1)];
             let mut map: HashMap<u32, (u32, u32)> = HashMap::new();
@@ -591,6 +634,9 @@ struct Translator<'a> {
     srcs: Vec<u32>,
     array_base: &'a [u32],
     reg_len: u32,
+    safety: &'a SafetyCert,
+    block: BlockId,
+    elide_checks: bool,
 }
 
 impl<'a> Translator<'a> {
@@ -620,6 +666,19 @@ impl<'a> Translator<'a> {
     fn add_access(&mut self, r: &ArrayRef, stack: &[LoopVarId]) -> u32 {
         let info = self.program.array(r.array);
         let rank_ok = r.access.rank() == info.dims.len();
+        // Check elision is licensed only when (a) the certificate proved
+        // this reference safe in this block, and (b) every subscript
+        // variable is on the current stack: the certificate evaluated
+        // the reference under the block's *full* loop environment, so a
+        // preheader-hoisted access whose dropped variable would read as
+        // zero here is outside what was proven and stays checked.
+        let checked = !(self.elide_checks
+            && rank_ok
+            && r.access
+                .dims()
+                .iter()
+                .all(|e| e.terms().all(|(v, _)| stack.contains(&v)))
+            && self.safety.is_proven_safe(self.block, r));
         let dim_start = self.dims.len() as u32;
         for (d, e) in r.access.dims().iter().enumerate() {
             let term_start = self.terms.len() as u32;
@@ -646,6 +705,7 @@ impl<'a> Translator<'a> {
             ty: info.ty,
             dims: (dim_start, self.dims.len() as u32),
             rank_ok,
+            checked,
         });
         (self.accesses.len() - 1) as u32
     }
@@ -1148,6 +1208,19 @@ impl<'a> Vm<'a> {
     fn resolve(&self, a: u32) -> Result<usize, ExecError> {
         let bc = self.bc;
         let acc = &bc.accesses[a as usize];
+        if !acc.checked {
+            // Certificate-proven access: the per-dimension range checks
+            // were discharged statically, only the address math remains.
+            let mut off = 0i64;
+            for dim in &bc.dims[acc.dims.0 as usize..acc.dims.1 as usize] {
+                let mut v = dim.constant;
+                for &(depth, coeff) in &bc.terms[dim.terms.0 as usize..dim.terms.1 as usize] {
+                    v += coeff * self.loop_vals[depth as usize];
+                }
+                off += v * dim.stride;
+            }
+            return Ok(acc.base as usize + off as usize);
+        }
         if !acc.rank_ok {
             return Err(self.oob(acc));
         }
@@ -1390,10 +1463,46 @@ mod tests {
         let p = slp_lang::compile(src).unwrap();
         let cfg = SlpConfig::for_machine(machine(), Strategy::Scalar);
         let k = compile(&p, &cfg);
+        // A proven-faulting access never loses its runtime check, so the
+        // certificate machinery cannot swallow the trap.
+        assert!(k.safety.proven_faulting() > 0);
+        let bc = BytecodeKernel::compile(&k, &machine(), true).unwrap();
+        assert!(bc.accesses.iter().all(|a| a.checked));
         let fast = execute_gated(&k, &machine(), true).unwrap_err();
         let slow = execute_gated_reference(&k, &machine(), true).unwrap_err();
         assert_eq!(fast, slow);
         assert_eq!(fast.kind(), ExecErrorKind::OutOfBounds);
+    }
+
+    #[test]
+    fn certified_accesses_run_unchecked_and_match_the_checked_engine() {
+        let p = slp_lang::compile(
+            "kernel c { array A: f64[64]; array B: f64[64];
+             for i in 0..64 { A[i] = B[i] * 2.0; } }",
+        )
+        .unwrap();
+        for strategy in [Strategy::Scalar, Strategy::Holistic] {
+            let cfg = SlpConfig::for_machine(machine(), strategy);
+            let k = compile(&p, &cfg);
+            assert!(k.safety.all_proven_safe());
+            let fast = BytecodeKernel::compile(&k, &machine(), true).unwrap();
+            assert!(
+                fast.accesses.iter().all(|a| !a.checked),
+                "{strategy:?}: every certified access should drop its check"
+            );
+            let checked = BytecodeKernel::compile_checked(&k, &machine(), true).unwrap();
+            assert!(
+                checked.accesses.iter().all(|a| a.checked),
+                "{strategy:?}: compile_checked must keep every check"
+            );
+            let a = fast.run().unwrap();
+            let b = checked.run().unwrap();
+            let r = execute_gated_reference(&k, &machine(), true).unwrap();
+            assert!(a.state.bitwise_eq(&b.state), "{strategy:?}");
+            assert!(a.state.bitwise_eq(&r.state), "{strategy:?}");
+            assert_eq!(a.stats, b.stats);
+            assert_eq!(a.stats, r.stats);
+        }
     }
 
     #[test]

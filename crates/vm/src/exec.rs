@@ -79,6 +79,22 @@ pub fn execute_gated(
     crate::bytecode::BytecodeKernel::compile(kernel, machine, cost_gate)?.run()
 }
 
+/// Executes `kernel` on the bytecode engine with every bounds check kept,
+/// even for accesses the memory-safety certificate proved safe (cost gate
+/// enabled). This is what `slpc --run --no-unchecked` uses, and the
+/// baseline the certified-execution bench row is compared against.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on out-of-bounds accesses or malformed code.
+pub fn execute_fully_checked(
+    kernel: &CompiledKernel,
+    machine: &MachineConfig,
+) -> Result<Outcome, ExecError> {
+    crate::memory::check_memory_budget(&kernel.program)?;
+    crate::bytecode::BytecodeKernel::compile_checked(kernel, machine, true)?.run()
+}
+
 /// Executes `kernel` on the bytecode engine from an explicit initial
 /// memory image instead of the deterministic seeds (cost gate enabled).
 ///

@@ -62,9 +62,9 @@ pub use carry::apply_cross_iteration_reuse;
 pub use code::{AccessClass, InstMetrics, LaneSink, ScalarPackClass, SplatSrc, VInst, VReg};
 pub use codegen::{lower_block, lower_kernel, lower_kernel_with, BlockCode};
 pub use exec::{
-    apply_shape, execute, execute_gated, execute_gated_reference, execute_reference,
-    execute_reference_with_state, execute_with_state, run_scalar, ExecError, ExecErrorKind,
-    Outcome, RunStats,
+    apply_shape, execute, execute_fully_checked, execute_gated, execute_gated_reference,
+    execute_reference, execute_reference_with_state, execute_with_state, run_scalar, ExecError,
+    ExecErrorKind, Outcome, RunStats,
 };
 pub use hoist::hoist_invariant_packs;
 pub use memory::{check_memory_budget, seed_scalar, seed_value, MachineState, MEMORY_BUDGET_ELEMS};

@@ -10,6 +10,8 @@
 //!   --machine intel|amd                   cost model (default: intel)
 //!   --emit source|schedule|code|stats     what to print (default: stats)
 //!   --run                                 execute and print counters
+//!   --no-unchecked                        keep every bounds check at runtime,
+//!                                         ignoring the memory-safety certificate
 //!   --unroll N                            unroll factor (default: auto)
 //!   --refine                              range-refined dependence testing
 //!
@@ -17,7 +19,8 @@
 //!
 //! Runs the slp-analyze whole-program dataflow lints (V500 use before
 //! def, V501 dead store, V502 provably out-of-bounds subscript, V503
-//! misalignment risk, V504 dead loop) over each kernel's source program
+//! misalignment risk, V504 dead loop, V507 dead array store — a cell
+//! written but never read nor live-out) over each kernel's source program
 //! and prints the inferred scalar value ranges. Purely static: nothing
 //! is executed. With `--json`, each kernel row also carries
 //! `deps_refuted` — how many false dependences the range-refined oracle
@@ -32,8 +35,10 @@
 //! Compiles each kernel under every vectorizing configuration (Native,
 //! SLP, Global, Global+Layout, Optimal) and runs the slp-verify checkers
 //! over the
-//! output: dependence preservation, pack legality, layout soundness, and
-//! differential translation validation against the scalar build.
+//! output: dependence preservation, pack legality, layout soundness,
+//! memory-safety certification (V505 proven out-of-bounds is a hard
+//! error, V506 unproven-access warnings), and differential translation
+//! validation against the scalar build.
 //!
 //! options:
 //!   --machine intel|amd                   cost model (default: intel)
@@ -104,6 +109,7 @@ struct Options {
     machine: MachineConfig,
     emit: String,
     run: bool,
+    no_unchecked: bool,
     unroll: usize,
     refine: bool,
 }
@@ -112,7 +118,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: slpc <kernel.slp> [--strategy scalar|native (alias: auto-adjacent)|slp|global|optimal] \
          [--layout] [--machine intel|amd] [--emit source|schedule|code|stats] \
-         [--run] [--unroll N] [--refine]\n       \
+         [--run] [--no-unchecked] [--unroll N] [--refine]\n       \
          slpc analyze <kernel.slp>... [--machine intel|amd] [--json]\n       \
          slpc check <kernel.slp>... [--machine intel|amd] [--static] \
          [--unroll N] [--refine] [--json]\n       \
@@ -154,6 +160,7 @@ fn parse_args() -> Result<Options, ExitCode> {
         machine: MachineConfig::intel_dunnington(),
         emit: "stats".to_string(),
         run: false,
+        no_unchecked: false,
         unroll: 0,
         refine: false,
     };
@@ -179,6 +186,7 @@ fn parse_args() -> Result<Options, ExitCode> {
                 _ => return Err(usage()),
             },
             "--run" => opts.run = true,
+            "--no-unchecked" => opts.no_unchecked = true,
             "--unroll" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(n) => opts.unroll = n,
                 None => return Err(usage()),
@@ -217,8 +225,31 @@ fn compile_file(
         match e {
             DriverError::Parse(rendered) => eprintln!("{rendered}"),
             DriverError::Invalid(errors) => {
-                for err in errors {
-                    eprintln!("slpc: {path}: {err}");
+                // When every validation error is a provable bounds
+                // violation, the safety certificate owns the rejection:
+                // render it as the V505 hard error instead of raw
+                // validator output, matching `slpd`'s S114 gate.
+                let faulting: Vec<_> = slp::driver::certify_source(&req.source)
+                    .map(|cert| {
+                        cert.accesses
+                            .into_iter()
+                            .filter(|a| a.verdict == slp::core::AccessVerdict::ProvenFaulting)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                if faulting.is_empty() {
+                    for err in errors {
+                        eprintln!("slpc: {path}: {err}");
+                    }
+                } else {
+                    for a in &faulting {
+                        let what = if a.is_write { "store to" } else { "load from" };
+                        eprintln!(
+                            "slpc: {path}: error[V505]: {what} {} is proven out of \
+                             bounds: {}",
+                            a.reference, a.detail
+                        );
+                    }
                 }
             }
             other => eprintln!("slpc: {path}: {other}"),
@@ -914,6 +945,11 @@ fn main() -> ExitCode {
             println!("dependences refuted   {}", s.deps_refuted);
             println!("scalar packs laid out {}", s.scalar_packs_laid_out);
             println!("array replications    {}", s.replications);
+            println!("accesses proven safe  {}", s.accesses_proven_safe);
+            if s.accesses_unknown + s.accesses_proven_faulting > 0 {
+                println!("accesses unproven     {}", s.accesses_unknown);
+                println!("accesses faulting     {}", s.accesses_proven_faulting);
+            }
             if kernel.config.strategy == Strategy::Optimal {
                 println!("solver nodes          {}", s.opt_nodes);
                 println!("optimality gap        {} ppm", s.opt_gap_ppm);
@@ -931,7 +967,15 @@ fn main() -> ExitCode {
     }
 
     if opts.run {
-        match execute(kernel, &opts.machine) {
+        // `--no-unchecked` opts out of certificate-driven check elision:
+        // every access keeps its per-dimension bounds check, as if
+        // nothing had been proven.
+        let result = if opts.no_unchecked {
+            slp::vm::execute_fully_checked(kernel, &opts.machine)
+        } else {
+            execute(kernel, &opts.machine)
+        };
+        match result {
             Ok(out) => {
                 let m = &out.stats.metrics;
                 println!("-- run on {} --", opts.machine.name);

@@ -52,6 +52,7 @@ fn each_fixture_trips_its_lint() {
         ("dead_store", "V501", false),
         ("oob", "V502", true),
         ("misaligned", "V503", false),
+        ("dead_array_store", "V507", false),
     ] {
         let out = slpc()
             .arg("analyze")

@@ -94,3 +94,23 @@ fn check_amd_machine_is_also_clean() {
     assert!(out.status.success(), "amd check failed:\n{stdout}");
     assert!(stdout.contains("0 error(s), 0 warning(s)"), "{stdout}");
 }
+
+#[test]
+fn check_rejects_proven_faulting_kernels_with_v505() {
+    let oob = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("examples/lints/oob.slp");
+    let out = slpc()
+        .arg("check")
+        .arg(&oob)
+        .arg("--static")
+        .output()
+        .expect("run slpc check");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "a proven out-of-bounds kernel must fail slpc check"
+    );
+    assert!(
+        stderr.contains("V505") && stderr.contains("proven out of bounds"),
+        "rejection must carry the V505 certificate diagnostic:\n{stderr}"
+    );
+}

@@ -1,0 +1,90 @@
+//! Safety-certificate gates over the whole kernel catalog: every
+//! curated suite kernel and every branchy (if-converted) kernel must
+//! certify `ProvenSafe` on all accesses, the compile stats must mirror
+//! the certificate, and the bytecode translator must actually elide
+//! bounds checks for certified accesses while staying bit-identical to
+//! the fully-checked engine. These invocations back the CI
+//! `safety-smoke` job.
+
+use slp::core::{compile, MachineConfig, SlpConfig, Strategy};
+use slp::vm::{execute_fully_checked, execute_reference, BytecodeKernel};
+
+fn machine() -> MachineConfig {
+    MachineConfig::intel_dunnington()
+}
+
+fn config(strategy: Strategy) -> SlpConfig {
+    SlpConfig::for_machine(machine(), strategy)
+}
+
+#[test]
+fn every_suite_kernel_certifies_proven_safe() {
+    let scale = 8;
+    for (spec, program) in slp::suite::all(scale) {
+        for strategy in [Strategy::Scalar, Strategy::Baseline, Strategy::Holistic] {
+            let kernel = compile(&program, &config(strategy));
+            assert!(
+                kernel.safety.all_proven_safe(),
+                "{} ({strategy:?}): {} unknown, {} faulting of {} accesses",
+                spec.name,
+                kernel.safety.unknown(),
+                kernel.safety.proven_faulting(),
+                kernel.safety.accesses.len()
+            );
+            assert_eq!(
+                kernel.stats.accesses_proven_safe,
+                kernel.safety.accesses.len(),
+                "{}: stats must mirror the certificate",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_branchy_kernel_certifies_proven_safe() {
+    let scale = 8;
+    for name in slp::suite::branchy_catalog() {
+        let program = slp::suite::branchy_kernel(name, scale);
+        for strategy in [Strategy::Scalar, Strategy::Holistic] {
+            let kernel = compile(&program, &config(strategy));
+            assert!(
+                kernel.safety.all_proven_safe(),
+                "{name} ({strategy:?}): {} unknown, {} faulting of {} accesses",
+                kernel.safety.unknown(),
+                kernel.safety.proven_faulting(),
+                kernel.safety.accesses.len()
+            );
+        }
+    }
+}
+
+/// The certificate is not decorative: for the suite, the translator
+/// must elide at least one bounds check per kernel, and the unchecked
+/// execution must stay bit-identical to both the fully-checked bytecode
+/// engine and the reference engine.
+#[test]
+fn certified_elision_is_effective_and_bit_exact_across_the_suite() {
+    let scale = 8;
+    let machine = machine();
+    for (spec, program) in slp::suite::all(scale).into_iter().take(6) {
+        let kernel = compile(&program, &config(Strategy::Holistic));
+        let fast = BytecodeKernel::compile(&kernel, &machine, true).expect("compiles");
+        let (elided, total) = fast.unchecked_accesses();
+        assert!(total > 0, "{}: no accesses?", spec.name);
+        assert!(
+            elided > 0,
+            "{}: certificate proved everything safe but nothing was elided",
+            spec.name
+        );
+
+        let a = fast.run().expect("unchecked run");
+        let b = execute_fully_checked(&kernel, &machine).expect("checked run");
+        let c = execute_reference(&kernel, &machine).expect("reference run");
+        assert!(
+            a.state.bitwise_eq(&b.state) && a.state.bitwise_eq(&c.state),
+            "{}: unchecked execution diverged",
+            spec.name
+        );
+    }
+}
